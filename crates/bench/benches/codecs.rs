@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the substrate kernels: ECC codecs (the
+//! hardware blocks whose latency models feed `CodeOverhead`) and the media
+//! codecs (the workload compute the cycle estimates represent).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use chunkpoint_ecc::{build_scheme, EccKind};
+use chunkpoint_workloads::{adpcm, g726, jpeg, speech_pcm, test_image};
+
+fn bench_ecc_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_encode");
+    for kind in [
+        EccKind::Parity,
+        EccKind::InterleavedParity { ways: 6 },
+        EccKind::Secded,
+        EccKind::Bch { t: 4 },
+        EccKind::Bch { t: 8 },
+        EccKind::Bch { t: 16 },
+    ] {
+        let scheme = build_scheme(kind).expect("valid kind");
+        group.bench_function(kind.to_string(), |b| {
+            b.iter(|| scheme.encode(black_box(0xDEAD_BEEF)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ecc_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_decode_with_errors");
+    for (kind, flips) in [
+        (EccKind::Secded, 1usize),
+        (EccKind::Bch { t: 4 }, 4),
+        (EccKind::Bch { t: 8 }, 8),
+        (EccKind::Bch { t: 16 }, 16),
+    ] {
+        let scheme = build_scheme(kind).expect("valid kind");
+        let clean = scheme.encode(0x1234_5678);
+        let mut corrupted = clean;
+        let len = corrupted.len();
+        for e in 0..flips {
+            corrupted.flip((e * len / flips + e) % len);
+        }
+        group.bench_function(format!("{kind}-{flips}err"), |b| {
+            b.iter(|| scheme.decode(black_box(&corrupted)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_audio_codecs(c: &mut Criterion) {
+    let pcm = speech_pcm(1024, 7);
+    let adpcm_codes = adpcm::encode(&pcm);
+    let g726_codes = g726::encode(&pcm);
+    let mut group = c.benchmark_group("audio_codecs_1024_samples");
+    group.bench_function("adpcm_encode", |b| b.iter(|| adpcm::encode(black_box(&pcm))));
+    group.bench_function("adpcm_decode", |b| {
+        b.iter(|| adpcm::decode(black_box(&adpcm_codes), 1024))
+    });
+    group.bench_function("g726_encode", |b| b.iter(|| g726::encode(black_box(&pcm))));
+    group.bench_function("g726_decode", |b| {
+        b.iter(|| g726::decode(black_box(&g726_codes), 1024))
+    });
+    group.finish();
+}
+
+fn bench_jpeg(c: &mut Criterion) {
+    let img = test_image(32, 32, 3);
+    let bytes = jpeg::encode(&img, 32, 32, 80);
+    let mut group = c.benchmark_group("jpeg_32x32");
+    group.bench_function("encode", |b| {
+        b.iter_batched(
+            || img.clone(),
+            |img| jpeg::encode(&img, 32, 32, 80),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("decode", |b| b.iter(|| jpeg::decode(black_box(&bytes))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ecc_encode, bench_ecc_decode, bench_audio_codecs, bench_jpeg
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the mitigation machinery itself: the
+//! optimizer (one Table I entry), the feasibility sweep (Fig. 4), and one
+//! full simulated run per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chunkpoint_core::{
+    feasible_region, golden, optimize, run, MitigationScheme, SystemConfig,
+};
+use chunkpoint_workloads::Benchmark;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let config = SystemConfig::paper(0);
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    group.bench_function("optimize_adpcm_decode", |b| {
+        b.iter(|| optimize(black_box(Benchmark::AdpcmDecode), &config))
+    });
+    group.bench_function("feasible_region_fig4", |b| {
+        b.iter(|| feasible_region(black_box(&config)))
+    });
+    group.finish();
+}
+
+fn bench_runs(c: &mut Criterion) {
+    let mut config = SystemConfig::paper(1);
+    config.scale = 0.5;
+    let mut group = c.benchmark_group("simulated_run_adpcm_decode");
+    group.sample_size(10);
+    group.bench_function("golden", |b| {
+        b.iter(|| golden(black_box(Benchmark::AdpcmDecode), &config))
+    });
+    for (label, scheme) in [
+        ("default", MitigationScheme::Default),
+        ("sw_restart", MitigationScheme::SwRestart),
+        ("hw_ecc_t8", MitigationScheme::hw_baseline()),
+        (
+            "hybrid",
+            MitigationScheme::Hybrid { chunk_words: 16, l1_prime_t: 8 },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| run(black_box(Benchmark::AdpcmDecode), scheme, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_optimizer, bench_runs
+}
+criterion_main!(benches);

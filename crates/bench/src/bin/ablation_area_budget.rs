@@ -1,0 +1,48 @@
+//! **Ablation B — area-budget sweep.** The paper fixes OV1 = 5 % (the
+//! industrial partners' limit); this sweep re-runs the optimizer for
+//! OV1 ∈ {1 … 10 %} and reports how the optimal design point moves.
+//!
+//! Expected shape: tighter budgets force smaller buffers and/or weaker
+//! L1′ codes and push the objective up; once the budget stops binding the
+//! design point freezes (the cycle constraint and energy optimum take
+//! over).
+
+use chunkpoint_core::{optimize, SystemConfig, SystemConstraints};
+use chunkpoint_workloads::Benchmark;
+
+const BUDGETS: [f64; 6] = [0.01, 0.02, 0.03, 0.05, 0.08, 0.10];
+
+fn main() {
+    println!("Ablation B — optimal design point vs area budget OV1");
+    for benchmark in Benchmark::ALL {
+        println!();
+        println!("== {benchmark} ==");
+        println!(
+            "{:>8} | {:>12} | {:>8} | {:>12} | {:>10}",
+            "OV1 %", "chunk (words)", "L1' t", "J (uJ)", "area %"
+        );
+        println!("{}", "-".repeat(62));
+        for &budget in &BUDGETS {
+            let mut config = SystemConfig::paper(0xAB1B);
+            config.constraints = SystemConstraints::new(budget, 0.10);
+            match optimize(benchmark, &config) {
+                Some(best) => println!(
+                    "{:>8.0} | {:>12} | {:>8} | {:>12.2} | {:>10.2}",
+                    100.0 * budget,
+                    best.chunk_words,
+                    best.l1_prime_t,
+                    best.cost.objective_pj() / 1.0e6,
+                    100.0 * best.area_fraction,
+                ),
+                None => println!(
+                    "{:>8.0} | {:>12} | {:>8} | {:>12} | {:>10}",
+                    100.0 * budget,
+                    "-",
+                    "-",
+                    "infeasible",
+                    "-"
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! **Ablation C — chunk-size sensitivity.** Sweeps the cost model's
+//! objective J = C_store + C_comp over the chunk size for every benchmark,
+//! exposing the interior optimum that Table I reports: tiny chunks pay
+//! per-checkpoint overhead, huge chunks pay recovery and buffering volume.
+//!
+//! Also cross-checks the model against *measured* energy from full
+//! simulated runs at a few chunk sizes.
+
+use chunkpoint_bench::{measure, DEFAULT_SEEDS};
+use chunkpoint_core::{optimize, sweep, MitigationScheme, SystemConfig};
+use chunkpoint_workloads::Benchmark;
+
+fn main() {
+    let config = SystemConfig::paper(0xAB1C);
+    println!("Ablation C — objective J vs chunk size (model) + measured energy spot checks");
+    for benchmark in Benchmark::ALL {
+        let best = optimize(benchmark, &config).expect("feasible design");
+        let points = sweep(benchmark, best.l1_prime_t, &config);
+        println!();
+        println!(
+            "== {benchmark} (L1' t = {}, optimum K = {}) ==",
+            best.l1_prime_t, best.chunk_words
+        );
+        println!(
+            "{:>10} | {:>12} | {:>10} | {:>10} | {:>14}",
+            "K (words)", "J (uJ)", "area %", "cycle %", "measured E/E0"
+        );
+        println!("{}", "-".repeat(68));
+        let samples: Vec<u32> = vec![
+            1,
+            2,
+            4,
+            best.chunk_words.max(1) / 2,
+            best.chunk_words,
+            best.chunk_words * 2,
+            best.chunk_words * 4,
+            128,
+        ];
+        let mut shown = std::collections::BTreeSet::new();
+        for k in samples {
+            let k = k.clamp(1, 512);
+            if !shown.insert(k) {
+                continue;
+            }
+            let point = &points[(k - 1) as usize];
+            let feasible = point.is_feasible(&config);
+            let measured = if feasible {
+                let cell = measure(
+                    benchmark,
+                    MitigationScheme::Hybrid { chunk_words: k, l1_prime_t: best.l1_prime_t },
+                    &config,
+                    DEFAULT_SEEDS / 2,
+                );
+                format!("{:.3}", cell.energy_ratio)
+            } else {
+                "infeasible".to_owned()
+            };
+            println!(
+                "{:>10} | {:>12.2} | {:>10.2} | {:>10.2} | {:>14}",
+                k,
+                point.cost.objective_pj() / 1.0e6,
+                100.0 * point.area_fraction,
+                100.0 * point.cost.cycle_fraction(),
+                measured,
+            );
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! **Ablation F — scrubbing vs the SMU era.** SECDED + periodic scrubbing
+//! was the classic defence against accumulating single-bit upsets. This
+//! experiment shows why the paper's multi-bit fault model obsoletes it:
+//! a single SMU strike already exceeds SECDED, so scrubbing either
+//! restarts constantly (detected doubles) or — for ≥3-bit bursts that
+//! alias — corrupts silently, at full-array sweep energy.
+
+use chunkpoint_core::{golden, optimize, run, MitigationScheme, SystemConfig};
+use chunkpoint_workloads::Benchmark;
+
+const SEEDS: u64 = 60;
+
+fn main() {
+    println!("Ablation F — SECDED + scrubbing vs the hybrid scheme under SMU faults");
+    println!("(lambda = 1e-6, {SEEDS} seeds per cell)");
+    println!();
+    for benchmark in [Benchmark::AdpcmDecode, Benchmark::G721Decode] {
+        let best = optimize(benchmark, &SystemConfig::paper(0)).expect("feasible design");
+        println!("== {benchmark} ==");
+        println!(
+            "{:<30} | {:>10} | {:>10} | {:>10} | {:>10}",
+            "scheme", "energy x", "restarts", "corrupted", "incomplete"
+        );
+        println!("{}", "-".repeat(84));
+        let schemes = [
+            (
+                "scrub every 2k cycles".to_owned(),
+                MitigationScheme::ScrubbedSecded { interval_cycles: 2_000 },
+            ),
+            (
+                "scrub every 10k cycles".to_owned(),
+                MitigationScheme::ScrubbedSecded { interval_cycles: 10_000 },
+            ),
+            (
+                "hybrid (proposed)".to_owned(),
+                MitigationScheme::Hybrid {
+                    chunk_words: best.chunk_words,
+                    l1_prime_t: best.l1_prime_t,
+                },
+            ),
+        ];
+        for (label, scheme) in schemes {
+            let mut energy = 0.0;
+            let mut restarts = 0u64;
+            let mut corrupted = 0u64;
+            let mut incomplete = 0u64;
+            for seed in 0..SEEDS {
+                let mut config = SystemConfig::paper(seed * 2246822519 + 3);
+                config.faults.error_rate = 1e-6;
+                let reference = golden(benchmark, &config);
+                let denominator = run(benchmark, MitigationScheme::Default, &config);
+                let report = run(benchmark, scheme, &config);
+                energy += report.energy_ratio(&denominator) / SEEDS as f64;
+                restarts += report.restarts;
+                if report.completed && !report.output_matches(&reference) {
+                    corrupted += 1;
+                }
+                if !report.completed {
+                    incomplete += 1;
+                }
+            }
+            println!(
+                "{:<30} | {:>10.3} | {:>10} | {:>10} | {:>10}",
+                label, energy, restarts, corrupted, incomplete
+            );
+        }
+        println!();
+    }
+    println!("scrubbing cannot help against instantaneous multi-bit strikes: it burns");
+    println!("sweep energy, restarts on every detected double, and wider bursts that");
+    println!("alias past SECDED corrupt silently — the hybrid stays cheap and correct.");
+}

@@ -1,0 +1,34 @@
+//! Regenerates **Fig. 4**: the feasible (chunk size, correctable bits per
+//! word) region of the L1′ buffer under the 5 % area-overhead budget.
+//!
+//! Expected shape (paper): a monotone non-increasing staircase — small
+//! buffers afford up to ~17–18 correctable bits per word, while buffers of
+//! hundreds of words only fit weak codes.
+
+use chunkpoint_core::{feasible_region, SystemConfig};
+
+fn main() {
+    let config = SystemConfig::paper(0);
+    let region = feasible_region(&config);
+    println!(
+        "Fig. 4 — Feasible chunk areas vs number of correctable bits (OV1 = {:.0}% of a 64 KB L1)",
+        100.0 * config.constraints.area_overhead
+    );
+    println!();
+    println!("{:>18} | {:>22}", "chunk size (words)", "max correctable bits");
+    println!("{}", "-".repeat(44));
+    // Print the staircase: one row per change point plus the paper's grid.
+    let mut last = u8::MAX;
+    for &(words, max_t) in &region {
+        let grid_point = matches!(words, 1 | 33 | 65 | 97 | 129 | 161 | 193 | 225 | 257 | 289 | 321 | 353 | 385 | 417 | 449 | 481 | 512);
+        if max_t != last || grid_point {
+            println!("{words:>18} | {max_t:>22}");
+            last = max_t;
+        }
+    }
+    println!();
+    let strong = region.iter().filter(|&&(_, t)| t >= 8).count();
+    let weak = region.iter().filter(|&&(_, t)| t >= 1).count();
+    println!("buffers supporting t >= 8 (SMU-proof): up to {strong} words");
+    println!("buffers supporting t >= 1 at all:      up to {weak} words");
+}

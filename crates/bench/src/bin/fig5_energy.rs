@@ -1,0 +1,51 @@
+//! Regenerates **Fig. 5**: normalized energy consumption of Default,
+//! SW-based, HW-based, Proposed (optimal) and Proposed (sub-optimal)
+//! mitigation for each benchmark, plus the cross-benchmark average.
+//!
+//! Expected shape (paper): proposed-optimal ≈ 1.05–1.22 (10.1 % average
+//! overhead, 22 % max); SW and HW ≥ 1.7 on average with maxima > 2.
+
+use chunkpoint_bench::{fig5_schemes, measure, print_row, DEFAULT_SEEDS};
+use chunkpoint_core::SystemConfig;
+use chunkpoint_workloads::Benchmark;
+
+fn main() {
+    let config = SystemConfig::paper(0xF165);
+    println!("Fig. 5 — Normalized energy consumption (Default = 1.0)");
+    println!(
+        "platform: ARM9 @ 200 MHz, 64 KB L1, lambda = {:.0e} word/cycle, {} seeds/cell",
+        config.faults.error_rate, DEFAULT_SEEDS
+    );
+    println!();
+    let labels: Vec<String> = fig5_schemes(Benchmark::AdpcmEncode, &config)
+        .into_iter()
+        .map(|(label, _)| label)
+        .collect();
+    print_row("benchmark", &labels);
+    println!("{}", "-".repeat(24 + labels.len() * 15));
+
+    let mut sums = vec![0.0f64; labels.len()];
+    for benchmark in Benchmark::ALL {
+        let schemes = fig5_schemes(benchmark, &config);
+        let mut cells = Vec::new();
+        for (i, (_, scheme)) in schemes.iter().enumerate() {
+            let cell = measure(benchmark, *scheme, &config, DEFAULT_SEEDS);
+            sums[i] += cell.energy_ratio;
+            cells.push(format!("{:.3}", cell.energy_ratio));
+        }
+        print_row(benchmark.name(), &cells);
+    }
+    let averages: Vec<String> = sums
+        .iter()
+        .map(|s| format!("{:.3}", s / Benchmark::ALL.len() as f64))
+        .collect();
+    println!("{}", "-".repeat(24 + labels.len() * 15));
+    print_row("Average", &averages);
+
+    let avg_opt = sums[3] / Benchmark::ALL.len() as f64;
+    println!();
+    println!(
+        "proposed (optimal) average energy overhead: {:.1}% (paper: 10.1%)",
+        100.0 * (avg_opt - 1.0)
+    );
+}

@@ -1,0 +1,101 @@
+//! Renders the paper's figures as SVG files under `figures/`:
+//!
+//! * `fig4_feasible_region.svg` — the area-feasibility staircase;
+//! * `fig5_energy.svg` — normalized energy, grouped bars per benchmark;
+//! * `time_overhead.svg` — normalized execution time;
+//! * `fig1_timeline.svg` — a real execution timeline with an injected
+//!   error and its demand-driven rollback.
+
+use chunkpoint_bench::plot::{grouped_bar_chart, step_plot, timeline_svg};
+use chunkpoint_bench::{fig5_schemes, measure, DEFAULT_SEEDS};
+use chunkpoint_core::{feasible_region, run, MitigationScheme, SystemConfig};
+use chunkpoint_workloads::Benchmark;
+
+fn main() -> std::io::Result<()> {
+    let config = SystemConfig::paper(0xF165);
+    std::fs::create_dir_all("figures")?;
+
+    // Fig. 4.
+    let region = feasible_region(&config);
+    let points: Vec<(f64, f64)> = region
+        .iter()
+        .map(|&(w, t)| (f64::from(w), f64::from(t)))
+        .collect();
+    let svg = step_plot(
+        "Fig. 4 - Feasible chunk areas vs correctable bits (5% area budget)",
+        "chunk size (number of words)",
+        "correctable bits (per word)",
+        &points,
+        true,
+    );
+    std::fs::write("figures/fig4_feasible_region.svg", svg)?;
+    println!("wrote figures/fig4_feasible_region.svg");
+
+    // Fig. 5 + time overhead share the measurement loop.
+    let labels: Vec<String> = fig5_schemes(Benchmark::AdpcmEncode, &config)
+        .into_iter()
+        .map(|(label, _)| label)
+        .collect();
+    let categories: Vec<String> = Benchmark::ALL
+        .iter()
+        .map(|b| b.name().to_owned())
+        .chain(std::iter::once("Average".to_owned()))
+        .collect();
+    let mut energy_series: Vec<(String, Vec<f64>)> =
+        labels.iter().map(|l| (l.clone(), Vec::new())).collect();
+    let mut time_series = energy_series.clone();
+    for benchmark in Benchmark::ALL {
+        let schemes = fig5_schemes(benchmark, &config);
+        for (i, (_, scheme)) in schemes.iter().enumerate() {
+            let cell = measure(benchmark, *scheme, &config, DEFAULT_SEEDS);
+            energy_series[i].1.push(cell.energy_ratio);
+            time_series[i].1.push(cell.cycle_ratio);
+        }
+    }
+    for series in [&mut energy_series, &mut time_series] {
+        for (_, values) in series.iter_mut() {
+            let avg = values.iter().sum::<f64>() / values.len() as f64;
+            values.push(avg);
+        }
+    }
+    std::fs::write(
+        "figures/fig5_energy.svg",
+        grouped_bar_chart(
+            "Fig. 5 - Normalized energy consumption (Default = 1.0)",
+            "normalized energy",
+            &categories,
+            &energy_series,
+        ),
+    )?;
+    println!("wrote figures/fig5_energy.svg");
+    std::fs::write(
+        "figures/time_overhead.svg",
+        grouped_bar_chart(
+            "SIII-B - Normalized execution time (Default = 1.0)",
+            "normalized execution time",
+            &categories,
+            &time_series,
+        ),
+    )?;
+    println!("wrote figures/time_overhead.svg");
+
+    // Fig. 1: find a frame with at least one rollback and render it.
+    let scheme = MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 };
+    let report = (0..500u64)
+        .map(|s| {
+            let mut c = SystemConfig::paper(2012 + s);
+            c.faults.error_rate = 5e-5;
+            run(Benchmark::AdpcmDecode, scheme, &c)
+        })
+        .find(|r| r.rollbacks > 0 && r.completed)
+        .expect("a rollback within 500 frames at 5e-5");
+    std::fs::write(
+        "figures/fig1_timeline.svg",
+        timeline_svg(
+            "Fig. 1 - Chunked execution with an intermittent error and rollback (ADPCM decode)",
+            report.trace.events(),
+        ),
+    )?;
+    println!("wrote figures/fig1_timeline.svg");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Table I**: the optimum protected-buffer (chunk) size per
+//! benchmark under the paper's constraints (OV1 = 5 %, OV2 = 10 %,
+//! λ = 1e-6 word/cycle).
+//!
+//! Paper values (words): ADPCM encode 11, ADPCM decode 11, G721 encode 16,
+//! G721 decode 32, JPG decode 44. Absolute agreement is not expected (our
+//! substrate models differ) — the *order of magnitude* (tens of words) and
+//! the interior-optimum structure are the reproduction targets.
+
+use chunkpoint_core::{optimize, SystemConfig};
+use chunkpoint_workloads::Benchmark;
+
+fn main() {
+    let config = SystemConfig::paper(0);
+    println!("Table I — Optimum chunk size obtained for different benchmarks");
+    println!();
+    println!(
+        "{:<14} | {:>12} | {:>12} | {:>8} | {:>10} | {:>8} | {:>8}",
+        "benchmark", "chunk (words)", "buffer (words)", "L1' t", "N_CH", "area %", "cycle %"
+    );
+    println!("{}", "-".repeat(90));
+    for benchmark in Benchmark::ALL {
+        let best = optimize(benchmark, &config)
+            .expect("paper constraints admit a feasible design for every benchmark");
+        println!(
+            "{:<14} | {:>12} | {:>12} | {:>8} | {:>10} | {:>8.2} | {:>8.2}",
+            benchmark.name(),
+            best.chunk_words,
+            best.cost.buffer_words,
+            best.l1_prime_t,
+            best.cost.n_checkpoints,
+            100.0 * best.area_fraction,
+            100.0 * best.cost.cycle_fraction(),
+        );
+    }
+    println!();
+    println!("paper (words): ADPCM enc 11 / ADPCM dec 11 / G721 enc 16 / G721 dec 32 / JPG dec 44");
+}

@@ -1,0 +1,156 @@
+//! # chunkpoint-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index):
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `fig4_feasible_region`  | Fig. 4 — feasible (chunk size, correctable bits) under the 5 % area budget |
+//! | `table1_optimal_chunks` | Table I — optimum protected-buffer size per benchmark |
+//! | `fig5_energy`           | Fig. 5 — normalized energy per scheme per benchmark |
+//! | `time_overhead`         | §III-B — execution-time overhead per scheme |
+//! | `ablation_error_rate`   | λ sweep (1e-8 … 1e-5) |
+//! | `ablation_area_budget`  | OV1 sweep (1 … 10 %) |
+//! | `ablation_chunk_sweep`  | energy vs chunk size (the optimum's interior shape) |
+//!
+//! Criterion micro-benchmarks for the codecs and the mitigation runner
+//! live in `benches/`.
+
+use chunkpoint_core::{golden, run, MitigationScheme, RunReport, SystemConfig};
+use chunkpoint_workloads::Benchmark;
+
+pub mod plot;
+
+/// Number of fault-process seeds averaged per reported data point.
+pub const DEFAULT_SEEDS: u64 = 8;
+
+/// Mean of `f(seed)` over `n` seeds.
+pub fn mean_over_seeds(n: u64, mut f: impl FnMut(u64) -> f64) -> f64 {
+    assert!(n > 0, "need at least one seed");
+    (0..n).map(&mut f).sum::<f64>() / n as f64
+}
+
+/// Energy and timing of one (benchmark, scheme) cell, averaged over
+/// seeds and normalised to the same-seed *Default* run.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeCell {
+    /// Mean normalized energy (Default = 1.0).
+    pub energy_ratio: f64,
+    /// Mean normalized execution time (Default = 1.0).
+    pub cycle_ratio: f64,
+    /// Fraction of seeds whose output matched the fault-free reference.
+    pub correct_fraction: f64,
+    /// Fraction of seeds that ran to completion.
+    pub completed_fraction: f64,
+}
+
+/// Runs one scheme over `seeds` seeds and aggregates against the Default
+/// denominator (the paper normalises Fig. 5 to the default case).
+pub fn measure(
+    benchmark: Benchmark,
+    scheme: MitigationScheme,
+    base_config: &SystemConfig,
+    seeds: u64,
+) -> SchemeCell {
+    assert!(seeds > 0, "need at least one seed");
+    let reference = golden(benchmark, base_config);
+    let mut energy = 0.0;
+    let mut cycles = 0.0;
+    let mut correct = 0u64;
+    let mut completed = 0u64;
+    for seed in 0..seeds {
+        let mut config = base_config.clone();
+        config.faults.seed = base_config.faults.seed ^ (seed.wrapping_mul(0x9E37_79B9));
+        let denominator = run(benchmark, MitigationScheme::Default, &config);
+        let report = run(benchmark, scheme, &config);
+        energy += report.energy_ratio(&denominator);
+        cycles += report.cycle_ratio(&denominator);
+        if report.output_matches(&reference) {
+            correct += 1;
+        }
+        if report.completed {
+            completed += 1;
+        }
+    }
+    SchemeCell {
+        energy_ratio: energy / seeds as f64,
+        cycle_ratio: cycles / seeds as f64,
+        correct_fraction: correct as f64 / seeds as f64,
+        completed_fraction: completed as f64 / seeds as f64,
+    }
+}
+
+/// The five scheme columns of Fig. 5 for one benchmark, in paper order:
+/// Default, SW-based, HW-based, Proposed (optimal), Proposed (sub-optimal).
+pub fn fig5_schemes(benchmark: Benchmark, config: &SystemConfig) -> Vec<(String, MitigationScheme)> {
+    let best = chunkpoint_core::optimize(benchmark, config)
+        .expect("paper constraints admit a feasible design for every benchmark");
+    let sub = chunkpoint_core::suboptimal(benchmark, config)
+        .expect("sub-optimal point exists whenever an optimum does");
+    vec![
+        ("Default".to_owned(), MitigationScheme::Default),
+        ("SW-based".to_owned(), MitigationScheme::SwRestart),
+        ("HW-based".to_owned(), MitigationScheme::hw_baseline()),
+        (
+            "Proposed (optimal)".to_owned(),
+            MitigationScheme::Hybrid {
+                chunk_words: best.chunk_words,
+                l1_prime_t: best.l1_prime_t,
+            },
+        ),
+        (
+            "Proposed (sub-optimal)".to_owned(),
+            MitigationScheme::Hybrid {
+                chunk_words: sub.chunk_words,
+                l1_prime_t: sub.l1_prime_t,
+            },
+        ),
+    ]
+}
+
+/// Prints a markdown-ish table row.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<24}");
+    for cell in cells {
+        print!(" | {cell:>12}");
+    }
+    println!();
+}
+
+/// Convenience: a full single-seed report for debugging.
+pub fn debug_report(
+    benchmark: Benchmark,
+    scheme: MitigationScheme,
+    config: &SystemConfig,
+) -> RunReport {
+    run(benchmark, scheme, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_seeds_averages() {
+        let m = mean_over_seeds(4, |s| s as f64);
+        assert!((m - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig5_scheme_list_has_paper_columns() {
+        let config = SystemConfig::paper(0);
+        let schemes = fig5_schemes(Benchmark::AdpcmEncode, &config);
+        assert_eq!(schemes.len(), 5);
+        assert_eq!(schemes[0].0, "Default");
+        assert!(matches!(schemes[3].1, MitigationScheme::Hybrid { .. }));
+    }
+
+    #[test]
+    fn measure_default_is_unity() {
+        let mut config = SystemConfig::paper(3);
+        config.scale = 0.25;
+        let cell = measure(Benchmark::AdpcmEncode, MitigationScheme::Default, &config, 2);
+        assert!((cell.energy_ratio - 1.0).abs() < 1e-9);
+        assert!((cell.cycle_ratio - 1.0).abs() < 1e-9);
+    }
+}

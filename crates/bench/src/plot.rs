@@ -1,0 +1,419 @@
+//! Minimal self-contained SVG plotting, so the experiment binaries can
+//! regenerate the paper's *figures* as figures (not just tables). No
+//! external dependencies: the charts the evaluation needs are grouped bar
+//! charts (Fig. 5) and step/scatter plots (Fig. 4), both trivial SVG.
+
+use std::fmt::Write as _;
+
+/// A simple palette matching typical conference grayscale-friendly plots.
+const PALETTE: [&str; 6] = ["#4878a8", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"];
+
+/// Builds a grouped bar chart (one group per category, one bar per
+/// series) and returns the SVG document.
+///
+/// # Panics
+///
+/// Panics if the series lengths disagree with the category count.
+#[must_use]
+pub fn grouped_bar_chart(
+    title: &str,
+    y_label: &str,
+    categories: &[String],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    assert!(!categories.is_empty() && !series.is_empty(), "empty chart");
+    for (name, values) in series {
+        assert_eq!(
+            values.len(),
+            categories.len(),
+            "series '{name}' length mismatch"
+        );
+    }
+    let width = 900.0f64;
+    let height = 460.0f64;
+    let margin_left = 70.0;
+    let margin_right = 20.0;
+    let margin_top = 50.0;
+    let margin_bottom = 110.0;
+    let plot_w = width - margin_left - margin_right;
+    let plot_h = height - margin_top - margin_bottom;
+
+    let y_max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 1.1;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="Helvetica,Arial,sans-serif">"#
+    );
+    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="28" font-size="17" text-anchor="middle" font-weight="bold">{}</text>"#,
+        width / 2.0,
+        xml_escape(title)
+    );
+    // Y axis with 5 gridlines.
+    for i in 0..=5 {
+        let value = y_max * f64::from(i) / 5.0;
+        let y = margin_top + plot_h - plot_h * f64::from(i) / 5.0;
+        let _ = write!(
+            svg,
+            r##"<line x1="{margin_left}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+            margin_left + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="11" text-anchor="end">{:.2}</text>"#,
+            margin_left - 6.0,
+            y + 4.0,
+            value
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        margin_top + plot_h / 2.0,
+        margin_top + plot_h / 2.0,
+        xml_escape(y_label)
+    );
+
+    // Bars.
+    let group_w = plot_w / categories.len() as f64;
+    let bar_w = (group_w * 0.85) / series.len() as f64;
+    for (ci, category) in categories.iter().enumerate() {
+        let group_x = margin_left + group_w * ci as f64 + group_w * 0.075;
+        for (si, (_, values)) in series.iter().enumerate() {
+            let value = values[ci];
+            let bar_h = plot_h * (value / y_max);
+            let x = group_x + bar_w * si as f64;
+            let y = margin_top + plot_h - bar_h;
+            let color = PALETTE[si % PALETTE.len()];
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{bar_h:.1}" fill="{color}"><title>{}: {value:.3}</title></rect>"#,
+                bar_w * 0.92,
+                xml_escape(category),
+            );
+        }
+        let cx = group_x + bar_w * series.len() as f64 / 2.0;
+        let ty = margin_top + plot_h + 14.0;
+        let _ = write!(
+            svg,
+            r#"<text x="{cx:.1}" y="{ty:.1}" font-size="11" text-anchor="end" transform="rotate(-35 {cx:.1} {ty:.1})">{}</text>"#,
+            xml_escape(category)
+        );
+    }
+    // Baseline.
+    let _ = write!(
+        svg,
+        r#"<line x1="{margin_left}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        margin_top + plot_h,
+        margin_left + plot_w,
+        margin_top + plot_h
+    );
+    // Legend.
+    for (si, (name, _)) in series.iter().enumerate() {
+        let x = margin_left + 10.0 + 165.0 * si as f64;
+        let y = height - 18.0;
+        let color = PALETTE[si % PALETTE.len()];
+        let _ = write!(svg, r#"<rect x="{x}" y="{}" width="12" height="12" fill="{color}"/>"#, y - 10.0);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{y}" font-size="11">{}</text>"#,
+            x + 16.0,
+            xml_escape(name)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Builds a step plot (x ascending, y per x) — the Fig. 4 staircase.
+///
+/// # Panics
+///
+/// Panics on empty input.
+#[must_use]
+pub fn step_plot(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    points: &[(f64, f64)],
+    fill_under: bool,
+) -> String {
+    assert!(!points.is_empty(), "empty plot");
+    let width = 900.0f64;
+    let height = 460.0f64;
+    let margin_left = 70.0;
+    let margin_right = 20.0;
+    let margin_top = 50.0;
+    let margin_bottom = 70.0;
+    let plot_w = width - margin_left - margin_right;
+    let plot_h = height - margin_top - margin_bottom;
+    let x_max = points.iter().map(|p| p.0).fold(f64::MIN, f64::max).max(1.0);
+    let y_max = points.iter().map(|p| p.1).fold(f64::MIN, f64::max).max(1.0) * 1.1;
+
+    let sx = |x: f64| margin_left + plot_w * x / x_max;
+    let sy = |y: f64| margin_top + plot_h - plot_h * y / y_max;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="Helvetica,Arial,sans-serif">"#
+    );
+    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="28" font-size="17" text-anchor="middle" font-weight="bold">{}</text>"#,
+        width / 2.0,
+        xml_escape(title)
+    );
+    for i in 0..=5 {
+        let yv = y_max * f64::from(i) / 5.0;
+        let y = sy(yv);
+        let _ = write!(
+            svg,
+            r##"<line x1="{margin_left}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+            margin_left + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="11" text-anchor="end">{yv:.0}</text>"#,
+            margin_left - 6.0,
+            y + 4.0
+        );
+        let xv = x_max * f64::from(i) / 5.0;
+        let x = sx(xv);
+        let _ = write!(
+            svg,
+            r#"<text x="{x}" y="{}" font-size="11" text-anchor="middle">{xv:.0}</text>"#,
+            margin_top + plot_h + 16.0
+        );
+    }
+    // Step path.
+    let mut path = format!("M {:.1} {:.1}", sx(points[0].0), sy(points[0].1));
+    let mut last_y = points[0].1;
+    for &(x, y) in points.iter().skip(1) {
+        if (y - last_y).abs() > f64::EPSILON {
+            let _ = write!(path, " L {:.1} {:.1}", sx(x), sy(last_y));
+            let _ = write!(path, " L {:.1} {:.1}", sx(x), sy(y));
+            last_y = y;
+        }
+    }
+    let _ = write!(path, " L {:.1} {:.1}", sx(x_max), sy(last_y));
+    if fill_under {
+        let mut area = path.clone();
+        let _ = write!(area, " L {:.1} {:.1} L {:.1} {:.1} Z", sx(x_max), sy(0.0), sx(points[0].0), sy(0.0));
+        let _ = write!(svg, r##"<path d="{area}" fill="#4878a833" stroke="none"/>"##);
+    }
+    let _ = write!(svg, r##"<path d="{path}" fill="none" stroke="#4878a8" stroke-width="2"/>"##);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+        margin_left + plot_w / 2.0,
+        height - 18.0,
+        xml_escape(x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        margin_top + plot_h / 2.0,
+        margin_top + plot_h / 2.0,
+        xml_escape(y_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{margin_left}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        margin_top + plot_h,
+        margin_left + plot_w,
+        margin_top + plot_h
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders a Fig. 1-style execution timeline from trace events: phase
+/// bars, checkpoint ticks, read-error flashes and rollback arrows.
+///
+/// # Panics
+///
+/// Panics on an empty trace.
+#[must_use]
+pub fn timeline_svg(title: &str, events: &[chunkpoint_sim::TraceEvent]) -> String {
+    use chunkpoint_sim::TraceEvent;
+    assert!(!events.is_empty(), "empty trace");
+    let t_end = events.iter().map(TraceEvent::cycle).max().unwrap_or(1).max(1);
+    let width = 1000.0f64;
+    let height = 230.0f64;
+    let margin_left = 30.0;
+    let margin_right = 20.0;
+    let lane_y = 70.0;
+    let lane_h = 36.0;
+    let plot_w = width - margin_left - margin_right;
+    let sx = |cycle: u64| margin_left + plot_w * cycle as f64 / t_end as f64;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="Helvetica,Arial,sans-serif">"#
+    );
+    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" font-size="15" text-anchor="middle" font-weight="bold">{}</text>"#,
+        width / 2.0,
+        xml_escape(title)
+    );
+    // Phase bars: pair each PhaseStart with the next PhaseEnd/ReadError.
+    let mut open: Option<(usize, u64)> = None;
+    for event in events {
+        match *event {
+            TraceEvent::PhaseStart { phase, cycle } => open = Some((phase, cycle)),
+            TraceEvent::PhaseEnd { phase, cycle } => {
+                if let Some((p, start)) = open.take() {
+                    debug_assert_eq!(p, phase);
+                    let x = sx(start);
+                    let w = (sx(cycle) - x).max(1.5);
+                    let _ = write!(
+                        svg,
+                        r##"<rect x="{x:.1}" y="{lane_y}" width="{w:.1}" height="{lane_h}" fill="#4878a8" stroke="white" stroke-width="0.5"><title>P{phase}</title></rect>"##
+                    );
+                    if w > 22.0 {
+                        let _ = write!(
+                            svg,
+                            r#"<text x="{:.1}" y="{:.1}" font-size="10" fill="white" text-anchor="middle">P{phase}</text>"#,
+                            x + w / 2.0,
+                            lane_y + lane_h / 2.0 + 3.0
+                        );
+                    }
+                }
+            }
+            TraceEvent::ReadError { cycle, .. } => {
+                if let Some((_, start)) = open.take() {
+                    // Aborted execution: draw hatched.
+                    let x = sx(start);
+                    let w = (sx(cycle) - x).max(1.5);
+                    let _ = write!(
+                        svg,
+                        r##"<rect x="{x:.1}" y="{lane_y}" width="{w:.1}" height="{lane_h}" fill="#d65f5f" opacity="0.6"><title>aborted by read error</title></rect>"##
+                    );
+                }
+                let x = sx(cycle);
+                let _ = write!(
+                    svg,
+                    r##"<text x="{x:.1}" y="{:.1}" font-size="14" text-anchor="middle" fill="#d65f5f" font-weight="bold">&#9889;</text>"##,
+                    lane_y - 8.0
+                );
+            }
+            TraceEvent::Checkpoint { index, cycle, .. } => {
+                let x = sx(cycle);
+                let _ = write!(
+                    svg,
+                    r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#6acc64" stroke-width="2"><title>CH({index})</title></line>"##,
+                    lane_y - 4.0,
+                    lane_y + lane_h + 4.0
+                );
+            }
+            TraceEvent::Rollback { cycle, .. } => {
+                let x = sx(cycle);
+                let _ = write!(
+                    svg,
+                    r##"<path d="M {x:.1} {:.1} l -7 -9 l 14 0 Z" fill="#ee854a"><title>rollback</title></path>"##,
+                    lane_y + lane_h + 16.0
+                );
+            }
+            TraceEvent::TaskRestart { cycle } => {
+                let x = sx(cycle);
+                let _ = write!(
+                    svg,
+                    r##"<line x1="{x:.1}" y1="{lane_y}" x2="{x:.1}" y2="{:.1}" stroke="#d65f5f" stroke-width="2" stroke-dasharray="3,2"/>"##,
+                    lane_y + lane_h
+                );
+            }
+        }
+    }
+    // Legend + axis.
+    let _ = write!(
+        svg,
+        r##"<text x="{margin_left}" y="{}" font-size="11">blue: phase execution &#183; green tick: checkpoint commit to L1' &#183; bolt/red: read error &#183; orange: rollback</text>"##,
+        height - 34.0
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{margin_left}" y="{}" font-size="11">0 .. {t_end} cycles</text>"#,
+        height - 16.0
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_renders_phases_and_events() {
+        use chunkpoint_sim::TraceEvent;
+        let events = vec![
+            TraceEvent::PhaseStart { phase: 0, cycle: 0 },
+            TraceEvent::Checkpoint { index: 1, cycle: 90, chunk_words: 10 },
+            TraceEvent::PhaseEnd { phase: 0, cycle: 90 },
+            TraceEvent::PhaseStart { phase: 1, cycle: 90 },
+            TraceEvent::ReadError { addr: 5, cycle: 140 },
+            TraceEvent::Rollback { to_checkpoint: 1, cycle: 150 },
+            TraceEvent::PhaseStart { phase: 1, cycle: 150 },
+            TraceEvent::PhaseEnd { phase: 1, cycle: 240 },
+        ];
+        let svg = timeline_svg("fig1", &events);
+        assert!(svg.contains("P0"));
+        assert!(svg.contains("rollback"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn bar_chart_is_valid_svg_with_all_bars() {
+        let svg = grouped_bar_chart(
+            "t",
+            "y",
+            &["a".into(), "b".into()],
+            &[("s1".into(), vec![1.0, 2.0]), ("s2".into(), vec![0.5, 1.5])],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2); // bg + bars + legend
+        assert!(svg.contains("s1"));
+    }
+
+    #[test]
+    fn step_plot_renders_steps() {
+        let svg = step_plot("t", "x", "y", &[(1.0, 17.0), (2.0, 17.0), (3.0, 15.0)], true);
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let svg = grouped_bar_chart(
+            "a<b&c",
+            "y",
+            &["x".into()],
+            &[("s".into(), vec![1.0])],
+        );
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        let _ = grouped_bar_chart("t", "y", &["a".into()], &[("s".into(), vec![1.0, 2.0])]);
+    }
+}

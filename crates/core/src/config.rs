@@ -1,0 +1,139 @@
+//! System-level configuration: the designer-provided constraints and fault
+//! environment of the paper's evaluation (Section III-A).
+
+use chunkpoint_sim::Platform;
+
+/// The hard design-time constraints of the optimization problem
+/// (Eqs. 4–5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConstraints {
+    /// OV1: affordable area overhead as a fraction of the L1 macro area
+    /// (the paper's industrial partners allow 5 %).
+    pub area_overhead: f64,
+    /// OV2: affordable cycle overhead as a fraction of baseline execution
+    /// time (the paper uses 10 %).
+    pub cycle_overhead: f64,
+}
+
+impl SystemConstraints {
+    /// The paper's constraint set: OV1 = 5 %, OV2 = 10 %.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { area_overhead: 0.05, cycle_overhead: 0.10 }
+    }
+
+    /// Custom constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both overheads are in `(0, 1)`.
+    #[must_use]
+    pub fn new(area_overhead: f64, cycle_overhead: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&area_overhead) && area_overhead > 0.0,
+            "area overhead must be in (0,1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&cycle_overhead) && cycle_overhead > 0.0,
+            "cycle overhead must be in (0,1)"
+        );
+        Self { area_overhead, cycle_overhead }
+    }
+}
+
+impl Default for SystemConstraints {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The fault environment of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEnvironment {
+    /// Strike rate λ in words per cycle. The paper's worst case is 1e-6
+    /// (upper bound from ERSA, ref. 14 of the paper).
+    pub error_rate: f64,
+    /// RNG seed for the fault process.
+    pub seed: u64,
+}
+
+impl FaultEnvironment {
+    /// The paper's evaluation point: λ = 10⁻⁶ word/cycle.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        Self { error_rate: 1e-6, seed }
+    }
+
+    /// A fault-free environment (golden runs).
+    #[must_use]
+    pub fn fault_free() -> Self {
+        Self { error_rate: 0.0, seed: 0 }
+    }
+}
+
+/// Everything a mitigation executor needs to know about the system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// The SoC being simulated.
+    pub platform: Platform,
+    /// Designer constraints.
+    pub constraints: SystemConstraints,
+    /// Fault environment.
+    pub faults: FaultEnvironment,
+    /// Input-scale factor passed to the benchmark builders.
+    pub scale: f64,
+}
+
+impl SystemConfig {
+    /// The paper's setup on the LH7A400 platform.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            platform: Platform::lh7a400(),
+            constraints: SystemConstraints::paper(),
+            faults: FaultEnvironment::paper(seed),
+            scale: 1.0,
+        }
+    }
+
+    /// Same configuration with faults disabled (golden reference runs).
+    #[must_use]
+    pub fn fault_free(&self) -> Self {
+        Self { faults: FaultEnvironment::fault_free(), ..self.clone() }
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = SystemConstraints::paper();
+        assert!((c.area_overhead - 0.05).abs() < 1e-12);
+        assert!((c.cycle_overhead - 0.10).abs() < 1e-12);
+        let f = FaultEnvironment::paper(1);
+        assert!((f.error_rate - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fault_free_config_zeroes_rate_only() {
+        let config = SystemConfig::paper(9);
+        let golden = config.fault_free();
+        assert_eq!(golden.platform, config.platform);
+        assert_eq!(golden.constraints, config.constraints);
+        assert_eq!(golden.faults.error_rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "area overhead")]
+    fn rejects_zero_area_budget() {
+        let _ = SystemConstraints::new(0.0, 0.1);
+    }
+}

@@ -1,0 +1,217 @@
+//! The protected checkpoint buffer L1′ (Fig. 3).
+//!
+//! A small SRAM between the processing unit and L1, carrying a strong
+//! multi-bit BCH code. Because its capacity is a few dozen words, both the
+//! wide code and its decoder are cheap in absolute terms — the key
+//! observation of the paper. The buffer stores, per checkpoint, the
+//! serialized "status registers" (task state words) followed by the data
+//! chunk.
+
+use chunkpoint_ecc::{Decoded, EccKind};
+use chunkpoint_sim::{
+    logic_area_um2, Component, EnergyLedger, FaultProcess, Sram, SramModel, UpsetModel,
+};
+
+/// Failure to restore a checkpoint from L1′: the buffer itself took an
+/// uncorrectable strike (essentially impossible at realistic rates with
+/// t ≥ 6, but the simulator accounts for it honestly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreError {
+    /// Buffer word that failed to decode.
+    pub word_index: u32,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l1' word {} uncorrectable", self.word_index)
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// The fault-tolerant buffer L1′.
+#[derive(Debug)]
+pub struct ProtectedBuffer {
+    sram: Sram,
+    read_pj: f64,
+    write_pj: f64,
+    stores: u64,
+    loads: u64,
+}
+
+impl ProtectedBuffer {
+    /// Builds an L1′ of `words` words protected by BCH of strength `t`,
+    /// subject to the same fault environment as the rest of the chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BCH configuration is invalid (`t` outside 1..=18).
+    #[must_use]
+    pub fn new(words: u32, t: u8, error_rate: f64, seed: u64) -> Self {
+        let faults = if error_rate > 0.0 {
+            FaultProcess::new(error_rate, UpsetModel::smu_65nm(), seed)
+        } else {
+            FaultProcess::disabled()
+        };
+        let sram = Sram::new("l1prime", words.max(1) as usize, EccKind::Bch { t }, faults)
+            .expect("valid BCH strength");
+        let model = sram.model();
+        Self {
+            read_pj: model.read_energy_pj(),
+            write_pj: model.write_energy_pj(),
+            sram,
+            stores: 0,
+            loads: 0,
+        }
+    }
+
+    /// Buffer capacity in words.
+    #[must_use]
+    pub fn words(&self) -> u32 {
+        self.sram.len() as u32
+    }
+
+    /// Physical model (for area accounting).
+    #[must_use]
+    pub fn model(&self) -> SramModel {
+        self.sram.model()
+    }
+
+    /// Total macro area including the BCH codec logic, µm².
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        let overhead = chunkpoint_ecc::CodeOverhead::for_kind(self.sram.kind())
+            .expect("buffer scheme exists");
+        self.model().area_um2() + logic_area_um2(overhead.logic_gates())
+    }
+
+    /// Writes `values` into the buffer starting at word 0, charging
+    /// energy to [`Component::L1Prime`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` exceeds the buffer capacity.
+    pub fn store_checkpoint(&mut self, values: &[u32], now: u64, ledger: &mut EnergyLedger) {
+        assert!(
+            values.len() <= self.sram.len(),
+            "checkpoint of {} words exceeds l1' capacity {}",
+            values.len(),
+            self.sram.len()
+        );
+        for (i, &v) in values.iter().enumerate() {
+            self.sram.write(i, v, now);
+            ledger.add(Component::L1Prime, self.write_pj);
+            self.stores += 1;
+        }
+    }
+
+    /// Reads `n` words back (the ISR's restore path), charging energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] if a word is uncorrectable even under the
+    /// buffer's BCH code.
+    pub fn load_checkpoint(
+        &mut self,
+        n: u32,
+        now: u64,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<u32>, RestoreError> {
+        let mut out = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            ledger.add(Component::L1Prime, self.read_pj);
+            self.loads += 1;
+            match self.sram.read(i as usize, now) {
+                Decoded::Clean { data } | Decoded::Corrected { data, .. } => out.push(data),
+                Decoded::DetectedUncorrectable => return Err(RestoreError { word_index: i }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Underlying array (test fault injection).
+    pub fn sram_mut(&mut self) -> &mut Sram {
+        &mut self.sram
+    }
+
+    /// Total words written so far.
+    #[must_use]
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Total words read so far.
+    #[must_use]
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut buffer = ProtectedBuffer::new(32, 8, 0.0, 0);
+        let mut ledger = EnergyLedger::new();
+        let data: Vec<u32> = (0..20).map(|i| i * 31).collect();
+        buffer.store_checkpoint(&data, 100, &mut ledger);
+        let back = buffer.load_checkpoint(20, 200, &mut ledger).unwrap();
+        assert_eq!(back, data);
+        assert!(ledger.component_pj(Component::L1Prime) > 0.0);
+        assert_eq!(buffer.stores(), 20);
+        assert_eq!(buffer.loads(), 20);
+    }
+
+    #[test]
+    fn survives_smu_bursts() {
+        let mut buffer = ProtectedBuffer::new(8, 8, 0.0, 0);
+        let mut ledger = EnergyLedger::new();
+        buffer.store_checkpoint(&[0xAAAA_5555; 8], 0, &mut ledger);
+        // An 8-bit adjacent burst in every word.
+        for w in 0..8 {
+            buffer.sram_mut().inject(w, 10, 8);
+        }
+        let back = buffer.load_checkpoint(8, 1, &mut ledger).unwrap();
+        assert_eq!(back, vec![0xAAAA_5555; 8]);
+    }
+
+    #[test]
+    fn restore_error_when_code_exceeded() {
+        // Beyond-t patterns are outside the code's guarantee: some
+        // miscorrect to a different codeword, others are flagged. Find a
+        // flagged one (they are the common case) and verify the error
+        // surfaces as RestoreError with the right word index.
+        let mut ledger = EnergyLedger::new();
+        let mut found = false;
+        for spread in 1..=12usize {
+            let mut buffer = ProtectedBuffer::new(4, 2, 0.0, 0);
+            buffer.store_checkpoint(&[7; 4], 0, &mut ledger);
+            for k in 0..5 {
+                buffer.sram_mut().inject(2, (k * spread) % 40, 1);
+            }
+            if let Err(err) = buffer.load_checkpoint(4, 1, &mut ledger) {
+                assert_eq!(err.word_index, 2);
+                assert!(err.to_string().contains("uncorrectable"));
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no 5-flip pattern was flagged across 12 spreads");
+    }
+
+    #[test]
+    fn area_includes_codec_logic() {
+        let buffer = ProtectedBuffer::new(16, 8, 0.0, 0);
+        assert!(buffer.area_um2() > buffer.model().area_um2());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds l1' capacity")]
+    fn oversized_checkpoint_panics() {
+        let mut buffer = ProtectedBuffer::new(2, 6, 0.0, 0);
+        let mut ledger = EnergyLedger::new();
+        buffer.store_checkpoint(&[1, 2, 3], 0, &mut ledger);
+    }
+}

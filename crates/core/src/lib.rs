@@ -1,0 +1,66 @@
+//! # chunkpoint-core
+//!
+//! The paper's contribution: a hybrid HW-SW mitigation scheme for
+//! intermittent (single-event multi-bit) errors in the on-chip SRAMs of
+//! streaming embedded systems, after Sabry, Atienza and Catthoor,
+//! *"A Hybrid HW-SW Approach for Intermittent Error Mitigation in
+//! Streaming-Based Embedded Systems"*, DATE 2012.
+//!
+//! ## The scheme in one paragraph
+//!
+//! Each streaming task is divided into computation phases; the data a
+//! phase produces (plus the serialized codec state) is a **data chunk**.
+//! At every **checkpoint** the chunk is verified through the L1's cheap
+//! parity detector and buffered into a tiny, strongly BCH-protected
+//! buffer **L1′**. A faulty read — anywhere — raises a **Read Error
+//! Interrupt** whose handler restores state from L1′ and re-executes only
+//! the current phase. Chunk size and checkpoint count are chosen by an
+//! energy-minimising optimizer under hard area (5 %) and cycle (10 %)
+//! overhead constraints.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use chunkpoint_core::{optimize, run, golden, MitigationScheme, SystemConfig};
+//! use chunkpoint_workloads::Benchmark;
+//!
+//! let mut config = SystemConfig::paper(42);
+//! config.scale = 0.25; // shorter run for the doctest
+//!
+//! // 1. size the chunk and L1' optimally,
+//! let best = optimize(Benchmark::AdpcmDecode, &config).expect("feasible design");
+//!
+//! // 2. run under injected faults,
+//! let report = run(
+//!     Benchmark::AdpcmDecode,
+//!     MitigationScheme::Hybrid {
+//!         chunk_words: best.chunk_words,
+//!         l1_prime_t: best.l1_prime_t,
+//!     },
+//!     &config,
+//! );
+//!
+//! // 3. full error mitigation: output identical to the fault-free run.
+//! let reference = golden(Benchmark::AdpcmDecode, &config);
+//! assert!(report.output_matches(&reference));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod cost;
+mod l1prime;
+mod mitigation;
+mod optimizer;
+mod runner;
+
+pub use config::{FaultEnvironment, SystemConfig, SystemConstraints};
+pub use cost::{CostBreakdown, CostModel};
+pub use l1prime::{ProtectedBuffer, RestoreError};
+pub use mitigation::{MitigationScheme, DETECTOR_WAYS};
+pub use optimizer::{
+    buffer_area_um2, evaluate, feasible_region, optimize, suboptimal, sweep, DesignPoint,
+    MAX_CHUNK_WORDS, MAX_L1_PRIME_T, MIN_L1_PRIME_T,
+};
+pub use runner::{golden, golden_task, run, run_task, RunReport, TaskSource};

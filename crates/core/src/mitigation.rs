@@ -1,0 +1,157 @@
+//! The four system configurations compared in Fig. 5.
+
+use chunkpoint_ecc::EccKind;
+
+/// Interleaved-parity ways of the L1 detector used by the SW baseline and
+/// the hybrid scheme: sized to the widest burst the 65 nm SMU model
+/// produces, so every single strike is detected. (Plain single parity —
+/// the paper's literal "check parity bit" — would miss every even-width
+/// burst; see `chunkpoint_ecc::InterleavedParity`.)
+pub const DETECTOR_WAYS: u8 = 6;
+
+/// A mitigation strategy for the vulnerable L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MitigationScheme {
+    /// *Default*: no mitigation at all — errors silently corrupt data.
+    Default,
+    /// *HW-mitigation*: the entire L1 carries multi-bit ECC of strength
+    /// `t`. Fully corrects in hardware at a (prohibitive) area and energy
+    /// cost — the paper cites >80 % area for an 8-bit code on 64 KB.
+    HwEcc {
+        /// Correction strength of the full-array code.
+        t: u8,
+    },
+    /// *SW-mitigation*: minimal detection (parity) on L1; any detected
+    /// error restarts the whole task from scratch.
+    SwRestart,
+    /// *Proposed*: parity detection on L1 plus the checkpoint/rollback
+    /// scheme with a `chunk_words`-word data chunk buffered in a BCH-
+    /// protected L1′ of strength `l1_prime_t`.
+    Hybrid {
+        /// Data-chunk size in 32-bit words (S_CH / 4).
+        chunk_words: u32,
+        /// BCH correction strength of the L1′ buffer.
+        l1_prime_t: u8,
+    },
+    /// The paper's *literal* Fig. 2a reading: hybrid rollback with a
+    /// single even-parity detector on L1. Unsound under multi-bit upsets
+    /// (misses every even-width burst) — kept as an executable
+    /// counter-example justifying the interleaved-parity substitution.
+    HybridSingleParity {
+        /// Data-chunk size in 32-bit words (S_CH / 4).
+        chunk_words: u32,
+        /// BCH correction strength of the L1′ buffer.
+        l1_prime_t: u8,
+    },
+    /// The classic SSU-era defence: SECDED on L1 plus periodic scrubbing
+    /// (sweep the array, correct single-bit upsets before they
+    /// accumulate). Under *multi-bit* upsets a single strike already
+    /// exceeds SECDED, so scrubbing restarts the task on every detected
+    /// double and can even be silently mis-corrected by wider bursts —
+    /// the motivating failure of the paper's introduction.
+    ScrubbedSecded {
+        /// Cycles between scrub sweeps.
+        interval_cycles: u32,
+    },
+}
+
+impl MitigationScheme {
+    /// The paper's HW baseline: 8-bit ECC over the whole L1.
+    #[must_use]
+    pub fn hw_baseline() -> Self {
+        MitigationScheme::HwEcc { t: 8 }
+    }
+
+    /// ECC scheme carried by the L1 array under this mitigation.
+    #[must_use]
+    pub fn l1_kind(&self) -> EccKind {
+        match *self {
+            MitigationScheme::Default => EccKind::None,
+            MitigationScheme::HwEcc { t } => EccKind::Bch { t },
+            MitigationScheme::SwRestart | MitigationScheme::Hybrid { .. } => {
+                EccKind::InterleavedParity { ways: DETECTOR_WAYS }
+            }
+            MitigationScheme::HybridSingleParity { .. } => EccKind::Parity,
+            MitigationScheme::ScrubbedSecded { .. } => EccKind::Secded,
+        }
+    }
+
+    /// Whether this scheme guarantees error-free output under the fault
+    /// model (detection capability never exceeded by injected strikes).
+    #[must_use]
+    pub fn claims_full_mitigation(&self) -> bool {
+        !matches!(self, MitigationScheme::Default)
+    }
+
+    /// Short label used in reports and plots.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            MitigationScheme::Default => "default".to_owned(),
+            MitigationScheme::HwEcc { t } => format!("hw-ecc(t={t})"),
+            MitigationScheme::SwRestart => "sw-restart".to_owned(),
+            MitigationScheme::Hybrid { chunk_words, l1_prime_t } => {
+                format!("hybrid(chunk={chunk_words}w, t={l1_prime_t})")
+            }
+            MitigationScheme::HybridSingleParity { chunk_words, l1_prime_t } => {
+                format!("hybrid-1parity(chunk={chunk_words}w, t={l1_prime_t})")
+            }
+            MitigationScheme::ScrubbedSecded { interval_cycles } => {
+                format!("scrub-secded(every {interval_cycles} cycles)")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for MitigationScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_kinds() {
+        assert_eq!(MitigationScheme::Default.l1_kind(), EccKind::None);
+        assert_eq!(
+            MitigationScheme::hw_baseline().l1_kind(),
+            EccKind::Bch { t: 8 }
+        );
+        assert_eq!(
+            MitigationScheme::SwRestart.l1_kind(),
+            EccKind::InterleavedParity { ways: DETECTOR_WAYS }
+        );
+        assert_eq!(
+            MitigationScheme::Hybrid { chunk_words: 11, l1_prime_t: 8 }.l1_kind(),
+            EccKind::InterleavedParity { ways: DETECTOR_WAYS }
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            MitigationScheme::Default,
+            MitigationScheme::hw_baseline(),
+            MitigationScheme::SwRestart,
+            MitigationScheme::Hybrid { chunk_words: 16, l1_prime_t: 6 },
+        ]
+        .iter()
+        .map(MitigationScheme::label)
+        .collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in labels.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn only_default_lacks_mitigation() {
+        assert!(!MitigationScheme::Default.claims_full_mitigation());
+        assert!(MitigationScheme::SwRestart.claims_full_mitigation());
+        assert!(MitigationScheme::hw_baseline().claims_full_mitigation());
+    }
+}

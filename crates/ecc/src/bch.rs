@@ -1,0 +1,522 @@
+//! Binary BCH codes with hard-decision algebraic decoding.
+//!
+//! This is the "multi-bit ECC circuitry" of the paper: a t-error-correcting
+//! binary BCH code over GF(2^m), shortened to protect one 32-bit data word.
+//! Encoding is systematic (LFSR division by the generator polynomial, as a
+//! hardware encoder would implement it); decoding computes syndromes, runs
+//! Berlekamp–Massey to obtain the error-locator polynomial, and locates the
+//! erroneous bits by Chien search.
+
+use crate::bitbuf::BitBuf;
+use crate::gf2m::Gf2m;
+use crate::scheme::{BuildSchemeError, Decoded, EccScheme};
+
+/// Maximum supported correction strength for a 32-bit word.
+///
+/// t = 18 over GF(2^8) needs 32 + 144 = 176 stored bits, still comfortably
+/// within [`crate::BitBuf`] capacity; Fig. 4 of the paper explores up to 18
+/// correctable bits per word.
+pub const MAX_WORD_T: usize = 18;
+
+/// A t-error-correcting binary BCH code shortened to `data_bits` payload bits.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_ecc::{BchCode, EccScheme, Decoded};
+///
+/// let code = BchCode::for_word(3)?; // corrects any 3 bit flips
+/// let mut stored = code.encode(0xA5A5_5A5A);
+/// stored.flip(0);
+/// stored.flip(17);
+/// stored.flip(33);
+/// assert_eq!(
+///     code.decode(&stored),
+///     Decoded::Corrected { data: 0xA5A5_5A5A, bits_corrected: 3 }
+/// );
+/// # Ok::<(), chunkpoint_ecc::BuildSchemeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BchCode {
+    field: Gf2m,
+    t: usize,
+    /// Natural code length 2^m - 1.
+    n: usize,
+    /// Payload bits actually stored (the code is shortened from k to this).
+    data_bits: usize,
+    /// Generator polynomial over GF(2); index = degree, values 0/1.
+    generator: Vec<u8>,
+    /// Degree of the generator = number of check bits.
+    r: usize,
+}
+
+impl BchCode {
+    /// Builds a BCH code over GF(2^m) correcting `t` errors with
+    /// `data_bits` payload bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the field degree is unsupported, if `t` is zero
+    /// or too large for the field, or if the resulting dimension `k` cannot
+    /// hold `data_bits` payload bits.
+    pub fn new(m: u32, t: usize, data_bits: usize) -> Result<Self, BuildSchemeError> {
+        if t == 0 {
+            return Err(BuildSchemeError::new("bch requires t >= 1"));
+        }
+        let field = Gf2m::new(m)
+            .map_err(|e| BuildSchemeError::new(format!("bch field: {e}")))?;
+        let n = field.order() as usize;
+        if 2 * t >= n {
+            return Err(BuildSchemeError::new(format!(
+                "t = {t} too large for code length n = {n}"
+            )));
+        }
+        let generator = compute_generator(&field, t)?;
+        let r = generator.len() - 1;
+        let k = n - r;
+        if k < data_bits {
+            return Err(BuildSchemeError::new(format!(
+                "bch(m={m}, t={t}) has k = {k} < {data_bits} payload bits"
+            )));
+        }
+        if r + data_bits > crate::bitbuf::BITBUF_CAPACITY {
+            return Err(BuildSchemeError::new(format!(
+                "stored word of {} bits exceeds buffer capacity",
+                r + data_bits
+            )));
+        }
+        Ok(Self { field, t, n, data_bits, generator, r })
+    }
+
+    /// Builds the most area-efficient code correcting `t` errors in one
+    /// 32-bit word: the smallest field degree whose dimension fits 32
+    /// payload bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `t` is zero or above [`MAX_WORD_T`].
+    pub fn for_word(t: usize) -> Result<Self, BuildSchemeError> {
+        if t == 0 || t > MAX_WORD_T {
+            return Err(BuildSchemeError::new(format!(
+                "word-level bch supports 1 <= t <= {MAX_WORD_T}, got {t}"
+            )));
+        }
+        for m in 6..=10u32 {
+            if let Ok(code) = Self::new(m, t, 32) {
+                return Ok(code);
+            }
+        }
+        Err(BuildSchemeError::new(format!(
+            "no field in 6..=10 supports t = {t} with 32 payload bits"
+        )))
+    }
+
+    /// Correction strength t.
+    #[must_use]
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Field degree m.
+    #[must_use]
+    pub fn m(&self) -> u32 {
+        self.field.m()
+    }
+
+    /// Natural (unshortened) code length 2^m - 1.
+    #[must_use]
+    pub fn natural_length(&self) -> usize {
+        self.n
+    }
+
+    /// Generator polynomial coefficients over GF(2) (index = degree).
+    #[must_use]
+    pub fn generator(&self) -> &[u8] {
+        &self.generator
+    }
+
+    fn stored_len(&self) -> usize {
+        self.r + self.data_bits
+    }
+
+    /// Computes the 2t syndromes of a stored word; `None` means all-zero.
+    fn syndromes(&self, stored: &BitBuf) -> Option<Vec<u16>> {
+        let mut synd = vec![0u16; 2 * self.t];
+        let mut any = false;
+        for pos in stored.iter_ones() {
+            for (j, s) in synd.iter_mut().enumerate() {
+                *s ^= self.field.alpha_pow(pos as u64 * (j as u64 + 1));
+            }
+        }
+        for &s in &synd {
+            if s != 0 {
+                any = true;
+                break;
+            }
+        }
+        if any {
+            Some(synd)
+        } else {
+            None
+        }
+    }
+
+    /// Berlekamp–Massey: returns the error-locator polynomial σ(x)
+    /// (index = degree) or `None` when the syndrome sequence is
+    /// inconsistent with ≤ t errors.
+    fn berlekamp_massey(&self, synd: &[u16]) -> Option<Vec<u16>> {
+        let f = &self.field;
+        let mut sigma = vec![0u16; self.t + 2];
+        let mut prev = vec![0u16; self.t + 2];
+        sigma[0] = 1;
+        prev[0] = 1;
+        let mut l = 0usize;
+        let mut shift = 1usize;
+        let mut b = 1u16;
+        for step in 0..2 * self.t {
+            // Discrepancy d = S[step] + Σ σ_i · S[step-i].
+            let mut d = synd[step];
+            for i in 1..=l.min(step) {
+                d ^= f.mul(sigma[i], synd[step - i]);
+            }
+            if d == 0 {
+                shift += 1;
+            } else if 2 * l <= step {
+                let saved = sigma.clone();
+                let scale = f.div(d, b);
+                for i in 0..sigma.len().saturating_sub(shift) {
+                    let delta = f.mul(scale, prev[i]);
+                    if i + shift < sigma.len() {
+                        sigma[i + shift] ^= delta;
+                    } else if delta != 0 {
+                        return None; // locator degree overflow
+                    }
+                }
+                l = step + 1 - l;
+                prev = saved;
+                b = d;
+                shift = 1;
+            } else {
+                let scale = f.div(d, b);
+                for i in 0..sigma.len().saturating_sub(shift) {
+                    let delta = f.mul(scale, prev[i]);
+                    if i + shift < sigma.len() {
+                        sigma[i + shift] ^= delta;
+                    } else if delta != 0 {
+                        return None;
+                    }
+                }
+                shift += 1;
+            }
+        }
+        let degree = sigma.iter().rposition(|&c| c != 0)?;
+        if degree != l || l > self.t {
+            return None;
+        }
+        sigma.truncate(degree + 1);
+        Some(sigma)
+    }
+
+    /// Chien search: returns erroneous bit positions (must all lie in the
+    /// stored, non-shortened region) or `None` on failure.
+    fn chien_search(&self, sigma: &[u16]) -> Option<Vec<usize>> {
+        let f = &self.field;
+        let degree = sigma.len() - 1;
+        let mut roots = Vec::with_capacity(degree);
+        for pos in 0..self.n {
+            // σ(α^{-pos}) == 0 ⇔ error at position `pos`.
+            let x = f.alpha_pow((self.n - pos % self.n) as u64 % f.order() as u64);
+            if f.eval_poly(sigma, x) == 0 {
+                if pos >= self.stored_len() {
+                    // Error "located" in the shortened (virtual zero) region:
+                    // impossible for a real channel error, so the pattern
+                    // exceeded the code's capability.
+                    return None;
+                }
+                roots.push(pos);
+                if roots.len() == degree {
+                    break;
+                }
+            }
+        }
+        if roots.len() == degree {
+            Some(roots)
+        } else {
+            None
+        }
+    }
+}
+
+impl EccScheme for BchCode {
+    fn name(&self) -> String {
+        format!("BCH(t={}, m={})", self.t, self.field.m())
+    }
+
+    fn check_bits(&self) -> usize {
+        self.r
+    }
+
+    fn correctable_bits(&self) -> usize {
+        self.t
+    }
+
+    fn detectable_bits(&self) -> usize {
+        // Designed distance 2t + 1: while correcting up to t errors the
+        // code is only *guaranteed* to flag patterns of up to t further
+        // bits (correct-c/detect-d requires c + d < d_min).
+        self.t
+    }
+
+    fn encode(&self, data: u32) -> BitBuf {
+        debug_assert_eq!(self.data_bits, 32);
+        let mut stored = BitBuf::new(self.stored_len());
+        stored.insert_u32(self.r, data);
+        // Systematic encoding: parity = (x^r · m(x)) mod g(x), computed by
+        // the same LFSR a hardware encoder uses.
+        let mut rem = vec![0u8; self.r];
+        for bit in (0..self.data_bits).rev() {
+            let feedback = u8::from((data >> bit) & 1 == 1) ^ rem[self.r - 1];
+            for i in (1..self.r).rev() {
+                rem[i] = rem[i - 1] ^ (feedback & self.generator[i]);
+            }
+            rem[0] = feedback & self.generator[0];
+        }
+        for (i, &bit) in rem.iter().enumerate() {
+            if bit == 1 {
+                stored.set(i, true);
+            }
+        }
+        stored
+    }
+
+    fn decode(&self, stored: &BitBuf) -> Decoded {
+        assert_eq!(
+            stored.len(),
+            self.stored_len(),
+            "stored word length mismatch for {}",
+            self.name()
+        );
+        let Some(synd) = self.syndromes(stored) else {
+            return Decoded::Clean { data: stored.extract_u32(self.r) };
+        };
+        let Some(sigma) = self.berlekamp_massey(&synd) else {
+            return Decoded::DetectedUncorrectable;
+        };
+        let Some(positions) = self.chien_search(&sigma) else {
+            return Decoded::DetectedUncorrectable;
+        };
+        let mut fixed = *stored;
+        for &pos in &positions {
+            fixed.flip(pos);
+        }
+        // Re-check: a pattern beyond t errors can produce a bogus locator;
+        // hardware decoders do the same post-correction syndrome check.
+        if self.syndromes(&fixed).is_some() {
+            return Decoded::DetectedUncorrectable;
+        }
+        Decoded::Corrected {
+            data: fixed.extract_u32(self.r),
+            bits_corrected: positions.len() as u32,
+        }
+    }
+}
+
+/// Builds the generator polynomial: lcm of the minimal polynomials of
+/// α, α^3, …, α^(2t-1).
+fn compute_generator(field: &Gf2m, t: usize) -> Result<Vec<u8>, BuildSchemeError> {
+    let mut covered: Vec<u32> = Vec::new();
+    // Generator over GF(2), kept as 0/1 coefficients; index = degree.
+    let mut gen: Vec<u8> = vec![1];
+    for i in (1..=2 * t - 1).step_by(2) {
+        let coset = field.cyclotomic_coset(i as u32);
+        let rep = *coset.iter().min().expect("nonempty coset");
+        if covered.contains(&rep) {
+            continue;
+        }
+        covered.push(rep);
+        // Minimal polynomial of α^i: Π_{j ∈ coset} (x − α^j), computed in
+        // GF(2^m)[x]; its coefficients always land in GF(2).
+        let mut min_poly: Vec<u16> = vec![1];
+        for &j in &coset {
+            let root = field.alpha_pow(u64::from(j));
+            let mut next = vec![0u16; min_poly.len() + 1];
+            for (deg, &c) in min_poly.iter().enumerate() {
+                next[deg + 1] ^= c; // · x
+                next[deg] ^= field.mul(c, root); // · root
+            }
+            min_poly = next;
+        }
+        for &c in &min_poly {
+            if c > 1 {
+                return Err(BuildSchemeError::new(
+                    "minimal polynomial coefficient outside GF(2); field tables corrupt",
+                ));
+            }
+        }
+        // gen ← gen · min_poly over GF(2).
+        let mut product = vec![0u8; gen.len() + min_poly.len() - 1];
+        for (a_deg, &a) in gen.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (b_deg, &b) in min_poly.iter().enumerate() {
+                product[a_deg + b_deg] ^= b as u8;
+            }
+        }
+        gen = product;
+    }
+    Ok(gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical BCH(15, 7, t=2) generator is x^8+x^7+x^6+x^4+1.
+    #[test]
+    fn known_generator_15_7() {
+        let code = BchCode::new(4, 2, 7).unwrap();
+        assert_eq!(code.check_bits(), 8);
+        assert_eq!(code.generator(), &[1, 0, 0, 0, 1, 0, 1, 1, 1]);
+    }
+
+    /// BCH(15, 5, t=3) generator is x^10+x^8+x^5+x^4+x^2+x+1.
+    #[test]
+    fn known_generator_15_5() {
+        let code = BchCode::new(4, 3, 5).unwrap();
+        assert_eq!(code.check_bits(), 10);
+        assert_eq!(code.generator(), &[1, 1, 1, 0, 1, 1, 0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn for_word_picks_small_fields() {
+        // t = 1..5 fit in GF(2^6); check bits never exceed m·t and some
+        // cyclotomic cosets are smaller than m, so <= is the right bound.
+        for t in 1..=5 {
+            let code = BchCode::for_word(t).unwrap();
+            assert_eq!(code.m(), 6, "t={t}");
+            assert!(code.check_bits() <= 6 * t, "t={t}");
+            assert!(code.check_bits() >= 6, "t={t}");
+        }
+        // t = 6 does not fit in GF(2^6) (k would drop below 32).
+        let code = BchCode::for_word(6).unwrap();
+        assert_eq!(code.m(), 7);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(BchCode::new(4, 0, 5).is_err());
+        assert!(BchCode::new(4, 8, 5).is_err()); // 2t >= n
+        assert!(BchCode::new(6, 6, 32).is_err()); // k too small
+        assert!(BchCode::for_word(0).is_err());
+        assert!(BchCode::for_word(MAX_WORD_T + 1).is_err());
+    }
+
+    #[test]
+    fn clean_roundtrip_all_strengths() {
+        for t in 1..=MAX_WORD_T {
+            let code = BchCode::for_word(t).unwrap();
+            for data in [0u32, u32::MAX, 0xDEAD_BEEF, 0x0F0F_0F0F] {
+                let stored = code.encode(data);
+                assert_eq!(
+                    code.decode(&stored),
+                    Decoded::Clean { data },
+                    "t={t} data={data:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_exactly_t_errors() {
+        for t in [1usize, 2, 4, 8, 12, 18] {
+            let code = BchCode::for_word(t).unwrap();
+            let data = 0x1357_9BDF;
+            let mut stored = code.encode(data);
+            // Flip t spread-out bits (data and check region both covered).
+            let len = stored.len();
+            for e in 0..t {
+                stored.flip((e * len / t + e) % len);
+            }
+            match code.decode(&stored) {
+                Decoded::Corrected { data: d, bits_corrected } => {
+                    assert_eq!(d, data, "t={t}");
+                    assert_eq!(bits_corrected as usize, t, "t={t}");
+                }
+                other => panic!("t={t}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn beyond_t_errors_decode_consistently() {
+        // Patterns of more than t errors are outside the code's guarantee:
+        // the decoder may flag them or land on a *different valid codeword*,
+        // but it must never claim the read was clean, never report more
+        // than t corrections, and any correction it does report must yield
+        // a self-consistent codeword.
+        for t in [1usize, 2, 3, 4] {
+            let code = BchCode::for_word(t).unwrap();
+            let data = 0xFEED_C0DE;
+            let mut stored = code.encode(data);
+            for e in 0..=t {
+                stored.flip(e);
+            }
+            match code.decode(&stored) {
+                Decoded::Clean { .. } => {
+                    panic!("t={t}: {} errors decoded as clean", t + 1)
+                }
+                Decoded::Corrected { data: d, bits_corrected } => {
+                    assert!(bits_corrected as usize <= t, "t={t}");
+                    // The decoder's output must be a valid codeword.
+                    let reencoded = code.encode(d);
+                    assert_eq!(code.decode(&reencoded), Decoded::Clean { data: d });
+                }
+                Decoded::DetectedUncorrectable => {}
+            }
+        }
+    }
+
+    #[test]
+    fn two_errors_on_t1_code_never_return_original() {
+        // A distance-3 code cannot correct 2 errors; whatever the decoder
+        // does it must not reconstruct the original word (that would imply
+        // distance >= 5).
+        let code = BchCode::for_word(1).unwrap();
+        let data = 0xFEED_C0DE;
+        let clean = code.encode(data);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let mut bad = clean;
+                bad.flip(i);
+                bad.flip(j);
+                if let Decoded::Clean { data: d } | Decoded::Corrected { data: d, .. } =
+                    code.decode(&bad)
+                {
+                    assert_ne!(d, data, "flips {i},{j} silently healed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors_in_check_bits_are_corrected() {
+        let code = BchCode::for_word(2).unwrap();
+        let data = 0xABCD_EF01;
+        let mut stored = code.encode(data);
+        stored.flip(0);
+        stored.flip(code.check_bits() - 1);
+        assert_eq!(
+            code.decode(&stored),
+            Decoded::Corrected { data, bits_corrected: 2 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn decode_wrong_length_panics() {
+        let code = BchCode::for_word(1).unwrap();
+        let bogus = BitBuf::new(10);
+        let _ = code.decode(&bogus);
+    }
+}

@@ -1,0 +1,294 @@
+//! Fixed-capacity bit buffer used to hold ECC codewords.
+//!
+//! Codewords for a 32-bit data word never exceed 256 bits even for the
+//! strongest BCH configuration this crate supports (t = 18 over GF(2^8)
+//! needs 32 data bits + at most 144 check bits), so a `[u64; 4]` backing
+//! store avoids heap allocation on the simulator's hot path.
+
+/// Maximum number of bits a [`BitBuf`] can hold.
+pub const BITBUF_CAPACITY: usize = 256;
+
+/// A fixed-capacity, heap-free bit vector.
+///
+/// Bit `i` is the coefficient of `x^i` when the buffer holds a polynomial
+/// codeword, or simply the `i`-th stored bit for flat layouts.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_ecc::BitBuf;
+///
+/// let mut buf = BitBuf::new(40);
+/// buf.set(3, true);
+/// assert!(buf.get(3));
+/// assert_eq!(buf.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitBuf {
+    words: [u64; 4],
+    len: usize,
+}
+
+impl BitBuf {
+    /// Creates an all-zero buffer of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > BITBUF_CAPACITY`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        assert!(
+            len <= BITBUF_CAPACITY,
+            "BitBuf length {len} exceeds capacity {BITBUF_CAPACITY}"
+        );
+        Self { words: [0; 4], len }
+    }
+
+    /// Creates a buffer of `len` bits whose low 32 bits are `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 32` or `len > BITBUF_CAPACITY`.
+    #[must_use]
+    pub fn from_u32(value: u32, len: usize) -> Self {
+        assert!(len >= 32, "BitBuf of {len} bits cannot hold a u32");
+        let mut buf = Self::new(len);
+        buf.words[0] = u64::from(value);
+        buf
+    }
+
+    /// Number of bits in the buffer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i` and returns its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn flip(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+        self.get(i)
+    }
+
+    /// Total number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// XORs `other` into `self` bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "BitBuf length mismatch in xor");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    /// Extracts bits `[start, start + 32)` as a `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer.
+    #[must_use]
+    pub fn extract_u32(&self, start: usize) -> u32 {
+        assert!(start + 32 <= self.len, "u32 extraction out of range");
+        let mut out = 0u32;
+        for bit in 0..32 {
+            if self.get(start + bit) {
+                out |= 1 << bit;
+            }
+        }
+        out
+    }
+
+    /// Writes `value` into bits `[start, start + 32)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer.
+    pub fn insert_u32(&mut self, start: usize, value: u32) {
+        assert!(start + 32 <= self.len, "u32 insertion out of range");
+        for bit in 0..32 {
+            self.set(start + bit, (value >> bit) & 1 == 1);
+        }
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Number of bit positions in which `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn hamming_distance(&self, other: &Self) -> u32 {
+        assert_eq!(self.len, other.len, "BitBuf length mismatch in distance");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Raw backing words (low bit of `words[0]` is bit 0).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64; 4] {
+        &self.words
+    }
+}
+
+impl Default for BitBuf {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl std::fmt::Display for BitBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in (0..self.len).rev() {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let buf = BitBuf::new(100);
+        assert_eq!(buf.len(), 100);
+        assert_eq!(buf.count_ones(), 0);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let buf = BitBuf::new(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut buf = BitBuf::new(200);
+        for i in [0, 1, 63, 64, 127, 128, 199] {
+            buf.set(i, true);
+            assert!(buf.get(i), "bit {i} should be set");
+        }
+        assert_eq!(buf.count_ones(), 7);
+        buf.set(63, false);
+        assert!(!buf.get(63));
+        assert_eq!(buf.count_ones(), 6);
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut buf = BitBuf::new(10);
+        assert!(buf.flip(5));
+        assert!(!buf.flip(5));
+        assert_eq!(buf.count_ones(), 0);
+    }
+
+    #[test]
+    fn u32_roundtrip_aligned_and_unaligned() {
+        for start in [0usize, 7, 32, 61, 100] {
+            let mut buf = BitBuf::new(160);
+            buf.insert_u32(start, 0xDEAD_BEEF);
+            assert_eq!(buf.extract_u32(start), 0xDEAD_BEEF, "start={start}");
+        }
+    }
+
+    #[test]
+    fn from_u32_places_low_bits() {
+        let buf = BitBuf::from_u32(0x8000_0001, 40);
+        assert!(buf.get(0));
+        assert!(buf.get(31));
+        assert!(!buf.get(32));
+        assert_eq!(buf.extract_u32(0), 0x8000_0001);
+    }
+
+    #[test]
+    fn xor_and_distance() {
+        let mut a = BitBuf::from_u32(0b1010, 64);
+        let b = BitBuf::from_u32(0b0110, 64);
+        assert_eq!(a.hamming_distance(&b), 2);
+        a.xor_assign(&b);
+        assert_eq!(a.extract_u32(0), 0b1100);
+    }
+
+    #[test]
+    fn iter_ones_yields_indices() {
+        let mut buf = BitBuf::new(70);
+        buf.set(2, true);
+        buf.set(65, true);
+        let ones: Vec<usize> = buf.iter_ones().collect();
+        assert_eq!(ones, vec![2, 65]);
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let mut buf = BitBuf::new(4);
+        buf.set(0, true);
+        buf.set(2, true);
+        assert_eq!(buf.to_string(), "0101");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let buf = BitBuf::new(8);
+        let _ = buf.get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversized_len_panics() {
+        let _ = BitBuf::new(257);
+    }
+}

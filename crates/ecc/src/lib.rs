@@ -1,0 +1,63 @@
+//! # chunkpoint-ecc
+//!
+//! Error-correcting codes and hardware-overhead models for protecting the
+//! 32-bit words of on-chip SRAMs against single-event single-bit (SSU) and
+//! multi-bit (SMU) upsets.
+//!
+//! This crate provides the "HW half" of the hybrid HW-SW mitigation scheme
+//! of Sabry, Atienza and Catthoor (DATE 2012): the cheap per-word detectors
+//! used on the vulnerable L1 (parity / SECDED) and the strong multi-bit BCH
+//! codes that make the tiny L1′ checkpoint buffer effectively fault-free.
+//!
+//! ## Code families
+//!
+//! | Code | Corrects | Detects | Check bits / 32-bit word |
+//! |------|----------|---------|--------------------------|
+//! | [`NoCode`] | 0 | 0 | 0 |
+//! | [`ParityCode`] | 0 | 1 (odd) | 1 |
+//! | [`SecdedCode`] (Hamming 39,32) | 1 | 2 | 7 |
+//! | [`InterleavedSecded`] ×b | 1 random / b-bit burst | 2 | 12 (×2) / 20 (×4) |
+//! | [`BchCode`] t = 1…18 | t | 2t | m·t (m = 6…8) |
+//!
+//! ## Example
+//!
+//! ```
+//! use chunkpoint_ecc::{build_scheme, EccKind, Decoded};
+//!
+//! // The protected L1' buffer of the paper: a strong multi-bit code.
+//! let l1_prime = build_scheme(EccKind::Bch { t: 8 })?;
+//! let mut stored = l1_prime.encode(0x1234_5678);
+//!
+//! // An 8-bit SMU strike:
+//! for bit in 20..28 {
+//!     stored.flip(bit);
+//! }
+//! assert_eq!(
+//!     l1_prime.decode(&stored).data(),
+//!     Some(0x1234_5678),
+//! );
+//! # Ok::<(), chunkpoint_ecc::BuildSchemeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bch;
+mod bitbuf;
+mod gf2m;
+mod interleaved;
+mod overhead;
+mod parity;
+mod scheme;
+mod secded;
+mod twodim;
+
+pub use bch::{BchCode, MAX_WORD_T};
+pub use bitbuf::{BitBuf, BITBUF_CAPACITY};
+pub use gf2m::{BuildFieldError, Gf2m};
+pub use interleaved::InterleavedSecded;
+pub use overhead::CodeOverhead;
+pub use parity::{InterleavedParity, NoCode, ParityCode};
+pub use scheme::{build_scheme, BuildSchemeError, Decoded, EccKind, EccScheme};
+pub use secded::{HammingSecded, SecdedCode};
+pub use twodim::TwoDimParity;

@@ -1,0 +1,326 @@
+//! Trivial protection levels: none, and single even-parity detection.
+
+use crate::bitbuf::BitBuf;
+use crate::scheme::{Decoded, EccScheme};
+
+/// No protection at all: stored bits are returned verbatim, so faults become
+/// silent data corruption. This models the paper's *Default* system.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_ecc::{NoCode, EccScheme, Decoded};
+///
+/// let code = NoCode::new();
+/// let mut stored = code.encode(1);
+/// stored.flip(0); // fault flips the LSB ...
+/// // ... and the read silently reports the wrong value as "clean".
+/// assert_eq!(code.decode(&stored), Decoded::Clean { data: 0 });
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoCode;
+
+impl NoCode {
+    /// Creates the no-op code.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl EccScheme for NoCode {
+    fn name(&self) -> String {
+        "none".to_owned()
+    }
+
+    fn check_bits(&self) -> usize {
+        0
+    }
+
+    fn correctable_bits(&self) -> usize {
+        0
+    }
+
+    fn detectable_bits(&self) -> usize {
+        0
+    }
+
+    fn encode(&self, data: u32) -> BitBuf {
+        BitBuf::from_u32(data, 32)
+    }
+
+    fn decode(&self, stored: &BitBuf) -> Decoded {
+        assert_eq!(stored.len(), 32, "stored word length mismatch for none");
+        Decoded::Clean { data: stored.extract_u32(0) }
+    }
+}
+
+/// One even-parity bit per word: detects any odd number of flipped bits,
+/// corrects nothing. This is the cheap detector the hybrid scheme pairs with
+/// its protected L1' buffer (Fig. 2a: "check parity bit").
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_ecc::{ParityCode, EccScheme, Decoded};
+///
+/// let code = ParityCode::new();
+/// let mut stored = code.encode(42);
+/// stored.flip(3);
+/// assert_eq!(code.decode(&stored), Decoded::DetectedUncorrectable);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParityCode;
+
+impl ParityCode {
+    /// Creates the single-parity-bit code.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl EccScheme for ParityCode {
+    fn name(&self) -> String {
+        "parity".to_owned()
+    }
+
+    fn check_bits(&self) -> usize {
+        1
+    }
+
+    fn correctable_bits(&self) -> usize {
+        0
+    }
+
+    fn detectable_bits(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, data: u32) -> BitBuf {
+        let mut stored = BitBuf::from_u32(data, 33);
+        stored.set(32, data.count_ones() % 2 == 1);
+        stored
+    }
+
+    fn decode(&self, stored: &BitBuf) -> Decoded {
+        assert_eq!(stored.len(), 33, "stored word length mismatch for parity");
+        if stored.count_ones().is_multiple_of(2) {
+            Decoded::Clean { data: stored.extract_u32(0) }
+        } else {
+            Decoded::DetectedUncorrectable
+        }
+    }
+}
+
+/// `ways` interleaved even-parity bits: parity bit `j` covers data bits
+/// `i ≡ j (mod ways)`. Detects **any** adjacent burst of up to `ways`
+/// bits (each way sees at most one flip), corrects nothing.
+///
+/// This is the minimal detector that is *sound* against a multi-bit-upset
+/// fault model: plain single parity (the paper's Fig. 2a wording) misses
+/// every even-width burst, so "check parity bit" must be realised as an
+/// interleaved-parity check for the scheme's full-mitigation claim to
+/// hold. Costs `ways` check bits and a handful of XOR trees.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_ecc::{InterleavedParity, EccScheme, Decoded};
+///
+/// let code = InterleavedParity::new(6)?;
+/// let mut stored = code.encode(99);
+/// // A 4-bit adjacent SMU burst — invisible to single parity:
+/// for i in 8..12 {
+///     stored.flip(i);
+/// }
+/// assert_eq!(code.decode(&stored), Decoded::DetectedUncorrectable);
+/// # Ok::<(), chunkpoint_ecc::BuildSchemeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleavedParity {
+    ways: usize,
+}
+
+impl InterleavedParity {
+    /// Creates a detector with `ways` interleaved parity bits (1..=8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BuildSchemeError`] when `ways` is outside `1..=8`.
+    pub fn new(ways: usize) -> Result<Self, crate::scheme::BuildSchemeError> {
+        if !(1..=8).contains(&ways) {
+            return Err(crate::scheme::BuildSchemeError::new(format!(
+                "interleaved parity supports 1..=8 ways, got {ways}"
+            )));
+        }
+        Ok(Self { ways })
+    }
+
+    /// Number of interleaved ways (= guaranteed burst detection width).
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// XOR of all stored bits per way, where a *stored position* `p`
+    /// belongs to way `p % ways`. Using the physical position for both
+    /// data and parity bits guarantees that an adjacent burst of up to
+    /// `ways` bits touches `ways` distinct ways exactly once each — even
+    /// when the burst straddles the data/parity boundary.
+    fn parities(&self, stored: &BitBuf) -> u32 {
+        let mut acc = 0u32;
+        for p in 0..stored.len() {
+            if stored.get(p) {
+                acc ^= 1 << (p % self.ways);
+            }
+        }
+        acc
+    }
+}
+
+impl EccScheme for InterleavedParity {
+    fn name(&self) -> String {
+        format!("parity-x{}", self.ways)
+    }
+
+    fn check_bits(&self) -> usize {
+        self.ways
+    }
+
+    fn correctable_bits(&self) -> usize {
+        0
+    }
+
+    fn detectable_bits(&self) -> usize {
+        // Any single adjacent burst up to `ways` wide.
+        self.ways
+    }
+
+    fn encode(&self, data: u32) -> BitBuf {
+        let mut stored = BitBuf::from_u32(data, 32 + self.ways);
+        // Data-bit parity per way, using physical positions.
+        let mut acc = 0u32;
+        for i in 0..32 {
+            if (data >> i) & 1 == 1 {
+                acc ^= 1 << (i % self.ways);
+            }
+        }
+        // Parity position 32 + j belongs to way (32 + j) % ways; set it to
+        // even out that way (positions 32..32+ways cover each way once).
+        for j in 0..self.ways {
+            let way = (32 + j) % self.ways;
+            stored.set(32 + j, (acc >> way) & 1 == 1);
+        }
+        debug_assert_eq!(self.parities(&stored), 0);
+        stored
+    }
+
+    fn decode(&self, stored: &BitBuf) -> Decoded {
+        assert_eq!(
+            stored.len(),
+            32 + self.ways,
+            "stored word length mismatch for {}",
+            self.name()
+        );
+        if self.parities(stored) == 0 {
+            Decoded::Clean { data: stored.extract_u32(0) }
+        } else {
+            Decoded::DetectedUncorrectable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nocode_roundtrip_and_silent_corruption() {
+        let code = NoCode::new();
+        let stored = code.encode(0xFFFF_0000);
+        assert_eq!(code.decode(&stored), Decoded::Clean { data: 0xFFFF_0000 });
+        let mut corrupted = stored;
+        corrupted.flip(31);
+        // Corruption is invisible: decode still claims "clean".
+        assert_eq!(code.decode(&corrupted), Decoded::Clean { data: 0x7FFF_0000 });
+    }
+
+    #[test]
+    fn parity_detects_odd_flips() {
+        let code = ParityCode::new();
+        for data in [0u32, 1, u32::MAX, 0xA0A0_0505] {
+            let stored = code.encode(data);
+            assert_eq!(code.decode(&stored), Decoded::Clean { data });
+            for flips in [1usize, 3] {
+                let mut bad = stored;
+                for i in 0..flips {
+                    bad.flip(i * 7 % 33);
+                }
+                assert!(
+                    code.decode(&bad).is_failure(),
+                    "data={data:#x} flips={flips}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parity_misses_even_flips() {
+        // A double flip defeats single parity — that is the point of the
+        // paper's SMU motivation.
+        let code = ParityCode::new();
+        let mut stored = code.encode(0);
+        stored.flip(0);
+        stored.flip(1);
+        assert_eq!(code.decode(&stored), Decoded::Clean { data: 0b11 });
+    }
+
+    #[test]
+    fn parity_bit_itself_can_be_hit() {
+        let code = ParityCode::new();
+        let mut stored = code.encode(123);
+        stored.flip(32);
+        assert!(code.decode(&stored).is_failure());
+    }
+
+    #[test]
+    fn interleaved_parity_detects_every_burst_up_to_ways() {
+        for ways in [2usize, 4, 6, 8] {
+            let code = InterleavedParity::new(ways).unwrap();
+            let clean = code.encode(0x9D2C_5680);
+            assert_eq!(code.decode(&clean), Decoded::Clean { data: 0x9D2C_5680 });
+            for width in 1..=ways {
+                for start in 0..=(clean.len() - width) {
+                    let mut bad = clean;
+                    for i in start..start + width {
+                        bad.flip(i);
+                    }
+                    assert!(
+                        bad == clean || code.decode(&bad).is_failure(),
+                        "ways={ways} width={width} start={start} undetected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_parity_misses_some_wider_bursts() {
+        // A burst of ways+ways bits flips every way twice: undetected —
+        // the documented residual risk of any bounded detector.
+        let code = InterleavedParity::new(2).unwrap();
+        let clean = code.encode(0);
+        let mut bad = clean;
+        for i in 4..8 {
+            bad.flip(i);
+        }
+        assert!(matches!(code.decode(&bad), Decoded::Clean { .. }));
+    }
+
+    #[test]
+    fn interleaved_parity_rejects_bad_ways() {
+        assert!(InterleavedParity::new(0).is_err());
+        assert!(InterleavedParity::new(9).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! The [`EccScheme`] trait: a uniform interface over every word-protection
+//! code in this crate, as seen by the memory simulator.
+//!
+//! A scheme encodes a 32-bit data word into a codeword of
+//! `32 + check_bits()` stored bits; fault injection flips arbitrary stored
+//! bits (data or check); `decode` classifies the read as clean, corrected,
+//! detected-uncorrectable, or — for weak codes — silently wrong.
+
+use crate::bitbuf::BitBuf;
+
+/// Result of decoding a (possibly corrupted) stored codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error detected.
+    Clean {
+        /// The stored data word.
+        data: u32,
+    },
+    /// Errors were detected and corrected in-place.
+    Corrected {
+        /// The recovered data word.
+        data: u32,
+        /// Number of stored bits the decoder flipped back.
+        bits_corrected: u32,
+    },
+    /// An error was detected but exceeds the code's correction capability.
+    DetectedUncorrectable,
+}
+
+impl Decoded {
+    /// The recovered data word, if the decode did not fail.
+    #[must_use]
+    pub fn data(&self) -> Option<u32> {
+        match *self {
+            Decoded::Clean { data } | Decoded::Corrected { data, .. } => Some(data),
+            Decoded::DetectedUncorrectable => None,
+        }
+    }
+
+    /// Whether the decoder flagged an (uncorrectable) error.
+    #[must_use]
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Decoded::DetectedUncorrectable)
+    }
+}
+
+/// A word-level error-protection code.
+///
+/// Implementations are deterministic and stateless, so a single instance can
+/// be shared by every word of a memory array — exactly like the single ECC
+/// encoder/decoder block shared by an SRAM macro.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_ecc::{EccScheme, SecdedCode, Decoded};
+///
+/// let code = SecdedCode::new();
+/// let mut stored = code.encode(0xCAFE_F00D);
+/// stored.flip(7); // a single-event upset
+/// match code.decode(&stored) {
+///     Decoded::Corrected { data, bits_corrected } => {
+///         assert_eq!(data, 0xCAFE_F00D);
+///         assert_eq!(bits_corrected, 1);
+///     }
+///     other => panic!("SECDED must correct one bit, got {other:?}"),
+/// }
+/// ```
+pub trait EccScheme: std::fmt::Debug + Send + Sync {
+    /// Human-readable code name (e.g. `"BCH(t=4, m=6)"`).
+    fn name(&self) -> String;
+
+    /// Number of payload bits per word (always 32 in this crate).
+    fn data_bits(&self) -> usize {
+        32
+    }
+
+    /// Number of redundant check bits stored alongside the payload.
+    fn check_bits(&self) -> usize;
+
+    /// Total stored bits per word.
+    fn total_bits(&self) -> usize {
+        self.data_bits() + self.check_bits()
+    }
+
+    /// Guaranteed random-error correction capability t (bits per word).
+    fn correctable_bits(&self) -> usize;
+
+    /// Guaranteed random-error detection capability (bits per word).
+    fn detectable_bits(&self) -> usize;
+
+    /// Encodes a data word into its stored codeword.
+    fn encode(&self, data: u32) -> BitBuf;
+
+    /// Decodes a stored codeword, correcting errors when possible.
+    ///
+    /// Errors beyond [`EccScheme::detectable_bits`] may be mis-decoded
+    /// silently; that is inherent to any code and is part of what the
+    /// simulator measures.
+    fn decode(&self, stored: &BitBuf) -> Decoded;
+}
+
+/// Configuration-level identification of a protection scheme.
+///
+/// This is what system-level code stores in platform descriptions; it is
+/// turned into a live codec with [`build_scheme`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccKind {
+    /// No protection: reads return stored bits verbatim.
+    None,
+    /// Single even-parity bit: detects 1, corrects 0.
+    Parity,
+    /// `ways` interleaved parity bits: detects any adjacent burst up to
+    /// `ways` bits, corrects 0 — the minimal SMU-sound detector.
+    InterleavedParity {
+        /// Number of interleaved parity ways.
+        ways: u8,
+    },
+    /// Hamming SECDED(39,32): corrects 1, detects 2.
+    Secded,
+    /// 4×8 two-dimensional parity product code: corrects 1, detects any
+    /// adjacent burst up to 8 bits (the paper's cited "2D coding", ref. 7).
+    TwoDimParity,
+    /// `ways`-way interleaved SECDED: corrects any `ways`-bit adjacent burst.
+    InterleavedSecded {
+        /// Number of interleaved SECDED sub-codes.
+        ways: u8,
+    },
+    /// Binary BCH with `t`-bit random error correction over the smallest
+    /// adequate field.
+    Bch {
+        /// Correction strength in bits per word.
+        t: u8,
+    },
+}
+
+impl EccKind {
+    /// All kinds exercised by the design-space exploration, strongest last.
+    #[must_use]
+    pub fn catalog() -> Vec<EccKind> {
+        let mut kinds = vec![
+            EccKind::None,
+            EccKind::Parity,
+            EccKind::Secded,
+            EccKind::TwoDimParity,
+        ];
+        for ways in [2u8, 4, 6, 8] {
+            kinds.push(EccKind::InterleavedParity { ways });
+        }
+        for ways in [2u8, 4] {
+            kinds.push(EccKind::InterleavedSecded { ways });
+        }
+        for t in 1..=18u8 {
+            kinds.push(EccKind::Bch { t });
+        }
+        kinds
+    }
+}
+
+impl std::fmt::Display for EccKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EccKind::None => write!(f, "none"),
+            EccKind::Parity => write!(f, "parity"),
+            EccKind::InterleavedParity { ways } => write!(f, "parity-x{ways}"),
+            EccKind::Secded => write!(f, "secded"),
+            EccKind::TwoDimParity => write!(f, "2d-parity"),
+            EccKind::InterleavedSecded { ways } => write!(f, "secded-x{ways}"),
+            EccKind::Bch { t } => write!(f, "bch-t{t}"),
+        }
+    }
+}
+
+/// Error returned when a scheme cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildSchemeError {
+    message: String,
+}
+
+impl BuildSchemeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for BuildSchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot build ecc scheme: {}", self.message)
+    }
+}
+
+impl std::error::Error for BuildSchemeError {}
+
+/// Builds a live codec for `kind`.
+///
+/// # Errors
+///
+/// Returns [`BuildSchemeError`] for invalid parameters (e.g. a BCH strength
+/// beyond t = 18, or an interleave factor that does not divide 32).
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_ecc::{build_scheme, EccKind};
+///
+/// let code = build_scheme(EccKind::Bch { t: 4 })?;
+/// assert!(code.check_bits() > 0);
+/// assert_eq!(code.correctable_bits(), 4);
+/// # Ok::<(), chunkpoint_ecc::BuildSchemeError>(())
+/// ```
+pub fn build_scheme(kind: EccKind) -> Result<Box<dyn EccScheme>, BuildSchemeError> {
+    match kind {
+        EccKind::None => Ok(Box::new(crate::parity::NoCode::new())),
+        EccKind::Parity => Ok(Box::new(crate::parity::ParityCode::new())),
+        EccKind::InterleavedParity { ways } => {
+            crate::parity::InterleavedParity::new(ways as usize)
+                .map(|c| Box::new(c) as Box<dyn EccScheme>)
+        }
+        EccKind::Secded => Ok(Box::new(crate::secded::SecdedCode::new())),
+        EccKind::TwoDimParity => Ok(Box::new(crate::twodim::TwoDimParity::new())),
+        EccKind::InterleavedSecded { ways } => {
+            crate::interleaved::InterleavedSecded::new(ways as usize)
+                .map(|c| Box::new(c) as Box<dyn EccScheme>)
+        }
+        EccKind::Bch { t } => crate::bch::BchCode::for_word(t as usize)
+            .map(|c| Box::new(c) as Box<dyn EccScheme>),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoded_data_accessor() {
+        assert_eq!(Decoded::Clean { data: 7 }.data(), Some(7));
+        assert_eq!(
+            Decoded::Corrected { data: 7, bits_corrected: 2 }.data(),
+            Some(7)
+        );
+        assert_eq!(Decoded::DetectedUncorrectable.data(), None);
+        assert!(Decoded::DetectedUncorrectable.is_failure());
+        assert!(!Decoded::Clean { data: 0 }.is_failure());
+    }
+
+    #[test]
+    fn catalog_contains_all_families() {
+        let kinds = EccKind::catalog();
+        assert!(kinds.contains(&EccKind::None));
+        assert!(kinds.contains(&EccKind::Parity));
+        assert!(kinds.contains(&EccKind::Secded));
+        assert!(kinds.contains(&EccKind::Bch { t: 18 }));
+        assert_eq!(kinds.iter().filter(|k| matches!(k, EccKind::Bch { .. })).count(), 18);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EccKind::None.to_string(), "none");
+        assert_eq!(EccKind::Bch { t: 3 }.to_string(), "bch-t3");
+        assert_eq!(EccKind::InterleavedSecded { ways: 4 }.to_string(), "secded-x4");
+    }
+
+    #[test]
+    fn build_every_catalog_entry() {
+        for kind in EccKind::catalog() {
+            let scheme = build_scheme(kind).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(scheme.data_bits(), 32, "{kind}");
+            // Every scheme round-trips a clean word.
+            let word = scheme.encode(0x1234_5678);
+            assert_eq!(
+                scheme.decode(&word),
+                Decoded::Clean { data: 0x1234_5678 },
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_parameters() {
+        assert!(build_scheme(EccKind::Bch { t: 0 }).is_err());
+        assert!(build_scheme(EccKind::Bch { t: 40 }).is_err());
+        assert!(build_scheme(EccKind::InterleavedSecded { ways: 3 }).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Hamming single-error-correct / double-error-detect (SECDED) codes.
+//!
+//! [`HammingSecded`] is parameterised by payload width so the same machinery
+//! serves the classic SECDED(39,32) word code and the narrower sub-codes of
+//! the interleaved variant. The construction is the textbook one: check bits
+//! sit at power-of-two Hamming positions, the syndrome of a single error
+//! equals its position, and an overall parity bit disambiguates single from
+//! double errors.
+
+use crate::bitbuf::BitBuf;
+use crate::scheme::{Decoded, EccScheme};
+
+/// A SECDED Hamming code over `data_bits` payload bits.
+///
+/// Stored layout: `[0, data_bits)` payload, `[data_bits, data_bits + c)`
+/// Hamming check bits, final bit = overall parity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HammingSecded {
+    data_bits: usize,
+    /// Number of Hamming check bits c (excluding the overall parity bit).
+    hamming_bits: usize,
+    /// Hamming position (1-based) of each payload bit.
+    data_positions: Vec<usize>,
+    /// Maps a nonzero syndrome to the stored-bit index it implicates.
+    syndrome_to_stored: Vec<Option<usize>>,
+}
+
+impl HammingSecded {
+    /// Builds a SECDED code for `data_bits` payload bits (4..=32 supported).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is outside `4..=32`.
+    #[must_use]
+    pub fn new(data_bits: usize) -> Self {
+        assert!(
+            (4..=32).contains(&data_bits),
+            "HammingSecded supports 4..=32 data bits, got {data_bits}"
+        );
+        let mut hamming_bits = 0usize;
+        while (1usize << hamming_bits) < data_bits + hamming_bits + 1 {
+            hamming_bits += 1;
+        }
+        let total_positions = data_bits + hamming_bits;
+        let mut data_positions = Vec::with_capacity(data_bits);
+        for pos in 1..=total_positions {
+            if !pos.is_power_of_two() {
+                data_positions.push(pos);
+            }
+        }
+        debug_assert_eq!(data_positions.len(), data_bits);
+        // syndrome == Hamming position of the flipped bit.
+        let mut syndrome_to_stored = vec![None; total_positions + 1];
+        for (i, &pos) in data_positions.iter().enumerate() {
+            syndrome_to_stored[pos] = Some(i);
+        }
+        for c in 0..hamming_bits {
+            syndrome_to_stored[1 << c] = Some(data_bits + c);
+        }
+        Self { data_bits, hamming_bits, data_positions, syndrome_to_stored }
+    }
+
+    /// Number of Hamming check bits (excluding overall parity).
+    #[must_use]
+    pub fn hamming_bits(&self) -> usize {
+        self.hamming_bits
+    }
+
+    fn stored_len(&self) -> usize {
+        self.data_bits + self.hamming_bits + 1
+    }
+
+    fn compute_checks(&self, data: u32) -> u32 {
+        let mut checks = 0u32;
+        for (i, &pos) in self.data_positions.iter().enumerate() {
+            if (data >> i) & 1 == 1 {
+                checks ^= pos as u32;
+            }
+        }
+        checks
+    }
+}
+
+impl EccScheme for HammingSecded {
+    fn name(&self) -> String {
+        format!(
+            "SECDED({},{})",
+            self.stored_len(),
+            self.data_bits
+        )
+    }
+
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        self.hamming_bits + 1
+    }
+
+    fn correctable_bits(&self) -> usize {
+        1
+    }
+
+    fn detectable_bits(&self) -> usize {
+        2
+    }
+
+    fn encode(&self, data: u32) -> BitBuf {
+        assert!(
+            self.data_bits == 32 || data < (1u32 << self.data_bits),
+            "payload {data:#x} exceeds {} data bits",
+            self.data_bits
+        );
+        let mut stored = BitBuf::new(self.stored_len());
+        for i in 0..self.data_bits {
+            stored.set(i, (data >> i) & 1 == 1);
+        }
+        let checks = self.compute_checks(data);
+        for c in 0..self.hamming_bits {
+            stored.set(self.data_bits + c, (checks >> c) & 1 == 1);
+        }
+        let parity = stored.count_ones() % 2 == 1;
+        stored.set(self.stored_len() - 1, parity);
+        stored
+    }
+
+    fn decode(&self, stored: &BitBuf) -> Decoded {
+        assert_eq!(
+            stored.len(),
+            self.stored_len(),
+            "stored word length mismatch for {}",
+            self.name()
+        );
+        let mut data = 0u32;
+        for i in 0..self.data_bits {
+            if stored.get(i) {
+                data |= 1 << i;
+            }
+        }
+        let mut stored_checks = 0u32;
+        for c in 0..self.hamming_bits {
+            if stored.get(self.data_bits + c) {
+                stored_checks |= 1 << c;
+            }
+        }
+        let syndrome = self.compute_checks(data) ^ stored_checks;
+        let parity_ok = stored.count_ones().is_multiple_of(2);
+        match (syndrome, parity_ok) {
+            (0, true) => Decoded::Clean { data },
+            (0, false) => {
+                // Only the overall parity bit flipped; payload is intact.
+                Decoded::Corrected { data, bits_corrected: 1 }
+            }
+            (s, false) => {
+                // Single error at Hamming position s.
+                match self.syndrome_to_stored.get(s as usize).copied().flatten() {
+                    Some(idx) if idx < self.data_bits => Decoded::Corrected {
+                        data: data ^ (1 << idx),
+                        bits_corrected: 1,
+                    },
+                    Some(_) => Decoded::Corrected { data, bits_corrected: 1 },
+                    // Syndrome points outside the code: ≥2 errors.
+                    None => Decoded::DetectedUncorrectable,
+                }
+            }
+            (_, true) => Decoded::DetectedUncorrectable,
+        }
+    }
+}
+
+/// The standard SECDED(39,32) word code used for L1 caches (e.g. the 15 %
+/// area-overhead configuration cited in the paper's related work).
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_ecc::{SecdedCode, EccScheme};
+///
+/// let code = SecdedCode::new();
+/// assert_eq!(code.check_bits(), 7); // 6 Hamming + overall parity
+/// assert_eq!(code.total_bits(), 39);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecdedCode {
+    inner: HammingSecded,
+}
+
+impl SecdedCode {
+    /// Creates the (39,32) SECDED code.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { inner: HammingSecded::new(32) }
+    }
+}
+
+impl Default for SecdedCode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EccScheme for SecdedCode {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn check_bits(&self) -> usize {
+        self.inner.check_bits()
+    }
+
+    fn correctable_bits(&self) -> usize {
+        1
+    }
+
+    fn detectable_bits(&self) -> usize {
+        2
+    }
+
+    fn encode(&self, data: u32) -> BitBuf {
+        self.inner.encode(data)
+    }
+
+    fn decode(&self, stored: &BitBuf) -> Decoded {
+        self.inner.decode(stored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secded_39_32_geometry() {
+        let code = SecdedCode::new();
+        assert_eq!(code.total_bits(), 39);
+        assert_eq!(code.name(), "SECDED(39,32)");
+    }
+
+    #[test]
+    fn corrects_every_single_bit_flip() {
+        let code = SecdedCode::new();
+        let data = 0x5A5A_A5A5;
+        let clean = code.encode(data);
+        for i in 0..clean.len() {
+            let mut bad = clean;
+            bad.flip(i);
+            match code.decode(&bad) {
+                Decoded::Corrected { data: d, bits_corrected: 1 } => {
+                    assert_eq!(d, data, "flip at {i}")
+                }
+                other => panic!("flip at {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_double_bit_flip() {
+        let code = SecdedCode::new();
+        let clean = code.encode(0xDEAD_BEEF);
+        for i in 0..clean.len() {
+            for j in (i + 1)..clean.len() {
+                let mut bad = clean;
+                bad.flip(i);
+                bad.flip(j);
+                assert_eq!(
+                    code.decode(&bad),
+                    Decoded::DetectedUncorrectable,
+                    "flips at {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_payload_codes() {
+        for width in [4usize, 8, 11, 16, 26] {
+            let code = HammingSecded::new(width);
+            let data = ((1u32 << width) - 1) & 0x5B5B_5B5B;
+            let clean = code.encode(data);
+            assert_eq!(code.decode(&clean), Decoded::Clean { data }, "w={width}");
+            for i in 0..clean.len() {
+                let mut bad = clean;
+                bad.flip(i);
+                assert_eq!(
+                    code.decode(&bad).data(),
+                    Some(data),
+                    "w={width} flip={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_bit_counts_match_theory() {
+        // c Hamming bits must satisfy 2^c >= data + c + 1.
+        assert_eq!(HammingSecded::new(32).hamming_bits(), 6);
+        assert_eq!(HammingSecded::new(16).hamming_bits(), 5);
+        assert_eq!(HammingSecded::new(8).hamming_bits(), 4);
+        assert_eq!(HammingSecded::new(4).hamming_bits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports 4..=32")]
+    fn rejects_tiny_payload() {
+        let _ = HammingSecded::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_oversized_payload_value() {
+        let code = HammingSecded::new(8);
+        let _ = code.encode(0x100);
+    }
+}

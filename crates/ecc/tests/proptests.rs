@@ -1,0 +1,134 @@
+//! Property-based tests of the coding-theory invariants every scheme must
+//! uphold, under randomly drawn data words and error patterns.
+
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+use chunkpoint_ecc::{build_scheme, BchCode, Decoded, EccKind, EccScheme, SecdedCode};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Every scheme round-trips every data word untouched.
+    #[test]
+    fn clean_roundtrip_all_schemes(data: u32, kind_idx in 0usize..26) {
+        let kinds = EccKind::catalog();
+        let kind = kinds[kind_idx % kinds.len()];
+        let scheme = build_scheme(kind).expect("catalog kinds build");
+        prop_assert_eq!(scheme.decode(&scheme.encode(data)), Decoded::Clean { data });
+    }
+
+    /// BCH corrects any pattern of up to t random bit flips.
+    #[test]
+    fn bch_corrects_up_to_t_random_flips(
+        data: u32,
+        t in 1usize..=18,
+        flip_seed in any::<u64>(),
+    ) {
+        let code = BchCode::for_word(t).expect("valid strength");
+        let mut stored = code.encode(data);
+        let len = stored.len();
+        // Derive up to t distinct flip positions from the seed.
+        let mut positions = std::collections::BTreeSet::new();
+        let mut x = flip_seed | 1;
+        while positions.len() < t {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            positions.insert((x >> 33) as usize % len);
+        }
+        for &p in &positions {
+            stored.flip(p);
+        }
+        match code.decode(&stored) {
+            Decoded::Corrected { data: d, bits_corrected } => {
+                prop_assert_eq!(d, data);
+                prop_assert_eq!(bits_corrected as usize, positions.len());
+            }
+            other => prop_assert!(false, "t={t}: {other:?}"),
+        }
+    }
+
+    /// SECDED: corrects any 1 flip, detects any 2 flips.
+    #[test]
+    fn secded_single_correct_double_detect(
+        data: u32,
+        flips in btree_set(0usize..39, 1..=2),
+    ) {
+        let code = SecdedCode::new();
+        let mut stored = code.encode(data);
+        for &p in &flips {
+            stored.flip(p);
+        }
+        match (flips.len(), code.decode(&stored)) {
+            (1, Decoded::Corrected { data: d, bits_corrected: 1 }) => {
+                prop_assert_eq!(d, data)
+            }
+            (2, Decoded::DetectedUncorrectable) => {}
+            (n, other) => prop_assert!(false, "{n} flips -> {other:?}"),
+        }
+    }
+
+    /// Interleaved parity detects every adjacent burst up to its width.
+    #[test]
+    fn interleaved_parity_detects_bursts(
+        data: u32,
+        ways in 2usize..=8,
+        start_frac in 0.0f64..1.0,
+        width_frac in 0.0f64..1.0,
+    ) {
+        let scheme = build_scheme(EccKind::InterleavedParity { ways: ways as u8 })
+            .expect("valid ways");
+        let mut stored = scheme.encode(data);
+        let width = 1 + (width_frac * (ways as f64 - 1.0)) as usize;
+        let start = (start_frac * (stored.len() - width) as f64) as usize;
+        for p in start..start + width {
+            stored.flip(p);
+        }
+        prop_assert_eq!(scheme.decode(&stored), Decoded::DetectedUncorrectable);
+    }
+
+    /// Decoders never return `Clean` for a word that differs from a real
+    /// codeword (any nonzero syndrome must surface as Corrected or
+    /// Detected) — checked on BCH with arbitrary corruption.
+    #[test]
+    fn bch_never_claims_clean_on_modified_words(
+        data: u32,
+        t in 1usize..=8,
+        noise: u64,
+    ) {
+        let code = BchCode::for_word(t).expect("valid strength");
+        let clean = code.encode(data);
+        let mut stored = clean;
+        let len = stored.len();
+        // Flip a pseudo-random nonempty subset.
+        let mut any = false;
+        for p in 0..len {
+            if (noise >> (p % 64)) & 1 == 1 && p % 3 == (noise as usize) % 3 {
+                stored.flip(p);
+                any = true;
+            }
+        }
+        prop_assume!(any);
+        if let Decoded::Clean { data: d } = code.decode(&stored) {
+            // `Clean` may only ever mean "this is a valid codeword" —
+            // either the original (flips cancelled) or, for patterns of
+            // weight >= d_min, a different one. It must never be a
+            // non-codeword passed through.
+            prop_assert_eq!(code.encode(d), stored);
+            if stored == clean {
+                prop_assert_eq!(d, data);
+            }
+        }
+    }
+
+    /// Check-bit counts reported by schemes match their stored length.
+    #[test]
+    fn stored_length_is_data_plus_check(kind_idx in 0usize..26, data: u32) {
+        let kinds = EccKind::catalog();
+        let kind = kinds[kind_idx % kinds.len()];
+        let scheme = build_scheme(kind).expect("catalog kinds build");
+        prop_assert_eq!(
+            scheme.encode(data).len(),
+            scheme.data_bits() + scheme.check_bits()
+        );
+    }
+}

@@ -1,0 +1,427 @@
+//! The processor-side memory interface.
+//!
+//! Workloads execute against the [`MemoryBus`] trait: every load/store goes
+//! through the simulated hierarchy, is charged cycles and energy, and may
+//! fail with [`ReadFault`] when the array's detector flags an uncorrectable
+//! word (the hardware half of Fig. 2a). Mitigation executors in
+//! `chunkpoint-core` implement this trait with scheme-specific policies;
+//! [`PlainBus`] is the single-array building block they are made of.
+
+use chunkpoint_ecc::Decoded;
+
+use crate::energy::{Component, EnergyLedger};
+use crate::platform::Platform;
+use crate::sram::Sram;
+
+/// Word-granular address on the simulated bus.
+pub type WordAddr = u32;
+
+/// A detected-uncorrectable read: the hardware event that raises the
+/// paper's *Read Error Interrupt*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFault {
+    /// Faulting word address.
+    pub addr: WordAddr,
+    /// Cycle at which the faulty read was issued.
+    pub cycle: u64,
+}
+
+impl std::fmt::Display for ReadFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "uncorrectable read at word {:#x} (cycle {})",
+            self.addr, self.cycle
+        )
+    }
+}
+
+impl std::error::Error for ReadFault {}
+
+/// CPU-visible memory interface used by every workload.
+///
+/// Implementations charge cycles and energy for each operation; `tick`
+/// accounts pure computation between memory operations.
+pub trait MemoryBus {
+    /// Loads a word; fails if the protection scheme detects an
+    /// uncorrectable error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadFault`] on a detected-uncorrectable word. Silent
+    /// corruption (undetectable with the scheme in force) returns `Ok`
+    /// with wrong data — by design.
+    fn load(&mut self, addr: WordAddr) -> Result<u32, ReadFault>;
+
+    /// Stores a word.
+    fn store(&mut self, addr: WordAddr, value: u32);
+
+    /// Advances time by `cycles` cycles of pure computation.
+    fn tick(&mut self, cycles: u64);
+
+    /// Current simulation time in cycles.
+    fn now(&self) -> u64;
+}
+
+/// A contiguous region of words in the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// First word address.
+    pub base: WordAddr,
+    /// Length in words.
+    pub words: u32,
+}
+
+impl Region {
+    /// Address of the `i`-th word of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.words`.
+    #[must_use]
+    pub fn word(&self, i: u32) -> WordAddr {
+        assert!(i < self.words, "index {i} outside region of {} words", self.words);
+        self.base + i
+    }
+
+    /// One-past-the-end address.
+    #[must_use]
+    pub fn end(&self) -> WordAddr {
+        self.base + self.words
+    }
+
+    /// Whether `addr` falls inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: WordAddr) -> bool {
+        (self.base..self.end()).contains(&addr)
+    }
+
+    /// Iterates the region's word addresses.
+    pub fn iter(&self) -> impl Iterator<Item = WordAddr> {
+        self.base..self.end()
+    }
+}
+
+/// Bump allocator carving named regions out of an L1 of fixed size.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_sim::AddressMap;
+///
+/// let mut map = AddressMap::new(1024);
+/// let input = map.alloc("input", 256)?;
+/// let output = map.alloc("output", 256)?;
+/// assert_eq!(input.end(), output.base);
+/// # Ok::<(), chunkpoint_sim::AllocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    capacity_words: u32,
+    next: WordAddr,
+    regions: Vec<(String, Region)>,
+}
+
+/// Error returned when an allocation does not fit in the remaining space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    requested: u32,
+    available: u32,
+    name: String,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot allocate {} words for '{}': only {} words left",
+            self.requested, self.name, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl AddressMap {
+    /// Creates an allocator over `capacity_words` words starting at 0.
+    #[must_use]
+    pub fn new(capacity_words: u32) -> Self {
+        Self { capacity_words, next: 0, regions: Vec::new() }
+    }
+
+    /// Allocates a named region of `words` words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the region does not fit.
+    pub fn alloc(&mut self, name: impl Into<String>, words: u32) -> Result<Region, AllocError> {
+        let name = name.into();
+        let available = self.capacity_words - self.next;
+        if words > available {
+            return Err(AllocError { requested: words, available, name });
+        }
+        let region = Region { base: self.next, words };
+        self.next += words;
+        self.regions.push((name, region));
+        Ok(region)
+    }
+
+    /// Words still unallocated.
+    #[must_use]
+    pub fn free_words(&self) -> u32 {
+        self.capacity_words - self.next
+    }
+
+    /// All named regions allocated so far.
+    #[must_use]
+    pub fn regions(&self) -> &[(String, Region)] {
+        &self.regions
+    }
+
+    /// Finds a region by name.
+    #[must_use]
+    pub fn region(&self, name: &str) -> Option<Region> {
+        self.regions
+            .iter()
+            .find_map(|(n, r)| (n == name).then_some(*r))
+    }
+}
+
+/// A single-array bus: one SRAM, one ledger, straightforward policies.
+///
+/// Corrected reads cost the scheme's correction latency; uncorrectable
+/// reads surface as [`ReadFault`]. This is both the *Default* / *HW* /
+/// *SW-detect* building block and the substrate the hybrid executor wraps.
+#[derive(Debug)]
+pub struct PlainBus {
+    sram: Sram,
+    platform: Platform,
+    ledger: EnergyLedger,
+    now: u64,
+    access_cycles: u64,
+    read_latency: u64,
+    read_pj: f64,
+    write_pj: f64,
+    ecc_factor: f64,
+    correction_latency: u64,
+    memory_component: Component,
+}
+
+impl PlainBus {
+    /// Builds a bus over `sram` on `platform`, charging energy to
+    /// `memory_component` in the ledger.
+    #[must_use]
+    pub fn new(sram: Sram, platform: Platform, memory_component: Component) -> Self {
+        let model = sram.model();
+        let overhead = chunkpoint_ecc::CodeOverhead::for_kind(sram.kind())
+            .expect("sram scheme was already built, overhead must exist");
+        Self {
+            access_cycles: model.access_cycles(platform.clock_hz),
+            read_latency: u64::from(overhead.read_latency_cycles),
+            read_pj: model.read_energy_pj(),
+            write_pj: model.write_energy_pj(),
+            ecc_factor: overhead.access_energy_factor,
+            correction_latency: u64::from(overhead.correction_latency_cycles),
+            sram,
+            platform,
+            ledger: EnergyLedger::new(),
+            now: 0,
+            memory_component,
+        }
+    }
+
+    /// The underlying array.
+    #[must_use]
+    pub fn sram(&self) -> &Sram {
+        &self.sram
+    }
+
+    /// Mutable access to the underlying array (fault injection in tests).
+    pub fn sram_mut(&mut self) -> &mut Sram {
+        &mut self.sram
+    }
+
+    /// Energy/cycle ledger accumulated so far.
+    #[must_use]
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access, letting co-simulated components (e.g. a
+    /// checkpoint buffer) post energy into the same account.
+    pub fn ledger_mut(&mut self) -> &mut EnergyLedger {
+        &mut self.ledger
+    }
+
+    /// Consumes the bus, returning its ledger and array.
+    #[must_use]
+    pub fn into_parts(self) -> (EnergyLedger, Sram) {
+        (self.ledger, self.sram)
+    }
+
+    /// Platform description.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    fn charge_access(&mut self, pj: f64) {
+        self.ledger.add(self.memory_component, pj);
+        let ecc_extra = pj * (self.ecc_factor - 1.0);
+        if ecc_extra > 0.0 {
+            self.ledger.add(Component::EccLogic, ecc_extra);
+        }
+        self.now += self.access_cycles;
+        self.ledger.add_cycles(self.access_cycles);
+    }
+}
+
+impl MemoryBus for PlainBus {
+    fn load(&mut self, addr: WordAddr) -> Result<u32, ReadFault> {
+        self.charge_access(self.read_pj);
+        if self.read_latency > 0 {
+            // Pipelined ECC check delay paid by every read (wide codes).
+            self.now += self.read_latency;
+            self.ledger.add_cycles(self.read_latency);
+        }
+        match self.sram.read(addr as usize, self.now) {
+            Decoded::Clean { data } => Ok(data),
+            Decoded::Corrected { data, .. } => {
+                self.now += self.correction_latency;
+                self.ledger.add_cycles(self.correction_latency);
+                Ok(data)
+            }
+            Decoded::DetectedUncorrectable => Err(ReadFault { addr, cycle: self.now }),
+        }
+    }
+
+    fn store(&mut self, addr: WordAddr, value: u32) {
+        self.charge_access(self.write_pj);
+        self.sram.write(addr as usize, value, self.now);
+    }
+
+    fn tick(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.ledger.add_cycles(cycles);
+        self.ledger
+            .add(Component::Cpu, self.platform.cpu_pj_per_cycle * cycles as f64);
+        // Instruction fetches from the same on-chip SRAM: pay the array's
+        // per-read energy (and its ECC factor under HW mitigation).
+        let fetch_pj = self.platform.ifetch_per_cycle * cycles as f64 * self.read_pj;
+        self.ledger.add(self.memory_component, fetch_pj);
+        let ecc_extra = fetch_pj * (self.ecc_factor - 1.0);
+        if ecc_extra > 0.0 {
+            self.ledger.add(Component::EccLogic, ecc_extra);
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultProcess;
+    use chunkpoint_ecc::EccKind;
+
+    fn bus(kind: EccKind) -> PlainBus {
+        let sram = Sram::new("l1", 256, kind, FaultProcess::disabled()).unwrap();
+        PlainBus::new(sram, Platform::lh7a400(), Component::L1)
+    }
+
+    #[test]
+    fn region_arithmetic() {
+        let r = Region { base: 10, words: 4 };
+        assert_eq!(r.word(0), 10);
+        assert_eq!(r.word(3), 13);
+        assert_eq!(r.end(), 14);
+        assert!(r.contains(13));
+        assert!(!r.contains(14));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn address_map_allocates_contiguously() {
+        let mut map = AddressMap::new(100);
+        let a = map.alloc("a", 60).unwrap();
+        let b = map.alloc("b", 40).unwrap();
+        assert_eq!(a.base, 0);
+        assert_eq!(b.base, 60);
+        assert_eq!(map.free_words(), 0);
+        assert!(map.alloc("c", 1).is_err());
+        assert_eq!(map.region("a"), Some(a));
+        assert_eq!(map.region("missing"), None);
+    }
+
+    #[test]
+    fn alloc_error_is_informative() {
+        let mut map = AddressMap::new(10);
+        let err = map.alloc("big", 11).unwrap_err();
+        assert!(err.to_string().contains("big"));
+        assert!(err.to_string().contains("11"));
+    }
+
+    #[test]
+    fn loads_and_stores_charge_energy_and_time() {
+        let mut bus = bus(EccKind::Secded);
+        bus.store(0, 42);
+        let t_after_store = bus.now();
+        assert!(t_after_store > 0);
+        assert!(bus.ledger().component_pj(Component::L1) > 0.0);
+        assert_eq!(bus.load(0).unwrap(), 42);
+        assert!(bus.now() > t_after_store);
+        // SECDED access-energy factor posts something to EccLogic.
+        assert!(bus.ledger().component_pj(Component::EccLogic) > 0.0);
+    }
+
+    #[test]
+    fn tick_charges_cpu_and_ifetch() {
+        let mut bus = bus(EccKind::None);
+        bus.tick(100);
+        assert_eq!(bus.now(), 100);
+        let platform = Platform::lh7a400();
+        assert!(
+            (bus.ledger().component_pj(Component::Cpu)
+                - 100.0 * platform.cpu_pj_per_cycle)
+                .abs()
+                < 1e-9
+        );
+        // Instruction fetches hit L1 too.
+        let expected_fetch =
+            100.0 * platform.ifetch_per_cycle * bus.sram().model().read_energy_pj();
+        assert!(
+            (bus.ledger().component_pj(Component::L1) - expected_fetch).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn uncorrectable_read_faults() {
+        let mut bus = bus(EccKind::Parity);
+        bus.store(7, 0xFFFF_FFFF);
+        bus.sram_mut().inject(7, 3, 1);
+        let err = bus.load(7).unwrap_err();
+        assert_eq!(err.addr, 7);
+        assert!(err.to_string().contains("uncorrectable"));
+    }
+
+    #[test]
+    fn corrected_read_costs_latency() {
+        let mut bus = bus(EccKind::Secded);
+        bus.store(3, 5);
+        let before = bus.now();
+        bus.sram_mut().inject(3, 0, 1);
+        assert_eq!(bus.load(3).unwrap(), 5);
+        // 1 access cycle + 1 correction cycle.
+        assert_eq!(bus.now() - before, 2);
+    }
+
+    #[test]
+    fn silent_corruption_with_nocode() {
+        let mut bus = bus(EccKind::None);
+        bus.store(1, 0);
+        bus.sram_mut().inject(1, 4, 1);
+        assert_eq!(bus.load(1).unwrap(), 16); // wrong data, no complaint
+    }
+}

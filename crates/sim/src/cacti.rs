@@ -1,0 +1,208 @@
+//! Analytic SRAM area / energy / timing model (CACTI-6.5-style, 65 nm).
+//!
+//! The paper sizes its memories with CACTI 6.5 at 65 nm. CACTI itself is a
+//! large C++ tool; what the optimization problem (Eqs. 4–5) and Fig. 4
+//! actually consume are smooth, monotone curves of area, per-access energy,
+//! leakage and access time versus capacity and word width. This module
+//! provides those curves as closed-form fits anchored to published CACTI
+//! 6.5 65 nm data points:
+//!
+//! * 6T cell area ≈ 0.525 µm²/bit at 65 nm;
+//! * array efficiency (cell area / total area) ≈ 65–70 % for a 64 KB macro,
+//!   dropping below 50 % for KB-scale buffers (periphery dominates);
+//! * dynamic read energy for a 64 KB, 32-bit-word macro ≈ 45 pJ;
+//! * access time ≈ 1–3 ns over the KB–64 KB range.
+//!
+//! Only the *shape* of these curves matters for reproducing the paper's
+//! relative results; absolute joules are not claimed.
+
+/// 6T SRAM cell area at 65 nm, µm² per bit.
+const CELL_AREA_UM2_PER_BIT: f64 = 0.525;
+
+/// Area of one 2-input-gate equivalent of synthesized logic at 65 nm, µm².
+/// Used to cost the ECC encoder/decoder blocks attached to a macro.
+pub const GATE_AREA_UM2: f64 = 1.6;
+
+/// Leakage power per stored bit at 65 nm, µW.
+const LEAKAGE_UW_PER_BIT: f64 = 0.0012;
+
+/// Geometry and derived physical figures of one SRAM macro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramModel {
+    words: usize,
+    bits_per_word: usize,
+}
+
+impl SramModel {
+    /// Describes a macro of `words` words of `bits_per_word` stored bits
+    /// (check bits included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(words: usize, bits_per_word: usize) -> Self {
+        assert!(words > 0, "SRAM must have at least one word");
+        assert!(bits_per_word > 0, "SRAM words must have at least one bit");
+        Self { words, bits_per_word }
+    }
+
+    /// Number of addressable words.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Stored bits per word (payload + check bits).
+    #[must_use]
+    pub fn bits_per_word(&self) -> usize {
+        self.bits_per_word
+    }
+
+    /// Total stored bits.
+    #[must_use]
+    pub fn total_bits(&self) -> f64 {
+        (self.words * self.bits_per_word) as f64
+    }
+
+    /// Array efficiency: fraction of macro area occupied by cells.
+    ///
+    /// Saturates near 0.70 for large macros and falls towards 0.30 for
+    /// small buffers where decoders/sense-amps dominate — the effect that
+    /// makes a tiny L1′ proportionally more expensive per bit and shapes
+    /// the feasible region of Fig. 4.
+    #[must_use]
+    pub fn array_efficiency(&self) -> f64 {
+        let bits = self.total_bits();
+        0.30 + 0.40 * bits / (bits + 20_000.0)
+    }
+
+    /// Macro area in µm² (cells / efficiency, i.e. periphery included).
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        CELL_AREA_UM2_PER_BIT * self.total_bits() / self.array_efficiency()
+    }
+
+    /// Macro area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2() / 1.0e6
+    }
+
+    /// Dynamic energy of one read access, pJ.
+    ///
+    /// Grows with the square root of capacity (bitline/wordline length) and
+    /// linearly with the accessed word width.
+    #[must_use]
+    pub fn read_energy_pj(&self) -> f64 {
+        let bits = self.total_bits();
+        // Wider words burn proportionally more in the data path but the
+        // decode/wordline share is width-independent.
+        let width_factor = 0.6 + 0.4 * self.bits_per_word as f64 / 32.0;
+        width_factor * (2.0 + 0.06 * bits.sqrt())
+    }
+
+    /// Dynamic energy of one write access, pJ (≈1.1× read in CACTI fits).
+    #[must_use]
+    pub fn write_energy_pj(&self) -> f64 {
+        1.1 * self.read_energy_pj()
+    }
+
+    /// Total leakage power, µW.
+    #[must_use]
+    pub fn leakage_uw(&self) -> f64 {
+        LEAKAGE_UW_PER_BIT * self.total_bits() / self.array_efficiency()
+    }
+
+    /// Random access time, ns.
+    #[must_use]
+    pub fn access_time_ns(&self) -> f64 {
+        let bits = self.total_bits().max(1.0);
+        0.45 + 0.22 * (bits / 1024.0).max(1.0).log2()
+    }
+
+    /// Access latency in CPU cycles at `clock_hz`.
+    #[must_use]
+    pub fn access_cycles(&self, clock_hz: f64) -> u64 {
+        let cycle_ns = 1.0e9 / clock_hz;
+        (self.access_time_ns() / cycle_ns).ceil().max(1.0) as u64
+    }
+}
+
+/// Area of a block of synthesized logic, µm².
+#[must_use]
+pub fn logic_area_um2(gate_equivalents: u64) -> f64 {
+    gate_equivalents as f64 * GATE_AREA_UM2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1_64kb() -> SramModel {
+        SramModel::new(16 * 1024, 32)
+    }
+
+    #[test]
+    fn l1_area_in_plausible_range() {
+        // CACTI 6.5 reports roughly 0.3–0.8 mm² for a 64 KB 65 nm macro.
+        let area = l1_64kb().area_mm2();
+        assert!((0.2..1.0).contains(&area), "area = {area} mm2");
+    }
+
+    #[test]
+    fn l1_read_energy_in_plausible_range() {
+        let e = l1_64kb().read_energy_pj();
+        assert!((20.0..80.0).contains(&e), "energy = {e} pJ");
+    }
+
+    #[test]
+    fn efficiency_increases_with_capacity() {
+        let small = SramModel::new(64, 32);
+        let large = l1_64kb();
+        assert!(small.array_efficiency() < large.array_efficiency());
+        assert!(large.array_efficiency() < 0.70);
+        assert!(small.array_efficiency() > 0.29);
+    }
+
+    #[test]
+    fn area_monotone_in_words_and_width() {
+        let base = SramModel::new(256, 39);
+        assert!(SramModel::new(512, 39).area_um2() > base.area_um2());
+        assert!(SramModel::new(256, 64).area_um2() > base.area_um2());
+    }
+
+    #[test]
+    fn small_buffers_cost_more_per_bit() {
+        let small = SramModel::new(32, 32);
+        let large = l1_64kb();
+        let per_bit_small = small.area_um2() / small.total_bits();
+        let per_bit_large = large.area_um2() / large.total_bits();
+        assert!(per_bit_small > 1.5 * per_bit_large);
+    }
+
+    #[test]
+    fn energy_scales_with_word_width() {
+        let narrow = SramModel::new(256, 32);
+        let wide = SramModel::new(256, 176); // BCH t=18 word
+        assert!(wide.read_energy_pj() > narrow.read_energy_pj());
+        assert!(wide.write_energy_pj() > wide.read_energy_pj());
+    }
+
+    #[test]
+    fn access_fits_one_cycle_at_200mhz() {
+        // The LH7A400 runs its scratchpad single-cycle at 200 MHz.
+        assert_eq!(l1_64kb().access_cycles(200.0e6), 1);
+    }
+
+    #[test]
+    fn leakage_positive_and_monotone() {
+        assert!(l1_64kb().leakage_uw() > SramModel::new(64, 32).leakage_uw());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_words_panics() {
+        let _ = SramModel::new(0, 32);
+    }
+}

@@ -1,0 +1,293 @@
+//! Intermittent-fault injection.
+//!
+//! The paper's fault model: single-event upsets strike SRAM words at a rate
+//! of λ words/cycle (the evaluation uses λ = 10⁻⁶ word⁻¹·cycle⁻¹, an upper
+//! bound taken from ERSA, the paper.s ref. 14); with technology scaling a growing fraction
+//! of strikes are *multi-bit* upsets (SMUs) flipping several physically
+//! adjacent bits [5]. Faults persist in the array until the word is
+//! rewritten — they are intermittent from the program's point of view
+//! because they appear between a write and a later read.
+//!
+//! [`FaultProcess`] samples strike counts from the exact Poisson law of the
+//! per-cycle Bernoulli process and applies adjacent-bit bursts with a
+//! configurable width distribution.
+
+use chunkpoint_ecc::BitBuf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution of the burst width of a single strike.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpsetModel {
+    /// Classic single-bit upsets only.
+    SingleBit,
+    /// Multi-bit upsets: width w is drawn from the given probability table.
+    MultiBit {
+        /// `weights[i]` = relative probability of a burst of width `i + 1`.
+        weights: Vec<f64>,
+    },
+}
+
+impl UpsetModel {
+    /// The SMU width distribution used throughout the paper's evaluation:
+    /// scaled-technology measurements (ref. 5 of the paper, 65 nm and below) where ~55 % of
+    /// events upset more than one bit.
+    #[must_use]
+    pub fn smu_65nm() -> Self {
+        UpsetModel::MultiBit { weights: vec![0.45, 0.25, 0.15, 0.08, 0.05, 0.02] }
+    }
+
+    /// Maximum burst width this model can produce.
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        match self {
+            UpsetModel::SingleBit => 1,
+            UpsetModel::MultiBit { weights } => weights.len(),
+        }
+    }
+
+    fn sample_width(&self, rng: &mut StdRng) -> usize {
+        match self {
+            UpsetModel::SingleBit => 1,
+            UpsetModel::MultiBit { weights } => {
+                let total: f64 = weights.iter().sum();
+                let mut x = rng.gen::<f64>() * total;
+                for (i, w) in weights.iter().enumerate() {
+                    if x < *w {
+                        return i + 1;
+                    }
+                    x -= w;
+                }
+                weights.len()
+            }
+        }
+    }
+}
+
+/// A single injected strike, for tracing and post-mortem analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the strike was materialised (lazily, at read time).
+    pub cycle: u64,
+    /// First flipped stored-bit index within the word.
+    pub first_bit: usize,
+    /// Number of adjacent bits flipped.
+    pub width: usize,
+}
+
+/// Poisson process injecting bit-flip bursts into stored words.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_sim::{FaultProcess, UpsetModel};
+/// use chunkpoint_ecc::BitBuf;
+///
+/// // An aggressive rate so the example actually strikes.
+/// let mut faults = FaultProcess::new(1e-2, UpsetModel::smu_65nm(), 42);
+/// let mut word = BitBuf::new(39);
+/// let events = faults.expose(&mut word, 10_000, 0);
+/// assert!(!events.is_empty());
+/// assert_eq!(word.count_ones() > 0, true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultProcess {
+    rate_per_word_cycle: f64,
+    model: UpsetModel,
+    rng: StdRng,
+    strikes: u64,
+    bits_flipped: u64,
+}
+
+impl FaultProcess {
+    /// Creates a process with strike rate λ (strikes per word per cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative, NaN, or ≥ 1.
+    #[must_use]
+    pub fn new(rate: f64, model: UpsetModel, seed: u64) -> Self {
+        assert!(
+            rate.is_finite() && (0.0..1.0).contains(&rate),
+            "fault rate must be in [0, 1), got {rate}"
+        );
+        Self {
+            rate_per_word_cycle: rate,
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            strikes: 0,
+            bits_flipped: 0,
+        }
+    }
+
+    /// A disabled process (λ = 0) for fault-free golden runs.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::new(0.0, UpsetModel::SingleBit, 0)
+    }
+
+    /// Strike rate λ.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate_per_word_cycle
+    }
+
+    /// Total strikes injected so far.
+    #[must_use]
+    pub fn strikes(&self) -> u64 {
+        self.strikes
+    }
+
+    /// Total bits flipped so far.
+    #[must_use]
+    pub fn bits_flipped(&self) -> u64 {
+        self.bits_flipped
+    }
+
+    /// Samples the number of strikes over an exposure window of `cycles`.
+    fn sample_strike_count(&mut self, cycles: u64) -> u64 {
+        if self.rate_per_word_cycle == 0.0 || cycles == 0 {
+            return 0;
+        }
+        // Exact Poisson(λ·cycles) by inversion; λ·cycles is tiny in all
+        // realistic configurations so this loop terminates immediately.
+        let lambda = self.rate_per_word_cycle * cycles as f64;
+        let u: f64 = self.rng.gen();
+        let mut cumulative = (-lambda).exp();
+        let mut probability = cumulative;
+        let mut k = 0u64;
+        while u > cumulative && k < 64 {
+            k += 1;
+            probability *= lambda / k as f64;
+            cumulative += probability;
+        }
+        k
+    }
+
+    /// Exposes one stored word for `cycles` cycles, flipping bits in place.
+    ///
+    /// Returns the strike events applied (empty when the word survived).
+    pub fn expose(&mut self, word: &mut BitBuf, cycles: u64, now: u64) -> Vec<FaultEvent> {
+        let count = self.sample_strike_count(cycles);
+        let mut events = Vec::new();
+        for _ in 0..count {
+            let width = self.model.sample_width(&mut self.rng).min(word.len());
+            let first_bit = self.rng.gen_range(0..=word.len() - width);
+            for bit in first_bit..first_bit + width {
+                word.flip(bit);
+            }
+            self.strikes += 1;
+            self.bits_flipped += width as u64;
+            events.push(FaultEvent { cycle: now, first_bit, width });
+        }
+        events
+    }
+
+    /// Expected number of faulty words among `words` words exposed for
+    /// `cycles` cycles — the `err` term of the paper's Eq. (1)–(2).
+    #[must_use]
+    pub fn expected_strikes(&self, words: usize, cycles: u64) -> f64 {
+        self.rate_per_word_cycle * words as f64 * cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_strikes() {
+        let mut faults = FaultProcess::disabled();
+        let mut word = BitBuf::new(39);
+        for _ in 0..100 {
+            assert!(faults.expose(&mut word, 1_000_000, 0).is_empty());
+        }
+        assert_eq!(word.count_ones(), 0);
+        assert_eq!(faults.strikes(), 0);
+    }
+
+    #[test]
+    fn strike_rate_matches_poisson_mean() {
+        let rate = 1e-4;
+        let mut faults = FaultProcess::new(rate, UpsetModel::SingleBit, 7);
+        let exposures = 20_000u64;
+        let cycles = 100u64;
+        let mut total = 0u64;
+        for _ in 0..exposures {
+            let mut word = BitBuf::new(39);
+            total += faults.expose(&mut word, cycles, 0).len() as u64;
+        }
+        let expected = rate * cycles as f64 * exposures as f64; // = 200
+        let observed = total as f64;
+        assert!(
+            (observed - expected).abs() < 0.25 * expected,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn smu_model_produces_multi_bit_bursts() {
+        let mut faults = FaultProcess::new(0.5, UpsetModel::smu_65nm(), 3);
+        let mut widths = Vec::new();
+        for _ in 0..500 {
+            let mut word = BitBuf::new(64);
+            for ev in faults.expose(&mut word, 1, 0) {
+                widths.push(ev.width);
+            }
+        }
+        assert!(widths.iter().any(|&w| w >= 2), "no multi-bit bursts seen");
+        assert!(widths.iter().all(|&w| w <= 6));
+        // Roughly 55% of strikes should be multi-bit.
+        let multi = widths.iter().filter(|&&w| w >= 2).count() as f64;
+        let frac = multi / widths.len() as f64;
+        assert!((0.35..0.75).contains(&frac), "multi-bit fraction {frac}");
+    }
+
+    #[test]
+    fn bursts_are_adjacent_and_in_range() {
+        let mut faults = FaultProcess::new(0.9, UpsetModel::smu_65nm(), 11);
+        for _ in 0..200 {
+            let mut word = BitBuf::new(39);
+            let before = word;
+            let events = faults.expose(&mut word, 1, 5);
+            for ev in &events {
+                assert!(ev.first_bit + ev.width <= 39);
+                assert_eq!(ev.cycle, 5);
+            }
+            if events.len() == 1 {
+                // A single burst flips exactly `width` adjacent bits.
+                assert_eq!(
+                    word.hamming_distance(&before) as usize,
+                    events[0].width
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed| {
+            let mut faults = FaultProcess::new(1e-3, UpsetModel::smu_65nm(), seed);
+            let mut word = BitBuf::new(39);
+            for _ in 0..50 {
+                faults.expose(&mut word, 1000, 0);
+            }
+            (*word.as_words(), faults.strikes())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).0, run(10).0);
+    }
+
+    #[test]
+    fn expected_strikes_linear() {
+        let faults = FaultProcess::new(1e-6, UpsetModel::SingleBit, 0);
+        assert!((faults.expected_strikes(1000, 1000) - 1.0).abs() < 1e-9);
+        assert!((faults.expected_strikes(0, 1000)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rate")]
+    fn rejects_invalid_rate() {
+        let _ = FaultProcess::new(1.5, UpsetModel::SingleBit, 0);
+    }
+}

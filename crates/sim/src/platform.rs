@@ -1,0 +1,145 @@
+//! Target-platform description.
+//!
+//! The paper's testbed is an NXP LH7A400-class SoC: a 32-bit ARM9 core at
+//! 200 MHz with a 64 KB on-chip L1 scratchpad SRAM, modelled at 65 nm.
+//! [`Platform`] collects the clock, per-cycle core energy and memory
+//! geometry that every executor and the optimizer consume.
+
+use crate::cacti::SramModel;
+
+/// Bytes per architectural word.
+pub const WORD_BYTES: usize = 4;
+
+/// Static description of the simulated SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+    /// Active-core (logic-only) energy per cycle, pJ (CPI-folded: one
+    /// "cycle" here is one issued instruction-equivalent of the ARM9
+    /// pipeline). Memory energy is charged separately per access.
+    pub cpu_pj_per_cycle: f64,
+    /// Average instruction fetches per cycle issued to the on-chip SRAM.
+    /// The LH7A400 runs code from the same 64 KB SRAM that holds data, so
+    /// fetch traffic pays the array's per-access energy — this is why
+    /// protecting the whole L1 with multi-bit ECC is so expensive
+    /// (HW-mitigation baseline). Code words are assumed scrubbed /
+    /// shadowed from flash and are not part of the data-fault surface the
+    /// paper's scheme (or any compared scheme) recovers.
+    pub ifetch_per_cycle: f64,
+    /// Size of the vulnerable L1 scratchpad in 32-bit words.
+    pub l1_words: usize,
+    /// Cycles consumed by the software part of committing one checkpoint
+    /// (branch, status-register push; excludes the chunk copy itself).
+    pub checkpoint_trigger_cycles: u64,
+    /// Cycles consumed by the Read-Error-Interrupt service routine
+    /// (pipeline flush, vector, status-register restore, return).
+    pub isr_cycles: u64,
+}
+
+impl Platform {
+    /// The NXP LH7A400-class platform of the paper: ARM9 at 200 MHz,
+    /// 64 KB L1 SRAM.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chunkpoint_sim::Platform;
+    ///
+    /// let p = Platform::lh7a400();
+    /// assert_eq!(p.l1_bytes(), 64 * 1024);
+    /// assert_eq!(p.clock_hz, 200.0e6);
+    /// ```
+    #[must_use]
+    pub fn lh7a400() -> Self {
+        Self {
+            clock_hz: 200.0e6,
+            // ARM926EJ-S class core at 65 nm: ~0.11 mW/MHz total, of
+            // which roughly half is the SRAM/cache subsystem (charged per
+            // access) — leaving ~55 pJ/cycle of core logic.
+            cpu_pj_per_cycle: 55.0,
+            // ~2/3 of cycles fetch from the on-chip SRAM (CPI ≈ 1.5).
+            ifetch_per_cycle: 0.67,
+            l1_words: 64 * 1024 / WORD_BYTES,
+            checkpoint_trigger_cycles: 24,
+            isr_cycles: 120,
+        }
+    }
+
+    /// L1 capacity in bytes.
+    #[must_use]
+    pub fn l1_bytes(&self) -> usize {
+        self.l1_words * WORD_BYTES
+    }
+
+    /// Geometry of the (unprotected) L1 array: the paper's reference for
+    /// all area-overhead percentages.
+    #[must_use]
+    pub fn l1_model(&self) -> SramModel {
+        SramModel::new(self.l1_words, 32)
+    }
+
+    /// Geometry of the L1 array when every word carries `check_bits`
+    /// additional stored bits (the *HW-mitigation* baseline).
+    #[must_use]
+    pub fn l1_model_with_ecc(&self, check_bits: usize) -> SramModel {
+        SramModel::new(self.l1_words, 32 + check_bits)
+    }
+
+    /// Geometry of an L1′ buffer of `words` words carrying `check_bits`
+    /// check bits per word.
+    #[must_use]
+    pub fn l1_prime_model(&self, words: usize, check_bits: usize) -> SramModel {
+        SramModel::new(words.max(1), 32 + check_bits)
+    }
+
+    /// Seconds corresponding to `cycles` at this clock.
+    #[must_use]
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self::lh7a400()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lh7a400_geometry() {
+        let p = Platform::lh7a400();
+        assert_eq!(p.l1_words, 16384);
+        assert_eq!(p.l1_bytes(), 65536);
+        assert_eq!(p.l1_model().bits_per_word(), 32);
+    }
+
+    #[test]
+    fn ecc_widens_words() {
+        let p = Platform::lh7a400();
+        let protected = p.l1_model_with_ecc(7);
+        assert_eq!(protected.bits_per_word(), 39);
+        assert!(protected.area_um2() > p.l1_model().area_um2());
+    }
+
+    #[test]
+    fn l1_prime_never_zero_words() {
+        let p = Platform::lh7a400();
+        assert_eq!(p.l1_prime_model(0, 48).words(), 1);
+    }
+
+    #[test]
+    fn seconds_at_200mhz() {
+        let p = Platform::lh7a400();
+        assert!((p.seconds(200_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_lh7a400() {
+        assert_eq!(Platform::default(), Platform::lh7a400());
+    }
+}

@@ -1,0 +1,200 @@
+//! ITU-T G.711 companding (µ-law and A-law), following the classic Sun
+//! Microsystems `g711.c` reference arithmetic (full 16-bit linear domain).
+//!
+//! G.726/G.721 transcoders normally operate on companded telephone
+//! samples; this module provides the standard conversions and is also a
+//! small self-contained kernel used in tests.
+
+const SIGN_BIT: u8 = 0x80;
+const QUANT_MASK: i32 = 0x0F;
+const SEG_SHIFT: u8 = 4;
+const SEG_MASK: u8 = 0x70;
+const BIAS: i32 = 0x84;
+const CLIP: i32 = 8159 * 4 + 3; // 0x7F7B, µ-law clip in the 16-bit domain
+
+/// µ-law segment ends (16-bit domain).
+const SEG_UEND: [i32; 8] = [0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF, 0x1FFF, 0x3FFF, 0x7FFF];
+/// A-law segment ends (13-bit domain, input pre-shifted by 3).
+const SEG_AEND: [i32; 8] = [0x1F, 0x3F, 0x7F, 0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF];
+
+fn search(val: i32, table: &[i32; 8]) -> usize {
+    table.iter().position(|&end| val <= end).unwrap_or(8)
+}
+
+/// Encodes a 16-bit linear PCM sample to 8-bit µ-law.
+#[must_use]
+pub fn linear_to_ulaw(sample: i16) -> u8 {
+    let mut pcm = i32::from(sample);
+    let mask: u8 = if pcm < 0 {
+        pcm = BIAS - pcm;
+        0x7F
+    } else {
+        pcm += BIAS;
+        0xFF
+    };
+    if pcm > CLIP {
+        pcm = CLIP;
+    }
+    let seg = search(pcm, &SEG_UEND);
+    if seg >= 8 {
+        0x7F ^ mask
+    } else {
+        let uval = ((seg as u8) << SEG_SHIFT) | (((pcm >> (seg + 3)) & QUANT_MASK) as u8);
+        uval ^ mask
+    }
+}
+
+/// Decodes an 8-bit µ-law byte to 16-bit linear PCM.
+#[must_use]
+pub fn ulaw_to_linear(byte: u8) -> i16 {
+    let u = !byte;
+    let mut t = ((i32::from(u) & QUANT_MASK) << 3) + BIAS;
+    t <<= (u & SEG_MASK) >> SEG_SHIFT;
+    if u & SIGN_BIT != 0 {
+        (BIAS - t) as i16
+    } else {
+        (t - BIAS) as i16
+    }
+}
+
+/// Encodes a 16-bit linear PCM sample to 8-bit A-law.
+#[must_use]
+pub fn linear_to_alaw(sample: i16) -> u8 {
+    let mut pcm = i32::from(sample) >> 3;
+    let mask: u8 = if pcm >= 0 {
+        0xD5 // sign (7th) bit = 1, with even-bit inversion
+    } else {
+        pcm = -pcm - 1;
+        0x55
+    };
+    let seg = search(pcm, &SEG_AEND);
+    if seg >= 8 {
+        0x7F ^ mask
+    } else {
+        let mut aval = (seg as u8) << SEG_SHIFT;
+        if seg < 2 {
+            aval |= ((pcm >> 1) & QUANT_MASK) as u8;
+        } else {
+            aval |= ((pcm >> seg) & QUANT_MASK) as u8;
+        }
+        aval ^ mask
+    }
+}
+
+/// Decodes an 8-bit A-law byte to 16-bit linear PCM.
+#[must_use]
+pub fn alaw_to_linear(byte: u8) -> i16 {
+    let a = byte ^ 0x55;
+    let mut t = (i32::from(a) & QUANT_MASK) << 4;
+    let seg = (a & SEG_MASK) >> SEG_SHIFT;
+    match seg {
+        0 => t += 8,
+        1 => t += 0x108,
+        _ => {
+            t += 0x108;
+            t <<= seg - 1;
+        }
+    }
+    if a & SIGN_BIT != 0 {
+        t as i16
+    } else {
+        (-t) as i16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adpcm::snr_db;
+    use crate::input::speech_pcm;
+
+    #[test]
+    fn ulaw_roundtrip_error_is_bounded() {
+        for &s in &[-30000i16, -1000, -100, -4, 0, 4, 100, 1000, 30000] {
+            let decoded = ulaw_to_linear(linear_to_ulaw(s));
+            let err = (i32::from(s) - i32::from(decoded)).abs();
+            // Companding error grows with amplitude; bound it relatively.
+            let bound = 36 + i32::from(s).abs() / 16;
+            assert!(err <= bound, "s={s} decoded={decoded} err={err}");
+        }
+    }
+
+    #[test]
+    fn alaw_roundtrip_error_is_bounded() {
+        for &s in &[-30000i16, -1000, -64, 0, 64, 1000, 30000] {
+            let decoded = alaw_to_linear(linear_to_alaw(s));
+            let err = (i32::from(s) - i32::from(decoded)).abs();
+            let bound = 64 + i32::from(s).abs() / 16;
+            assert!(err <= bound, "s={s} decoded={decoded} err={err}");
+        }
+    }
+
+    #[test]
+    fn ulaw_speech_snr() {
+        let samples = speech_pcm(4000, 13);
+        let decoded: Vec<i16> = samples
+            .iter()
+            .map(|&s| ulaw_to_linear(linear_to_ulaw(s)))
+            .collect();
+        let snr = snr_db(&samples, &decoded);
+        assert!(snr > 25.0, "µ-law SNR only {snr:.1} dB");
+    }
+
+    #[test]
+    fn alaw_speech_snr() {
+        let samples = speech_pcm(4000, 14);
+        let decoded: Vec<i16> = samples
+            .iter()
+            .map(|&s| alaw_to_linear(linear_to_alaw(s)))
+            .collect();
+        let snr = snr_db(&samples, &decoded);
+        assert!(snr > 22.0, "A-law SNR only {snr:.1} dB");
+    }
+
+    #[test]
+    fn ulaw_codes_are_idempotent() {
+        // decode(code) must re-encode to the same code for every byte.
+        for byte in 0..=255u8 {
+            let linear = ulaw_to_linear(byte);
+            let re = linear_to_ulaw(linear);
+            // 0x7F and 0xFF both denote zero-ish values; accept exact or
+            // zero-magnitude aliasing.
+            assert!(
+                re == byte || i32::from(ulaw_to_linear(re)) == i32::from(linear),
+                "byte={byte:#x} linear={linear} re={re:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn alaw_codes_are_idempotent() {
+        for byte in 0..=255u8 {
+            let linear = alaw_to_linear(byte);
+            let re = linear_to_alaw(linear);
+            assert!(
+                re == byte || i32::from(alaw_to_linear(re)) == i32::from(linear),
+                "byte={byte:#x} linear={linear} re={re:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn sign_symmetry_ulaw() {
+        for &s in &[1000i16, 5000, 20000] {
+            let pos = i32::from(ulaw_to_linear(linear_to_ulaw(s)));
+            let neg = i32::from(ulaw_to_linear(linear_to_ulaw(-s)));
+            // µ-law's bias makes the symmetry off-by-one-step at most.
+            assert!((pos + neg).abs() <= pos / 16 + 16, "s={s} pos={pos} neg={neg}");
+        }
+    }
+
+    #[test]
+    fn monotonicity_on_positive_axis() {
+        let mut last = -1i32;
+        for s in (0..30000i16).step_by(250) {
+            let v = i32::from(ulaw_to_linear(linear_to_ulaw(s)));
+            assert!(v >= last, "s={s} v={v} last={last}");
+            last = v;
+        }
+    }
+}

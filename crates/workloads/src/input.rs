@@ -1,0 +1,169 @@
+//! Deterministic synthetic inputs standing in for the MediaBench data
+//! files (`clinton.pcm`, `testimg.jpg`, …), which are not redistributable.
+//!
+//! The generators produce speech-like PCM (a sum of drifting harmonics over
+//! pink-ish noise) and a smooth-plus-texture test image — signals with
+//! realistic spectral content so the codecs' adaptive predictors and
+//! entropy coders are exercised on representative data, not on silence or
+//! white noise.
+
+/// Generates `n` 16-bit PCM samples of speech-like audio at a nominal
+/// 8 kHz, deterministically from `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_workloads::speech_pcm;
+///
+/// let a = speech_pcm(1024, 1);
+/// let b = speech_pcm(1024, 1);
+/// assert_eq!(a, b);
+/// assert!(a.iter().any(|&s| s != 0));
+/// ```
+#[must_use]
+pub fn speech_pcm(n: usize, seed: u64) -> Vec<i16> {
+    let mut rng = SplitMix64::new(seed);
+    // Random but fixed formant-ish frequencies.
+    let f0 = 80.0 + 60.0 * rng.next_f64(); // pitch, Hz
+    let formants = [
+        (400.0 + 300.0 * rng.next_f64(), 0.35),
+        (1200.0 + 500.0 * rng.next_f64(), 0.22),
+        (2400.0 + 600.0 * rng.next_f64(), 0.12),
+    ];
+    let fs = 8000.0;
+    let mut noise_state = 0.0f64;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            // Slow amplitude envelope (syllable rhythm, ~3 Hz).
+            let envelope = 0.55 + 0.45 * (2.0 * std::f64::consts::PI * 3.1 * t).sin();
+            // Harmonic stack under formant weights.
+            let mut x = 0.0;
+            for harmonic in 1..=10 {
+                let freq = f0 * harmonic as f64;
+                let weight: f64 = formants
+                    .iter()
+                    .map(|&(fc, a)| a / (1.0 + ((freq - fc) / 300.0).powi(2)))
+                    .sum();
+                x += weight * (2.0 * std::f64::consts::PI * freq * t).sin();
+            }
+            // Low-passed noise floor (fricative energy).
+            noise_state = 0.9 * noise_state + 0.1 * (rng.next_f64() * 2.0 - 1.0);
+            x += 0.15 * noise_state;
+            let sample = envelope * x * 9000.0;
+            sample.clamp(-32768.0, 32767.0) as i16
+        })
+        .collect()
+}
+
+/// Generates a `width`×`height` 8-bit grayscale test image: smooth
+/// gradients, a few geometric features, and fine texture — enough spectral
+/// spread to exercise JPEG's DCT and entropy coding.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+#[must_use]
+pub fn test_image(width: usize, height: usize, seed: u64) -> Vec<u8> {
+    assert!(width > 0 && height > 0, "image must be non-empty");
+    let mut rng = SplitMix64::new(seed);
+    let cx = width as f64 * (0.3 + 0.4 * rng.next_f64());
+    let cy = height as f64 * (0.3 + 0.4 * rng.next_f64());
+    let radius = (width.min(height) as f64) * 0.25;
+    let mut pixels = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let fx = x as f64;
+            let fy = y as f64;
+            // Diagonal gradient base.
+            let mut v = 60.0 + 120.0 * (fx / width as f64 + fy / height as f64) / 2.0;
+            // A bright disc.
+            let d = ((fx - cx).powi(2) + (fy - cy).powi(2)).sqrt();
+            if d < radius {
+                v += 70.0 * (1.0 - d / radius);
+            }
+            // Texture: product of sinusoids plus dither.
+            v += 12.0 * (fx * 0.8).sin() * (fy * 0.6).cos();
+            v += 6.0 * (rng.next_f64() - 0.5);
+            pixels.push(v.clamp(0.0, 255.0) as u8);
+        }
+    }
+    pixels
+}
+
+/// Tiny deterministic PRNG (SplitMix64) so inputs do not depend on the
+/// `rand` crate's version-to-version stream stability.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcm_is_deterministic_per_seed() {
+        assert_eq!(speech_pcm(512, 7), speech_pcm(512, 7));
+        assert_ne!(speech_pcm(512, 7), speech_pcm(512, 8));
+    }
+
+    #[test]
+    fn pcm_has_reasonable_dynamics() {
+        let samples = speech_pcm(8000, 3);
+        let max = samples.iter().map(|&s| i32::from(s).abs()).max().unwrap();
+        assert!(max > 4000, "signal too quiet: {max}");
+        assert!(max <= 32767);
+        // Not constant, not clipping-dominated.
+        let clipped = samples
+            .iter()
+            .filter(|&&s| s == i16::MAX || s == i16::MIN)
+            .count();
+        assert!(clipped < samples.len() / 100);
+    }
+
+    #[test]
+    fn pcm_zero_crossings_indicate_oscillation() {
+        let samples = speech_pcm(8000, 3);
+        let crossings = samples
+            .windows(2)
+            .filter(|w| (w[0] < 0) != (w[1] < 0))
+            .count();
+        assert!(crossings > 100, "only {crossings} zero crossings");
+    }
+
+    #[test]
+    fn image_is_deterministic_and_in_range() {
+        let a = test_image(32, 24, 1);
+        let b = test_image(32, 24, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32 * 24);
+        let min = *a.iter().min().unwrap();
+        let max = *a.iter().max().unwrap();
+        assert!(max > min + 60, "image too flat: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_image_panics() {
+        let _ = test_image(0, 8, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! 8×8 forward and inverse DCT-II used by the JPEG kernels.
+//!
+//! Straightforward separable float implementation; the simulator charges
+//! cycles per block from the task profile, so raw Rust speed is not the
+//! modelling target — correctness and orthogonality are.
+
+use std::f32::consts::PI;
+
+/// Block edge length.
+pub const N: usize = 8;
+
+/// Precomputed cos((2x+1)uπ/16) basis, indexed `[u][x]`.
+fn basis() -> [[f32; N]; N] {
+    let mut c = [[0.0f32; N]; N];
+    for (u, row) in c.iter_mut().enumerate() {
+        for (x, v) in row.iter_mut().enumerate() {
+            *v = (((2 * x + 1) as f32) * (u as f32) * PI / 16.0).cos();
+        }
+    }
+    c
+}
+
+fn alpha(u: usize) -> f32 {
+    if u == 0 {
+        1.0 / (2.0f32).sqrt()
+    } else {
+        1.0
+    }
+}
+
+/// Forward 8×8 DCT of spatial samples (level-shifted by the caller).
+#[must_use]
+pub fn forward(block: &[f32; 64]) -> [f32; 64] {
+    let c = basis();
+    let mut out = [0.0f32; 64];
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc = 0.0f32;
+            for x in 0..N {
+                for y in 0..N {
+                    acc += block[x * N + y] * c[u][x] * c[v][y];
+                }
+            }
+            out[u * N + v] = 0.25 * alpha(u) * alpha(v) * acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT back to spatial samples.
+#[must_use]
+pub fn inverse(coeffs: &[f32; 64]) -> [f32; 64] {
+    let c = basis();
+    let mut out = [0.0f32; 64];
+    for x in 0..N {
+        for y in 0..N {
+            let mut acc = 0.0f32;
+            for u in 0..N {
+                for v in 0..N {
+                    acc += alpha(u) * alpha(v) * coeffs[u * N + v] * c[u][x] * c[v][y];
+                }
+            }
+            out[x * N + y] = 0.25 * acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> [f32; 64] {
+        let mut b = [0.0f32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i as f32) - 32.0;
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let block = ramp();
+        let back = inverse(&forward(&block));
+        for i in 0..64 {
+            assert!((block[i] - back[i]).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn dc_of_constant_block() {
+        let block = [100.0f32; 64];
+        let coeffs = forward(&block);
+        // DC = 8 * mean = 800.
+        assert!((coeffs[0] - 800.0).abs() < 1e-2);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-3, "AC coeff {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn energy_preservation_parseval() {
+        let block = ramp();
+        let coeffs = forward(&block);
+        let spatial: f32 = block.iter().map(|v| v * v).sum();
+        let spectral: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!((spatial - spectral).abs() / spatial < 1e-4);
+    }
+
+    #[test]
+    fn single_basis_function_is_sparse() {
+        // A pure horizontal cosine should put all energy in one coeff.
+        let mut block = [0.0f32; 64];
+        for x in 0..8 {
+            for y in 0..8 {
+                block[x * 8 + y] = (((2 * y + 1) as f32) * 3.0 * PI / 16.0).cos();
+            }
+        }
+        let coeffs = forward(&block);
+        let (max_i, _) = coeffs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        assert_eq!(max_i, 3, "energy should land in (0,3)");
+    }
+}

@@ -1,0 +1,262 @@
+//! Baseline grayscale JPEG encoder (used to synthesise benchmark inputs).
+
+use super::dct;
+use super::huffman::{default_ac_luma, default_dc_luma, HuffTable};
+use super::{scaled_quant, ZIGZAG};
+
+/// Bit writer with JPEG byte stuffing (0xFF → 0xFF 0x00).
+#[derive(Debug, Default)]
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn put(&mut self, code: u16, length: u8) {
+        debug_assert!((1..=16).contains(&length));
+        let mask: u32 = if length >= 16 { 0xFFFF } else { (1u32 << length) - 1 };
+        self.acc = (self.acc << length) | (u32::from(code) & mask);
+        self.nbits += u32::from(length);
+        while self.nbits >= 8 {
+            let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
+            self.out.push(byte);
+            if byte == 0xFF {
+                self.out.push(0x00);
+            }
+            self.nbits -= 8;
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            let byte = (((self.acc << pad) | ((1 << pad) - 1)) & 0xFF) as u8;
+            self.out.push(byte);
+            if byte == 0xFF {
+                self.out.push(0x00);
+            }
+            self.nbits = 0;
+            self.acc = 0;
+        }
+    }
+}
+
+/// Magnitude category (number of bits) of a coefficient value.
+fn category(value: i32) -> u8 {
+    let mut magnitude = value.unsigned_abs();
+    let mut bits = 0u8;
+    while magnitude != 0 {
+        magnitude >>= 1;
+        bits += 1;
+    }
+    bits
+}
+
+/// Amplitude bits: value as-is for positive, ones'-complement for negative.
+fn amplitude(value: i32, bits: u8) -> u16 {
+    if value >= 0 {
+        value as u16
+    } else {
+        (value - 1 + (1 << bits)) as u16
+    }
+}
+
+fn push_segment(out: &mut Vec<u8>, marker: u8, payload: &[u8]) {
+    out.push(0xFF);
+    out.push(marker);
+    let len = (payload.len() + 2) as u16;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes a grayscale image as a baseline JFIF bitstream.
+///
+/// # Panics
+///
+/// Panics if `pixels.len() != width * height`, if either dimension is zero
+/// or not a multiple of 8, or if `quality` is outside `1..=100`.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_workloads::jpeg;
+/// use chunkpoint_workloads::test_image;
+///
+/// let img = test_image(16, 16, 1);
+/// let bytes = jpeg::encode(&img, 16, 16, 75);
+/// assert_eq!(&bytes[..2], &[0xFF, 0xD8]); // SOI
+/// let decoded = jpeg::decode(&bytes)?;
+/// assert_eq!(decoded.width, 16);
+/// # Ok::<(), jpeg::JpegError>(())
+/// ```
+#[must_use]
+pub fn encode(pixels: &[u8], width: usize, height: usize, quality: u8) -> Vec<u8> {
+    assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+    assert!(
+        width > 0 && height > 0 && width.is_multiple_of(8) && height.is_multiple_of(8),
+        "dimensions must be positive multiples of 8"
+    );
+    let quant = scaled_quant(quality);
+    let dc_table = default_dc_luma();
+    let ac_table = default_ac_luma();
+
+    let mut out = vec![0xFF, 0xD8]; // SOI
+
+    // DQT: precision 0, table id 0, zig-zag order.
+    let mut dqt = vec![0x00];
+    for &k in &ZIGZAG {
+        dqt.push(quant[k] as u8);
+    }
+    push_segment(&mut out, 0xDB, &dqt);
+
+    // SOF0: 8-bit precision, 1 component (id 1, 1x1 sampling, qtable 0).
+    let mut sof = vec![8u8];
+    sof.extend_from_slice(&(height as u16).to_be_bytes());
+    sof.extend_from_slice(&(width as u16).to_be_bytes());
+    sof.extend_from_slice(&[1, 1, 0x11, 0]);
+    push_segment(&mut out, 0xC0, &sof);
+
+    // DHT: DC class 0 id 0, then AC class 1 id 0.
+    let mut dht = Vec::new();
+    for (class, table) in [(0u8, &dc_table), (1u8, &ac_table)] {
+        let (bits, values) = table.to_spec();
+        dht.push(class << 4);
+        dht.extend_from_slice(&bits);
+        dht.extend_from_slice(&values);
+    }
+    push_segment(&mut out, 0xC4, &dht);
+
+    // SOS: 1 component, DC table 0 / AC table 0, full spectral range.
+    push_segment(&mut out, 0xDA, &[1, 1, 0x00, 0, 63, 0]);
+
+    // Entropy-coded data.
+    let mut writer = BitWriter::default();
+    let mut dc_pred = 0i32;
+    for block_y in 0..height / 8 {
+        for block_x in 0..width / 8 {
+            let mut spatial = [0f32; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    let px = pixels[(block_y * 8 + y) * width + block_x * 8 + x];
+                    spatial[y * 8 + x] = f32::from(px) - 128.0;
+                }
+            }
+            let coeffs = dct::forward(&spatial);
+            // Quantize in zig-zag order.
+            let mut quantized = [0i32; 64];
+            for (k, &raster) in ZIGZAG.iter().enumerate() {
+                quantized[k] =
+                    (coeffs[raster] / f32::from(quant[raster])).round() as i32;
+            }
+            encode_block(&mut writer, &quantized, &mut dc_pred, &dc_table, &ac_table);
+        }
+    }
+    writer.flush();
+    out.extend_from_slice(&writer.out);
+    out.extend_from_slice(&[0xFF, 0xD9]); // EOI
+    out
+}
+
+fn encode_block(
+    writer: &mut BitWriter,
+    zz: &[i32; 64],
+    dc_pred: &mut i32,
+    dc_table: &HuffTable,
+    ac_table: &HuffTable,
+) {
+    // DC difference.
+    let diff = zz[0] - *dc_pred;
+    *dc_pred = zz[0];
+    let bits = category(diff);
+    let (code, length) = dc_table.encode(bits).expect("DC category in table");
+    writer.put(code, length);
+    if bits > 0 {
+        writer.put(amplitude(diff, bits), bits);
+    }
+    // AC run-length coding.
+    let mut run = 0u8;
+    for &value in zz.iter().skip(1) {
+        if value == 0 {
+            run += 1;
+            continue;
+        }
+        while run >= 16 {
+            let (zrl, zl) = ac_table.encode(0xF0).expect("ZRL in table");
+            writer.put(zrl, zl);
+            run -= 16;
+        }
+        let bits = category(value);
+        debug_assert!(bits <= 10, "AC coefficient too large");
+        let (code, length) = ac_table
+            .encode((run << 4) | bits)
+            .expect("AC symbol in table");
+        writer.put(code, length);
+        writer.put(amplitude(value, bits), bits);
+        run = 0;
+    }
+    if run > 0 {
+        let (eob, el) = ac_table.encode(0x00).expect("EOB in table");
+        writer.put(eob, el);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_and_amplitude() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(255), 8);
+        assert_eq!(category(-512), 10);
+        assert_eq!(amplitude(5, 3), 5);
+        assert_eq!(amplitude(-5, 3), 2); // ones' complement of 5 in 3 bits
+        assert_eq!(amplitude(-1, 1), 0);
+    }
+
+    #[test]
+    fn bitwriter_stuffs_ff() {
+        let mut w = BitWriter::default();
+        w.put(0xFF, 8);
+        w.flush();
+        assert_eq!(w.out, vec![0xFF, 0x00]);
+    }
+
+    #[test]
+    fn bitwriter_pads_with_ones() {
+        let mut w = BitWriter::default();
+        w.put(0b101, 3);
+        w.flush();
+        assert_eq!(w.out, vec![0b1011_1111]);
+    }
+
+    #[test]
+    fn stream_structure() {
+        let img = vec![128u8; 64];
+        let bytes = encode(&img, 8, 8, 50);
+        assert_eq!(&bytes[..2], &[0xFF, 0xD8]);
+        assert_eq!(&bytes[bytes.len() - 2..], &[0xFF, 0xD9]);
+        // Contains DQT, SOF0, DHT, SOS markers in order.
+        let find = |marker: u8| bytes.windows(2).position(|w| w == [0xFF, marker]);
+        let dqt = find(0xDB).expect("DQT");
+        let sof = find(0xC0).expect("SOF0");
+        let dht = find(0xC4).expect("DHT");
+        let sos = find(0xDA).expect("SOS");
+        assert!(dqt < sof && sof < dht && dht < sos);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 8")]
+    fn odd_dimensions_panic() {
+        let _ = encode(&[0u8; 60], 10, 6, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count")]
+    fn wrong_pixel_count_panics() {
+        let _ = encode(&[0u8; 63], 8, 8, 50);
+    }
+}

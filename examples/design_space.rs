@@ -1,0 +1,68 @@
+//! Design-space exploration walkthrough: the Fig. 4 feasibility staircase,
+//! the per-benchmark cost curves J(K), and where the Table I optima sit.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use chunkpoint::core::{
+    feasible_region, optimize, sweep, SystemConfig, MAX_CHUNK_WORDS,
+};
+use chunkpoint::workloads::Benchmark;
+
+fn main() {
+    let config = SystemConfig::paper(0);
+
+    // --- Fig. 4: area-feasible (buffer size, code strength) pairs ---
+    println!("Fig. 4 staircase (5% area budget): buffer words -> max correctable bits");
+    let region = feasible_region(&config);
+    let mut last_t = u8::MAX;
+    let mut line = String::new();
+    for &(words, t) in &region {
+        if t != last_t {
+            line.push_str(&format!("{words}w:t{t}  "));
+            last_t = t;
+        }
+    }
+    println!("  {line}");
+    println!();
+
+    // --- J(K) curves, coarse ASCII plot per benchmark ---
+    for benchmark in Benchmark::ALL {
+        let best = optimize(benchmark, &config).expect("feasible design");
+        let points = sweep(benchmark, best.l1_prime_t, &config);
+        let feasible: Vec<_> = points.iter().filter(|p| p.is_feasible(&config)).collect();
+        let j_max = feasible
+            .iter()
+            .map(|p| p.cost.objective_pj())
+            .fold(f64::MIN, f64::max);
+        let j_min = best.cost.objective_pj();
+        println!(
+            "{benchmark}: optimum K = {} (J = {:.1} uJ), feasible K range = {}..{}",
+            best.chunk_words,
+            j_min / 1e6,
+            feasible.first().map_or(0, |p| p.chunk_words),
+            feasible.last().map_or(0, |p| p.chunk_words),
+        );
+        // ASCII profile of J over the feasible K range (log-ish bar).
+        let samples = 16usize;
+        let lo = feasible.first().map_or(1, |p| p.chunk_words);
+        let hi = feasible.last().map_or(MAX_CHUNK_WORDS, |p| p.chunk_words);
+        for s in 0..samples {
+            let k = lo + (hi - lo) * s as u32 / (samples as u32 - 1).max(1);
+            let point = &points[(k - 1) as usize];
+            if !point.is_feasible(&config) {
+                continue;
+            }
+            let j = point.cost.objective_pj();
+            let bar_len = if j_max > j_min {
+                (40.0 * (j - j_min) / (j_max - j_min)) as usize
+            } else {
+                0
+            };
+            let marker = if k == best.chunk_words { " <-- optimum" } else { "" };
+            println!("  K={k:>4} | {}{marker}", "#".repeat(bar_len + 1));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,70 @@
+//! Resilient JPEG decoding: decode a thumbnail on the fault-prone SoC and
+//! compare image quality (PSNR) across mitigation schemes, at the paper's
+//! rate and at a 10x harsher one.
+//!
+//! ```sh
+//! cargo run --release --example jpeg_decode_resilient
+//! ```
+
+use chunkpoint::core::{golden, optimize, run, MitigationScheme, SystemConfig};
+use chunkpoint::workloads::{jpeg::psnr_db, unpack_bytes, Benchmark};
+
+fn pixels_of(report_output: &[u32], n: usize) -> Vec<u8> {
+    unpack_bytes(report_output, n)
+}
+
+fn main() {
+    let benchmark = Benchmark::JpegDecode;
+    for (label, rate) in [("paper rate 1e-6", 1e-6), ("harsh rate 1e-5", 1e-5)] {
+        let mut config = SystemConfig::paper(0x1199);
+        config.faults.error_rate = rate;
+        let reference = golden(benchmark, &config);
+        let n_pixels = reference.output.len() * 4;
+        let reference_pixels = pixels_of(&reference.output, n_pixels);
+
+        // Design-time sizing happens at the nominal rate; the runtime
+        // rate is then whatever the environment delivers.
+        let best =
+            optimize(benchmark, &SystemConfig::paper(0x1199)).expect("feasible design");
+        println!("== {label} ==");
+        println!(
+            "{:<26} | {:>10} | {:>12} | {:>10}",
+            "scheme", "energy x", "PSNR", "bit-exact"
+        );
+        println!("{}", "-".repeat(68));
+        for (label, scheme) in [
+            ("Default (no mitigation)", MitigationScheme::Default),
+            ("SW restart", MitigationScheme::SwRestart),
+            ("HW full ECC", MitigationScheme::hw_baseline()),
+            (
+                "Hybrid (proposed)",
+                MitigationScheme::Hybrid {
+                    chunk_words: best.chunk_words,
+                    l1_prime_t: best.l1_prime_t,
+                },
+            ),
+        ] {
+            let denominator = run(benchmark, MitigationScheme::Default, &config);
+            let report = run(benchmark, scheme, &config);
+            let pixels = pixels_of(&report.output, n_pixels);
+            let psnr = if pixels.len() == reference_pixels.len() {
+                let v = psnr_db(&reference_pixels, &pixels);
+                if v.is_infinite() {
+                    "inf dB".to_owned()
+                } else {
+                    format!("{v:.1} dB")
+                }
+            } else {
+                format!("truncated ({} of {} px)", pixels.len(), reference_pixels.len())
+            };
+            println!(
+                "{:<26} | {:>10.3} | {:>12} | {:>10}",
+                label,
+                report.energy_ratio(&denominator),
+                psnr,
+                if report.output_matches(&reference) { "yes" } else { "NO" },
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! # chunkpoint
+//!
+//! A from-scratch reproduction of **"A Hybrid HW-SW Approach for
+//! Intermittent Error Mitigation in Streaming-Based Embedded Systems"**
+//! (Sabry, Atienza, Catthoor — DATE 2012), as a production-quality Rust
+//! workspace.
+//!
+//! This facade crate re-exports the four library layers:
+//!
+//! * [`ecc`] — error-correcting codes and hardware-overhead models
+//!   (parity, interleaved parity, SECDED, interleaved SECDED, binary BCH
+//!   over GF(2^m));
+//! * [`sim`] — the SoC simulator standing in for MPARM + CACTI:
+//!   bit-accurate fault-prone SRAM, Poisson SMU injection, 65 nm
+//!   area/energy/timing models, cycle/energy ledger;
+//! * [`workloads`] — MediaBench-equivalent streaming kernels (IMA ADPCM,
+//!   G.711, G.726/G.721, baseline JPEG) instrumented to run their live
+//!   data through the simulated memory;
+//! * [`core`] — the paper's contribution: data chunks, checkpoints, the
+//!   BCH-protected L1′ buffer, the Read-Error-Interrupt rollback protocol,
+//!   the chunk-size optimizer (Eqs. 1–7), and the Default / HW / SW
+//!   baseline executors.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chunkpoint::core::{golden, optimize, run, MitigationScheme, SystemConfig};
+//! use chunkpoint::workloads::Benchmark;
+//!
+//! let mut config = SystemConfig::paper(7);
+//! config.scale = 0.25; // short run for the doctest
+//! let best = optimize(Benchmark::AdpcmEncode, &config).expect("feasible");
+//! let report = run(
+//!     Benchmark::AdpcmEncode,
+//!     MitigationScheme::Hybrid { chunk_words: best.chunk_words, l1_prime_t: best.l1_prime_t },
+//!     &config,
+//! );
+//! assert!(report.output_matches(&golden(Benchmark::AdpcmEncode, &config)));
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results. The binaries in `chunkpoint-bench`
+//! regenerate every table and figure of the paper's evaluation.
+
+#![warn(missing_docs)]
+
+/// Error-correcting codes and hardware-overhead models.
+pub use chunkpoint_ecc as ecc;
+
+/// SoC simulator: SRAM, faults, energy/area/timing models.
+pub use chunkpoint_sim as sim;
+
+/// Streaming media workloads (MediaBench equivalents).
+pub use chunkpoint_workloads as workloads;
+
+/// The hybrid mitigation scheme, optimizer, and baseline executors.
+pub use chunkpoint_core as core;

