@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use chunkpoint_ecc::{build_scheme, EccKind};
+use chunkpoint_ecc::{build_scheme, BchCode, EccKind, EccScheme, SecdedCode};
 use chunkpoint_workloads::{adpcm, g726, jpeg, speech_pcm, test_image};
 
 fn bench_ecc_encode(c: &mut Criterion) {
@@ -21,6 +21,18 @@ fn bench_ecc_encode(c: &mut Criterion) {
         let scheme = build_scheme(kind).expect("valid kind");
         group.bench_function(kind.to_string(), |b| {
             b.iter(|| scheme.encode(black_box(0xDEAD_BEEF)))
+        });
+    }
+    // Retained bit-serial references, benched side-by-side so the
+    // table-driven speedup is visible in one report.
+    let secded = SecdedCode::new();
+    group.bench_function("secded-reference", |b| {
+        b.iter(|| secded.encode_reference(black_box(0xDEAD_BEEF)))
+    });
+    for t in [4usize, 8, 16] {
+        let code = BchCode::for_word(t).expect("valid strength");
+        group.bench_function(format!("bch-t{t}-reference"), |b| {
+            b.iter(|| code.encode_reference(black_box(0xDEAD_BEEF)))
         });
     }
     group.finish();
@@ -43,6 +55,29 @@ fn bench_ecc_decode(c: &mut Criterion) {
         }
         group.bench_function(format!("{kind}-{flips}err"), |b| {
             b.iter(|| scheme.decode(black_box(&corrupted)))
+        });
+        if let EccKind::Bch { t } = kind {
+            let code = BchCode::for_word(t as usize).expect("valid strength");
+            group.bench_function(format!("{kind}-{flips}err-reference"), |b| {
+                b.iter(|| code.decode_reference(black_box(&corrupted)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_ecc_decode_clean(c: &mut Criterion) {
+    // The zero-syndrome fast exit: clean reads are the common case in
+    // every fault-rate regime the paper studies.
+    let mut group = c.benchmark_group("ecc_decode_clean");
+    for t in [4usize, 8, 16] {
+        let code = BchCode::for_word(t).expect("valid strength");
+        let clean = code.encode(0x1234_5678);
+        group.bench_function(format!("bch-t{t}"), |b| {
+            b.iter(|| code.decode(black_box(&clean)))
+        });
+        group.bench_function(format!("bch-t{t}-reference"), |b| {
+            b.iter(|| code.decode_reference(black_box(&clean)))
         });
     }
     group.finish();
@@ -82,6 +117,6 @@ fn bench_jpeg(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_ecc_encode, bench_ecc_decode, bench_audio_codecs, bench_jpeg
+    targets = bench_ecc_encode, bench_ecc_decode, bench_ecc_decode_clean, bench_audio_codecs, bench_jpeg
 }
 criterion_main!(benches);

@@ -1,0 +1,316 @@
+//! Fixed-iteration ECC and SRAM throughput measurement, emitting
+//! `BENCH_ecc.json` so successive PRs have a comparable perf trajectory.
+//!
+//! Unlike the criterion micro-benches (which calibrate to wall-clock
+//! budgets), this harness runs a fixed number of operations per cell and
+//! reports words/second, plus the speedup of the table-driven hot paths
+//! over the retained bit-serial references.
+//!
+//! Run with `cargo run --release -p chunkpoint_bench --bin bench_ecc`.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use chunkpoint_ecc::{build_scheme, BchCode, BitBuf, Decoded, EccKind, EccScheme, SecdedCode};
+use chunkpoint_sim::{FaultProcess, Sram};
+
+/// Iterations for the table-driven paths.
+const FAST_ITERS: u64 = 100_000;
+/// Iterations for the bit-serial references (slow by design).
+const REF_ITERS: u64 = 8_000;
+/// Timed samples per cell; the median is reported (shared machines are
+/// noisy, and the median is robust against scheduler interference).
+const SAMPLES: usize = 5;
+/// Words per SRAM block-transfer measurement.
+const SRAM_WORDS: usize = 1024;
+/// Block-transfer rounds per SRAM measurement.
+const SRAM_ROUNDS: u64 = 100;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn words_per_sec(iters: u64, mut op: impl FnMut(u64)) -> f64 {
+    // Small warmup so lazily-faulted pages and branch predictors settle.
+    for i in 0..iters / 20 + 1 {
+        op(i);
+    }
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for i in 0..iters {
+            op(i);
+        }
+        samples.push(iters as f64 / start.elapsed().as_secs_f64());
+    }
+    median(samples)
+}
+
+/// Measures a fast/reference pair with temporally interleaved samples, so
+/// scheduler noise on a shared machine hits both sides alike and the
+/// reported speedup stays honest.
+fn paired_words_per_sec(
+    iters_fast: u64,
+    iters_ref: u64,
+    mut fast: impl FnMut(u64),
+    mut reference: impl FnMut(u64),
+) -> (f64, f64) {
+    for i in 0..iters_fast / 20 + 1 {
+        fast(i);
+    }
+    for i in 0..iters_ref / 20 + 1 {
+        reference(i);
+    }
+    let mut fast_samples = Vec::with_capacity(SAMPLES);
+    let mut ref_samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for i in 0..iters_fast {
+            fast(i);
+        }
+        fast_samples.push(iters_fast as f64 / start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for i in 0..iters_ref {
+            reference(i);
+        }
+        ref_samples.push(iters_ref as f64 / start.elapsed().as_secs_f64());
+    }
+    (median(fast_samples), median(ref_samples))
+}
+
+fn corrupt(scheme: &dyn EccScheme, data: u32, flips: usize) -> BitBuf {
+    let mut stored = scheme.encode(data);
+    let len = stored.len();
+    for e in 0..flips {
+        stored.flip((e * len / flips.max(1) + e) % len);
+    }
+    stored
+}
+
+struct KindReport {
+    kind: String,
+    encode_wps: f64,
+    decode_clean_wps: f64,
+    decode_faulty_wps: f64,
+    /// Reference rates; None for kinds whose hot path *is* the reference.
+    encode_ref_wps: Option<f64>,
+    decode_clean_ref_wps: Option<f64>,
+    decode_faulty_ref_wps: Option<f64>,
+}
+
+fn measure_kind(kind: EccKind) -> KindReport {
+    let scheme = build_scheme(kind).expect("catalog kind builds");
+    let clean = scheme.encode(0x1234_5678);
+    // Correcting codes decode a full-strength error pattern; detect-only
+    // codes (parity) measure the detection path on a single flip.
+    let flips = scheme.correctable_bits().max(1);
+    let faulty = corrupt(scheme.as_ref(), 0x1234_5678, flips);
+
+    let mut encode_wps = words_per_sec(FAST_ITERS, |i| {
+        black_box(scheme.encode(black_box(0x9E37_79B9u32.wrapping_mul(i as u32))));
+    });
+    let mut decode_clean_wps = words_per_sec(FAST_ITERS, |_| {
+        black_box(scheme.decode(black_box(&clean)));
+    });
+    let mut decode_faulty_wps = words_per_sec(FAST_ITERS / 10, |_| {
+        black_box(scheme.decode(black_box(&faulty)));
+    });
+
+    let (encode_ref_wps, decode_clean_ref_wps, decode_faulty_ref_wps) = match kind {
+        EccKind::Bch { t } => {
+            let code = BchCode::for_word(t as usize).expect("valid strength");
+            let (enc_fast, enc_ref) = paired_words_per_sec(
+                FAST_ITERS,
+                REF_ITERS,
+                |i| {
+                    black_box(
+                        scheme.encode(black_box(0x9E37_79B9u32.wrapping_mul(i as u32))),
+                    );
+                },
+                |i| {
+                    black_box(code.encode_reference(black_box(
+                        0x9E37_79B9u32.wrapping_mul(i as u32),
+                    )));
+                },
+            );
+            let (clean_fast, clean_ref) = paired_words_per_sec(
+                FAST_ITERS,
+                REF_ITERS,
+                |_| {
+                    black_box(scheme.decode(black_box(&clean)));
+                },
+                |_| {
+                    black_box(code.decode_reference(black_box(&clean)));
+                },
+            );
+            let (faulty_fast, faulty_ref) = paired_words_per_sec(
+                FAST_ITERS / 10,
+                REF_ITERS / 5,
+                |_| {
+                    black_box(scheme.decode(black_box(&faulty)));
+                },
+                |_| {
+                    black_box(code.decode_reference(black_box(&faulty)));
+                },
+            );
+            encode_wps = enc_fast;
+            decode_clean_wps = clean_fast;
+            decode_faulty_wps = faulty_fast;
+            (Some(enc_ref), Some(clean_ref), Some(faulty_ref))
+        }
+        EccKind::Secded => {
+            let code = SecdedCode::new();
+            (
+                Some(words_per_sec(REF_ITERS, |i| {
+                    black_box(
+                        code.encode_reference(black_box(
+                            0x9E37_79B9u32.wrapping_mul(i as u32),
+                        )),
+                    );
+                })),
+                None,
+                None,
+            )
+        }
+        _ => (None, None, None),
+    };
+
+    KindReport {
+        kind: kind.to_string(),
+        encode_wps,
+        decode_clean_wps,
+        decode_faulty_wps,
+        encode_ref_wps,
+        decode_clean_ref_wps,
+        decode_faulty_ref_wps,
+    }
+}
+
+struct SramReport {
+    kind: String,
+    write_block_wps: f64,
+    read_block_wps: f64,
+    read_word_wps: f64,
+}
+
+fn measure_sram(kind: EccKind) -> SramReport {
+    let values: Vec<u32> = (0..SRAM_WORDS as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let mut mem = Sram::new("bench", SRAM_WORDS, kind, FaultProcess::disabled())
+        .expect("catalog kind builds");
+    let mut sink = Vec::with_capacity(SRAM_WORDS);
+
+    let write_rate = words_per_sec(SRAM_ROUNDS, |i| {
+        mem.write_block(0, &values, i);
+    }) * SRAM_WORDS as f64;
+    let read_rate = words_per_sec(SRAM_ROUNDS, |i| {
+        sink.clear();
+        mem.read_block(0, SRAM_WORDS, SRAM_ROUNDS + i, &mut sink)
+            .expect("fault-free read");
+    }) * SRAM_WORDS as f64;
+    let read_word_rate = words_per_sec(SRAM_ROUNDS, |i| {
+        sink.clear();
+        for addr in 0..SRAM_WORDS {
+            match mem.read(addr, 2 * SRAM_ROUNDS + i) {
+                Decoded::Clean { data } | Decoded::Corrected { data, .. } => sink.push(data),
+                Decoded::DetectedUncorrectable => unreachable!("fault-free read"),
+            }
+        }
+    }) * SRAM_WORDS as f64;
+
+    SramReport {
+        kind: kind.to_string(),
+        write_block_wps: write_rate,
+        read_block_wps: read_rate,
+        read_word_wps: read_word_rate,
+    }
+}
+
+fn push_rate(json: &mut String, key: &str, value: f64) {
+    let _ = write!(json, "\"{key}\": {value:.0}, ");
+}
+
+fn push_opt_rate_and_speedup(
+    json: &mut String,
+    key: &str,
+    fast: f64,
+    reference: Option<f64>,
+) {
+    if let Some(r) = reference {
+        let _ = write!(json, "\"{key}_ref_wps\": {r:.0}, ");
+        let _ = write!(json, "\"{key}_speedup\": {:.2}, ", fast / r);
+    }
+}
+
+fn main() {
+    let kinds = [
+        EccKind::Parity,
+        EccKind::InterleavedParity { ways: 6 },
+        EccKind::Secded,
+        EccKind::TwoDimParity,
+        EccKind::InterleavedSecded { ways: 4 },
+        EccKind::Bch { t: 4 },
+        EccKind::Bch { t: 8 },
+        EccKind::Bch { t: 12 },
+        EccKind::Bch { t: 16 },
+    ];
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"harness\": \"bench_ecc\", \"fast_iters\": {FAST_ITERS}, \"ref_iters\": {REF_ITERS},"
+    );
+    json.push_str("  \"kinds\": [\n");
+    for (i, &kind) in kinds.iter().enumerate() {
+        let r = measure_kind(kind);
+        println!(
+            "{:12} encode {:>12.0} w/s   clean decode {:>12.0} w/s   faulty decode {:>11.0} w/s{}",
+            r.kind,
+            r.encode_wps,
+            r.decode_clean_wps,
+            r.decode_faulty_wps,
+            r.encode_ref_wps
+                .map(|re| format!("   (encode speedup {:.1}x)", r.encode_wps / re))
+                .unwrap_or_default(),
+        );
+        json.push_str("    {");
+        let _ = write!(json, "\"kind\": \"{}\", ", r.kind);
+        push_rate(&mut json, "encode_wps", r.encode_wps);
+        push_opt_rate_and_speedup(&mut json, "encode", r.encode_wps, r.encode_ref_wps);
+        push_rate(&mut json, "decode_clean_wps", r.decode_clean_wps);
+        push_opt_rate_and_speedup(
+            &mut json,
+            "decode_clean",
+            r.decode_clean_wps,
+            r.decode_clean_ref_wps,
+        );
+        push_opt_rate_and_speedup(
+            &mut json,
+            "decode_faulty",
+            r.decode_faulty_wps,
+            r.decode_faulty_ref_wps,
+        );
+        let _ = write!(json, "\"decode_faulty_wps\": {:.0}", r.decode_faulty_wps);
+        json.push_str(if i + 1 < kinds.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ],\n  \"sram\": [\n");
+    let sram_kinds = [EccKind::Secded, EccKind::Bch { t: 8 }];
+    for (i, &kind) in sram_kinds.iter().enumerate() {
+        let r = measure_sram(kind);
+        println!(
+            "sram {:8} write_block {:>12.0} w/s   read_block {:>12.0} w/s   read(word) {:>12.0} w/s",
+            r.kind, r.write_block_wps, r.read_block_wps, r.read_word_wps
+        );
+        json.push_str("    {");
+        let _ = write!(json, "\"kind\": \"{}\", ", r.kind);
+        push_rate(&mut json, "write_block_wps", r.write_block_wps);
+        push_rate(&mut json, "read_block_wps", r.read_block_wps);
+        let _ = write!(json, "\"read_word_wps\": {:.0}", r.read_word_wps);
+        json.push_str(if i + 1 < sram_kinds.len() { "},\n" } else { "}\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_ecc.json", &json).expect("write BENCH_ecc.json");
+    println!("\nwrote BENCH_ecc.json");
+}

@@ -7,7 +7,7 @@
 //! serialized "status registers" (task state words) followed by the data
 //! chunk.
 
-use chunkpoint_ecc::{Decoded, EccKind};
+use chunkpoint_ecc::EccKind;
 use chunkpoint_sim::{
     logic_area_um2, Component, EnergyLedger, FaultProcess, Sram, SramModel, UpsetModel,
 };
@@ -88,6 +88,10 @@ impl ProtectedBuffer {
     /// Writes `values` into the buffer starting at word 0, charging
     /// energy to [`Component::L1Prime`].
     ///
+    /// The whole checkpoint goes through one
+    /// [`chunkpoint_ecc::EccScheme::encode_block`] dispatch — the BCH
+    /// encoder's remainder tables stay hot across the burst.
+    ///
     /// # Panics
     ///
     /// Panics if `values` exceeds the buffer capacity.
@@ -98,14 +102,15 @@ impl ProtectedBuffer {
             values.len(),
             self.sram.len()
         );
-        for (i, &v) in values.iter().enumerate() {
-            self.sram.write(i, v, now);
-            ledger.add(Component::L1Prime, self.write_pj);
-            self.stores += 1;
-        }
+        self.sram.write_block(0, values, now);
+        ledger.add(Component::L1Prime, self.write_pj * values.len() as f64);
+        self.stores += values.len() as u64;
     }
 
     /// Reads `n` words back (the ISR's restore path), charging energy.
+    ///
+    /// The restore is a burst transfer: all `n` words are read (and
+    /// charged) through one block decode even when one fails mid-burst.
     ///
     /// # Errors
     ///
@@ -118,15 +123,12 @@ impl ProtectedBuffer {
         ledger: &mut EnergyLedger,
     ) -> Result<Vec<u32>, RestoreError> {
         let mut out = Vec::with_capacity(n as usize);
-        for i in 0..n {
-            ledger.add(Component::L1Prime, self.read_pj);
-            self.loads += 1;
-            match self.sram.read(i as usize, now) {
-                Decoded::Clean { data } | Decoded::Corrected { data, .. } => out.push(data),
-                Decoded::DetectedUncorrectable => return Err(RestoreError { word_index: i }),
-            }
+        ledger.add(Component::L1Prime, self.read_pj * f64::from(n));
+        self.loads += u64::from(n);
+        match self.sram.read_block(0, n as usize, now, &mut out) {
+            Ok(()) => Ok(out),
+            Err(offset) => Err(RestoreError { word_index: offset as u32 }),
         }
-        Ok(out)
     }
 
     /// Underlying array (test fault injection).

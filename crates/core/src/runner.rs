@@ -145,10 +145,17 @@ fn drain_frame(
 ) -> Result<(), chunkpoint_sim::ReadFault> {
     let region = task.output_region();
     for (block, &produced) in produced_per_block.iter().enumerate() {
-        let offset = task.output_offset(block);
-        for i in 0..produced {
-            sink.push(bus.load(region.word(offset + i))?);
+        if produced == 0 {
+            continue;
         }
+        let offset = task.output_offset(block);
+        assert!(
+            offset + produced <= region.words,
+            "block {block} output [{offset}, {}) exceeds region of {} words",
+            offset + produced,
+            region.words
+        );
+        bus.load_block(region.word(offset), produced, sink)?;
     }
     Ok(())
 }
@@ -174,7 +181,7 @@ pub fn run(benchmark: Benchmark, scheme: MitigationScheme, config: &SystemConfig
 /// extension point for kernels beyond the paper's benchmark set.
 #[must_use]
 pub fn run_task(source: &TaskSource<'_>, scheme: MitigationScheme, config: &SystemConfig) -> RunReport {
-    match scheme {
+    let mut report = match scheme {
         MitigationScheme::Default | MitigationScheme::HwEcc { .. } => {
             run_straight(source, scheme, config)
         }
@@ -188,7 +195,10 @@ pub fn run_task(source: &TaskSource<'_>, scheme: MitigationScheme, config: &Syst
         MitigationScheme::ScrubbedSecded { interval_cycles } => {
             run_scrubbed(source, interval_cycles, config)
         }
-    }
+    };
+    // Single per-run clone; the executors themselves never touch the name.
+    report.task = source.name.clone();
+    report
 }
 
 /// The fault-free *Default* reference run (denominator of Fig. 5 and the
@@ -261,7 +271,7 @@ fn run_straight(
     charge_leakage(&mut bus, 0.0);
     let (ledger, _) = bus.into_parts();
     RunReport {
-        task: source.name.clone(),
+        task: String::new(), // filled in once by run_task
         scheme,
         ledger,
         output,
@@ -320,7 +330,7 @@ fn run_sw_restart(source: &TaskSource<'_>, config: &SystemConfig) -> RunReport {
     charge_leakage(&mut bus, 0.0);
     let (ledger, _) = bus.into_parts();
     RunReport {
-        task: source.name.clone(),
+        task: String::new(), // filled in once by run_task
         scheme: MitigationScheme::SwRestart,
         ledger,
         output,
@@ -418,7 +428,7 @@ fn run_scrubbed(
     charge_leakage(&mut bus, 0.0);
     let (ledger, _) = bus.into_parts();
     RunReport {
-        task: source.name.clone(),
+        task: String::new(), // filled in once by run_task
         scheme,
         ledger,
         output,
@@ -578,7 +588,7 @@ fn run_hybrid(
     charge_leakage(&mut bus, l1_prime.model().leakage_uw());
     let (ledger, _) = bus.into_parts();
     RunReport {
-        task: source.name.clone(),
+        task: String::new(), // filled in once by run_task
         scheme,
         ledger,
         output,
@@ -607,14 +617,19 @@ fn commit_checkpoint(
     let state_region = task.state_region();
     let capacity = state_region.words + produced.map_or(0, |(_, n)| n);
     let mut words = Vec::with_capacity(capacity as usize);
-    for i in 0..state_region.words {
-        words.push(bus.load(state_region.word(i))?);
-    }
+    // Commit read-back as burst transfers through the batch entry point.
+    bus.load_block(state_region.base, state_region.words, &mut words)?;
     if let Some((block, produced)) = produced {
-        let out_region = task.output_region();
-        let offset = task.output_offset(block);
-        for i in 0..produced {
-            words.push(bus.load(out_region.word(offset + i))?);
+        if produced > 0 {
+            let out_region = task.output_region();
+            let offset = task.output_offset(block);
+            assert!(
+                offset + produced <= out_region.words,
+                "block {block} chunk [{offset}, {}) exceeds region of {} words",
+                offset + produced,
+                out_region.words
+            );
+            bus.load_block(out_region.word(offset), produced, &mut words)?;
         }
     }
     let now = bus.now();

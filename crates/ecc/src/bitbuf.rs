@@ -132,13 +132,13 @@ impl BitBuf {
     #[must_use]
     pub fn extract_u32(&self, start: usize) -> u32 {
         assert!(start + 32 <= self.len, "u32 extraction out of range");
-        let mut out = 0u32;
-        for bit in 0..32 {
-            if self.get(start + bit) {
-                out |= 1 << bit;
-            }
+        let word = start / 64;
+        let bit = start % 64;
+        let mut out = self.words[word] >> bit;
+        if bit > 32 {
+            out |= self.words[word + 1] << (64 - bit);
         }
-        out
+        out as u32
     }
 
     /// Writes `value` into bits `[start, start + 32)`.
@@ -148,8 +148,13 @@ impl BitBuf {
     /// Panics if the range exceeds the buffer.
     pub fn insert_u32(&mut self, start: usize, value: u32) {
         assert!(start + 32 <= self.len, "u32 insertion out of range");
-        for bit in 0..32 {
-            self.set(start + bit, (value >> bit) & 1 == 1);
+        let word = start / 64;
+        let bit = start % 64;
+        self.words[word] &= !(0xFFFF_FFFFu64 << bit);
+        self.words[word] |= u64::from(value) << bit;
+        if bit > 32 {
+            self.words[word + 1] &= !(0xFFFF_FFFFu64 >> (64 - bit));
+            self.words[word + 1] |= u64::from(value) >> (64 - bit);
         }
     }
 
@@ -177,6 +182,54 @@ impl BitBuf {
     #[must_use]
     pub fn as_words(&self) -> &[u64; 4] {
         &self.words
+    }
+
+    /// Mutable raw backing words, for word-parallel codec kernels.
+    ///
+    /// Callers must keep bits at and above `len()` zero — every other
+    /// method relies on that invariant.
+    pub fn as_words_mut(&mut self) -> &mut [u64; 4] {
+        &mut self.words
+    }
+
+    /// Creates a buffer of `len` bits whose low 64 bits are `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > BITBUF_CAPACITY` or `value` has bits at or above
+    /// `len`.
+    #[must_use]
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        let mut buf = Self::new(len);
+        assert!(
+            len >= 64 || value >> len == 0,
+            "value has bits above BitBuf length {len}"
+        );
+        buf.words[0] = value;
+        buf
+    }
+
+    /// ORs `value` into bits `[shift, shift + 32)` word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer.
+    pub fn or_u32_at(&mut self, value: u32, shift: usize) {
+        assert!(shift + 32 <= self.len, "u32 insertion out of range");
+        let word = shift / 64;
+        let bit = shift % 64;
+        self.words[word] |= u64::from(value) << bit;
+        if bit > 32 {
+            self.words[word + 1] |= u64::from(value) >> (64 - bit);
+        }
+    }
+
+    /// Iterates the stored bits as bytes, low byte first (bits `[8k, 8k+8)`
+    /// form byte `k`); the final partial byte is zero-padded.
+    pub fn bytes(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len.div_ceil(8)).map(move |k| {
+            (self.words[k / 8] >> ((k % 8) * 8)) as u8
+        })
     }
 }
 
@@ -277,6 +330,39 @@ mod tests {
         buf.set(0, true);
         buf.set(2, true);
         assert_eq!(buf.to_string(), "0101");
+    }
+
+    #[test]
+    fn from_u64_and_or_u32_at() {
+        let buf = BitBuf::from_u64(0x8000_0000_0001, 48);
+        assert!(buf.get(0));
+        assert!(buf.get(47));
+        for shift in [0usize, 7, 32, 45, 61, 100] {
+            let mut a = BitBuf::new(160);
+            a.or_u32_at(0xDEAD_BEEF, shift);
+            let mut b = BitBuf::new(160);
+            b.insert_u32(shift, 0xDEAD_BEEF);
+            assert_eq!(a, b, "shift={shift}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits above")]
+    fn from_u64_rejects_overflow() {
+        let _ = BitBuf::from_u64(0x10, 4);
+    }
+
+    #[test]
+    fn bytes_iterates_low_first_with_padding() {
+        let mut buf = BitBuf::new(70);
+        buf.set(0, true);
+        buf.set(9, true);
+        buf.set(65, true);
+        let bytes: Vec<u8> = buf.bytes().collect();
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(bytes[0], 0b1);
+        assert_eq!(bytes[1], 0b10);
+        assert_eq!(bytes[8], 0b10);
     }
 
     #[test]

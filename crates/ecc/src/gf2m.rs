@@ -129,13 +129,37 @@ impl Gf2m {
         self.log[x as usize]
     }
 
+    /// Raw antilog-table lookup: α^i for `0 <= i < 2·order` without the
+    /// modular reduction of [`Gf2m::alpha_pow`] — the Chien-search hot
+    /// path keeps its exponents reduced itself.
+    #[doc(hidden)]
+    #[inline]
+    #[must_use]
+    pub fn exp_raw(&self, i: usize) -> u16 {
+        self.exp[i]
+    }
+
     /// Field multiplication.
+    #[inline]
     #[must_use]
     pub fn mul(&self, a: u16, b: u16) -> u16 {
         if a == 0 || b == 0 {
             return 0;
         }
         self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+    }
+
+    /// Multiplication by a fixed nonzero element given as its logarithm —
+    /// saves one log lookup and one zero test in loops that scale a whole
+    /// polynomial (the Berlekamp–Massey update).
+    #[doc(hidden)]
+    #[inline]
+    #[must_use]
+    pub fn mul_log(&self, a: u16, log_b: u16) -> u16 {
+        if a == 0 {
+            return 0;
+        }
+        self.exp[self.log[a as usize] as usize + log_b as usize]
     }
 
     /// Field division `a / b`.

@@ -32,6 +32,8 @@ pub struct InterleavedSecded {
     sub: HammingSecded,
     /// Stored bits per sub-codeword.
     sub_len: usize,
+    /// Cached display name, so `name()` never allocates.
+    name: String,
 }
 
 impl InterleavedSecded {
@@ -49,7 +51,8 @@ impl InterleavedSecded {
         }
         let sub = HammingSecded::new(32 / ways);
         let sub_len = sub.data_bits() + sub.check_bits();
-        Ok(Self { ways, sub, sub_len })
+        let name = format!("SECDEDx{ways}");
+        Ok(Self { ways, sub, sub_len, name })
     }
 
     /// Interleave factor (guaranteed adjacent-burst correction width).
@@ -64,8 +67,8 @@ impl InterleavedSecded {
         self.ways
     }
 
-    fn split_payload(&self, data: u32) -> Vec<u32> {
-        let mut parts = vec![0u32; self.ways];
+    fn split_payload(&self, data: u32) -> [u32; 4] {
+        let mut parts = [0u32; 4];
         for i in 0..32 {
             if (data >> i) & 1 == 1 {
                 parts[i % self.ways] |= 1 << (i / self.ways);
@@ -86,8 +89,8 @@ impl InterleavedSecded {
 }
 
 impl EccScheme for InterleavedSecded {
-    fn name(&self) -> String {
-        format!("SECDEDx{}", self.ways)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn check_bits(&self) -> usize {
@@ -105,11 +108,14 @@ impl EccScheme for InterleavedSecded {
 
     fn encode(&self, data: u32) -> BitBuf {
         let parts = self.split_payload(data);
-        let subwords: Vec<BitBuf> = parts.iter().map(|&p| self.sub.encode(p)).collect();
         let mut stored = BitBuf::new(self.ways * self.sub_len);
-        for (w, sub) in subwords.iter().enumerate() {
+        for (w, &part) in parts[..self.ways].iter().enumerate() {
+            let sub = self.sub.encode(part);
+            let sub_word = sub.as_words()[0]; // sub_len <= 23 bits
             for i in 0..self.sub_len {
-                stored.set(i * self.ways + w, sub.get(i));
+                if (sub_word >> i) & 1 == 1 {
+                    stored.set(i * self.ways + w, true);
+                }
             }
         }
         stored
@@ -122,23 +128,26 @@ impl EccScheme for InterleavedSecded {
             "stored word length mismatch for {}",
             self.name()
         );
-        let mut parts = Vec::with_capacity(self.ways);
+        let stored_words = *stored.as_words();
+        let mut parts = [0u32; 4];
         let mut corrected = 0u32;
-        for w in 0..self.ways {
-            let mut sub = BitBuf::new(self.sub_len);
+        for (w, part) in parts[..self.ways].iter_mut().enumerate() {
+            let mut sub_word = 0u64;
             for i in 0..self.sub_len {
-                sub.set(i, stored.get(i * self.ways + w));
+                let p = i * self.ways + w;
+                sub_word |= ((stored_words[p / 64] >> (p % 64)) & 1) << i;
             }
+            let sub = BitBuf::from_u64(sub_word, self.sub_len);
             match self.sub.decode(&sub) {
-                Decoded::Clean { data } => parts.push(data),
+                Decoded::Clean { data } => *part = data,
                 Decoded::Corrected { data, bits_corrected } => {
                     corrected += bits_corrected;
-                    parts.push(data);
+                    *part = data;
                 }
                 Decoded::DetectedUncorrectable => return Decoded::DetectedUncorrectable,
             }
         }
-        let data = self.join_payload(&parts);
+        let data = self.join_payload(&parts[..self.ways]);
         if corrected == 0 {
             Decoded::Clean { data }
         } else {

@@ -29,8 +29,8 @@ impl NoCode {
 }
 
 impl EccScheme for NoCode {
-    fn name(&self) -> String {
-        "none".to_owned()
+    fn name(&self) -> &str {
+        "none"
     }
 
     fn check_bits(&self) -> usize {
@@ -81,8 +81,8 @@ impl ParityCode {
 }
 
 impl EccScheme for ParityCode {
-    fn name(&self) -> String {
-        "parity".to_owned()
+    fn name(&self) -> &str {
+        "parity"
     }
 
     fn check_bits(&self) -> usize {
@@ -140,7 +140,17 @@ impl EccScheme for ParityCode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InterleavedParity {
     ways: usize,
+    /// `way_masks[j]` = stored positions `p ≡ j (mod ways)` over the full
+    /// `32 + ways`-bit codeword (fits one backing word), so each way's
+    /// parity is one AND + popcount instead of a walk over positions.
+    way_masks: [u64; 8],
 }
+
+/// Static names so `name()` never allocates (ways is 1..=8).
+const INTERLEAVED_PARITY_NAMES: [&str; 8] = [
+    "parity-x1", "parity-x2", "parity-x3", "parity-x4", "parity-x5",
+    "parity-x6", "parity-x7", "parity-x8",
+];
 
 impl InterleavedParity {
     /// Creates a detector with `ways` interleaved parity bits (1..=8).
@@ -154,7 +164,11 @@ impl InterleavedParity {
                 "interleaved parity supports 1..=8 ways, got {ways}"
             )));
         }
-        Ok(Self { ways })
+        let mut way_masks = [0u64; 8];
+        for p in 0..(32 + ways) {
+            way_masks[p % ways] |= 1u64 << p;
+        }
+        Ok(Self { ways, way_masks })
     }
 
     /// Number of interleaved ways (= guaranteed burst detection width).
@@ -169,19 +183,18 @@ impl InterleavedParity {
     /// `ways` bits touches `ways` distinct ways exactly once each — even
     /// when the burst straddles the data/parity boundary.
     fn parities(&self, stored: &BitBuf) -> u32 {
+        let w = stored.as_words()[0];
         let mut acc = 0u32;
-        for p in 0..stored.len() {
-            if stored.get(p) {
-                acc ^= 1 << (p % self.ways);
-            }
+        for (j, &mask) in self.way_masks[..self.ways].iter().enumerate() {
+            acc |= ((w & mask).count_ones() & 1) << j;
         }
         acc
     }
 }
 
 impl EccScheme for InterleavedParity {
-    fn name(&self) -> String {
-        format!("parity-x{}", self.ways)
+    fn name(&self) -> &str {
+        INTERLEAVED_PARITY_NAMES[self.ways - 1]
     }
 
     fn check_bits(&self) -> usize {
@@ -198,20 +211,16 @@ impl EccScheme for InterleavedParity {
     }
 
     fn encode(&self, data: u32) -> BitBuf {
-        let mut stored = BitBuf::from_u32(data, 32 + self.ways);
-        // Data-bit parity per way, using physical positions.
-        let mut acc = 0u32;
-        for i in 0..32 {
-            if (data >> i) & 1 == 1 {
-                acc ^= 1 << (i % self.ways);
-            }
-        }
+        // Data-bit parity per way, word-parallel over physical positions.
+        let mut w = u64::from(data);
         // Parity position 32 + j belongs to way (32 + j) % ways; set it to
         // even out that way (positions 32..32+ways cover each way once).
         for j in 0..self.ways {
             let way = (32 + j) % self.ways;
-            stored.set(32 + j, (acc >> way) & 1 == 1);
+            let parity = u64::from((w & self.way_masks[way]).count_ones() & 1);
+            w |= parity << (32 + j);
         }
+        let stored = BitBuf::from_u64(w, 32 + self.ways);
         debug_assert_eq!(self.parities(&stored), 0);
         stored
     }

@@ -68,7 +68,10 @@ impl Decoded {
 /// ```
 pub trait EccScheme: std::fmt::Debug + Send + Sync {
     /// Human-readable code name (e.g. `"BCH(t=4, m=6)"`).
-    fn name(&self) -> String;
+    ///
+    /// Implementations with parameterised names cache the string at
+    /// construction, so calling this on a hot path never allocates.
+    fn name(&self) -> &str;
 
     /// Number of payload bits per word (always 32 in this crate).
     fn data_bits(&self) -> usize {
@@ -98,6 +101,50 @@ pub trait EccScheme: std::fmt::Debug + Send + Sync {
     /// silently; that is inherent to any code and is part of what the
     /// simulator measures.
     fn decode(&self, stored: &BitBuf) -> Decoded;
+
+    /// Encodes a batch of data words into `out`, one codeword per word.
+    ///
+    /// The default forwards to [`EccScheme::encode`] per word; callers on
+    /// hot paths (the SRAM array, the L1′ checkpoint buffer) use this
+    /// entry point so dynamic dispatch is paid once per block instead of
+    /// once per word, and so codecs with heavyweight lookup tables keep
+    /// them hot across the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` and `out` lengths differ.
+    fn encode_block(&self, data: &[u32], out: &mut [BitBuf]) {
+        assert_eq!(
+            data.len(),
+            out.len(),
+            "encode_block length mismatch for {}",
+            self.name()
+        );
+        for (&word, slot) in data.iter().zip(out.iter_mut()) {
+            *slot = self.encode(word);
+        }
+    }
+
+    /// Decodes a batch of stored codewords into `out`.
+    ///
+    /// Semantically identical to mapping [`EccScheme::decode`] over
+    /// `stored`; see [`EccScheme::encode_block`] for why a batch entry
+    /// point exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored` and `out` lengths differ.
+    fn decode_block(&self, stored: &[BitBuf], out: &mut [Decoded]) {
+        assert_eq!(
+            stored.len(),
+            out.len(),
+            "decode_block length mismatch for {}",
+            self.name()
+        );
+        for (word, slot) in stored.iter().zip(out.iter_mut()) {
+            *slot = self.decode(word);
+        }
+    }
 }
 
 /// Configuration-level identification of a protection scheme.

@@ -6,6 +6,15 @@
 //! sit at power-of-two Hamming positions, the syndrome of a single error
 //! equals its position, and an overall parity bit disambiguates single from
 //! double errors.
+//!
+//! The hot encode/decode paths are **table-driven and word-parallel**: each
+//! check bit has a precomputed payload column mask, so computing the check
+//! vector is `hamming_bits` AND+popcount steps over the whole word instead
+//! of a loop over payload bit positions, and the stored word (at most 39
+//! bits) lives in a single `u64`. The original bit-serial construction is
+//! retained as [`HammingSecded::compute_checks_reference`] /
+//! [`HammingSecded::encode_reference`] — it is the specification the fast
+//! path is differentially tested against.
 
 use crate::bitbuf::BitBuf;
 use crate::scheme::{Decoded, EccScheme};
@@ -21,8 +30,13 @@ pub struct HammingSecded {
     hamming_bits: usize,
     /// Hamming position (1-based) of each payload bit.
     data_positions: Vec<usize>,
+    /// `column_masks[c]` = payload bits whose Hamming position has bit `c`
+    /// set; check bit `c` is the parity of `data & column_masks[c]`.
+    column_masks: Vec<u32>,
     /// Maps a nonzero syndrome to the stored-bit index it implicates.
     syndrome_to_stored: Vec<Option<usize>>,
+    /// Cached display name, so `name()` never allocates.
+    name: String,
 }
 
 impl HammingSecded {
@@ -49,6 +63,15 @@ impl HammingSecded {
             }
         }
         debug_assert_eq!(data_positions.len(), data_bits);
+        // Column masks: the word-parallel transpose of the position list.
+        let mut column_masks = vec![0u32; hamming_bits];
+        for (i, &pos) in data_positions.iter().enumerate() {
+            for (c, mask) in column_masks.iter_mut().enumerate() {
+                if pos & (1 << c) != 0 {
+                    *mask |= 1 << i;
+                }
+            }
+        }
         // syndrome == Hamming position of the flipped bit.
         let mut syndrome_to_stored = vec![None; total_positions + 1];
         for (i, &pos) in data_positions.iter().enumerate() {
@@ -57,7 +80,15 @@ impl HammingSecded {
         for c in 0..hamming_bits {
             syndrome_to_stored[1 << c] = Some(data_bits + c);
         }
-        Self { data_bits, hamming_bits, data_positions, syndrome_to_stored }
+        let name = format!("SECDED({},{})", data_bits + hamming_bits + 1, data_bits);
+        Self {
+            data_bits,
+            hamming_bits,
+            data_positions,
+            column_masks,
+            syndrome_to_stored,
+            name,
+        }
     }
 
     /// Number of Hamming check bits (excluding overall parity).
@@ -70,7 +101,22 @@ impl HammingSecded {
         self.data_bits + self.hamming_bits + 1
     }
 
+    /// Table-driven check-bit computation: one AND + popcount per check
+    /// bit over the whole payload word.
+    #[inline]
     fn compute_checks(&self, data: u32) -> u32 {
+        let mut checks = 0u32;
+        for (c, &mask) in self.column_masks.iter().enumerate() {
+            checks |= ((data & mask).count_ones() & 1) << c;
+        }
+        checks
+    }
+
+    /// Bit-serial reference for [`Self::compute_checks`] (the original
+    /// per-payload-position loop), kept for differential testing and as
+    /// the baseline the criterion benches compare against.
+    #[must_use]
+    pub fn compute_checks_reference(&self, data: u32) -> u32 {
         let mut checks = 0u32;
         for (i, &pos) in self.data_positions.iter().enumerate() {
             if (data >> i) & 1 == 1 {
@@ -79,15 +125,36 @@ impl HammingSecded {
         }
         checks
     }
+
+    /// Bit-serial reference encoder: sets every stored bit individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the payload width.
+    #[must_use]
+    pub fn encode_reference(&self, data: u32) -> BitBuf {
+        assert!(
+            self.data_bits == 32 || data < (1u32 << self.data_bits),
+            "payload {data:#x} exceeds {} data bits",
+            self.data_bits
+        );
+        let mut stored = BitBuf::new(self.stored_len());
+        for i in 0..self.data_bits {
+            stored.set(i, (data >> i) & 1 == 1);
+        }
+        let checks = self.compute_checks_reference(data);
+        for c in 0..self.hamming_bits {
+            stored.set(self.data_bits + c, (checks >> c) & 1 == 1);
+        }
+        let parity = stored.count_ones() % 2 == 1;
+        stored.set(self.stored_len() - 1, parity);
+        stored
+    }
 }
 
 impl EccScheme for HammingSecded {
-    fn name(&self) -> String {
-        format!(
-            "SECDED({},{})",
-            self.stored_len(),
-            self.data_bits
-        )
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn data_bits(&self) -> usize {
@@ -112,17 +179,12 @@ impl EccScheme for HammingSecded {
             "payload {data:#x} exceeds {} data bits",
             self.data_bits
         );
-        let mut stored = BitBuf::new(self.stored_len());
-        for i in 0..self.data_bits {
-            stored.set(i, (data >> i) & 1 == 1);
-        }
-        let checks = self.compute_checks(data);
-        for c in 0..self.hamming_bits {
-            stored.set(self.data_bits + c, (checks >> c) & 1 == 1);
-        }
-        let parity = stored.count_ones() % 2 == 1;
-        stored.set(self.stored_len() - 1, parity);
-        stored
+        // Whole codeword assembled in one u64 (stored_len <= 39).
+        let mut w = u64::from(data);
+        w |= u64::from(self.compute_checks(data)) << self.data_bits;
+        let parity = w.count_ones() & 1;
+        w |= u64::from(parity) << (self.stored_len() - 1);
+        BitBuf::from_u64(w, self.stored_len())
     }
 
     fn decode(&self, stored: &BitBuf) -> Decoded {
@@ -130,22 +192,14 @@ impl EccScheme for HammingSecded {
             stored.len(),
             self.stored_len(),
             "stored word length mismatch for {}",
-            self.name()
+            self.name
         );
-        let mut data = 0u32;
-        for i in 0..self.data_bits {
-            if stored.get(i) {
-                data |= 1 << i;
-            }
-        }
-        let mut stored_checks = 0u32;
-        for c in 0..self.hamming_bits {
-            if stored.get(self.data_bits + c) {
-                stored_checks |= 1 << c;
-            }
-        }
+        let w = stored.as_words()[0];
+        let data = (w & ((1u64 << self.data_bits) - 1)) as u32;
+        let stored_checks =
+            ((w >> self.data_bits) & ((1u64 << self.hamming_bits) - 1)) as u32;
         let syndrome = self.compute_checks(data) ^ stored_checks;
-        let parity_ok = stored.count_ones().is_multiple_of(2);
+        let parity_ok = w.count_ones() % 2 == 0;
         match (syndrome, parity_ok) {
             (0, true) => Decoded::Clean { data },
             (0, false) => {
@@ -192,6 +246,13 @@ impl SecdedCode {
     pub fn new() -> Self {
         Self { inner: HammingSecded::new(32) }
     }
+
+    /// Bit-serial reference encoder (see
+    /// [`HammingSecded::encode_reference`]).
+    #[must_use]
+    pub fn encode_reference(&self, data: u32) -> BitBuf {
+        self.inner.encode_reference(data)
+    }
 }
 
 impl Default for SecdedCode {
@@ -201,7 +262,7 @@ impl Default for SecdedCode {
 }
 
 impl EccScheme for SecdedCode {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         self.inner.name()
     }
 
@@ -223,6 +284,14 @@ impl EccScheme for SecdedCode {
 
     fn decode(&self, stored: &BitBuf) -> Decoded {
         self.inner.decode(stored)
+    }
+
+    fn encode_block(&self, data: &[u32], out: &mut [BitBuf]) {
+        self.inner.encode_block(data, out);
+    }
+
+    fn decode_block(&self, stored: &[BitBuf], out: &mut [Decoded]) {
+        self.inner.decode_block(stored, out);
     }
 }
 
@@ -286,6 +355,27 @@ mod tests {
                     code.decode(&bad).data(),
                     Some(data),
                     "w={width} flip={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_checks_match_reference_everywhere() {
+        for width in [4usize, 8, 11, 16, 26, 32] {
+            let code = HammingSecded::new(width);
+            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            for step in 0..1000u32 {
+                let data = step.wrapping_mul(2_654_435_761) & mask;
+                assert_eq!(
+                    code.compute_checks(data),
+                    code.compute_checks_reference(data),
+                    "w={width} data={data:#x}"
+                );
+                assert_eq!(
+                    code.encode(data),
+                    code.encode_reference(data),
+                    "w={width} data={data:#x}"
                 );
             }
         }

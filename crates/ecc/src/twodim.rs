@@ -26,6 +26,11 @@ const COL_PARITY_BASE: usize = 36;
 const OVERALL_PARITY_BIT: usize = 44;
 const STORED_BITS: usize = 45;
 
+/// Data bits of row r (word-parallel row parity: AND + popcount).
+const ROW_MASKS: [u32; ROWS] = [0xFF, 0xFF00, 0x00FF_0000, 0xFF00_0000];
+/// Data bits of column c = `COL_STRIDE << c`.
+const COL_STRIDE: u32 = 0x0101_0101;
+
 /// The 4×8 two-dimensional parity product code.
 ///
 /// # Examples
@@ -55,31 +60,32 @@ impl TwoDimParity {
     /// = row r failure, bit c of `.1` = column c failure, `.2` = overall
     /// parity failed (odd number of stored-bit flips).
     fn syndromes(stored: &BitBuf) -> (u32, u32, bool) {
+        let w = stored.as_words()[0];
+        let data = w as u32;
+        let (mut rows, mut cols) = Self::data_parities(data);
+        rows ^= ((w >> ROW_PARITY_BASE) & 0xF) as u32;
+        cols ^= ((w >> COL_PARITY_BASE) & 0xFF) as u32;
+        (rows, cols, w.count_ones() % 2 == 1)
+    }
+
+    /// Row and column parity vectors of a payload word, one AND +
+    /// popcount per row/column instead of a walk over the 32 bits.
+    fn data_parities(data: u32) -> (u32, u32) {
         let mut rows = 0u32;
+        for (r, &mask) in ROW_MASKS.iter().enumerate() {
+            rows |= ((data & mask).count_ones() & 1) << r;
+        }
         let mut cols = 0u32;
-        for i in 0..32 {
-            if stored.get(i) {
-                rows ^= 1 << (i / COLS);
-                cols ^= 1 << (i % COLS);
-            }
-        }
-        for r in 0..ROWS {
-            if stored.get(ROW_PARITY_BASE + r) {
-                rows ^= 1 << r;
-            }
-        }
         for c in 0..COLS {
-            if stored.get(COL_PARITY_BASE + c) {
-                cols ^= 1 << c;
-            }
+            cols |= ((data & (COL_STRIDE << c)).count_ones() & 1) << c;
         }
-        (rows, cols, stored.count_ones() % 2 == 1)
+        (rows, cols)
     }
 }
 
 impl EccScheme for TwoDimParity {
-    fn name(&self) -> String {
-        "2D-parity(4x8)".to_owned()
+    fn name(&self) -> &str {
+        "2D-parity(4x8)"
     }
 
     fn check_bits(&self) -> usize {
@@ -96,24 +102,13 @@ impl EccScheme for TwoDimParity {
     }
 
     fn encode(&self, data: u32) -> BitBuf {
-        let mut stored = BitBuf::from_u32(data, STORED_BITS);
-        let mut rows = 0u32;
-        let mut cols = 0u32;
-        for i in 0..32 {
-            if (data >> i) & 1 == 1 {
-                rows ^= 1 << (i / COLS);
-                cols ^= 1 << (i % COLS);
-            }
-        }
-        for r in 0..ROWS {
-            stored.set(ROW_PARITY_BASE + r, (rows >> r) & 1 == 1);
-        }
-        for c in 0..COLS {
-            stored.set(COL_PARITY_BASE + c, (cols >> c) & 1 == 1);
-        }
+        let (rows, cols) = Self::data_parities(data);
+        let mut w = u64::from(data);
+        w |= u64::from(rows) << ROW_PARITY_BASE;
+        w |= u64::from(cols) << COL_PARITY_BASE;
         // Overall guard: make the whole stored word even-parity.
-        let odd = stored.count_ones() % 2 == 1;
-        stored.set(OVERALL_PARITY_BIT, odd);
+        w |= u64::from(w.count_ones() & 1) << OVERALL_PARITY_BIT;
+        let stored = BitBuf::from_u64(w, STORED_BITS);
         debug_assert_eq!(stored.count_ones() % 2, 0);
         stored
     }

@@ -53,6 +53,31 @@ pub trait MemoryBus {
     /// with wrong data — by design.
     fn load(&mut self, addr: WordAddr) -> Result<u32, ReadFault>;
 
+    /// Loads `count` contiguous words starting at `start`, appending the
+    /// payloads to `sink`.
+    ///
+    /// The default forwards to [`MemoryBus::load`] per word (identical
+    /// cycle/energy accounting); it exists so bulk movers — checkpoint
+    /// commits, end-of-frame drains — go through one batch entry point
+    /// that implementations may specialise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReadFault`]; `sink` then holds the payloads
+    /// loaded before the fault.
+    fn load_block(
+        &mut self,
+        start: WordAddr,
+        count: u32,
+        sink: &mut Vec<u32>,
+    ) -> Result<(), ReadFault> {
+        sink.reserve(count as usize);
+        for i in 0..count {
+            sink.push(self.load(start + i)?);
+        }
+        Ok(())
+    }
+
     /// Stores a word.
     fn store(&mut self, addr: WordAddr, value: u32);
 

@@ -167,9 +167,29 @@ impl FaultProcess {
     /// Exposes one stored word for `cycles` cycles, flipping bits in place.
     ///
     /// Returns the strike events applied (empty when the word survived).
+    /// Allocates only when a strike actually lands; hot paths that expose
+    /// per access use [`FaultProcess::expose_into`] to stay allocation-free
+    /// even then.
     pub fn expose(&mut self, word: &mut BitBuf, cycles: u64, now: u64) -> Vec<FaultEvent> {
-        let count = self.sample_strike_count(cycles);
         let mut events = Vec::new();
+        self.expose_into(word, cycles, now, &mut events);
+        events
+    }
+
+    /// Allocation-free exposure: strike events are appended to the
+    /// caller-provided `events` buffer (typically the owning array's
+    /// long-lived fault log). Returns the number of strikes applied.
+    ///
+    /// The common no-strike path performs no allocation and no buffer
+    /// traffic at all — it samples one Poisson variate and returns.
+    pub fn expose_into(
+        &mut self,
+        word: &mut BitBuf,
+        cycles: u64,
+        now: u64,
+        events: &mut Vec<FaultEvent>,
+    ) -> usize {
+        let count = self.sample_strike_count(cycles);
         for _ in 0..count {
             let width = self.model.sample_width(&mut self.rng).min(word.len());
             let first_bit = self.rng.gen_range(0..=word.len() - width);
@@ -180,7 +200,7 @@ impl FaultProcess {
             self.bits_flipped += width as u64;
             events.push(FaultEvent { cycle: now, first_bit, width });
         }
-        events
+        count as usize
     }
 
     /// Expected number of faulty words among `words` words exposed for
@@ -262,6 +282,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn expose_into_matches_expose_and_appends() {
+        let mut a = FaultProcess::new(1e-2, UpsetModel::smu_65nm(), 21);
+        let mut b = a.clone();
+        let mut word_a = BitBuf::new(39);
+        let mut word_b = BitBuf::new(39);
+        let mut log = vec![FaultEvent { cycle: 0, first_bit: 0, width: 1 }];
+        let mut total = 0usize;
+        for round in 0..50u64 {
+            let events = a.expose(&mut word_a, 1000, round);
+            total += b.expose_into(&mut word_b, 1000, round, &mut log);
+            assert_eq!(&log[log.len() - events.len()..], &events[..], "round {round}");
+        }
+        assert_eq!(word_a, word_b);
+        assert_eq!(log.len(), total + 1, "pre-existing entries must survive");
+        assert!(total > 0, "aggressive rate produced no strikes");
     }
 
     #[test]

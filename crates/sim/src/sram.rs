@@ -53,6 +53,8 @@ pub struct Sram {
     faults: FaultProcess,
     stats: SramStats,
     event_log: Vec<FaultEvent>,
+    /// Reusable decode scratch for [`Sram::read_block`].
+    decode_scratch: Vec<Decoded>,
 }
 
 impl Sram {
@@ -84,6 +86,7 @@ impl Sram {
             faults,
             stats: SramStats::default(),
             event_log: Vec::new(),
+            decode_scratch: Vec::new(),
         })
     }
 
@@ -143,9 +146,16 @@ impl Sram {
     fn expose(&mut self, addr: usize, now: u64) {
         let elapsed = now.saturating_sub(self.last_touch[addr]);
         if elapsed > 0 {
-            let events = self.faults.expose(&mut self.words[addr], elapsed, now);
-            self.stats.strikes += events.len() as u64;
-            self.event_log.extend(events);
+            // Strikes are pushed straight into the array's long-lived log:
+            // the overwhelmingly common no-strike exposure allocates and
+            // copies nothing.
+            let strikes = self.faults.expose_into(
+                &mut self.words[addr],
+                elapsed,
+                now,
+                &mut self.event_log,
+            );
+            self.stats.strikes += strikes as u64;
         }
         self.last_touch[addr] = now;
     }
@@ -189,6 +199,95 @@ impl Sram {
         self.words[addr] = self.scheme.encode(value);
         self.last_touch[addr] = now;
         self.stats.writes += 1;
+    }
+
+    /// Writes a contiguous block of words starting at `addr` at time
+    /// `now`, encoding the whole block through one
+    /// [`EccScheme::encode_block`] dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the array.
+    pub fn write_block(&mut self, addr: usize, values: &[u32], now: u64) {
+        assert!(
+            addr + values.len() <= self.words.len(),
+            "block write past end of {}",
+            self.name
+        );
+        self.scheme
+            .encode_block(values, &mut self.words[addr..addr + values.len()]);
+        for touch in &mut self.last_touch[addr..addr + values.len()] {
+            *touch = now;
+        }
+        self.stats.writes += values.len() as u64;
+    }
+
+    /// Reads `count` contiguous words starting at `addr` at time `now`:
+    /// materialises accumulated faults, decodes the whole block through
+    /// one [`EccScheme::decode_block`] dispatch, applies read-repair to
+    /// corrected words, and appends the payloads to `sink`.
+    ///
+    /// The entire block is read (and charged to statistics) even when a
+    /// word fails — the model is a burst transfer, not a word loop.
+    /// Returns the offset of the first uncorrectable word, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(offset)` when word `addr + offset` was
+    /// detected-uncorrectable; `sink` then contains the payloads of the
+    /// words before it (failed or later words contribute nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the array.
+    pub fn read_block(
+        &mut self,
+        addr: usize,
+        count: usize,
+        now: u64,
+        sink: &mut Vec<u32>,
+    ) -> Result<(), usize> {
+        assert!(
+            addr + count <= self.words.len(),
+            "block read past end of {}",
+            self.name
+        );
+        for i in addr..addr + count {
+            self.expose(i, now);
+        }
+        self.stats.reads += count as u64;
+        let mut scratch = std::mem::take(&mut self.decode_scratch);
+        scratch.clear();
+        scratch.resize(count, Decoded::Clean { data: 0 });
+        self.scheme
+            .decode_block(&self.words[addr..addr + count], &mut scratch);
+        let mut failed: Option<usize> = None;
+        for (offset, outcome) in scratch.iter().enumerate() {
+            match *outcome {
+                Decoded::Clean { data } => {
+                    if failed.is_none() {
+                        sink.push(data);
+                    }
+                }
+                Decoded::Corrected { data, bits_corrected } => {
+                    self.stats.corrected_reads += 1;
+                    self.stats.bits_corrected += u64::from(bits_corrected);
+                    self.words[addr + offset] = self.scheme.encode(data);
+                    if failed.is_none() {
+                        sink.push(data);
+                    }
+                }
+                Decoded::DetectedUncorrectable => {
+                    self.stats.failed_reads += 1;
+                    failed.get_or_insert(offset);
+                }
+            }
+        }
+        self.decode_scratch = scratch;
+        match failed {
+            None => Ok(()),
+            Some(offset) => Err(offset),
+        }
     }
 
     /// Returns the decoded payload without materialising faults, running
@@ -319,6 +418,39 @@ mod tests {
         let stats = mem.stats();
         assert_eq!(stats.writes, 2);
         assert_eq!(stats.reads, 1);
+    }
+
+    #[test]
+    fn block_write_read_roundtrip_all_kinds() {
+        for kind in EccKind::catalog() {
+            let mut mem = quiet(32, kind);
+            let values: Vec<u32> = (0..16u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+            mem.write_block(4, &values, 0);
+            let mut sink = Vec::new();
+            mem.read_block(4, 16, 10, &mut sink).unwrap();
+            assert_eq!(sink, values, "{kind}");
+            assert_eq!(mem.stats().reads, 16, "{kind}");
+            assert_eq!(mem.stats().writes, 16, "{kind}");
+        }
+    }
+
+    #[test]
+    fn block_read_repairs_and_reports_first_failure() {
+        let mut mem = quiet(8, EccKind::Secded);
+        mem.write_block(0, &[1, 2, 3, 4], 0);
+        mem.inject(1, 3, 1); // correctable
+        mem.inject(3, 5, 2); // uncorrectable
+        let mut sink = Vec::new();
+        assert_eq!(mem.read_block(0, 4, 1, &mut sink), Err(3));
+        assert_eq!(sink, vec![1, 2, 3], "payloads before the failure");
+        assert_eq!(mem.stats().corrected_reads, 1);
+        assert_eq!(mem.stats().failed_reads, 1);
+        // Read-repair scrubbed word 1: a fresh block read is clean.
+        sink.clear();
+        mem.write(3, 4, 2);
+        mem.read_block(0, 4, 3, &mut sink).unwrap();
+        assert_eq!(sink, vec![1, 2, 3, 4]);
+        assert_eq!(mem.stats().corrected_reads, 1, "no second correction");
     }
 
     #[test]

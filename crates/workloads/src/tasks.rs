@@ -588,8 +588,17 @@ impl StreamingTask for JpegDecodeTask {
         // DMA the entropy window for this run of blocks into L1.
         let entropy = &self.bytes[self.decoder.entropy_start()..];
         let window_start = abs_state.byte_pos as usize;
+        if window_start > entropy.len() {
+            // The stream position came from the (detector-checked) state
+            // region, so landing outside the stream means a corruption
+            // slipped past the detector: structure broke, like any other
+            // malformed-stream condition.
+            return Err(TaskError::Malformed(format!(
+                "corrupt decoder state: byte position {window_start} beyond stream"
+            )));
+        }
         let window_len = (self.regions.1.words as usize * 4)
-            .min(entropy.len().saturating_sub(window_start));
+            .min(entropy.len() - window_start);
         let window = &entropy[window_start..window_start + window_len];
         let in_words = pack_bytes(window);
         write_region(bus, self.regions.1, &in_words);

@@ -48,6 +48,7 @@ fn single_parity_hybrid_eventually_corrupts_silently() {
 fn scrubbing_completes_and_heals_at_nominal_rate() {
     let benchmark = Benchmark::G721Decode;
     let mut total_restarts = 0;
+    let mut silent_mismatches = 0u32;
     for seed in 0..20u64 {
         let config = SystemConfig::paper(seed * 48271 + 5);
         let reference = golden(benchmark, &config);
@@ -58,13 +59,19 @@ fn scrubbing_completes_and_heals_at_nominal_rate() {
         );
         assert!(report.completed, "seed {seed}: scrub run must finish");
         total_restarts += report.restarts;
-        // May rarely be silently corrupted (SECDED miscorrection of wide
-        // bursts) — that is the scheme's documented weakness; completed
-        // runs that detected nothing must match.
-        if report.errors_detected == 0 {
-            assert!(report.output_matches(&reference), "seed {seed}");
+        // May rarely be silently corrupted even with nothing *detected*:
+        // SECDED miscorrects some ≥3-bit bursts to a wrong codeword
+        // without raising any error. That is the scheme's documented
+        // weakness; it must stay rare at the nominal rate.
+        if report.errors_detected == 0 && !report.output_matches(&reference) {
+            silent_mismatches += 1;
         }
     }
+    assert!(
+        silent_mismatches <= 2,
+        "{silent_mismatches}/20 scrubbed runs silently corrupted — \
+         far above the expected miscorrection rate"
+    );
     // The sweep itself should be exercised (restarts over the sweep are
     // plausible but not guaranteed at 1e-6; just ensure no livelock).
     assert!(total_restarts < 20 * 50, "scrubbing livelocked");

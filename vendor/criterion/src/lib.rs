@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds without crates.io access, so the subset of the
+//! criterion 0.5 API the bench targets use is vendored here: groups,
+//! `bench_function`, `iter` / `iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a calibrated wall-clock loop
+//! reporting the median of `sample_size` samples — no outlier statistics,
+//! no HTML reports. In test mode (`cargo test --benches` passes `--test`)
+//! every benchmark body runs exactly once as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Per-batch input-size hint (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output: batch many iterations per setup call.
+    SmallInput,
+    /// Large setup output: one iteration per setup call.
+    LargeInput,
+    /// Exactly one iteration per setup call.
+    PerIteration,
+}
+
+/// Top-level benchmark harness state.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (median is reported).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        run_benchmark(self, &id, sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmarks one function under `group/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(self.criterion, &full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    criterion: &Criterion,
+    id: &str,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        mode: if criterion.test_mode {
+            Mode::Test
+        } else {
+            Mode::Calibrate
+        },
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if criterion.test_mode {
+        f(&mut bencher);
+        println!("test {id} ... ok (bench smoke)");
+        return;
+    }
+    // Calibration pass: find an iteration count that fills one sample slot.
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+    let slot = criterion.measurement_time.as_secs_f64() / sample_size as f64;
+    let iters = ((slot / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.mode = Mode::Measure;
+        bencher.iters = iters;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Test,
+    Calibrate,
+    Measure,
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn planned_iters(&self) -> u64 {
+        match self.mode {
+            Mode::Test => 1,
+            Mode::Calibrate => 3,
+            Mode::Measure => self.iters,
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let iters = self.planned_iters();
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let iters = self.planned_iters();
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = iters;
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        c.test_mode = false;
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("noop", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+            group.finish();
+        }
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        c.test_mode = false;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with('s'));
+    }
+}
