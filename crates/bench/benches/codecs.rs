@@ -88,7 +88,9 @@ fn bench_audio_codecs(c: &mut Criterion) {
     let adpcm_codes = adpcm::encode(&pcm);
     let g726_codes = g726::encode(&pcm);
     let mut group = c.benchmark_group("audio_codecs_1024_samples");
-    group.bench_function("adpcm_encode", |b| b.iter(|| adpcm::encode(black_box(&pcm))));
+    group.bench_function("adpcm_encode", |b| {
+        b.iter(|| adpcm::encode(black_box(&pcm)))
+    });
     group.bench_function("adpcm_decode", |b| {
         b.iter(|| adpcm::decode(black_box(&adpcm_codes), 1024))
     });

@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use chunkpoint_core::{
-    feasible_region, golden, optimize, run, MitigationScheme, SystemConfig,
-};
+use chunkpoint_core::{feasible_region, golden, optimize, run, MitigationScheme, SystemConfig};
 use chunkpoint_workloads::Benchmark;
 
 fn bench_optimizer(c: &mut Criterion) {
@@ -37,7 +35,10 @@ fn bench_runs(c: &mut Criterion) {
         ("hw_ecc_t8", MitigationScheme::hw_baseline()),
         (
             "hybrid",
-            MitigationScheme::Hybrid { chunk_words: 16, l1_prime_t: 8 },
+            MitigationScheme::Hybrid {
+                chunk_words: 16,
+                l1_prime_t: 8,
+            },
         ),
     ] {
         group.bench_function(label, |b| {

@@ -6,47 +6,63 @@
 //! Expected shape: Default flat at 1.0 (it never reacts); the hybrid's
 //! overhead is flat-ish (checkpointing dominates, recovery is cheap); the
 //! SW baseline degrades explosively as expected strikes per frame pass 1.
+//!
+//! Runs as one campaign grid with a λ axis:
+//! `--threads/--seeds/--seed/--json`.
 
-use chunkpoint_bench::{measure, print_row};
-use chunkpoint_core::{optimize, MitigationScheme, SystemConfig};
+use chunkpoint_bench::report;
+use chunkpoint_campaign::{
+    run_campaign, write_json_report, Axis, CampaignArgs, CampaignSpec, SchemeSpec,
+};
+use chunkpoint_core::{MitigationScheme, SystemConfig};
 use chunkpoint_workloads::Benchmark;
 
 const RATES: [f64; 4] = [1e-8, 1e-7, 1e-6, 1e-5];
-const SEEDS: u64 = 6;
 
 fn main() {
-    println!("Ablation A — normalized energy vs error rate ({SEEDS} seeds/cell)");
+    let args = CampaignArgs::parse_or_exit(6, 0xAB1A);
+    println!(
+        "Ablation A — normalized energy vs error rate ({})",
+        args.describe()
+    );
+
+    // Chunk sized at the paper's operating point (the base config's λ),
+    // held fixed across the sweep — a deployed system cannot re-optimize
+    // per rate. SchemeSpec::Optimal resolves against the base config.
+    let spec = CampaignSpec::new(SystemConfig::paper(args.seed), args.seed)
+        .benchmarks(&[Benchmark::AdpcmDecode, Benchmark::JpegDecode])
+        .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+        .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+        .scheme(
+            "HW-based",
+            SchemeSpec::Fixed(MitigationScheme::hw_baseline()),
+        )
+        .scheme("Proposed", SchemeSpec::Optimal)
+        .error_rates(&RATES)
+        .replicates(args.seeds);
+    let result = run_campaign(&spec, args.threads);
+    let cells = result.aggregate(&[Axis::Benchmark, Axis::Scheme, Axis::ErrorRate]);
+
     for benchmark in [Benchmark::AdpcmDecode, Benchmark::JpegDecode] {
         println!();
         println!("== {benchmark} ==");
         let labels: Vec<String> = RATES.iter().map(|r| format!("{r:.0e}")).collect();
-        print_row("scheme \\ lambda", &labels);
-        println!("{}", "-".repeat(24 + labels.len() * 15));
-        // Chunk sized at the paper's operating point, held fixed across
-        // the sweep (a deployed system cannot re-optimize per rate).
-        let paper_config = SystemConfig::paper(0xAB1A);
-        let best = optimize(benchmark, &paper_config).expect("feasible design");
-        let schemes = [
-            ("Default".to_owned(), MitigationScheme::Default),
-            ("SW-based".to_owned(), MitigationScheme::SwRestart),
-            ("HW-based".to_owned(), MitigationScheme::hw_baseline()),
-            (
-                "Proposed".to_owned(),
-                MitigationScheme::Hybrid {
-                    chunk_words: best.chunk_words,
-                    l1_prime_t: best.l1_prime_t,
-                },
-            ),
-        ];
-        for (label, scheme) in &schemes {
-            let mut cells = Vec::new();
-            for &rate in &RATES {
-                let mut config = paper_config.clone();
-                config.faults.error_rate = rate;
-                let cell = measure(benchmark, *scheme, &config, SEEDS);
-                cells.push(format!("{:.3}", cell.energy_ratio));
-            }
-            print_row(label, &cells);
+        report::PAPER.header("scheme \\ lambda", &labels);
+        for scheme in ["Default", "SW-based", "HW-based", "Proposed"] {
+            let row: Vec<String> = RATES
+                .iter()
+                .map(|rate| {
+                    let stats = cells
+                        .get(&[benchmark.name(), scheme, &format!("{rate:e}")])
+                        .expect("every grid cell was simulated");
+                    report::cell(stats.energy_ratio.mean())
+                })
+                .collect();
+            report::PAPER.row(scheme, &row);
         }
     }
+    write_json_report(
+        &args,
+        &result.to_json(&[Axis::Benchmark, Axis::Scheme, Axis::ErrorRate]),
+    );
 }

@@ -125,14 +125,12 @@ fn measure_kind(kind: EccKind) -> KindReport {
                 FAST_ITERS,
                 REF_ITERS,
                 |i| {
-                    black_box(
-                        scheme.encode(black_box(0x9E37_79B9u32.wrapping_mul(i as u32))),
-                    );
+                    black_box(scheme.encode(black_box(0x9E37_79B9u32.wrapping_mul(i as u32))));
                 },
                 |i| {
-                    black_box(code.encode_reference(black_box(
-                        0x9E37_79B9u32.wrapping_mul(i as u32),
-                    )));
+                    black_box(
+                        code.encode_reference(black_box(0x9E37_79B9u32.wrapping_mul(i as u32))),
+                    );
                 },
             );
             let (clean_fast, clean_ref) = paired_words_per_sec(
@@ -165,9 +163,7 @@ fn measure_kind(kind: EccKind) -> KindReport {
             (
                 Some(words_per_sec(REF_ITERS, |i| {
                     black_box(
-                        code.encode_reference(black_box(
-                            0x9E37_79B9u32.wrapping_mul(i as u32),
-                        )),
+                        code.encode_reference(black_box(0x9E37_79B9u32.wrapping_mul(i as u32))),
                     );
                 })),
                 None,
@@ -196,7 +192,9 @@ struct SramReport {
 }
 
 fn measure_sram(kind: EccKind) -> SramReport {
-    let values: Vec<u32> = (0..SRAM_WORDS as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let values: Vec<u32> = (0..SRAM_WORDS as u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9))
+        .collect();
     let mut mem = Sram::new("bench", SRAM_WORDS, kind, FaultProcess::disabled())
         .expect("catalog kind builds");
     let mut sink = Vec::with_capacity(SRAM_WORDS);
@@ -231,12 +229,7 @@ fn push_rate(json: &mut String, key: &str, value: f64) {
     let _ = write!(json, "\"{key}\": {value:.0}, ");
 }
 
-fn push_opt_rate_and_speedup(
-    json: &mut String,
-    key: &str,
-    fast: f64,
-    reference: Option<f64>,
-) {
+fn push_opt_rate_and_speedup(json: &mut String, key: &str, fast: f64, reference: Option<f64>) {
     if let Some(r) = reference {
         let _ = write!(json, "\"{key}_ref_wps\": {r:.0}, ");
         let _ = write!(json, "\"{key}_speedup\": {:.2}, ", fast / r);
@@ -307,7 +300,11 @@ fn main() {
         push_rate(&mut json, "write_block_wps", r.write_block_wps);
         push_rate(&mut json, "read_block_wps", r.read_block_wps);
         let _ = write!(json, "\"read_word_wps\": {:.0}", r.read_word_wps);
-        json.push_str(if i + 1 < sram_kinds.len() { "},\n" } else { "}\n" });
+        json.push_str(if i + 1 < sram_kinds.len() {
+            "},\n"
+        } else {
+            "}\n"
+        });
     }
     json.push_str("  ]\n}\n");
 

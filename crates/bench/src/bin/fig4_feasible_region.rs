@@ -5,6 +5,7 @@
 //! buffers afford up to ~17–18 correctable bits per word, while buffers of
 //! hundreds of words only fit weak codes.
 
+use chunkpoint_bench::report;
 use chunkpoint_core::{feasible_region, SystemConfig};
 
 fn main() {
@@ -15,14 +16,14 @@ fn main() {
         100.0 * config.constraints.area_overhead
     );
     println!();
-    println!("{:>18} | {:>22}", "chunk size (words)", "max correctable bits");
-    println!("{}", "-".repeat(44));
+    let table = report::Table::new(18, 22);
+    table.header("chunk size (words)", &["max correctable bits".to_owned()]);
     // Print the staircase: one row per change point plus the paper's grid.
     let mut last = u8::MAX;
     for &(words, max_t) in &region {
-        let grid_point = matches!(words, 1 | 33 | 65 | 97 | 129 | 161 | 193 | 225 | 257 | 289 | 321 | 353 | 385 | 417 | 449 | 481 | 512);
+        let grid_point = words == 1 || words == 512 || (words - 1) % 32 == 0;
         if max_t != last || grid_point {
-            println!("{words:>18} | {max_t:>22}");
+            table.row(&words.to_string(), &[max_t.to_string()]);
             last = max_t;
         }
     }

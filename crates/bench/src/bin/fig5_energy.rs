@@ -4,43 +4,56 @@
 //!
 //! Expected shape (paper): proposed-optimal ≈ 1.05–1.22 (10.1 % average
 //! overhead, 22 % max); SW and HW ≥ 1.7 on average with maxima > 2.
+//!
+//! Runs on the campaign engine: `--threads/--seeds/--seed/--json`.
 
-use chunkpoint_bench::{fig5_schemes, measure, print_row, DEFAULT_SEEDS};
+use chunkpoint_bench::{fig5_scheme_axis, report, DEFAULT_SEEDS};
+use chunkpoint_campaign::{run_campaign, write_json_report, Axis, CampaignArgs, CampaignSpec};
 use chunkpoint_core::SystemConfig;
 use chunkpoint_workloads::Benchmark;
 
 fn main() {
-    let config = SystemConfig::paper(0xF165);
+    let args = CampaignArgs::parse_or_exit(DEFAULT_SEEDS, 0xF165);
+    let config = SystemConfig::paper(args.seed);
     println!("Fig. 5 — Normalized energy consumption (Default = 1.0)");
     println!(
-        "platform: ARM9 @ 200 MHz, 64 KB L1, lambda = {:.0e} word/cycle, {} seeds/cell",
-        config.faults.error_rate, DEFAULT_SEEDS
+        "platform: ARM9 @ 200 MHz, 64 KB L1, lambda = {:.0e} word/cycle, {}",
+        config.faults.error_rate,
+        args.describe()
     );
     println!();
-    let labels: Vec<String> = fig5_schemes(Benchmark::AdpcmEncode, &config)
-        .into_iter()
-        .map(|(label, _)| label)
-        .collect();
-    print_row("benchmark", &labels);
-    println!("{}", "-".repeat(24 + labels.len() * 15));
 
+    let mut spec = CampaignSpec::new(config, args.seed).replicates(args.seeds);
+    for (label, scheme) in fig5_scheme_axis() {
+        spec = spec.scheme(label, scheme);
+    }
+    let result = run_campaign(&spec, args.threads);
+    let cells = result.aggregate(&[Axis::Benchmark, Axis::Scheme]);
+
+    let labels: Vec<String> = fig5_scheme_axis()
+        .iter()
+        .map(|(l, _)| (*l).to_owned())
+        .collect();
+    report::PAPER.header("benchmark", &labels);
     let mut sums = vec![0.0f64; labels.len()];
     for benchmark in Benchmark::ALL {
-        let schemes = fig5_schemes(benchmark, &config);
-        let mut cells = Vec::new();
-        for (i, (_, scheme)) in schemes.iter().enumerate() {
-            let cell = measure(benchmark, *scheme, &config, DEFAULT_SEEDS);
-            sums[i] += cell.energy_ratio;
-            cells.push(format!("{:.3}", cell.energy_ratio));
+        let mut row = Vec::new();
+        for (i, label) in labels.iter().enumerate() {
+            let stats = cells
+                .get(&[benchmark.name(), label])
+                .expect("every grid cell was simulated");
+            let mean = stats.energy_ratio.mean();
+            sums[i] += mean;
+            row.push(report::cell(mean));
         }
-        print_row(benchmark.name(), &cells);
+        report::PAPER.row(benchmark.name(), &row);
     }
+    report::PAPER.rule(labels.len());
     let averages: Vec<String> = sums
         .iter()
-        .map(|s| format!("{:.3}", s / Benchmark::ALL.len() as f64))
+        .map(|s| report::cell(s / Benchmark::ALL.len() as f64))
         .collect();
-    println!("{}", "-".repeat(24 + labels.len() * 15));
-    print_row("Average", &averages);
+    report::PAPER.row("Average", &averages);
 
     let avg_opt = sums[3] / Benchmark::ALL.len() as f64;
     println!();
@@ -48,4 +61,11 @@ fn main() {
         "proposed (optimal) average energy overhead: {:.1}% (paper: 10.1%)",
         100.0 * (avg_opt - 1.0)
     );
+    println!(
+        "campaign: {} scenarios in {:.2}s ({:.2} scenarios/s)",
+        result.results.len(),
+        result.elapsed.as_secs_f64(),
+        result.scenarios_per_sec()
+    );
+    write_json_report(&args, &result.to_json(&[Axis::Benchmark, Axis::Scheme]));
 }

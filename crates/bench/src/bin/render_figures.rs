@@ -80,7 +80,10 @@ fn main() -> std::io::Result<()> {
     println!("wrote figures/time_overhead.svg");
 
     // Fig. 1: find a frame with at least one rollback and render it.
-    let scheme = MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 };
+    let scheme = MitigationScheme::Hybrid {
+        chunk_words: 8,
+        l1_prime_t: 8,
+    };
     let report = (0..500u64)
         .map(|s| {
             let mut c = SystemConfig::paper(2012 + s);

@@ -6,33 +6,61 @@
 //! G721 decode 32, JPG decode 44. Absolute agreement is not expected (our
 //! substrate models differ) — the *order of magnitude* (tens of words) and
 //! the interior-optimum structure are the reproduction targets.
+//!
+//! The optimizer is deterministic (no Monte Carlo), so only the shared
+//! `--json` flag is meaningful here.
 
+use chunkpoint_bench::report;
+use chunkpoint_campaign::{write_json_report, CampaignArgs, JsonValue};
 use chunkpoint_core::{optimize, SystemConfig};
 use chunkpoint_workloads::Benchmark;
 
 fn main() {
-    let config = SystemConfig::paper(0);
+    let args = CampaignArgs::parse_or_exit(1, 0);
+    let config = SystemConfig::paper(args.seed);
     println!("Table I — Optimum chunk size obtained for different benchmarks");
     println!();
-    println!(
-        "{:<14} | {:>12} | {:>12} | {:>8} | {:>10} | {:>8} | {:>8}",
-        "benchmark", "chunk (words)", "buffer (words)", "L1' t", "N_CH", "area %", "cycle %"
+    let table = report::Table::new(14, 12);
+    table.header(
+        "benchmark",
+        &[
+            "chunk (words)",
+            "buffer (words)",
+            "L1' t",
+            "N_CH",
+            "area %",
+            "cycle %",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
     );
-    println!("{}", "-".repeat(90));
+    let mut rows = Vec::new();
     for benchmark in Benchmark::ALL {
         let best = optimize(benchmark, &config)
             .expect("paper constraints admit a feasible design for every benchmark");
-        println!(
-            "{:<14} | {:>12} | {:>12} | {:>8} | {:>10} | {:>8.2} | {:>8.2}",
+        table.row(
             benchmark.name(),
-            best.chunk_words,
-            best.cost.buffer_words,
-            best.l1_prime_t,
-            best.cost.n_checkpoints,
-            100.0 * best.area_fraction,
-            100.0 * best.cost.cycle_fraction(),
+            &[
+                best.chunk_words.to_string(),
+                best.cost.buffer_words.to_string(),
+                best.l1_prime_t.to_string(),
+                best.cost.n_checkpoints.to_string(),
+                format!("{:.2}", 100.0 * best.area_fraction),
+                format!("{:.2}", 100.0 * best.cost.cycle_fraction()),
+            ],
+        );
+        rows.push(
+            JsonValue::object()
+                .field("benchmark", benchmark.name())
+                .field("chunk_words", u64::from(best.chunk_words))
+                .field("buffer_words", u64::from(best.cost.buffer_words))
+                .field("l1_prime_t", u64::from(best.l1_prime_t))
+                .field("n_checkpoints", best.cost.n_checkpoints)
+                .field("area_fraction", best.area_fraction)
+                .field("cycle_fraction", best.cost.cycle_fraction()),
         );
     }
     println!();
     println!("paper (words): ADPCM enc 11 / ADPCM dec 11 / G721 enc 16 / G721 dec 32 / JPG dec 44");
+    write_json_report(&args, &JsonValue::Array(rows));
 }

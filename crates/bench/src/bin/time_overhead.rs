@@ -1,52 +1,66 @@
 //! Regenerates the **§III-B execution-time observation**: the proposed
 //! scheme stays within the 10 % cycle-overhead constraint while the HW and
 //! SW baselines exceed it, by up to 100 %.
+//!
+//! Runs on the campaign engine: `--threads/--seeds/--seed/--json`.
 
-use chunkpoint_bench::{fig5_schemes, measure, print_row, DEFAULT_SEEDS};
+use chunkpoint_bench::{fig5_scheme_axis, report, DEFAULT_SEEDS};
+use chunkpoint_campaign::{run_campaign, write_json_report, Axis, CampaignArgs, CampaignSpec};
 use chunkpoint_core::SystemConfig;
 use chunkpoint_workloads::Benchmark;
 
 fn main() {
-    let config = SystemConfig::paper(0x71ED);
+    let args = CampaignArgs::parse_or_exit(DEFAULT_SEEDS, 0x71ED);
+    let config = SystemConfig::paper(args.seed);
     println!("SIII-B — Normalized execution time (Default = 1.0)");
     println!(
-        "cycle-overhead constraint OV2 = {:.0}%, {} seeds/cell",
+        "cycle-overhead constraint OV2 = {:.0}%, {}",
         100.0 * config.constraints.cycle_overhead,
-        DEFAULT_SEEDS
+        args.describe()
     );
     println!();
-    let labels: Vec<String> = fig5_schemes(Benchmark::AdpcmEncode, &config)
-        .into_iter()
-        .map(|(label, _)| label)
-        .collect();
-    print_row("benchmark", &labels);
-    println!("{}", "-".repeat(24 + labels.len() * 15));
 
+    let constraints = config.constraints;
+    let mut spec = CampaignSpec::new(config, args.seed).replicates(args.seeds);
+    for (label, scheme) in fig5_scheme_axis() {
+        spec = spec.scheme(label, scheme);
+    }
+    let result = run_campaign(&spec, args.threads);
+    let cells = result.aggregate(&[Axis::Benchmark, Axis::Scheme]);
+
+    let labels: Vec<String> = fig5_scheme_axis()
+        .iter()
+        .map(|(l, _)| (*l).to_owned())
+        .collect();
+    report::PAPER.header("benchmark", &labels);
     let mut sums = vec![0.0f64; labels.len()];
     let mut max_proposed: f64 = 0.0;
     for benchmark in Benchmark::ALL {
-        let schemes = fig5_schemes(benchmark, &config);
-        let mut cells = Vec::new();
-        for (i, (_, scheme)) in schemes.iter().enumerate() {
-            let cell = measure(benchmark, *scheme, &config, DEFAULT_SEEDS);
-            sums[i] += cell.cycle_ratio;
+        let mut row = Vec::new();
+        for (i, label) in labels.iter().enumerate() {
+            let stats = cells
+                .get(&[benchmark.name(), label])
+                .expect("every grid cell was simulated");
+            let mean = stats.cycle_ratio.mean();
+            sums[i] += mean;
             if i == 3 {
-                max_proposed = max_proposed.max(cell.cycle_ratio);
+                max_proposed = max_proposed.max(mean);
             }
-            cells.push(format!("{:.3}", cell.cycle_ratio));
+            row.push(report::cell(mean));
         }
-        print_row(benchmark.name(), &cells);
+        report::PAPER.row(benchmark.name(), &row);
     }
-    println!("{}", "-".repeat(24 + labels.len() * 15));
+    report::PAPER.rule(labels.len());
     let averages: Vec<String> = sums
         .iter()
-        .map(|s| format!("{:.3}", s / Benchmark::ALL.len() as f64))
+        .map(|s| report::cell(s / Benchmark::ALL.len() as f64))
         .collect();
-    print_row("Average", &averages);
+    report::PAPER.row("Average", &averages);
     println!();
     println!(
         "proposed (optimal) worst-case time overhead: {:.1}% (constraint: {:.0}%)",
         100.0 * (max_proposed - 1.0),
-        100.0 * config.constraints.cycle_overhead
+        100.0 * constraints.cycle_overhead
     );
+    write_json_report(&args, &result.to_json(&[Axis::Benchmark, Axis::Scheme]));
 }

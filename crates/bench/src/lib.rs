@@ -12,14 +12,22 @@
 //! | `ablation_error_rate`   | λ sweep (1e-8 … 1e-5) |
 //! | `ablation_area_budget`  | OV1 sweep (1 … 10 %) |
 //! | `ablation_chunk_sweep`  | energy vs chunk size (the optimum's interior shape) |
+//! | `bench_campaign`        | campaign-engine throughput trajectory (`BENCH_campaign.json`) |
 //!
-//! Criterion micro-benchmarks for the codecs and the mitigation runner
-//! live in `benches/`.
+//! The Monte Carlo bins all run on the `chunkpoint_campaign` engine and
+//! share its `--threads/--seeds/--seed/--json` flags; per-scenario
+//! results are bit-identical at any thread count. Criterion
+//! micro-benchmarks for the codecs and the mitigation runner live in
+//! `benches/`.
 
-use chunkpoint_core::{golden, run, MitigationScheme, RunReport, SystemConfig};
+use chunkpoint_campaign::{run_cell, SchemeSpec};
+use chunkpoint_core::{run, MitigationScheme, RunReport, SystemConfig};
 use chunkpoint_workloads::Benchmark;
 
 pub mod plot;
+pub mod report;
+
+pub use report::print_row;
 
 /// Number of fault-process seeds averaged per reported data point.
 pub const DEFAULT_SEEDS: u64 = 8;
@@ -44,77 +52,78 @@ pub struct SchemeCell {
     pub completed_fraction: f64,
 }
 
-/// Runs one scheme over `seeds` seeds and aggregates against the Default
-/// denominator (the paper normalises Fig. 5 to the default case).
+/// Runs one scheme over `seeds` seed replicates on the campaign engine
+/// (all cores; results are thread-count-independent) and aggregates
+/// against the Default denominator (the paper normalises Fig. 5 to the
+/// default case).
 pub fn measure(
     benchmark: Benchmark,
     scheme: MitigationScheme,
     base_config: &SystemConfig,
     seeds: u64,
 ) -> SchemeCell {
-    assert!(seeds > 0, "need at least one seed");
-    let reference = golden(benchmark, base_config);
-    let mut energy = 0.0;
-    let mut cycles = 0.0;
-    let mut correct = 0u64;
-    let mut completed = 0u64;
-    for seed in 0..seeds {
-        let mut config = base_config.clone();
-        config.faults.seed = base_config.faults.seed ^ (seed.wrapping_mul(0x9E37_79B9));
-        let denominator = run(benchmark, MitigationScheme::Default, &config);
-        let report = run(benchmark, scheme, &config);
-        energy += report.energy_ratio(&denominator);
-        cycles += report.cycle_ratio(&denominator);
-        if report.output_matches(&reference) {
-            correct += 1;
-        }
-        if report.completed {
-            completed += 1;
-        }
-    }
-    SchemeCell {
-        energy_ratio: energy / seeds as f64,
-        cycle_ratio: cycles / seeds as f64,
-        correct_fraction: correct as f64 / seeds as f64,
-        completed_fraction: completed as f64 / seeds as f64,
-    }
+    measure_threaded(benchmark, scheme, base_config, seeds, 0)
 }
 
-/// The five scheme columns of Fig. 5 for one benchmark, in paper order:
-/// Default, SW-based, HW-based, Proposed (optimal), Proposed (sub-optimal).
-pub fn fig5_schemes(benchmark: Benchmark, config: &SystemConfig) -> Vec<(String, MitigationScheme)> {
-    let best = chunkpoint_core::optimize(benchmark, config)
-        .expect("paper constraints admit a feasible design for every benchmark");
-    let sub = chunkpoint_core::suboptimal(benchmark, config)
-        .expect("sub-optimal point exists whenever an optimum does");
+/// [`measure`] with an explicit worker count (`0` = all cores).
+pub fn measure_threaded(
+    benchmark: Benchmark,
+    scheme: MitigationScheme,
+    base_config: &SystemConfig,
+    seeds: u64,
+    threads: usize,
+) -> SchemeCell {
+    assert!(seeds > 0, "need at least one seed");
+    let result = run_cell(benchmark, scheme, base_config, seeds, threads);
+    let n = result.results.len() as f64;
+    let mut cell = SchemeCell {
+        energy_ratio: 0.0,
+        cycle_ratio: 0.0,
+        correct_fraction: 0.0,
+        completed_fraction: 0.0,
+    };
+    for r in &result.results {
+        cell.energy_ratio += r.energy_ratio.expect("run_cell normalizes") / n;
+        cell.cycle_ratio += r.cycle_ratio.expect("run_cell normalizes") / n;
+        if r.correct == Some(true) {
+            cell.correct_fraction += 1.0 / n;
+        }
+        if r.completed {
+            cell.completed_fraction += 1.0 / n;
+        }
+    }
+    cell
+}
+
+/// The scheme axis of Fig. 5 in paper order, as campaign scheme specs:
+/// Default, SW-based, HW-based, Proposed (optimal), Proposed
+/// (sub-optimal). The optimal/sub-optimal entries resolve per benchmark
+/// through the optimizer when the campaign grid is enumerated.
+#[must_use]
+pub fn fig5_scheme_axis() -> Vec<(&'static str, SchemeSpec)> {
     vec![
-        ("Default".to_owned(), MitigationScheme::Default),
-        ("SW-based".to_owned(), MitigationScheme::SwRestart),
-        ("HW-based".to_owned(), MitigationScheme::hw_baseline()),
+        ("Default", SchemeSpec::Fixed(MitigationScheme::Default)),
+        ("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart)),
         (
-            "Proposed (optimal)".to_owned(),
-            MitigationScheme::Hybrid {
-                chunk_words: best.chunk_words,
-                l1_prime_t: best.l1_prime_t,
-            },
+            "HW-based",
+            SchemeSpec::Fixed(MitigationScheme::hw_baseline()),
         ),
-        (
-            "Proposed (sub-optimal)".to_owned(),
-            MitigationScheme::Hybrid {
-                chunk_words: sub.chunk_words,
-                l1_prime_t: sub.l1_prime_t,
-            },
-        ),
+        ("Proposed (optimal)", SchemeSpec::Optimal),
+        ("Proposed (sub-optimal)", SchemeSpec::Suboptimal),
     ]
 }
 
-/// Prints a markdown-ish table row.
-pub fn print_row(label: &str, cells: &[String]) {
-    print!("{label:<24}");
-    for cell in cells {
-        print!(" | {cell:>12}");
-    }
-    println!();
+/// The five scheme columns of Fig. 5 for one benchmark, in paper order,
+/// resolved to concrete schemes (the legacy per-benchmark form; new code
+/// should put [`fig5_scheme_axis`] on a campaign grid instead).
+pub fn fig5_schemes(
+    benchmark: Benchmark,
+    config: &SystemConfig,
+) -> Vec<(String, MitigationScheme)> {
+    fig5_scheme_axis()
+        .into_iter()
+        .map(|(label, spec)| (label.to_owned(), spec.resolve(benchmark, config)))
+        .collect()
 }
 
 /// Convenience: a full single-seed report for debugging.
@@ -149,8 +158,39 @@ mod tests {
     fn measure_default_is_unity() {
         let mut config = SystemConfig::paper(3);
         config.scale = 0.25;
-        let cell = measure(Benchmark::AdpcmEncode, MitigationScheme::Default, &config, 2);
+        let cell = measure(
+            Benchmark::AdpcmEncode,
+            MitigationScheme::Default,
+            &config,
+            2,
+        );
         assert!((cell.energy_ratio - 1.0).abs() < 1e-9);
         assert!((cell.cycle_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_is_thread_count_independent() {
+        let mut config = SystemConfig::paper(5);
+        config.scale = 0.25;
+        config.faults.error_rate = 1e-5;
+        let serial = measure_threaded(
+            Benchmark::AdpcmEncode,
+            MitigationScheme::SwRestart,
+            &config,
+            3,
+            1,
+        );
+        let parallel = measure_threaded(
+            Benchmark::AdpcmEncode,
+            MitigationScheme::SwRestart,
+            &config,
+            3,
+            4,
+        );
+        assert_eq!(
+            serial.energy_ratio.to_bits(),
+            parallel.energy_ratio.to_bits()
+        );
+        assert_eq!(serial.cycle_ratio.to_bits(), parallel.cycle_ratio.to_bits());
     }
 }

@@ -6,7 +6,9 @@
 use std::fmt::Write as _;
 
 /// A simple palette matching typical conference grayscale-friendly plots.
-const PALETTE: [&str; 6] = ["#4878a8", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"];
+const PALETTE: [&str; 6] = [
+    "#4878a8", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+];
 
 /// Builds a grouped bar chart (one group per category, one bar per
 /// series) and returns the SVG document.
@@ -50,7 +52,10 @@ pub fn grouped_bar_chart(
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="Helvetica,Arial,sans-serif">"#
     );
-    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="28" font-size="17" text-anchor="middle" font-weight="bold">{}</text>"#,
@@ -121,7 +126,11 @@ pub fn grouped_bar_chart(
         let x = margin_left + 10.0 + 165.0 * si as f64;
         let y = height - 18.0;
         let color = PALETTE[si % PALETTE.len()];
-        let _ = write!(svg, r#"<rect x="{x}" y="{}" width="12" height="12" fill="{color}"/>"#, y - 10.0);
+        let _ = write!(
+            svg,
+            r#"<rect x="{x}" y="{}" width="12" height="12" fill="{color}"/>"#,
+            y - 10.0
+        );
         let _ = write!(
             svg,
             r#"<text x="{}" y="{y}" font-size="11">{}</text>"#,
@@ -166,7 +175,10 @@ pub fn step_plot(
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="Helvetica,Arial,sans-serif">"#
     );
-    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="28" font-size="17" text-anchor="middle" font-weight="bold">{}</text>"#,
@@ -208,10 +220,23 @@ pub fn step_plot(
     let _ = write!(path, " L {:.1} {:.1}", sx(x_max), sy(last_y));
     if fill_under {
         let mut area = path.clone();
-        let _ = write!(area, " L {:.1} {:.1} L {:.1} {:.1} Z", sx(x_max), sy(0.0), sx(points[0].0), sy(0.0));
-        let _ = write!(svg, r##"<path d="{area}" fill="#4878a833" stroke="none"/>"##);
+        let _ = write!(
+            area,
+            " L {:.1} {:.1} L {:.1} {:.1} Z",
+            sx(x_max),
+            sy(0.0),
+            sx(points[0].0),
+            sy(0.0)
+        );
+        let _ = write!(
+            svg,
+            r##"<path d="{area}" fill="#4878a833" stroke="none"/>"##
+        );
     }
-    let _ = write!(svg, r##"<path d="{path}" fill="none" stroke="#4878a8" stroke-width="2"/>"##);
+    let _ = write!(
+        svg,
+        r##"<path d="{path}" fill="none" stroke="#4878a8" stroke-width="2"/>"##
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
@@ -247,7 +272,12 @@ pub fn step_plot(
 pub fn timeline_svg(title: &str, events: &[chunkpoint_sim::TraceEvent]) -> String {
     use chunkpoint_sim::TraceEvent;
     assert!(!events.is_empty(), "empty trace");
-    let t_end = events.iter().map(TraceEvent::cycle).max().unwrap_or(1).max(1);
+    let t_end = events
+        .iter()
+        .map(TraceEvent::cycle)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let width = 1000.0f64;
     let height = 230.0f64;
     let margin_left = 30.0;
@@ -262,7 +292,10 @@ pub fn timeline_svg(title: &str, events: &[chunkpoint_sim::TraceEvent]) -> Strin
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="Helvetica,Arial,sans-serif">"#
     );
-    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{}" y="24" font-size="15" text-anchor="middle" font-weight="bold">{}</text>"#,
@@ -353,7 +386,9 @@ pub fn timeline_svg(title: &str, events: &[chunkpoint_sim::TraceEvent]) -> Strin
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -365,13 +400,35 @@ mod tests {
         use chunkpoint_sim::TraceEvent;
         let events = vec![
             TraceEvent::PhaseStart { phase: 0, cycle: 0 },
-            TraceEvent::Checkpoint { index: 1, cycle: 90, chunk_words: 10 },
-            TraceEvent::PhaseEnd { phase: 0, cycle: 90 },
-            TraceEvent::PhaseStart { phase: 1, cycle: 90 },
-            TraceEvent::ReadError { addr: 5, cycle: 140 },
-            TraceEvent::Rollback { to_checkpoint: 1, cycle: 150 },
-            TraceEvent::PhaseStart { phase: 1, cycle: 150 },
-            TraceEvent::PhaseEnd { phase: 1, cycle: 240 },
+            TraceEvent::Checkpoint {
+                index: 1,
+                cycle: 90,
+                chunk_words: 10,
+            },
+            TraceEvent::PhaseEnd {
+                phase: 0,
+                cycle: 90,
+            },
+            TraceEvent::PhaseStart {
+                phase: 1,
+                cycle: 90,
+            },
+            TraceEvent::ReadError {
+                addr: 5,
+                cycle: 140,
+            },
+            TraceEvent::Rollback {
+                to_checkpoint: 1,
+                cycle: 150,
+            },
+            TraceEvent::PhaseStart {
+                phase: 1,
+                cycle: 150,
+            },
+            TraceEvent::PhaseEnd {
+                phase: 1,
+                cycle: 240,
+            },
         ];
         let svg = timeline_svg("fig1", &events);
         assert!(svg.contains("P0"));
@@ -395,19 +452,20 @@ mod tests {
 
     #[test]
     fn step_plot_renders_steps() {
-        let svg = step_plot("t", "x", "y", &[(1.0, 17.0), (2.0, 17.0), (3.0, 15.0)], true);
+        let svg = step_plot(
+            "t",
+            "x",
+            "y",
+            &[(1.0, 17.0), (2.0, 17.0), (3.0, 15.0)],
+            true,
+        );
         assert!(svg.contains("<path"));
         assert!(svg.contains("</svg>"));
     }
 
     #[test]
     fn escapes_markup() {
-        let svg = grouped_bar_chart(
-            "a<b&c",
-            "y",
-            &["x".into()],
-            &[("s".into(), vec![1.0])],
-        );
+        let svg = grouped_bar_chart("a<b&c", "y", &["x".into()], &[("s".into(), vec![1.0])]);
         assert!(svg.contains("a&lt;b&amp;c"));
     }
 

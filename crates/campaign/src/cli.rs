@@ -1,0 +1,189 @@
+//! Shared command-line flags for campaign-driven experiment binaries:
+//! `--threads N --seeds N --seed S --json PATH` (plus `--help`).
+//!
+//! The experiment binaries are plain `fn main()`s with no argument-parser
+//! dependency; this module gives them one consistent flag surface so
+//! every table/figure regenerator can be parallelised, re-seeded and
+//! exported without per-bin parsing code.
+
+use std::fmt::Write as _;
+
+/// Parsed campaign flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignArgs {
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Seed replicates per grid cell.
+    pub seeds: u64,
+    /// Campaign seed (root of the per-scenario seed derivation).
+    pub seed: u64,
+    /// Write the machine-readable campaign report here.
+    pub json: Option<String>,
+    /// Run the reduced smoke grid (CI uses this to exercise the parallel
+    /// path in seconds rather than minutes).
+    pub smoke: bool,
+}
+
+impl CampaignArgs {
+    /// Defaults for a binary: `default_seeds` replicates, campaign seed
+    /// `default_seed`, all cores, no JSON.
+    #[must_use]
+    pub fn defaults(default_seeds: u64, default_seed: u64) -> Self {
+        Self {
+            threads: 0,
+            seeds: default_seeds,
+            seed: default_seed,
+            json: None,
+            smoke: false,
+        }
+    }
+
+    /// Parses flags from an explicit argument list (testable core).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on unknown flags or malformed values.
+    pub fn parse_from<I>(mut self, args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut args = args.into_iter();
+        while let Some(flag) = args.next() {
+            let mut value_of = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| format!("{flag} requires a value\n\n{USAGE}"))
+            };
+            match flag.as_str() {
+                "--threads" => {
+                    self.threads = value_of("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}\n\n{USAGE}"))?;
+                }
+                "--seeds" => {
+                    let seeds: u64 = value_of("--seeds")?
+                        .parse()
+                        .map_err(|e| format!("--seeds: {e}\n\n{USAGE}"))?;
+                    if seeds == 0 {
+                        return Err(format!("--seeds must be at least 1\n\n{USAGE}"));
+                    }
+                    self.seeds = seeds;
+                }
+                "--seed" => {
+                    self.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}\n\n{USAGE}"))?;
+                }
+                "--json" => self.json = Some(value_of("--json")?),
+                "--smoke" => self.smoke = true,
+                "--help" | "-h" => return Err(USAGE.to_owned()),
+                other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+            }
+        }
+        Ok(self)
+    }
+
+    /// Parses `std::env::args()`, printing usage and exiting on error —
+    /// the one-liner for binaries.
+    #[must_use]
+    pub fn parse_or_exit(default_seeds: u64, default_seed: u64) -> Self {
+        match Self::defaults(default_seeds, default_seed).parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(if message == USAGE { 0 } else { 2 });
+            }
+        }
+    }
+
+    /// One-line run description for report headers.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        let threads = if self.threads == 0 {
+            crate::pool::default_threads()
+        } else {
+            self.threads
+        };
+        let _ = write!(
+            s,
+            "{} seeds/cell, {} threads, campaign seed {:#x}",
+            self.seeds, threads, self.seed
+        );
+        if let Some(path) = &self.json {
+            let _ = write!(s, ", json -> {path}");
+        }
+        s
+    }
+}
+
+/// Usage text shared by every campaign binary.
+pub const USAGE: &str = "campaign flags:
+  --threads N   worker threads (default: all cores; results are
+                bit-identical at any thread count)
+  --seeds N     seed replicates per grid cell
+  --seed S      campaign seed (u64; scenario seeds derive from it)
+  --json PATH   also write the machine-readable campaign report to PATH
+  --smoke       reduced grid for CI smoke runs
+  --help        this text";
+
+/// Writes `json` to `path` when the flag was given, reporting the write
+/// on stdout.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (experiment binaries treat an
+/// unwritable report path as fatal).
+pub fn write_json_report(args: &CampaignArgs, json: &crate::json::JsonValue) {
+    if let Some(path) = &args.json {
+        std::fs::write(path, json.render() + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CampaignArgs, String> {
+        CampaignArgs::defaults(8, 42).parse_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_pass_through() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, CampaignArgs::defaults(8, 42));
+        assert_eq!(args.threads, 0);
+        assert_eq!(args.seeds, 8);
+        assert_eq!(args.seed, 42);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args = parse(&[
+            "--threads",
+            "4",
+            "--seeds",
+            "2",
+            "--seed",
+            "7",
+            "--json",
+            "out.json",
+            "--smoke",
+        ])
+        .unwrap();
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.seeds, 2);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.json.as_deref(), Some("out.json"));
+        assert!(args.smoke);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--seeds", "0"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert_eq!(parse(&["--help"]).unwrap_err(), USAGE);
+    }
+}

@@ -1,0 +1,340 @@
+//! Campaign execution: scenario grid → work-stealing pool → ordered
+//! results → aggregates → JSON.
+//!
+//! Every scenario job is a pure function of its [`Scenario`] (the fault
+//! seed is pre-derived from the campaign seed and the scenario index), so
+//! the engine produces bit-identical per-scenario results at any thread
+//! count — the pool only changes how long the campaign takes.
+
+use std::time::{Duration, Instant};
+
+use chunkpoint_core::{golden, run, MitigationScheme, RunReport, SystemConfig};
+use chunkpoint_workloads::Benchmark;
+
+use crate::json::JsonValue;
+use crate::pool::run_jobs;
+use crate::spec::{CampaignSpec, Scenario};
+use crate::stats::{Aggregator, Axis, GroupStats, Summary};
+
+/// The measured outcome of one scenario — a [`RunReport`] distilled to
+/// its campaign-relevant numbers (output words and the event trace are
+/// dropped; a grid of thousands of scenarios cannot keep every frame).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The scenario that produced this result.
+    pub scenario: Scenario,
+    /// Total energy, pJ.
+    pub energy_pj: f64,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Detected-uncorrectable reads.
+    pub errors_detected: u64,
+    /// Checkpoint rollbacks (hybrid only).
+    pub rollbacks: u64,
+    /// Whole-task restarts.
+    pub restarts: u64,
+    /// Checkpoints committed (hybrid only).
+    pub checkpoints: u64,
+    /// Whether the run completed within its recovery budgets.
+    pub completed: bool,
+    /// Energy normalized to the same-seed *Default* run (normalized
+    /// campaigns only).
+    pub energy_ratio: Option<f64>,
+    /// Cycles normalized to the same-seed *Default* run.
+    pub cycle_ratio: Option<f64>,
+    /// Whether the output matched the fault-free golden reference.
+    pub correct: Option<bool>,
+}
+
+impl ScenarioResult {
+    fn from_report(scenario: Scenario, report: &RunReport) -> Self {
+        Self {
+            scenario,
+            energy_pj: report.energy_pj(),
+            cycles: report.cycles(),
+            errors_detected: report.errors_detected,
+            rollbacks: report.rollbacks,
+            restarts: report.restarts,
+            checkpoints: report.checkpoints,
+            completed: report.completed,
+            energy_ratio: None,
+            cycle_ratio: None,
+            correct: None,
+        }
+    }
+}
+
+/// A completed campaign: per-scenario results in grid order plus timing.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Results, ordered by scenario index (grid order, not completion
+    /// order).
+    pub results: Vec<ScenarioResult>,
+    /// Worker count the campaign ran with.
+    pub threads: usize,
+    /// Wall-clock execution time of the grid (excludes golden pre-runs).
+    pub elapsed: Duration,
+    /// Campaign seed the scenario seeds were derived from.
+    pub campaign_seed: u64,
+}
+
+impl CampaignResult {
+    /// Scenario throughput, scenarios per wall-clock second.
+    #[must_use]
+    pub fn scenarios_per_sec(&self) -> f64 {
+        self.results.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Aggregates the results grouped by `axes`, pushing in scenario
+    /// order so the accumulation is itself reproducible.
+    #[must_use]
+    pub fn aggregate(&self, axes: &[Axis]) -> Aggregator {
+        let mut aggregator = Aggregator::new(axes);
+        for result in &self.results {
+            aggregator.push(result);
+        }
+        aggregator
+    }
+
+    /// The machine-readable campaign report: metadata, per-scenario rows
+    /// and aggregates grouped by `axes`.
+    #[must_use]
+    pub fn to_json(&self, axes: &[Axis]) -> JsonValue {
+        let scenarios: Vec<JsonValue> = self.results.iter().map(scenario_json).collect();
+        let aggregator = self.aggregate(axes);
+        let axis_names: Vec<JsonValue> = axes
+            .iter()
+            .map(|a| JsonValue::from(format!("{a:?}")))
+            .collect();
+        let groups: Vec<JsonValue> = aggregator
+            .groups()
+            .map(|(key, stats)| {
+                let key: Vec<JsonValue> = key
+                    .iter()
+                    .map(|part| JsonValue::from(part.as_str()))
+                    .collect();
+                group_json(&key, stats)
+            })
+            .collect();
+        JsonValue::object()
+            .field("campaign_seed", self.campaign_seed)
+            .field("threads", self.threads)
+            .field("scenarios", self.results.len())
+            .field("elapsed_secs", self.elapsed.as_secs_f64())
+            .field("scenarios_per_sec", self.scenarios_per_sec())
+            .field("group_by", JsonValue::Array(axis_names))
+            .field("aggregates", JsonValue::Array(groups))
+            .field("results", JsonValue::Array(scenarios))
+    }
+}
+
+fn summary_json(summary: &Summary) -> JsonValue {
+    JsonValue::object()
+        .field("mean", summary.mean())
+        .field("stddev", summary.stddev())
+        .field("ci95", summary.ci95_half_width())
+}
+
+fn group_json(key: &[JsonValue], stats: &GroupStats) -> JsonValue {
+    JsonValue::object()
+        .field("key", JsonValue::Array(key.to_vec()))
+        .field("n", stats.n)
+        .field("energy_pj", summary_json(&stats.energy_pj))
+        .field("cycles", summary_json(&stats.cycles))
+        .field("rollbacks", summary_json(&stats.rollbacks))
+        .field("restarts", summary_json(&stats.restarts))
+        .field("energy_ratio", summary_json(&stats.energy_ratio))
+        .field("cycle_ratio", summary_json(&stats.cycle_ratio))
+        .field("correct", stats.correct)
+        .field("completed", stats.completed)
+}
+
+fn scenario_json(result: &ScenarioResult) -> JsonValue {
+    let s = &result.scenario;
+    JsonValue::object()
+        .field("index", s.index)
+        .field("benchmark", s.benchmark.name())
+        .field("scheme", s.scheme_label.as_str())
+        .field("scheme_detail", s.scheme.label())
+        .field("error_rate", s.error_rate)
+        .field("chunk_words", s.chunk_words().map(u64::from))
+        .field("replicate", s.replicate)
+        .field("seed", s.seed)
+        .field("energy_pj", result.energy_pj)
+        .field("cycles", result.cycles)
+        .field("errors_detected", result.errors_detected)
+        .field("rollbacks", result.rollbacks)
+        .field("restarts", result.restarts)
+        .field("checkpoints", result.checkpoints)
+        .field("completed", result.completed)
+        .field("energy_ratio", result.energy_ratio)
+        .field("cycle_ratio", result.cycle_ratio)
+        .field("correct", result.correct)
+}
+
+/// Runs one scenario: derive the config, execute the scheme, and — for
+/// normalized campaigns — the same-seed Default denominator plus the
+/// golden comparison.
+fn run_scenario(
+    spec: &CampaignSpec,
+    scenario: &Scenario,
+    golden_output: Option<&[u32]>,
+) -> ScenarioResult {
+    let mut config = spec.base.with_seed(scenario.seed);
+    config.faults.error_rate = scenario.error_rate;
+    let report = run(scenario.benchmark, scenario.scheme, &config);
+    let mut result = ScenarioResult::from_report(scenario.clone(), &report);
+    if spec.is_normalized() {
+        let denominator = if scenario.scheme == MitigationScheme::Default {
+            // The denominator *is* this run; skip the duplicate work.
+            None
+        } else {
+            Some(run(scenario.benchmark, MitigationScheme::Default, &config))
+        };
+        let denominator = denominator.as_ref().unwrap_or(&report);
+        result.energy_ratio = Some(report.energy_ratio(denominator));
+        result.cycle_ratio = Some(report.cycle_ratio(denominator));
+    }
+    if let Some(golden_output) = golden_output {
+        result.correct = Some(report.output == golden_output);
+    }
+    result
+}
+
+/// Executes the campaign on `threads` workers (`0` = all available
+/// cores). Per-scenario results are bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if the spec enumerates an empty or unresolvable grid (see
+/// [`CampaignSpec::scenarios`]).
+#[must_use]
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignResult {
+    let scenarios = spec.scenarios();
+    // Golden references are fault-free and seed-independent: one per
+    // benchmark, computed up front so workers only compare outputs.
+    let goldens: Vec<(Benchmark, RunReport)> = if spec.checks_golden() {
+        spec.benchmark_axis()
+            .iter()
+            .map(|&benchmark| (benchmark, golden(benchmark, &spec.base)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let golden_for = |benchmark: Benchmark| -> Option<&[u32]> {
+        goldens
+            .iter()
+            .find(|(b, _)| *b == benchmark)
+            .map(|(_, report)| report.output.as_slice())
+    };
+    // The worker count the pool will actually use: never more workers
+    // than jobs, so small grids at tall ladder points report honestly.
+    let workers = if threads == 0 {
+        crate::pool::default_threads()
+    } else {
+        threads
+    }
+    .min(scenarios.len().max(1));
+    let start = Instant::now();
+    let results = run_jobs(scenarios.len(), threads, |index| {
+        let scenario = &scenarios[index];
+        run_scenario(spec, scenario, golden_for(scenario.benchmark))
+    });
+    CampaignResult {
+        results,
+        threads: workers,
+        elapsed: start.elapsed(),
+        campaign_seed: spec.campaign_seed,
+    }
+}
+
+/// Convenience wrapper: the campaign-engine equivalent of the old serial
+/// "run this scheme over N seeds" loop. Returns the per-scenario results
+/// for one `(benchmark, scheme)` cell.
+#[must_use]
+pub fn run_cell(
+    benchmark: Benchmark,
+    scheme: MitigationScheme,
+    config: &SystemConfig,
+    seeds: u64,
+    threads: usize,
+) -> CampaignResult {
+    let spec = CampaignSpec::new(config.clone(), config.faults.seed)
+        .benchmarks(&[benchmark])
+        .scheme(&scheme.label(), crate::spec::SchemeSpec::Fixed(scheme))
+        .replicates(seeds);
+    run_campaign(&spec, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SchemeSpec;
+
+    fn fast_config() -> SystemConfig {
+        let mut config = SystemConfig::paper(0);
+        config.scale = 0.25;
+        config
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn campaign_types_are_send_sync() {
+        // The pool moves these across threads; lock it in at compile time.
+        assert_send_sync::<SystemConfig>();
+        assert_send_sync::<MitigationScheme>();
+        assert_send_sync::<Benchmark>();
+        assert_send_sync::<RunReport>();
+        assert_send_sync::<Scenario>();
+        assert_send_sync::<ScenarioResult>();
+        assert_send_sync::<CampaignSpec>();
+    }
+
+    #[test]
+    fn default_scenarios_normalize_to_unity() {
+        let spec = CampaignSpec::new(fast_config(), 3)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .replicates(2);
+        let result = run_campaign(&spec, 2);
+        assert_eq!(result.results.len(), 2);
+        for r in &result.results {
+            assert!((r.energy_ratio.unwrap() - 1.0).abs() < 1e-12);
+            assert!((r.cycle_ratio.unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unnormalized_campaigns_skip_ratios() {
+        let spec = CampaignSpec::new(fast_config(), 3)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+            .normalize(false)
+            .golden_check(false);
+        let result = run_campaign(&spec, 1);
+        assert_eq!(result.results.len(), 1);
+        let r = &result.results[0];
+        assert!(r.energy_ratio.is_none() && r.correct.is_none());
+        assert!(r.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn aggregates_group_and_count() {
+        let spec = CampaignSpec::new(fast_config(), 11)
+            .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+            .replicates(2);
+        let result = run_campaign(&spec, 0);
+        let by_scheme = result.aggregate(&[Axis::Scheme]);
+        assert_eq!(by_scheme.len(), 2);
+        for (_, stats) in by_scheme.groups() {
+            assert_eq!(stats.n, 4); // 2 benchmarks x 2 replicates
+            assert_eq!(stats.completed, 4);
+        }
+        let json = result.to_json(&[Axis::Scheme]).render();
+        assert!(json.contains("\"aggregates\""));
+        assert!(json.contains("\"scenarios_per_sec\""));
+    }
+}

@@ -1,0 +1,211 @@
+//! A minimal JSON document builder.
+//!
+//! The build environment has no crates.io access (so no serde); campaign
+//! reports need only a small, correct subset of JSON: objects, arrays,
+//! strings with escaping, integers, floats and booleans. Values render
+//! via [`JsonValue::render`] with deterministic formatting — floats use
+//! Rust's shortest-roundtrip `{}` so a re-parsed value is bit-identical,
+//! and non-finite floats render as `null` (JSON has no NaN/Infinity).
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; f64 would lose precision above 2⁵³).
+    Int(i64),
+    /// An unsigned integer (cycle counts can exceed i64 in principle).
+    Uint(u64),
+    /// A finite float; non-finite values render as `null`.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys (deterministic output).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object builder.
+    #[must_use]
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Adds/overwrites nothing — appends a field (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-object value.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        match &mut self {
+            JsonValue::Object(fields) => fields.push((key.to_owned(), value.into())),
+            _ => panic!("field() on a non-object JsonValue"),
+        }
+        self
+    }
+
+    /// Renders the value as compact JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Uint(u) => out.push_str(&u.to_string()),
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    // `{}` prints the shortest string that round-trips.
+                    let s = format!("{x}");
+                    out.push_str(&s);
+                    // Bare "1" is valid JSON but ambiguous about intent;
+                    // keep floats recognisable for downstream tooling.
+                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(i: i64) -> Self {
+        JsonValue::Int(i)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(u: u64) -> Self {
+        JsonValue::Uint(u)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(u: usize) -> Self {
+        JsonValue::Uint(u as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Float(x)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_owned())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(items: Vec<JsonValue>) -> Self {
+        JsonValue::Array(items)
+    }
+}
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(opt: Option<T>) -> Self {
+        opt.map_or(JsonValue::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = JsonValue::object()
+            .field("name", "campaign")
+            .field("threads", 4usize)
+            .field("ok", true)
+            .field("rate", 1e-6)
+            .field("none", JsonValue::Null)
+            .field(
+                "items",
+                JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Int(-2)]),
+            );
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"campaign","threads":4,"ok":true,"rate":0.000001,"none":null,"items":[1,-2]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::Str("a\"b\\c\nd\te\u{1}".to_owned());
+        assert_eq!(v.render(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_stay_floats() {
+        assert_eq!(JsonValue::Float(2.0).render(), "2.0");
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        let x = 0.1 + 0.2;
+        let rendered = JsonValue::Float(x).render();
+        assert_eq!(rendered.parse::<f64>().unwrap().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn big_integers_stay_exact() {
+        let big = (1u64 << 53) + 1;
+        assert_eq!(JsonValue::Uint(big).render(), big.to_string());
+    }
+}

@@ -1,0 +1,153 @@
+//! A minimal work-stealing thread pool on `std::thread` + channels.
+//!
+//! The build environment has no crates.io access, so this is a
+//! self-contained pool rather than rayon: the job list is dealt
+//! round-robin into per-worker deques up front; each worker drains its
+//! own deque from the front and, when empty, steals from the *back* of a
+//! sibling's deque (classic Arora–Blumofe–Plumbeck discipline, which
+//! keeps owner and thief on opposite ends). Results travel back over an
+//! `mpsc` channel tagged with their job index, so completion order is
+//! irrelevant — the caller gets results in job order regardless of
+//! scheduling.
+//!
+//! Because every job in a campaign is a pure function of its scenario
+//! (seeds are pre-derived, see [`crate::seed`]), stealing affects only
+//! wall-clock time, never results — the engine's core determinism
+//! argument needs nothing from this module beyond "every job runs
+//! exactly once".
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Number of workers to use when the caller passes `threads == 0`:
+/// everything the OS will give us.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `job` over `0..jobs` on `threads` workers and returns the results
+/// in job order. `threads == 0` means [`default_threads`]; the pool never
+/// spawns more workers than jobs. With one worker the pool degenerates to
+/// a serial loop on a spawned thread — same code path, no special case.
+///
+/// # Panics
+///
+/// Propagates panics from `job` (the scope joins all workers first).
+pub fn run_jobs<R, F>(jobs: usize, threads: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+    .min(jobs);
+    // Deal the job indices round-robin so every worker starts with a
+    // near-equal share and stealing only handles imbalance.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for index in 0..jobs {
+        queues[index % threads]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(index);
+    }
+    let (sender, receiver) = mpsc::channel::<(usize, R)>();
+    let mut results: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let sender = sender.clone();
+            let queues = &queues;
+            let job = &job;
+            scope.spawn(move || {
+                loop {
+                    // Own queue first (front) …
+                    let next = queues[me].lock().expect("queue poisoned").pop_front();
+                    // … then steal from the back of a sibling, trying
+                    // every victim: a single victim emptying between a
+                    // scan and the pop must not strand work elsewhere.
+                    let next = next.or_else(|| {
+                        (0..queues.len())
+                            .filter(|&victim| victim != me)
+                            .find_map(|victim| {
+                                queues[victim].lock().expect("queue poisoned").pop_back()
+                            })
+                    });
+                    match next {
+                        // Every queue observed empty at pop time: since
+                        // jobs are never re-enqueued, none remain
+                        // unclaimed and this worker is done.
+                        None => break,
+                        Some(index) => {
+                            if sender.send((index, job(index))).is_err() {
+                                break; // receiver gone: caller is unwinding
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        drop(sender);
+        for (index, result) in receiver {
+            results[index] = Some(result);
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("worker completed every dealt job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn returns_results_in_job_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_jobs(100, threads, |i| i * i);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let _ = run_jobs(64, 4, |i| counters[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn imbalanced_jobs_get_stolen() {
+        // Job 0 is slow; with 2 workers the 63 fast jobs must not starve
+        // behind it. We can't assert timing, but we can assert the pool
+        // completes with wildly uneven job costs.
+        let out = run_jobs(64, 2, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            i
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_threads() {
+        assert!(run_jobs(0, 4, |i| i).is_empty());
+        assert_eq!(run_jobs(3, 0, |i| i), vec![0, 1, 2]);
+    }
+}

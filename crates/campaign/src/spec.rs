@@ -1,0 +1,372 @@
+//! Declarative scenario grids.
+//!
+//! A [`CampaignSpec`] describes a Monte Carlo evaluation campaign as a
+//! cross product of axes — benchmarks × schemes × error rates × chunk
+//! sizes × seed replicates — plus a base [`SystemConfig`] and a campaign
+//! seed. [`CampaignSpec::scenarios`] enumerates the grid in a fixed,
+//! documented order and assigns every scenario a dense index; the
+//! scenario's fault seed is derived from `(campaign_seed, index)` by
+//! [`crate::seed::scenario_seed`], so the spec alone fully determines
+//! every random stream in the campaign.
+
+use chunkpoint_core::{optimize, suboptimal, MitigationScheme, SystemConfig};
+use chunkpoint_workloads::Benchmark;
+
+use crate::seed::scenario_seed;
+
+/// How the scheme axis resolves to a concrete [`MitigationScheme`] for a
+/// given benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeSpec {
+    /// A fixed scheme, identical for every benchmark.
+    Fixed(MitigationScheme),
+    /// The hybrid scheme at the benchmark's optimizer point (Table I).
+    Optimal,
+    /// The hybrid scheme at the benchmark's smallest feasible chunk — the
+    /// paper's "Proposed (sub-optimal)" column.
+    Suboptimal,
+    /// The optimizer point executed with the unsound single-parity
+    /// detector (the Fig. 2a literal reading) — the detector-soundness
+    /// counter-example.
+    OptimalSingleParity,
+}
+
+impl SchemeSpec {
+    /// Resolves to a concrete scheme for `benchmark` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the optimizer finds no feasible design point for a
+    /// benchmark (the paper's constraints always admit one).
+    #[must_use]
+    pub fn resolve(&self, benchmark: Benchmark, config: &SystemConfig) -> MitigationScheme {
+        match *self {
+            SchemeSpec::Fixed(scheme) => scheme,
+            SchemeSpec::Optimal => {
+                let best = optimize(benchmark, config)
+                    .expect("campaign scheme axis: no feasible design point");
+                MitigationScheme::Hybrid {
+                    chunk_words: best.chunk_words,
+                    l1_prime_t: best.l1_prime_t,
+                }
+            }
+            SchemeSpec::Suboptimal => {
+                let sub = suboptimal(benchmark, config)
+                    .expect("campaign scheme axis: no feasible design point");
+                MitigationScheme::Hybrid {
+                    chunk_words: sub.chunk_words,
+                    l1_prime_t: sub.l1_prime_t,
+                }
+            }
+            SchemeSpec::OptimalSingleParity => {
+                let best = optimize(benchmark, config)
+                    .expect("campaign scheme axis: no feasible design point");
+                MitigationScheme::HybridSingleParity {
+                    chunk_words: best.chunk_words,
+                    l1_prime_t: best.l1_prime_t,
+                }
+            }
+        }
+    }
+}
+
+/// One point of the campaign grid, fully resolved and seeded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Dense position in the enumeration order (the seed-derivation key).
+    pub index: usize,
+    /// Benchmark under test.
+    pub benchmark: Benchmark,
+    /// Scheme-axis label (stable across benchmarks; used for grouping).
+    pub scheme_label: String,
+    /// Concrete scheme, with any chunk-axis override already applied.
+    pub scheme: MitigationScheme,
+    /// Strike rate λ for this scenario.
+    pub error_rate: f64,
+    /// Replicate number within the cell (0-based).
+    pub replicate: u64,
+    /// Derived fault-process seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Chunk size of the scenario's hybrid scheme, if it has one.
+    #[must_use]
+    pub fn chunk_words(&self) -> Option<u32> {
+        match self.scheme {
+            MitigationScheme::Hybrid { chunk_words, .. }
+            | MitigationScheme::HybridSingleParity { chunk_words, .. } => Some(chunk_words),
+            _ => None,
+        }
+    }
+}
+
+/// A declarative campaign: axes, base configuration, campaign seed.
+///
+/// # Examples
+///
+/// ```
+/// use chunkpoint_campaign::{CampaignSpec, SchemeSpec};
+/// use chunkpoint_core::{MitigationScheme, SystemConfig};
+/// use chunkpoint_workloads::Benchmark;
+///
+/// let mut config = SystemConfig::paper(0);
+/// config.scale = 0.25;
+/// let spec = CampaignSpec::new(config, 0xC0FFEE)
+///     .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+///     .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+///     .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+///     .error_rates(&[1e-7, 1e-6])
+///     .replicates(3);
+/// // 2 benchmarks x 2 schemes x 2 rates x 3 replicates:
+/// assert_eq!(spec.scenarios().len(), 24);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Base configuration; per-scenario overrides touch only the fault
+    /// environment (rate + seed).
+    pub base: SystemConfig,
+    /// Root seed of the campaign's seed-derivation tree.
+    pub campaign_seed: u64,
+    benchmarks: Vec<Benchmark>,
+    schemes: Vec<(String, SchemeSpec)>,
+    error_rates: Vec<f64>,
+    chunk_words: Vec<u32>,
+    replicates: u64,
+    normalize: bool,
+    golden_check: bool,
+}
+
+impl CampaignSpec {
+    /// Starts a spec over `base` with the given campaign seed. Defaults:
+    /// all benchmarks, no schemes (add at least one), the base config's
+    /// error rate, no chunk override, one replicate, normalization on.
+    #[must_use]
+    pub fn new(base: SystemConfig, campaign_seed: u64) -> Self {
+        let error_rates = vec![base.faults.error_rate];
+        Self {
+            base,
+            campaign_seed,
+            benchmarks: Benchmark::ALL.to_vec(),
+            schemes: Vec::new(),
+            error_rates,
+            chunk_words: Vec::new(),
+            replicates: 1,
+            normalize: true,
+            golden_check: true,
+        }
+    }
+
+    /// Sets the benchmark axis.
+    #[must_use]
+    pub fn benchmarks(mut self, benchmarks: &[Benchmark]) -> Self {
+        self.benchmarks = benchmarks.to_vec();
+        self
+    }
+
+    /// Appends one labelled entry to the scheme axis.
+    #[must_use]
+    pub fn scheme(mut self, label: &str, spec: SchemeSpec) -> Self {
+        self.schemes.push((label.to_owned(), spec));
+        self
+    }
+
+    /// Sets the error-rate (λ) axis.
+    #[must_use]
+    pub fn error_rates(mut self, rates: &[f64]) -> Self {
+        assert!(!rates.is_empty(), "error-rate axis cannot be empty");
+        self.error_rates = rates.to_vec();
+        self
+    }
+
+    /// Sets the chunk-size axis. Hybrid schemes cross with every entry
+    /// (their `chunk_words` is overridden); schemes without a chunk are
+    /// unaffected and contribute one scenario per cell as usual.
+    #[must_use]
+    pub fn chunk_words(mut self, chunks: &[u32]) -> Self {
+        self.chunk_words = chunks.to_vec();
+        self
+    }
+
+    /// Sets the number of seed replicates per grid cell.
+    #[must_use]
+    pub fn replicates(mut self, replicates: u64) -> Self {
+        assert!(replicates > 0, "need at least one replicate");
+        self.replicates = replicates;
+        self
+    }
+
+    /// Enables/disables normalization: when on, every scenario also runs
+    /// the same-seed *Default* denominator and reports energy/cycle
+    /// ratios against it. Off roughly halves the work when only absolute
+    /// numbers are needed.
+    #[must_use]
+    pub fn normalize(mut self, normalize: bool) -> Self {
+        self.normalize = normalize;
+        self
+    }
+
+    /// Enables/disables the golden-output comparison: when on, every
+    /// scenario's output is checked against the benchmark's fault-free
+    /// reference (one golden run per benchmark, shared by all workers).
+    #[must_use]
+    pub fn golden_check(mut self, golden_check: bool) -> Self {
+        self.golden_check = golden_check;
+        self
+    }
+
+    /// Whether scenarios carry normalized ratios.
+    #[must_use]
+    pub fn is_normalized(&self) -> bool {
+        self.normalize
+    }
+
+    /// Whether scenarios carry the golden correctness verdict.
+    #[must_use]
+    pub fn checks_golden(&self) -> bool {
+        self.golden_check
+    }
+
+    /// The benchmark axis (the engine pre-computes one golden per entry).
+    #[must_use]
+    pub fn benchmark_axis(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Enumerates the full grid in the canonical order
+    /// `benchmark → scheme → error rate → chunk → replicate`, assigning
+    /// dense indices and derived seeds.
+    ///
+    /// The order — and therefore every derived seed — depends only on the
+    /// spec, never on thread count or timing. Note the flip side: editing
+    /// an axis shifts the indices (and seeds) of every later scenario,
+    /// deliberately — a campaign is reproducible as a whole, not
+    /// patchable cell by cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme axis is empty or a scheme spec fails to
+    /// resolve (infeasible optimizer point).
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        assert!(
+            !self.schemes.is_empty(),
+            "campaign needs at least one scheme"
+        );
+        let mut scenarios = Vec::new();
+        for &benchmark in &self.benchmarks {
+            for (label, spec) in &self.schemes {
+                let resolved = spec.resolve(benchmark, &self.base);
+                let variants: Vec<MitigationScheme> = match (resolved, self.chunk_words.as_slice())
+                {
+                    (MitigationScheme::Hybrid { l1_prime_t, .. }, chunks) if !chunks.is_empty() => {
+                        chunks
+                            .iter()
+                            .map(|&chunk_words| MitigationScheme::Hybrid {
+                                chunk_words,
+                                l1_prime_t,
+                            })
+                            .collect()
+                    }
+                    (MitigationScheme::HybridSingleParity { l1_prime_t, .. }, chunks)
+                        if !chunks.is_empty() =>
+                    {
+                        chunks
+                            .iter()
+                            .map(|&chunk_words| MitigationScheme::HybridSingleParity {
+                                chunk_words,
+                                l1_prime_t,
+                            })
+                            .collect()
+                    }
+                    _ => vec![resolved],
+                };
+                for &error_rate in &self.error_rates {
+                    for &scheme in &variants {
+                        for replicate in 0..self.replicates {
+                            let index = scenarios.len();
+                            scenarios.push(Scenario {
+                                index,
+                                benchmark,
+                                scheme_label: label.clone(),
+                                scheme,
+                                error_rate,
+                                replicate,
+                                seed: scenario_seed(self.campaign_seed, index as u64),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CampaignSpec {
+        let mut config = SystemConfig::paper(0);
+        config.scale = 0.25;
+        CampaignSpec::new(config, 7)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .scheme(
+                "Proposed",
+                SchemeSpec::Fixed(MitigationScheme::Hybrid {
+                    chunk_words: 16,
+                    l1_prime_t: 8,
+                }),
+            )
+            .replicates(2)
+    }
+
+    #[test]
+    fn enumeration_is_dense_and_seeded() {
+        let scenarios = small_spec().scenarios();
+        assert_eq!(scenarios.len(), 4);
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.seed, scenario_seed(7, i as u64));
+        }
+        // Same spec, same grid — byte for byte.
+        assert_eq!(scenarios, small_spec().scenarios());
+    }
+
+    #[test]
+    fn chunk_axis_crosses_hybrids_only() {
+        let spec = small_spec().chunk_words(&[8, 16, 32]);
+        let scenarios = spec.scenarios();
+        // Default contributes 2 (replicates), hybrid 3 chunks x 2 replicates.
+        assert_eq!(scenarios.len(), 2 + 6);
+        let chunks: Vec<Option<u32>> = scenarios.iter().map(Scenario::chunk_words).collect();
+        assert_eq!(chunks.iter().filter(|c| c.is_none()).count(), 2);
+        for &k in &[8u32, 16, 32] {
+            assert_eq!(
+                chunks.iter().filter(|c| **c == Some(k)).count(),
+                2,
+                "chunk {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_scheme_resolves_to_feasible_hybrid() {
+        let config = SystemConfig::paper(0);
+        let scheme = SchemeSpec::Optimal.resolve(Benchmark::AdpcmDecode, &config);
+        assert!(matches!(scheme, MitigationScheme::Hybrid { chunk_words, .. } if chunk_words > 0));
+        let single = SchemeSpec::OptimalSingleParity.resolve(Benchmark::AdpcmDecode, &config);
+        assert!(matches!(
+            single,
+            MitigationScheme::HybridSingleParity { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scheme")]
+    fn empty_scheme_axis_is_rejected() {
+        let _ = CampaignSpec::new(SystemConfig::paper(0), 0).scenarios();
+    }
+}

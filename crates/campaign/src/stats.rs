@@ -1,0 +1,235 @@
+//! Streaming statistical aggregation of scenario results.
+//!
+//! [`Summary`] is a Welford accumulator (numerically stable one-pass
+//! mean/variance); [`Aggregator`] groups [`ScenarioResult`]s by a
+//! user-chosen set of grid axes and keeps one bundle of summaries per
+//! group — constant memory per group no matter how many replicates
+//! stream through. Results must be pushed in scenario order for the
+//! floating-point accumulation itself to be bit-reproducible; the engine
+//! guarantees that by aggregating over its index-ordered result vector.
+
+use std::collections::BTreeMap;
+
+use crate::engine::ScenarioResult;
+
+/// One-pass mean / variance / confidence-interval accumulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample standard deviation (0 for fewer than two points).
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval of
+    /// the mean, `1.96 · s / √n` (0 for fewer than two points).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Grid axes a campaign can group its aggregates by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Group by benchmark.
+    Benchmark,
+    /// Group by scheme-axis label.
+    Scheme,
+    /// Group by strike rate λ.
+    ErrorRate,
+    /// Group by the hybrid chunk size (non-hybrid schemes group as "-").
+    ChunkWords,
+}
+
+impl Axis {
+    /// The scenario's key component along this axis.
+    #[must_use]
+    pub fn key_of(&self, result: &ScenarioResult) -> String {
+        let scenario = &result.scenario;
+        match self {
+            Axis::Benchmark => scenario.benchmark.name().to_owned(),
+            Axis::Scheme => scenario.scheme_label.clone(),
+            Axis::ErrorRate => format!("{:e}", scenario.error_rate),
+            Axis::ChunkWords => scenario
+                .chunk_words()
+                .map_or_else(|| "-".to_owned(), |k| format!("{k}")),
+        }
+    }
+}
+
+/// Aggregate statistics of one group of scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct GroupStats {
+    /// Scenarios aggregated into this group.
+    pub n: u64,
+    /// Total energy, pJ.
+    pub energy_pj: Summary,
+    /// Execution cycles.
+    pub cycles: Summary,
+    /// Checkpoint rollbacks.
+    pub rollbacks: Summary,
+    /// Whole-task restarts.
+    pub restarts: Summary,
+    /// Energy normalized to the same-seed Default run (normalized
+    /// campaigns only; empty otherwise).
+    pub energy_ratio: Summary,
+    /// Cycles normalized to the same-seed Default run.
+    pub cycle_ratio: Summary,
+    /// Scenarios whose output matched the fault-free golden reference.
+    pub correct: u64,
+    /// Scenarios that ran to completion.
+    pub completed: u64,
+}
+
+impl GroupStats {
+    fn push(&mut self, result: &ScenarioResult) {
+        self.n += 1;
+        self.energy_pj.push(result.energy_pj);
+        self.cycles.push(result.cycles as f64);
+        self.rollbacks.push(result.rollbacks as f64);
+        self.restarts.push(result.restarts as f64);
+        if let Some(ratio) = result.energy_ratio {
+            self.energy_ratio.push(ratio);
+        }
+        if let Some(ratio) = result.cycle_ratio {
+            self.cycle_ratio.push(ratio);
+        }
+        if result.correct == Some(true) {
+            self.correct += 1;
+        }
+        if result.completed {
+            self.completed += 1;
+        }
+    }
+}
+
+/// Groups streamed scenario results by a fixed set of axes.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    axes: Vec<Axis>,
+    groups: BTreeMap<Vec<String>, GroupStats>,
+}
+
+impl Aggregator {
+    /// An aggregator grouping by `axes` (empty = one global group).
+    #[must_use]
+    pub fn new(axes: &[Axis]) -> Self {
+        Self {
+            axes: axes.to_vec(),
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// Streams one result into its group.
+    pub fn push(&mut self, result: &ScenarioResult) {
+        let key: Vec<String> = self.axes.iter().map(|axis| axis.key_of(result)).collect();
+        self.groups.entry(key).or_default().push(result);
+    }
+
+    /// The groups in lexicographic key order (deterministic).
+    pub fn groups(&self) -> impl Iterator<Item = (&[String], &GroupStats)> {
+        self.groups
+            .iter()
+            .map(|(key, stats)| (key.as_slice(), stats))
+    }
+
+    /// Looks up one group by its key parts (in axis order) — the lookup
+    /// the table renderers use to print groups in paper order rather
+    /// than lexicographic order.
+    #[must_use]
+    pub fn get(&self, key: &[&str]) -> Option<&GroupStats> {
+        let key: Vec<String> = key.iter().map(|&part| part.to_owned()).collect();
+        self.groups.get(&key)
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether nothing has been aggregated yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The axes this aggregator groups by.
+    #[must_use]
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = Summary::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.stddev() - var.sqrt()).abs() < 1e-12);
+        assert!(s.ci95_half_width() > 0.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn degenerate_summaries_are_zero() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+}

@@ -19,7 +19,10 @@ impl SystemConstraints {
     /// The paper's constraint set: OV1 = 5 %, OV2 = 10 %.
     #[must_use]
     pub fn paper() -> Self {
-        Self { area_overhead: 0.05, cycle_overhead: 0.10 }
+        Self {
+            area_overhead: 0.05,
+            cycle_overhead: 0.10,
+        }
     }
 
     /// Custom constraints.
@@ -37,7 +40,10 @@ impl SystemConstraints {
             (0.0..1.0).contains(&cycle_overhead) && cycle_overhead > 0.0,
             "cycle overhead must be in (0,1)"
         );
-        Self { area_overhead, cycle_overhead }
+        Self {
+            area_overhead,
+            cycle_overhead,
+        }
     }
 }
 
@@ -61,13 +67,19 @@ impl FaultEnvironment {
     /// The paper's evaluation point: λ = 10⁻⁶ word/cycle.
     #[must_use]
     pub fn paper(seed: u64) -> Self {
-        Self { error_rate: 1e-6, seed }
+        Self {
+            error_rate: 1e-6,
+            seed,
+        }
     }
 
     /// A fault-free environment (golden runs).
     #[must_use]
     pub fn fault_free() -> Self {
-        Self { error_rate: 0.0, seed: 0 }
+        Self {
+            error_rate: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -99,7 +111,20 @@ impl SystemConfig {
     /// Same configuration with faults disabled (golden reference runs).
     #[must_use]
     pub fn fault_free(&self) -> Self {
-        Self { faults: FaultEnvironment::fault_free(), ..self.clone() }
+        Self {
+            faults: FaultEnvironment::fault_free(),
+            ..self.clone()
+        }
+    }
+
+    /// Same configuration with a different fault-process seed — the
+    /// per-scenario knob of a Monte Carlo campaign (rate, platform and
+    /// constraints untouched).
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut config = self.clone();
+        config.faults.seed = seed;
+        config
     }
 }
 
@@ -129,6 +154,17 @@ mod tests {
         assert_eq!(golden.platform, config.platform);
         assert_eq!(golden.constraints, config.constraints);
         assert_eq!(golden.faults.error_rate, 0.0);
+    }
+
+    #[test]
+    fn with_seed_changes_seed_only() {
+        let config = SystemConfig::paper(9);
+        let derived = config.with_seed(1234);
+        assert_eq!(derived.faults.seed, 1234);
+        assert_eq!(derived.faults.error_rate, config.faults.error_rate);
+        assert_eq!(derived.platform, config.platform);
+        assert_eq!(derived.constraints, config.constraints);
+        assert_eq!(derived.scale, config.scale);
     }
 
     #[test]

@@ -124,8 +124,7 @@ impl CostModel {
         // charges one buffer access per stored word, plus err restores).
         let prime_model = self.l1_prime_model(buffer_words);
         let e_sch = prime_model.write_energy_pj();
-        let store_pj =
-            (n_ch as f64 * f64::from(buffer_words) + expected_errors) * e_sch;
+        let store_pj = (n_ch as f64 * f64::from(buffer_words) + expected_errors) * e_sch;
 
         // E_CH: software checkpoint trigger.
         let cpu_pj = self.platform.cpu_pj_per_cycle;
@@ -197,10 +196,10 @@ mod tests {
 
     #[test]
     fn expected_errors_scale_with_rate() {
-        let low = CostModel::new(Benchmark::G721Decode, &Platform::lh7a400(), 1e-8, 1.0, 8)
-            .evaluate(16);
-        let high = CostModel::new(Benchmark::G721Decode, &Platform::lh7a400(), 1e-6, 1.0, 8)
-            .evaluate(16);
+        let low =
+            CostModel::new(Benchmark::G721Decode, &Platform::lh7a400(), 1e-8, 1.0, 8).evaluate(16);
+        let high =
+            CostModel::new(Benchmark::G721Decode, &Platform::lh7a400(), 1e-6, 1.0, 8).evaluate(16);
         assert!(high.expected_errors > 50.0 * low.expected_errors);
     }
 
@@ -214,8 +213,7 @@ mod tests {
     #[test]
     fn stronger_code_means_bigger_buffer_area() {
         let weak = CostModel::new(Benchmark::AdpcmEncode, &Platform::lh7a400(), 1e-6, 1.0, 6);
-        let strong =
-            CostModel::new(Benchmark::AdpcmEncode, &Platform::lh7a400(), 1e-6, 1.0, 16);
+        let strong = CostModel::new(Benchmark::AdpcmEncode, &Platform::lh7a400(), 1e-6, 1.0, 16);
         assert!(strong.l1_prime_area_um2(32) > weak.l1_prime_area_um2(32));
     }
 

@@ -80,8 +80,8 @@ impl ProtectedBuffer {
     /// Total macro area including the BCH codec logic, µm².
     #[must_use]
     pub fn area_um2(&self) -> f64 {
-        let overhead = chunkpoint_ecc::CodeOverhead::for_kind(self.sram.kind())
-            .expect("buffer scheme exists");
+        let overhead =
+            chunkpoint_ecc::CodeOverhead::for_kind(self.sram.kind()).expect("buffer scheme exists");
         self.model().area_um2() + logic_area_um2(overhead.logic_gates())
     }
 
@@ -127,7 +127,9 @@ impl ProtectedBuffer {
         self.loads += u64::from(n);
         match self.sram.read_block(0, n as usize, now, &mut out) {
             Ok(()) => Ok(out),
-            Err(offset) => Err(RestoreError { word_index: offset as u32 }),
+            Err(offset) => Err(RestoreError {
+                word_index: offset as u32,
+            }),
         }
     }
 

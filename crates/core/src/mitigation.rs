@@ -69,7 +69,9 @@ impl MitigationScheme {
             MitigationScheme::Default => EccKind::None,
             MitigationScheme::HwEcc { t } => EccKind::Bch { t },
             MitigationScheme::SwRestart | MitigationScheme::Hybrid { .. } => {
-                EccKind::InterleavedParity { ways: DETECTOR_WAYS }
+                EccKind::InterleavedParity {
+                    ways: DETECTOR_WAYS,
+                }
             }
             MitigationScheme::HybridSingleParity { .. } => EccKind::Parity,
             MitigationScheme::ScrubbedSecded { .. } => EccKind::Secded,
@@ -90,10 +92,16 @@ impl MitigationScheme {
             MitigationScheme::Default => "default".to_owned(),
             MitigationScheme::HwEcc { t } => format!("hw-ecc(t={t})"),
             MitigationScheme::SwRestart => "sw-restart".to_owned(),
-            MitigationScheme::Hybrid { chunk_words, l1_prime_t } => {
+            MitigationScheme::Hybrid {
+                chunk_words,
+                l1_prime_t,
+            } => {
                 format!("hybrid(chunk={chunk_words}w, t={l1_prime_t})")
             }
-            MitigationScheme::HybridSingleParity { chunk_words, l1_prime_t } => {
+            MitigationScheme::HybridSingleParity {
+                chunk_words,
+                l1_prime_t,
+            } => {
                 format!("hybrid-1parity(chunk={chunk_words}w, t={l1_prime_t})")
             }
             MitigationScheme::ScrubbedSecded { interval_cycles } => {
@@ -122,11 +130,19 @@ mod tests {
         );
         assert_eq!(
             MitigationScheme::SwRestart.l1_kind(),
-            EccKind::InterleavedParity { ways: DETECTOR_WAYS }
+            EccKind::InterleavedParity {
+                ways: DETECTOR_WAYS
+            }
         );
         assert_eq!(
-            MitigationScheme::Hybrid { chunk_words: 11, l1_prime_t: 8 }.l1_kind(),
-            EccKind::InterleavedParity { ways: DETECTOR_WAYS }
+            MitigationScheme::Hybrid {
+                chunk_words: 11,
+                l1_prime_t: 8
+            }
+            .l1_kind(),
+            EccKind::InterleavedParity {
+                ways: DETECTOR_WAYS
+            }
         );
     }
 
@@ -136,7 +152,10 @@ mod tests {
             MitigationScheme::Default,
             MitigationScheme::hw_baseline(),
             MitigationScheme::SwRestart,
-            MitigationScheme::Hybrid { chunk_words: 16, l1_prime_t: 6 },
+            MitigationScheme::Hybrid {
+                chunk_words: 16,
+                l1_prime_t: 6,
+            },
         ]
         .iter()
         .map(MitigationScheme::label)

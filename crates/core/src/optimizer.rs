@@ -136,11 +136,7 @@ pub fn suboptimal(benchmark: Benchmark, config: &SystemConfig) -> Option<DesignP
 /// Sweeps the objective over every chunk size at a fixed code strength
 /// (the data behind the chunk-size-sensitivity ablation).
 #[must_use]
-pub fn sweep(
-    benchmark: Benchmark,
-    l1_prime_t: u8,
-    config: &SystemConfig,
-) -> Vec<DesignPoint> {
+pub fn sweep(benchmark: Benchmark, l1_prime_t: u8, config: &SystemConfig) -> Vec<DesignPoint> {
     let model = model_for(benchmark, l1_prime_t, config);
     (1..=MAX_CHUNK_WORDS)
         .map(|k| evaluate_with_model(&model, benchmark, k, l1_prime_t, config))
@@ -194,7 +190,9 @@ fn bch_geometry(t: u8) -> Option<(usize, u64)> {
 #[must_use]
 pub fn buffer_area_um2(platform: &Platform, words: u32, t: u8) -> f64 {
     let (check_bits, gates) = bch_geometry(t).unwrap_or((0, 0));
-    platform.l1_prime_model(words as usize, check_bits).area_um2()
+    platform
+        .l1_prime_model(words as usize, check_bits)
+        .area_um2()
         + chunkpoint_sim::logic_area_um2(gates)
 }
 

@@ -15,8 +15,7 @@
 //!   t ≥ 6) falls back to a whole-task restart, counted separately.
 
 use chunkpoint_sim::{
-    Component, EnergyLedger, FaultProcess, MemoryBus, PlainBus, Sram, Trace,
-    TraceEvent, UpsetModel,
+    Component, EnergyLedger, FaultProcess, MemoryBus, PlainBus, Sram, Trace, TraceEvent, UpsetModel,
 };
 use chunkpoint_workloads::{Benchmark, StreamingTask, TaskError};
 
@@ -180,18 +179,24 @@ pub fn run(benchmark: Benchmark, scheme: MitigationScheme, config: &SystemConfig
 /// Runs an arbitrary user-defined task under `scheme` — the library's
 /// extension point for kernels beyond the paper's benchmark set.
 #[must_use]
-pub fn run_task(source: &TaskSource<'_>, scheme: MitigationScheme, config: &SystemConfig) -> RunReport {
+pub fn run_task(
+    source: &TaskSource<'_>,
+    scheme: MitigationScheme,
+    config: &SystemConfig,
+) -> RunReport {
     let mut report = match scheme {
         MitigationScheme::Default | MitigationScheme::HwEcc { .. } => {
             run_straight(source, scheme, config)
         }
         MitigationScheme::SwRestart => run_sw_restart(source, config),
-        MitigationScheme::Hybrid { chunk_words, l1_prime_t } => {
-            run_hybrid(source, scheme, chunk_words, l1_prime_t, config)
-        }
-        MitigationScheme::HybridSingleParity { chunk_words, l1_prime_t } => {
-            run_hybrid(source, scheme, chunk_words, l1_prime_t, config)
-        }
+        MitigationScheme::Hybrid {
+            chunk_words,
+            l1_prime_t,
+        } => run_hybrid(source, scheme, chunk_words, l1_prime_t, config),
+        MitigationScheme::HybridSingleParity {
+            chunk_words,
+            l1_prime_t,
+        } => run_hybrid(source, scheme, chunk_words, l1_prime_t, config),
         MitigationScheme::ScrubbedSecded { interval_cycles } => {
             run_scrubbed(source, interval_cycles, config)
         }
@@ -233,14 +238,23 @@ fn run_straight(
     } else {
         #[allow(clippy::needless_range_loop)] // index is also the phase id
         for block in 0..task.total_blocks() {
-            trace.push(TraceEvent::PhaseStart { phase: block, cycle: bus.now() });
+            trace.push(TraceEvent::PhaseStart {
+                phase: block,
+                cycle: bus.now(),
+            });
             match task.run_block(block, &mut bus) {
                 Ok(produced) => {
                     produced_per_block[block] = produced;
-                    trace.push(TraceEvent::PhaseEnd { phase: block, cycle: bus.now() });
+                    trace.push(TraceEvent::PhaseEnd {
+                        phase: block,
+                        cycle: bus.now(),
+                    });
                 }
                 Err(TaskError::Read(fault)) => {
-                    trace.push(TraceEvent::ReadError { addr: fault.addr, cycle: fault.cycle });
+                    trace.push(TraceEvent::ReadError {
+                        addr: fault.addr,
+                        cycle: fault.cycle,
+                    });
                     errors += 1;
                     completed = false;
                     break;
@@ -259,8 +273,7 @@ fn run_straight(
         }
         // Frame complete: DMA the accumulated output out of L1.
         if completed
-            && drain_frame(task.as_ref(), &mut bus, &produced_per_block, &mut output)
-                .is_err()
+            && drain_frame(task.as_ref(), &mut bus, &produced_per_block, &mut output).is_err()
         {
             // HW baseline: beyond-t strike even the full-array ECC cannot
             // fix (never observed at realistic rates).
@@ -347,11 +360,7 @@ fn run_sw_restart(source: &TaskSource<'_>, config: &SystemConfig) -> RunReport {
 /// regions (correcting accumulated single-bit upsets) and charge the
 /// energy of sweeping the whole array. A detected-uncorrectable word —
 /// i.e. any multi-bit strike — restarts the task, like the SW baseline.
-fn run_scrubbed(
-    source: &TaskSource<'_>,
-    interval_cycles: u32,
-    config: &SystemConfig,
-) -> RunReport {
+fn run_scrubbed(source: &TaskSource<'_>, interval_cycles: u32, config: &SystemConfig) -> RunReport {
     let scheme = MitigationScheme::ScrubbedSecded { interval_cycles };
     let mut task = (source.build)(source.default_chunk_words);
     let mut bus = build_l1_bus(scheme, config, 0x5157_0005);
@@ -475,9 +484,7 @@ fn run_hybrid(
             continue;
         }
         // CH(0): commit the initial state so phase 0 is recoverable.
-        if commit_checkpoint(task.as_mut(), &mut bus, &mut l1_prime, 0, None, &mut trace)
-            .is_err()
-        {
+        if commit_checkpoint(task.as_mut(), &mut bus, &mut l1_prime, 0, None, &mut trace).is_err() {
             restarts += 1;
             continue;
         }
@@ -492,7 +499,10 @@ fn run_hybrid(
                     break 'restart; // unrecoverable: retry budget exhausted
                 }
                 attempts += 1;
-                trace.push(TraceEvent::PhaseStart { phase: block, cycle: bus.now() });
+                trace.push(TraceEvent::PhaseStart {
+                    phase: block,
+                    cycle: bus.now(),
+                });
                 let produced = match task.run_block(block, &mut bus) {
                     Ok(produced) => produced,
                     Err(TaskError::Read(fault)) => {
@@ -553,7 +563,10 @@ fn run_hybrid(
                     Ok(chunk) => {
                         checkpoints += 1;
                         output.extend_from_slice(&chunk[state_words as usize..]);
-                        trace.push(TraceEvent::PhaseEnd { phase: block, cycle: bus.now() });
+                        trace.push(TraceEvent::PhaseEnd {
+                            phase: block,
+                            cycle: bus.now(),
+                        });
                         break;
                     }
                     Err(fault) => {
@@ -662,7 +675,10 @@ fn service_read_error(
     for (i, &w) in restored.iter().enumerate() {
         bus.store(state_region.word(i as u32), w);
     }
-    trace.push(TraceEvent::Rollback { to_checkpoint: block, cycle: bus.now() });
+    trace.push(TraceEvent::Rollback {
+        to_checkpoint: block,
+        cycle: bus.now(),
+    });
     Ok(())
 }
 
@@ -702,7 +718,10 @@ mod tests {
             let reference = golden(benchmark, &config);
             let report = run(
                 benchmark,
-                MitigationScheme::Hybrid { chunk_words: 16, l1_prime_t: 8 },
+                MitigationScheme::Hybrid {
+                    chunk_words: 16,
+                    l1_prime_t: 8,
+                },
                 &config,
             );
             assert!(report.completed, "{benchmark}");
@@ -718,7 +737,10 @@ mod tests {
         let config = fast_config(7);
         let report = run(
             Benchmark::AdpcmDecode,
-            MitigationScheme::Hybrid { chunk_words: 16, l1_prime_t: 8 },
+            MitigationScheme::Hybrid {
+                chunk_words: 16,
+                l1_prime_t: 8,
+            },
             &config,
         );
         assert!(report.checkpoints as usize >= report.output.len() / 16);
@@ -744,7 +766,11 @@ mod tests {
         let mut config = fast_config(4);
         config.faults.error_rate = 1e-5;
         let reference = golden(Benchmark::AdpcmEncode, &config);
-        let report = run(Benchmark::AdpcmEncode, MitigationScheme::hw_baseline(), &config);
+        let report = run(
+            Benchmark::AdpcmEncode,
+            MitigationScheme::hw_baseline(),
+            &config,
+        );
         assert!(report.completed);
         assert!(report.output_matches(&reference));
     }
@@ -766,13 +792,19 @@ mod tests {
         let reference = golden(benchmark, &config);
         let hybrid = run(
             benchmark,
-            MitigationScheme::Hybrid { chunk_words: 16, l1_prime_t: 8 },
+            MitigationScheme::Hybrid {
+                chunk_words: 16,
+                l1_prime_t: 8,
+            },
             &config,
         );
         let hw = run(benchmark, MitigationScheme::hw_baseline(), &config);
         let ratio_hybrid = hybrid.energy_ratio(&reference);
         let ratio_hw = hw.energy_ratio(&reference);
         assert!(ratio_hybrid > 1.0, "hybrid {ratio_hybrid}");
-        assert!(ratio_hw > ratio_hybrid, "hw {ratio_hw} vs hybrid {ratio_hybrid}");
+        assert!(
+            ratio_hw > ratio_hybrid,
+            "hw {ratio_hw} vs hybrid {ratio_hybrid}"
+        );
     }
 }

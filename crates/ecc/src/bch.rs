@@ -125,11 +125,17 @@ impl std::fmt::Debug for BchCode {
             .field("r", &self.r)
             .field(
                 "enc_tables",
-                &self.enc_tables.as_ref().map(|t| format!("<{} entries>", t.len())),
+                &self
+                    .enc_tables
+                    .as_ref()
+                    .map(|t| format!("<{} entries>", t.len())),
             )
             .field(
                 "synd_tables",
-                &self.synd_tables.as_ref().map(|t| format!("<{} entries>", t.len())),
+                &self
+                    .synd_tables
+                    .as_ref()
+                    .map(|t| format!("<{} entries>", t.len())),
             )
             .finish_non_exhaustive()
     }
@@ -148,8 +154,7 @@ impl BchCode {
         if t == 0 {
             return Err(BuildSchemeError::new("bch requires t >= 1"));
         }
-        let field = Gf2m::new(m)
-            .map_err(|e| BuildSchemeError::new(format!("bch field: {e}")))?;
+        let field = Gf2m::new(m).map_err(|e| BuildSchemeError::new(format!("bch field: {e}")))?;
         let n = field.order() as usize;
         if 2 * t >= n {
             return Err(BuildSchemeError::new(format!(
@@ -330,11 +335,7 @@ impl BchCode {
     /// syndromes vanishing means the whole vector is zero — every even
     /// syndrome is a square of some odd one (S_(2^a·o) = S_o^(2^a)).
     #[inline]
-    fn odd_syndromes(
-        &self,
-        stored: &BitBuf,
-        odd: &mut [u16; MAX_TABLE_T],
-    ) -> Option<bool> {
+    fn odd_syndromes(&self, stored: &BitBuf, odd: &mut [u16; MAX_TABLE_T]) -> Option<bool> {
         let tables = self.synd_tables.as_deref()?;
         let t = self.t;
         for (byte_pos, value) in stored.bytes().enumerate() {
@@ -519,7 +520,9 @@ impl BchCode {
             self.name
         );
         let Some(synd) = self.syndromes_reference(stored) else {
-            return Decoded::Clean { data: stored.extract_u32(self.r) };
+            return Decoded::Clean {
+                data: stored.extract_u32(self.r),
+            };
         };
         self.decode_with_syndromes(stored, &synd)
     }
@@ -530,12 +533,7 @@ impl BchCode {
     /// region (positions in the shortened tail cannot carry channel
     /// errors, and missing roots there surface as a count mismatch
     /// exactly as in the full scan).
-    fn decode_fast_tail(
-        &self,
-        stored: &BitBuf,
-        synd: &[u16],
-        odd: &[u16; MAX_TABLE_T],
-    ) -> Decoded {
+    fn decode_fast_tail(&self, stored: &BitBuf, synd: &[u16], odd: &[u16; MAX_TABLE_T]) -> Decoded {
         const CAP: usize = MAX_TABLE_T + 2;
         let f = &self.field;
         let slen = self.t + 2;
@@ -833,7 +831,9 @@ impl EccScheme for BchCode {
         // live in stack arrays.
         let mut odd = [0u16; MAX_TABLE_T];
         match self.odd_syndromes(stored, &mut odd) {
-            Some(false) => Decoded::Clean { data: stored.extract_u32(self.r) },
+            Some(false) => Decoded::Clean {
+                data: stored.extract_u32(self.r),
+            },
             Some(true) => {
                 let mut synd = [0u16; 2 * MAX_TABLE_T];
                 self.expand_syndromes(&odd, &mut synd[..2 * self.t]);
@@ -842,7 +842,9 @@ impl EccScheme for BchCode {
             None => {
                 // No tables (t beyond the table bound): reference path.
                 let Some(synd) = self.syndromes_reference(stored) else {
-                    return Decoded::Clean { data: stored.extract_u32(self.r) };
+                    return Decoded::Clean {
+                        data: stored.extract_u32(self.r),
+                    };
                 };
                 self.decode_with_syndromes(stored, &synd)
             }
@@ -1026,7 +1028,10 @@ mod tests {
             bad.flip(7);
             bad.flip(40);
             match code.decode(&bad) {
-                Decoded::Corrected { data: d, bits_corrected: 2 } => {
+                Decoded::Corrected {
+                    data: d,
+                    bits_corrected: 2,
+                } => {
                     assert_eq!(d, data);
                 }
                 other => panic!("{other:?}"),
@@ -1046,7 +1051,10 @@ mod tests {
                 stored.flip((e * len / t + e) % len);
             }
             match code.decode(&stored) {
-                Decoded::Corrected { data: d, bits_corrected } => {
+                Decoded::Corrected {
+                    data: d,
+                    bits_corrected,
+                } => {
                     assert_eq!(d, data, "t={t}");
                     assert_eq!(bits_corrected as usize, t, "t={t}");
                 }
@@ -1073,7 +1081,10 @@ mod tests {
                 Decoded::Clean { .. } => {
                     panic!("t={t}: {} errors decoded as clean", t + 1)
                 }
-                Decoded::Corrected { data: d, bits_corrected } => {
+                Decoded::Corrected {
+                    data: d,
+                    bits_corrected,
+                } => {
                     assert!(bits_corrected as usize <= t, "t={t}");
                     // The decoder's output must be a valid codeword.
                     let reencoded = code.encode(d);
@@ -1115,7 +1126,10 @@ mod tests {
         stored.flip(code.check_bits() - 1);
         assert_eq!(
             code.decode(&stored),
-            Decoded::Corrected { data, bits_corrected: 2 }
+            Decoded::Corrected {
+                data,
+                bits_corrected: 2
+            }
         );
     }
 

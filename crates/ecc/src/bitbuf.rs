@@ -76,7 +76,11 @@ impl BitBuf {
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -86,7 +90,11 @@ impl BitBuf {
     ///
     /// Panics if `i >= self.len()`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;
@@ -101,7 +109,11 @@ impl BitBuf {
     ///
     /// Panics if `i >= self.len()`.
     pub fn flip(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         self.words[i / 64] ^= 1u64 << (i % 64);
         self.get(i)
     }
@@ -227,9 +239,7 @@ impl BitBuf {
     /// Iterates the stored bits as bytes, low byte first (bits `[8k, 8k+8)`
     /// form byte `k`); the final partial byte is zero-padded.
     pub fn bytes(&self) -> impl Iterator<Item = u8> + '_ {
-        (0..self.len.div_ceil(8)).map(move |k| {
-            (self.words[k / 8] >> ((k % 8) * 8)) as u8
-        })
+        (0..self.len.div_ceil(8)).map(move |k| (self.words[k / 8] >> ((k % 8) * 8)) as u8)
     }
 }
 

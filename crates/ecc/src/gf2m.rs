@@ -91,7 +91,13 @@ impl Gf2m {
         for i in order..(2 * order) {
             exp[i as usize] = exp[(i - order) as usize];
         }
-        Ok(Self { m, order, exp, log, poly })
+        Ok(Self {
+            m,
+            order,
+            exp,
+            log,
+            poly,
+        })
     }
 
     /// Field degree m.
@@ -279,11 +285,7 @@ mod tests {
         };
         for a in 0..64u32 {
             for b in 0..64u32 {
-                assert_eq!(
-                    field.mul(a as u16, b as u16),
-                    slow_mul(a, b),
-                    "a={a} b={b}"
-                );
+                assert_eq!(field.mul(a as u16, b as u16), slow_mul(a, b), "a={a} b={b}");
             }
         }
     }

@@ -52,7 +52,12 @@ impl InterleavedSecded {
         let sub = HammingSecded::new(32 / ways);
         let sub_len = sub.data_bits() + sub.check_bits();
         let name = format!("SECDEDx{ways}");
-        Ok(Self { ways, sub, sub_len, name })
+        Ok(Self {
+            ways,
+            sub,
+            sub_len,
+            name,
+        })
     }
 
     /// Interleave factor (guaranteed adjacent-burst correction width).
@@ -140,7 +145,10 @@ impl EccScheme for InterleavedSecded {
             let sub = BitBuf::from_u64(sub_word, self.sub_len);
             match self.sub.decode(&sub) {
                 Decoded::Clean { data } => *part = data,
-                Decoded::Corrected { data, bits_corrected } => {
+                Decoded::Corrected {
+                    data,
+                    bits_corrected,
+                } => {
                     corrected += bits_corrected;
                     *part = data;
                 }
@@ -151,7 +159,10 @@ impl EccScheme for InterleavedSecded {
         if corrected == 0 {
             Decoded::Clean { data }
         } else {
-            Decoded::Corrected { data, bits_corrected: corrected }
+            Decoded::Corrected {
+                data,
+                bits_corrected: corrected,
+            }
         }
     }
 }

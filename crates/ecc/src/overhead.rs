@@ -177,7 +177,10 @@ mod tests {
             let cur = CodeOverhead::for_kind(EccKind::Bch { t }).unwrap();
             assert!(cur.check_bits >= prev.check_bits, "t={t}");
             assert!(cur.decoder_gates > prev.decoder_gates, "t={t}");
-            assert!(cur.access_energy_factor > prev.access_energy_factor, "t={t}");
+            assert!(
+                cur.access_energy_factor > prev.access_energy_factor,
+                "t={t}"
+            );
             assert!(
                 cur.correction_latency_cycles > prev.correction_latency_cycles,
                 "t={t}"

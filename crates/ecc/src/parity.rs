@@ -51,7 +51,9 @@ impl EccScheme for NoCode {
 
     fn decode(&self, stored: &BitBuf) -> Decoded {
         assert_eq!(stored.len(), 32, "stored word length mismatch for none");
-        Decoded::Clean { data: stored.extract_u32(0) }
+        Decoded::Clean {
+            data: stored.extract_u32(0),
+        }
     }
 }
 
@@ -106,7 +108,9 @@ impl EccScheme for ParityCode {
     fn decode(&self, stored: &BitBuf) -> Decoded {
         assert_eq!(stored.len(), 33, "stored word length mismatch for parity");
         if stored.count_ones().is_multiple_of(2) {
-            Decoded::Clean { data: stored.extract_u32(0) }
+            Decoded::Clean {
+                data: stored.extract_u32(0),
+            }
         } else {
             Decoded::DetectedUncorrectable
         }
@@ -148,8 +152,14 @@ pub struct InterleavedParity {
 
 /// Static names so `name()` never allocates (ways is 1..=8).
 const INTERLEAVED_PARITY_NAMES: [&str; 8] = [
-    "parity-x1", "parity-x2", "parity-x3", "parity-x4", "parity-x5",
-    "parity-x6", "parity-x7", "parity-x8",
+    "parity-x1",
+    "parity-x2",
+    "parity-x3",
+    "parity-x4",
+    "parity-x5",
+    "parity-x6",
+    "parity-x7",
+    "parity-x8",
 ];
 
 impl InterleavedParity {
@@ -233,7 +243,9 @@ impl EccScheme for InterleavedParity {
             self.name()
         );
         if self.parities(stored) == 0 {
-            Decoded::Clean { data: stored.extract_u32(0) }
+            Decoded::Clean {
+                data: stored.extract_u32(0),
+            }
         } else {
             Decoded::DetectedUncorrectable
         }
@@ -252,7 +264,10 @@ mod tests {
         let mut corrupted = stored;
         corrupted.flip(31);
         // Corruption is invisible: decode still claims "clean".
-        assert_eq!(code.decode(&corrupted), Decoded::Clean { data: 0x7FFF_0000 });
+        assert_eq!(
+            code.decode(&corrupted),
+            Decoded::Clean { data: 0x7FFF_0000 }
+        );
     }
 
     #[test]

@@ -226,7 +226,9 @@ pub struct BuildSchemeError {
 
 impl BuildSchemeError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -259,18 +261,17 @@ pub fn build_scheme(kind: EccKind) -> Result<Box<dyn EccScheme>, BuildSchemeErro
     match kind {
         EccKind::None => Ok(Box::new(crate::parity::NoCode::new())),
         EccKind::Parity => Ok(Box::new(crate::parity::ParityCode::new())),
-        EccKind::InterleavedParity { ways } => {
-            crate::parity::InterleavedParity::new(ways as usize)
-                .map(|c| Box::new(c) as Box<dyn EccScheme>)
-        }
+        EccKind::InterleavedParity { ways } => crate::parity::InterleavedParity::new(ways as usize)
+            .map(|c| Box::new(c) as Box<dyn EccScheme>),
         EccKind::Secded => Ok(Box::new(crate::secded::SecdedCode::new())),
         EccKind::TwoDimParity => Ok(Box::new(crate::twodim::TwoDimParity::new())),
         EccKind::InterleavedSecded { ways } => {
             crate::interleaved::InterleavedSecded::new(ways as usize)
                 .map(|c| Box::new(c) as Box<dyn EccScheme>)
         }
-        EccKind::Bch { t } => crate::bch::BchCode::for_word(t as usize)
-            .map(|c| Box::new(c) as Box<dyn EccScheme>),
+        EccKind::Bch { t } => {
+            crate::bch::BchCode::for_word(t as usize).map(|c| Box::new(c) as Box<dyn EccScheme>)
+        }
     }
 }
 
@@ -282,7 +283,11 @@ mod tests {
     fn decoded_data_accessor() {
         assert_eq!(Decoded::Clean { data: 7 }.data(), Some(7));
         assert_eq!(
-            Decoded::Corrected { data: 7, bits_corrected: 2 }.data(),
+            Decoded::Corrected {
+                data: 7,
+                bits_corrected: 2
+            }
+            .data(),
             Some(7)
         );
         assert_eq!(Decoded::DetectedUncorrectable.data(), None);
@@ -297,14 +302,23 @@ mod tests {
         assert!(kinds.contains(&EccKind::Parity));
         assert!(kinds.contains(&EccKind::Secded));
         assert!(kinds.contains(&EccKind::Bch { t: 18 }));
-        assert_eq!(kinds.iter().filter(|k| matches!(k, EccKind::Bch { .. })).count(), 18);
+        assert_eq!(
+            kinds
+                .iter()
+                .filter(|k| matches!(k, EccKind::Bch { .. }))
+                .count(),
+            18
+        );
     }
 
     #[test]
     fn display_names() {
         assert_eq!(EccKind::None.to_string(), "none");
         assert_eq!(EccKind::Bch { t: 3 }.to_string(), "bch-t3");
-        assert_eq!(EccKind::InterleavedSecded { ways: 4 }.to_string(), "secded-x4");
+        assert_eq!(
+            EccKind::InterleavedSecded { ways: 4 }.to_string(),
+            "secded-x4"
+        );
     }
 
     #[test]

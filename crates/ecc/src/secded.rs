@@ -196,15 +196,17 @@ impl EccScheme for HammingSecded {
         );
         let w = stored.as_words()[0];
         let data = (w & ((1u64 << self.data_bits) - 1)) as u32;
-        let stored_checks =
-            ((w >> self.data_bits) & ((1u64 << self.hamming_bits) - 1)) as u32;
+        let stored_checks = ((w >> self.data_bits) & ((1u64 << self.hamming_bits) - 1)) as u32;
         let syndrome = self.compute_checks(data) ^ stored_checks;
         let parity_ok = w.count_ones() % 2 == 0;
         match (syndrome, parity_ok) {
             (0, true) => Decoded::Clean { data },
             (0, false) => {
                 // Only the overall parity bit flipped; payload is intact.
-                Decoded::Corrected { data, bits_corrected: 1 }
+                Decoded::Corrected {
+                    data,
+                    bits_corrected: 1,
+                }
             }
             (s, false) => {
                 // Single error at Hamming position s.
@@ -213,7 +215,10 @@ impl EccScheme for HammingSecded {
                         data: data ^ (1 << idx),
                         bits_corrected: 1,
                     },
-                    Some(_) => Decoded::Corrected { data, bits_corrected: 1 },
+                    Some(_) => Decoded::Corrected {
+                        data,
+                        bits_corrected: 1,
+                    },
                     // Syndrome points outside the code: ≥2 errors.
                     None => Decoded::DetectedUncorrectable,
                 }
@@ -244,7 +249,9 @@ impl SecdedCode {
     /// Creates the (39,32) SECDED code.
     #[must_use]
     pub fn new() -> Self {
-        Self { inner: HammingSecded::new(32) }
+        Self {
+            inner: HammingSecded::new(32),
+        }
     }
 
     /// Bit-serial reference encoder (see
@@ -315,7 +322,10 @@ mod tests {
             let mut bad = clean;
             bad.flip(i);
             match code.decode(&bad) {
-                Decoded::Corrected { data: d, bits_corrected: 1 } => {
+                Decoded::Corrected {
+                    data: d,
+                    bits_corrected: 1,
+                } => {
                     assert_eq!(d, data, "flip at {i}")
                 }
                 other => panic!("flip at {i}: {other:?}"),
@@ -351,11 +361,7 @@ mod tests {
             for i in 0..clean.len() {
                 let mut bad = clean;
                 bad.flip(i);
-                assert_eq!(
-                    code.decode(&bad).data(),
-                    Some(data),
-                    "w={width} flip={i}"
-                );
+                assert_eq!(code.decode(&bad).data(), Some(data), "w={width} flip={i}");
             }
         }
     }
@@ -364,7 +370,11 @@ mod tests {
     fn table_checks_match_reference_everywhere() {
         for width in [4usize, 8, 11, 16, 26, 32] {
             let code = HammingSecded::new(width);
-            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            let mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1 << width) - 1
+            };
             for step in 0..1000u32 {
                 let data = step.wrapping_mul(2_654_435_761) & mask;
                 assert_eq!(

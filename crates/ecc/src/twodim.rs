@@ -125,16 +125,25 @@ impl EccScheme for TwoDimParity {
         match (rows.count_ones(), cols.count_ones(), odd) {
             (0, 0, false) => Decoded::Clean { data },
             // Only the overall guard bit flipped; payload intact.
-            (0, 0, true) => Decoded::Corrected { data, bits_corrected: 1 },
+            (0, 0, true) => Decoded::Corrected {
+                data,
+                bits_corrected: 1,
+            },
             // Single data bit at the syndrome intersection (odd weight).
             (1, 1, true) => {
                 let r = rows.trailing_zeros() as usize;
                 let c = cols.trailing_zeros() as usize;
                 let bit = r * COLS + c;
-                Decoded::Corrected { data: data ^ (1 << bit), bits_corrected: 1 }
+                Decoded::Corrected {
+                    data: data ^ (1 << bit),
+                    bits_corrected: 1,
+                }
             }
             // A lone row/column parity-bit flip (odd weight, payload ok).
-            (1, 0, true) | (0, 1, true) => Decoded::Corrected { data, bits_corrected: 1 },
+            (1, 0, true) | (0, 1, true) => Decoded::Corrected {
+                data,
+                bits_corrected: 1,
+            },
             // Everything else — including every even-weight two-flip
             // pattern the guard bit exposes — is flagged.
             _ => Decoded::DetectedUncorrectable,
@@ -163,7 +172,10 @@ mod tests {
             bad.flip(i);
             assert_eq!(
                 code.decode(&bad),
-                Decoded::Corrected { data, bits_corrected: 1 },
+                Decoded::Corrected {
+                    data,
+                    bits_corrected: 1
+                },
                 "flip {i}"
             );
         }
@@ -203,7 +215,12 @@ mod tests {
         for &bit in &[0usize, 3, 8, 11] {
             bad.flip(bit);
         }
-        assert_eq!(code.decode(&bad), Decoded::Clean { data: 0b1001_0000_1001 });
+        assert_eq!(
+            code.decode(&bad),
+            Decoded::Clean {
+                data: 0b1001_0000_1001
+            }
+        );
     }
 
     #[test]

@@ -105,7 +105,11 @@ impl Region {
     /// Panics if `i >= self.words`.
     #[must_use]
     pub fn word(&self, i: u32) -> WordAddr {
-        assert!(i < self.words, "index {i} outside region of {} words", self.words);
+        assert!(
+            i < self.words,
+            "index {i} outside region of {} words",
+            self.words
+        );
         self.base + i
     }
 
@@ -171,7 +175,11 @@ impl AddressMap {
     /// Creates an allocator over `capacity_words` words starting at 0.
     #[must_use]
     pub fn new(capacity_words: u32) -> Self {
-        Self { capacity_words, next: 0, regions: Vec::new() }
+        Self {
+            capacity_words,
+            next: 0,
+            regions: Vec::new(),
+        }
     }
 
     /// Allocates a named region of `words` words.
@@ -183,9 +191,16 @@ impl AddressMap {
         let name = name.into();
         let available = self.capacity_words - self.next;
         if words > available {
-            return Err(AllocError { requested: words, available, name });
+            return Err(AllocError {
+                requested: words,
+                available,
+                name,
+            });
         }
-        let region = Region { base: self.next, words };
+        let region = Region {
+            base: self.next,
+            words,
+        };
         self.next += words;
         self.regions.push((name, region));
         Ok(region)
@@ -316,7 +331,10 @@ impl MemoryBus for PlainBus {
                 self.ledger.add_cycles(self.correction_latency);
                 Ok(data)
             }
-            Decoded::DetectedUncorrectable => Err(ReadFault { addr, cycle: self.now }),
+            Decoded::DetectedUncorrectable => Err(ReadFault {
+                addr,
+                cycle: self.now,
+            }),
         }
     }
 
@@ -328,8 +346,10 @@ impl MemoryBus for PlainBus {
     fn tick(&mut self, cycles: u64) {
         self.now += cycles;
         self.ledger.add_cycles(cycles);
-        self.ledger
-            .add(Component::Cpu, self.platform.cpu_pj_per_cycle * cycles as f64);
+        self.ledger.add(
+            Component::Cpu,
+            self.platform.cpu_pj_per_cycle * cycles as f64,
+        );
         // Instruction fetches from the same on-chip SRAM: pay the array's
         // per-read energy (and its ECC factor under HW mitigation).
         let fetch_pj = self.platform.ifetch_per_cycle * cycles as f64 * self.read_pj;
@@ -408,17 +428,13 @@ mod tests {
         assert_eq!(bus.now(), 100);
         let platform = Platform::lh7a400();
         assert!(
-            (bus.ledger().component_pj(Component::Cpu)
-                - 100.0 * platform.cpu_pj_per_cycle)
-                .abs()
+            (bus.ledger().component_pj(Component::Cpu) - 100.0 * platform.cpu_pj_per_cycle).abs()
                 < 1e-9
         );
         // Instruction fetches hit L1 too.
         let expected_fetch =
             100.0 * platform.ifetch_per_cycle * bus.sram().model().read_energy_pj();
-        assert!(
-            (bus.ledger().component_pj(Component::L1) - expected_fetch).abs() < 1e-6
-        );
+        assert!((bus.ledger().component_pj(Component::L1) - expected_fetch).abs() < 1e-6);
     }
 
     #[test]

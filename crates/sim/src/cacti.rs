@@ -44,7 +44,10 @@ impl SramModel {
     pub fn new(words: usize, bits_per_word: usize) -> Self {
         assert!(words > 0, "SRAM must have at least one word");
         assert!(bits_per_word > 0, "SRAM words must have at least one bit");
-        Self { words, bits_per_word }
+        Self {
+            words,
+            bits_per_word,
+        }
     }
 
     /// Number of addressable words.

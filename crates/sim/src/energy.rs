@@ -208,8 +208,7 @@ mod tests {
         let mut ledger = EnergyLedger::new();
         ledger.add(Component::Isr, 1.0);
         ledger.add(Component::Cpu, 1.0);
-        let components: Vec<Component> =
-            ledger.breakdown().into_iter().map(|(c, _)| c).collect();
+        let components: Vec<Component> = ledger.breakdown().into_iter().map(|(c, _)| c).collect();
         assert_eq!(components, vec![Component::Cpu, Component::Isr]);
     }
 

@@ -34,7 +34,9 @@ impl UpsetModel {
     /// events upset more than one bit.
     #[must_use]
     pub fn smu_65nm() -> Self {
-        UpsetModel::MultiBit { weights: vec![0.45, 0.25, 0.15, 0.08, 0.05, 0.02] }
+        UpsetModel::MultiBit {
+            weights: vec![0.45, 0.25, 0.15, 0.08, 0.05, 0.02],
+        }
     }
 
     /// Maximum burst width this model can produce.
@@ -126,6 +128,23 @@ impl FaultProcess {
         Self::new(0.0, UpsetModel::SingleBit, 0)
     }
 
+    /// Restarts the strike stream from `seed`, keeping the rate and the
+    /// upset model. Statistics counters are reset: after a reseed the
+    /// process is indistinguishable from a freshly built one.
+    ///
+    /// This is the knob for long-lived harnesses that re-roll the fault
+    /// stream of an existing array between episodes. Note the campaign
+    /// engine does *not* use it — campaigns reseed at the configuration
+    /// level (`SystemConfig::with_seed`) so each scenario builds its
+    /// processes from the derived `(campaign_seed, index)` seed; mixing
+    /// `reseed` into a campaign scenario would step outside that
+    /// reproducibility contract.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.strikes = 0;
+        self.bits_flipped = 0;
+    }
+
     /// Strike rate λ.
     #[must_use]
     pub fn rate(&self) -> f64 {
@@ -198,7 +217,11 @@ impl FaultProcess {
             }
             self.strikes += 1;
             self.bits_flipped += width as u64;
-            events.push(FaultEvent { cycle: now, first_bit, width });
+            events.push(FaultEvent {
+                cycle: now,
+                first_bit,
+                width,
+            });
         }
         count as usize
     }
@@ -276,10 +299,7 @@ mod tests {
             }
             if events.len() == 1 {
                 // A single burst flips exactly `width` adjacent bits.
-                assert_eq!(
-                    word.hamming_distance(&before) as usize,
-                    events[0].width
-                );
+                assert_eq!(word.hamming_distance(&before) as usize, events[0].width);
             }
         }
     }
@@ -290,12 +310,20 @@ mod tests {
         let mut b = a.clone();
         let mut word_a = BitBuf::new(39);
         let mut word_b = BitBuf::new(39);
-        let mut log = vec![FaultEvent { cycle: 0, first_bit: 0, width: 1 }];
+        let mut log = vec![FaultEvent {
+            cycle: 0,
+            first_bit: 0,
+            width: 1,
+        }];
         let mut total = 0usize;
         for round in 0..50u64 {
             let events = a.expose(&mut word_a, 1000, round);
             total += b.expose_into(&mut word_b, 1000, round, &mut log);
-            assert_eq!(&log[log.len() - events.len()..], &events[..], "round {round}");
+            assert_eq!(
+                &log[log.len() - events.len()..],
+                &events[..],
+                "round {round}"
+            );
         }
         assert_eq!(word_a, word_b);
         assert_eq!(log.len(), total + 1, "pre-existing entries must survive");
@@ -314,6 +342,25 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9).0, run(10).0);
+    }
+
+    #[test]
+    fn reseed_restarts_the_stream() {
+        let mut reseeded = FaultProcess::new(1e-2, UpsetModel::smu_65nm(), 1);
+        let mut fresh = FaultProcess::new(1e-2, UpsetModel::smu_65nm(), 99);
+        let mut scratch = BitBuf::new(39);
+        reseeded.expose(&mut scratch, 100_000, 0);
+        assert!(reseeded.strikes() > 0, "warm-up produced no strikes");
+        reseeded.reseed(99);
+        assert_eq!(reseeded.strikes(), 0, "reseed must reset statistics");
+        let mut word_a = BitBuf::new(39);
+        let mut word_b = BitBuf::new(39);
+        for round in 0..50 {
+            let a = reseeded.expose(&mut word_a, 1000, round);
+            let b = fresh.expose(&mut word_b, 1000, round);
+            assert_eq!(a, b, "round {round}");
+        }
+        assert_eq!(word_a, word_b);
     }
 
     #[test]

@@ -149,12 +149,9 @@ impl Sram {
             // Strikes are pushed straight into the array's long-lived log:
             // the overwhelmingly common no-strike exposure allocates and
             // copies nothing.
-            let strikes = self.faults.expose_into(
-                &mut self.words[addr],
-                elapsed,
-                now,
-                &mut self.event_log,
-            );
+            let strikes =
+                self.faults
+                    .expose_into(&mut self.words[addr], elapsed, now, &mut self.event_log);
             self.stats.strikes += strikes as u64;
         }
         self.last_touch[addr] = now;
@@ -175,7 +172,10 @@ impl Sram {
         self.stats.reads += 1;
         let outcome = self.scheme.decode(&self.words[addr]);
         match outcome {
-            Decoded::Corrected { data, bits_corrected } => {
+            Decoded::Corrected {
+                data,
+                bits_corrected,
+            } => {
                 self.stats.corrected_reads += 1;
                 self.stats.bits_corrected += u64::from(bits_corrected);
                 self.words[addr] = self.scheme.encode(data);
@@ -269,7 +269,10 @@ impl Sram {
                         sink.push(data);
                     }
                 }
-                Decoded::Corrected { data, bits_corrected } => {
+                Decoded::Corrected {
+                    data,
+                    bits_corrected,
+                } => {
                     self.stats.corrected_reads += 1;
                     self.stats.bits_corrected += u64::from(bits_corrected);
                     self.words[addr + offset] = self.scheme.encode(data);
@@ -365,7 +368,10 @@ mod tests {
         mem.inject(1, 5, 1);
         assert_eq!(
             mem.read(1, 1),
-            Decoded::Corrected { data: 0xFFFF_0000, bits_corrected: 1 }
+            Decoded::Corrected {
+                data: 0xFFFF_0000,
+                bits_corrected: 1
+            }
         );
         // Read-repair scrubbed the word: next read is clean.
         assert_eq!(mem.read(1, 2), Decoded::Clean { data: 0xFFFF_0000 });

@@ -89,7 +89,11 @@ impl Trace {
     /// recording entirely).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self { events: Vec::new(), capacity, dropped: 0 }
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Records an event, dropping it if the trace is full.
@@ -143,13 +147,20 @@ impl Trace {
                 TraceEvent::PhaseEnd { phase, cycle } => {
                     format!("{cycle:>10} | P{phase} end")
                 }
-                TraceEvent::Checkpoint { index, cycle, chunk_words } => {
+                TraceEvent::Checkpoint {
+                    index,
+                    cycle,
+                    chunk_words,
+                } => {
                     format!("{cycle:>10} | CH({index}) commit, {chunk_words} words -> L1'")
                 }
                 TraceEvent::ReadError { addr, cycle } => {
                     format!("{cycle:>10} | READ ERROR @ {addr:#x}")
                 }
-                TraceEvent::Rollback { to_checkpoint, cycle } => {
+                TraceEvent::Rollback {
+                    to_checkpoint,
+                    cycle,
+                } => {
                     format!("{cycle:>10} | rollback -> CH({to_checkpoint})")
                 }
                 TraceEvent::TaskRestart { cycle } => {
@@ -171,8 +182,15 @@ mod tests {
     fn records_in_order() {
         let mut trace = Trace::new(10);
         trace.push(TraceEvent::PhaseStart { phase: 0, cycle: 0 });
-        trace.push(TraceEvent::Checkpoint { index: 1, cycle: 50, chunk_words: 11 });
-        trace.push(TraceEvent::Rollback { to_checkpoint: 1, cycle: 80 });
+        trace.push(TraceEvent::Checkpoint {
+            index: 1,
+            cycle: 50,
+            chunk_words: 11,
+        });
+        trace.push(TraceEvent::Rollback {
+            to_checkpoint: 1,
+            cycle: 80,
+        });
         assert_eq!(trace.events().len(), 3);
         assert_eq!(trace.checkpoints(), 1);
         assert_eq!(trace.rollbacks(), 1);
@@ -199,8 +217,14 @@ mod tests {
     #[test]
     fn render_mentions_key_events() {
         let mut trace = Trace::new(10);
-        trace.push(TraceEvent::ReadError { addr: 0x40, cycle: 123 });
-        trace.push(TraceEvent::Rollback { to_checkpoint: 2, cycle: 130 });
+        trace.push(TraceEvent::ReadError {
+            addr: 0x40,
+            cycle: 123,
+        });
+        trace.push(TraceEvent::Rollback {
+            to_checkpoint: 2,
+            cycle: 130,
+        });
         let text = trace.render();
         assert!(text.contains("READ ERROR"));
         assert!(text.contains("rollback -> CH(2)"));

@@ -184,7 +184,10 @@ mod tests {
             let pos = i32::from(ulaw_to_linear(linear_to_ulaw(s)));
             let neg = i32::from(ulaw_to_linear(linear_to_ulaw(-s)));
             // µ-law's bias makes the symmetry off-by-one-step at most.
-            assert!((pos + neg).abs() <= pos / 16 + 16, "s={s} pos={pos} neg={neg}");
+            assert!(
+                (pos + neg).abs() <= pos / 16 + 16,
+                "s={s} pos={pos} neg={neg}"
+            );
         }
     }
 

@@ -391,7 +391,15 @@ pub fn encode_sample(state: &mut G726State, sample: i16) -> u8 {
     let dq = reconstruct(code & 8 != 0, DQLNTAB[code as usize], y);
     let sr = if dq < 0 { se - (dq & 0x3FFF) } else { se + dq };
     let dqsez = sr + sez - se;
-    update(state, y, WITAB[code as usize] << 5, FITAB[code as usize], dq, sr, dqsez);
+    update(
+        state,
+        y,
+        WITAB[code as usize] << 5,
+        FITAB[code as usize],
+        dq,
+        sr,
+        dqsez,
+    );
     code as u8
 }
 
@@ -406,7 +414,15 @@ pub fn decode_sample(state: &mut G726State, code: u8) -> i16 {
     let dq = reconstruct(code & 8 != 0, DQLNTAB[code as usize], y);
     let sr = if dq < 0 { se - (dq & 0x3FFF) } else { se + dq };
     let dqsez = sr - se + sez;
-    update(state, y, WITAB[code as usize] << 5, FITAB[code as usize], dq, sr, dqsez);
+    update(
+        state,
+        y,
+        WITAB[code as usize] << 5,
+        FITAB[code as usize],
+        dq,
+        sr,
+        dqsez,
+    );
     (sr << 2).clamp(-32768, 32767) as i16
 }
 
@@ -466,8 +482,7 @@ mod tests {
     fn sine_roundtrip_snr() {
         let samples: Vec<i16> = (0..4000)
             .map(|i| {
-                (8000.0 * (2.0 * std::f64::consts::PI * 440.0 * i as f64 / 8000.0).sin())
-                    as i16
+                (8000.0 * (2.0 * std::f64::consts::PI * 440.0 * i as f64 / 8000.0).sin()) as i16
             })
             .collect();
         let decoded = decode(&encode(&samples), samples.len());

@@ -25,7 +25,9 @@ pub struct JpegError {
 
 impl JpegError {
     fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -104,7 +106,11 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(data: &'a [u8], state: EntropyState) -> Self {
-        Self { data, state, exhausted: false }
+        Self {
+            data,
+            state,
+            exhausted: false,
+        }
     }
 
     fn next_bit(&mut self) -> Option<u8> {
@@ -250,8 +256,7 @@ impl JpegDecoder {
                 0xDA => {
                     need(body.len() >= 6, "truncated SOS")?;
                     need(body[0] == 1, "only single-component scans supported")?;
-                    let (width, height) =
-                        frame.ok_or_else(|| JpegError::new("SOS before SOF0"))?;
+                    let (width, height) = frame.ok_or_else(|| JpegError::new("SOS before SOF0"))?;
                     return Ok(Self {
                         width,
                         height,
@@ -412,7 +417,11 @@ impl JpegDecoder {
                 }
             }
         }
-        Ok(DecodedImage { width: self.width, height: self.height, pixels })
+        Ok(DecodedImage {
+            width: self.width,
+            height: self.height,
+            pixels,
+        })
     }
 }
 
@@ -477,7 +486,8 @@ mod tests {
         let mut left = dec.total_blocks();
         while left > 0 {
             let n = left.min(3);
-            dec.decode_blocks(entropy, &mut s2, n, &mut chunked).unwrap();
+            dec.decode_blocks(entropy, &mut s2, n, &mut chunked)
+                .unwrap();
             left -= n;
         }
         assert_eq!(all, chunked);
@@ -486,7 +496,12 @@ mod tests {
 
     #[test]
     fn state_roundtrips_through_words() {
-        let s = EntropyState { byte_pos: 123, bit_pos: 5, dc_pred: -44, blocks_done: 9 };
+        let s = EntropyState {
+            byte_pos: 123,
+            bit_pos: 5,
+            dc_pred: -44,
+            blocks_done: 9,
+        };
         assert_eq!(EntropyState::from_words(s.to_words()), s);
     }
 

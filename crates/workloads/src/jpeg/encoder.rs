@@ -15,7 +15,11 @@ struct BitWriter {
 impl BitWriter {
     fn put(&mut self, code: u16, length: u8) {
         debug_assert!((1..=16).contains(&length));
-        let mask: u32 = if length >= 16 { 0xFFFF } else { (1u32 << length) - 1 };
+        let mask: u32 = if length >= 16 {
+            0xFFFF
+        } else {
+            (1u32 << length) - 1
+        };
         self.acc = (self.acc << length) | (u32::from(code) & mask);
         self.nbits += u32::from(length);
         while self.nbits >= 8 {
@@ -146,8 +150,7 @@ pub fn encode(pixels: &[u8], width: usize, height: usize, quality: u8) -> Vec<u8
             // Quantize in zig-zag order.
             let mut quantized = [0i32; 64];
             for (k, &raster) in ZIGZAG.iter().enumerate() {
-                quantized[k] =
-                    (coeffs[raster] / f32::from(quant[raster])).round() as i32;
+                quantized[k] = (coeffs[raster] / f32::from(quant[raster])).round() as i32;
             }
             encode_block(&mut writer, &quantized, &mut dc_pred, &dc_table, &ac_table);
         }

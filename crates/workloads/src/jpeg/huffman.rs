@@ -27,7 +27,9 @@ pub struct HuffError {
 
 impl HuffError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -83,7 +85,13 @@ impl HuffTable {
             }
             code <<= 1;
         }
-        Ok(Self { codes, min_code, max_code, val_ptr, values: values.to_vec() })
+        Ok(Self {
+            codes,
+            min_code,
+            max_code,
+            val_ptr,
+            values: values.to_vec(),
+        })
     }
 
     /// The `(code, length)` pair for `symbol`.
@@ -106,15 +114,17 @@ impl HuffTable {
         for length in 1..=16usize {
             let bit = reader().ok_or_else(|| HuffError::new("bit stream exhausted"))?;
             code = (code << 1) | i32::from(bit & 1);
-            if self.max_code[length] >= 0 && code <= self.max_code[length]
-                && code >= self.min_code[length] {
-                    let idx = self.val_ptr[length] + (code - self.min_code[length]) as usize;
-                    return self
-                        .values
-                        .get(idx)
-                        .copied()
-                        .ok_or_else(|| HuffError::new("value index out of range"));
-                }
+            if self.max_code[length] >= 0
+                && code <= self.max_code[length]
+                && code >= self.min_code[length]
+            {
+                let idx = self.val_ptr[length] + (code - self.min_code[length]) as usize;
+                return self
+                    .values
+                    .get(idx)
+                    .copied()
+                    .ok_or_else(|| HuffError::new("value index out of range"));
+            }
         }
         Err(HuffError::new("code longer than 16 bits"))
     }
@@ -143,19 +153,17 @@ pub fn default_dc_luma() -> HuffTable {
 pub fn default_ac_luma() -> HuffTable {
     let bits: [u8; 16] = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D];
     let values: Vec<u8> = vec![
-        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13,
-        0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42,
-        0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A,
-        0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2A, 0x34, 0x35,
-        0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4A,
-        0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67,
-        0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84,
-        0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
-        0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3,
-        0xB4, 0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7,
-        0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1,
-        0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4,
-        0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61,
+        0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52,
+        0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25,
+        0x26, 0x27, 0x28, 0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45,
+        0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64,
+        0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83,
+        0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99,
+        0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+        0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3,
+        0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8,
+        0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
     ];
     HuffTable::from_spec(&bits, &values).expect("standard table is valid")
 }
@@ -166,10 +174,7 @@ mod tests {
 
     fn roundtrip_symbol(table: &HuffTable, symbol: u8) {
         let (code, length) = table.encode(symbol).unwrap();
-        let mut bits: Vec<u8> = (0..length)
-            .rev()
-            .map(|i| ((code >> i) & 1) as u8)
-            .collect();
+        let mut bits: Vec<u8> = (0..length).rev().map(|i| ((code >> i) & 1) as u8).collect();
         bits.reverse(); // we pop from the back below
         let mut reader = move || bits.pop();
         assert_eq!(table.decode(&mut reader).unwrap(), symbol);

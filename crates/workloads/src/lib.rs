@@ -48,10 +48,9 @@ mod tasks;
 
 pub use input::{speech_pcm, test_image};
 pub use stream::{
-    pack_bytes, pack_i16, read_region, unpack_bytes, unpack_i16, write_region,
-    write_region_at, StreamingTask, TaskError, TaskProfile,
+    pack_bytes, pack_i16, read_region, unpack_bytes, unpack_i16, write_region, write_region_at,
+    StreamingTask, TaskError, TaskProfile,
 };
 pub use tasks::{
-    AdpcmDecodeTask, AdpcmEncodeTask, Benchmark, G721DecodeTask, G721EncodeTask,
-    JpegDecodeTask,
+    AdpcmDecodeTask, AdpcmEncodeTask, Benchmark, G721DecodeTask, G721EncodeTask, JpegDecodeTask,
 };

@@ -15,8 +15,8 @@ use crate::g726::{self, G726State};
 use crate::input::{speech_pcm, test_image};
 use crate::jpeg::{self, EntropyState, JpegDecoder};
 use crate::stream::{
-    pack_bytes, pack_i16, read_region, unpack_bytes, unpack_i16, write_region,
-    write_region_at, StreamingTask, TaskError, TaskProfile,
+    pack_bytes, pack_i16, read_region, unpack_bytes, unpack_i16, write_region, write_region_at,
+    StreamingTask, TaskError, TaskProfile,
 };
 
 /// Per-sample cycle estimate for IMA ADPCM (table lookups + few ALU ops).
@@ -29,17 +29,22 @@ const JPEG_CYCLES_PER_BLOCK: u64 = 2816;
 const JPEG_WINDOW_BYTES_PER_BLOCK: usize = 256;
 
 fn layout(state_words: u32, input_words: u32, output_words: u32) -> (Region, Region, Region) {
-    let state = Region { base: 0, words: state_words };
-    let input = Region { base: state.end(), words: input_words };
-    let output = Region { base: input.end(), words: output_words };
+    let state = Region {
+        base: 0,
+        words: state_words,
+    };
+    let input = Region {
+        base: state.end(),
+        words: input_words,
+    };
+    let output = Region {
+        base: input.end(),
+        words: output_words,
+    };
     (state, input, output)
 }
 
-fn read_words(
-    bus: &mut dyn MemoryBus,
-    region: Region,
-    n: usize,
-) -> Result<Vec<u32>, TaskError> {
+fn read_words(bus: &mut dyn MemoryBus, region: Region, n: usize) -> Result<Vec<u32>, TaskError> {
     debug_assert!(n <= region.words as usize);
     (0..n as u32)
         .map(|i| bus.load(region.word(i)).map_err(TaskError::from))
@@ -597,8 +602,7 @@ impl StreamingTask for JpegDecodeTask {
                 "corrupt decoder state: byte position {window_start} beyond stream"
             )));
         }
-        let window_len = (self.regions.1.words as usize * 4)
-            .min(entropy.len() - window_start);
+        let window_len = (self.regions.1.words as usize * 4).min(entropy.len() - window_start);
         let window = &entropy[window_start..window_start + window_len];
         let in_words = pack_bytes(window);
         write_region(bus, self.regions.1, &in_words);
@@ -774,8 +778,11 @@ impl Benchmark {
                 } else {
                     (G726State::WORDS as u32, G726_CYCLES_PER_SAMPLE)
                 };
-                let state_accesses =
-                    if state == 2 { 4 } else { 2 * G726State::WORDS as u64 };
+                let state_accesses = if state == 2 {
+                    4
+                } else {
+                    2 * G726State::WORDS as u64
+                };
                 TaskProfile {
                     total_blocks: n.div_ceil(spb),
                     block_words: chunk_words,
@@ -795,8 +802,11 @@ impl Benchmark {
                 } else {
                     (G726State::WORDS as u32, G726_CYCLES_PER_SAMPLE)
                 };
-                let state_accesses =
-                    if state == 2 { 4 } else { 2 * G726State::WORDS as u64 };
+                let state_accesses = if state == 2 {
+                    4
+                } else {
+                    2 * G726State::WORDS as u64
+                };
                 TaskProfile {
                     total_blocks: n.div_ceil(spb),
                     block_words: chunk_words,
@@ -812,18 +822,14 @@ impl Benchmark {
                 let blocks_per_phase = (chunk_words / 16).max(1);
                 let chunk_words = blocks_per_phase * 16;
                 let total_jpeg_blocks = side.div_ceil(8) * side.div_ceil(8);
-                let window_bytes =
-                    blocks_per_phase as usize * JPEG_WINDOW_BYTES_PER_BLOCK + 64;
+                let window_bytes = blocks_per_phase as usize * JPEG_WINDOW_BYTES_PER_BLOCK + 64;
                 let input_words = (window_bytes as u32).div_ceil(4);
                 TaskProfile {
                     total_blocks: total_jpeg_blocks.div_ceil(blocks_per_phase as usize),
                     block_words: chunk_words,
                     state_words: 4,
-                    compute_cycles_per_block: JPEG_CYCLES_PER_BLOCK
-                        * u64::from(blocks_per_phase),
-                    accesses_per_block: u64::from(input_words) * 2
-                        + u64::from(chunk_words)
-                        + 8,
+                    compute_cycles_per_block: JPEG_CYCLES_PER_BLOCK * u64::from(blocks_per_phase),
+                    accesses_per_block: u64::from(input_words) * 2 + u64::from(chunk_words) + 8,
                 }
             }
         }
@@ -964,7 +970,11 @@ mod tests {
                 task.output_region().words,
                 "{benchmark}: frame output region holds one chunk per block"
             );
-            assert_eq!(profile.state_words, task.state_region().words, "{benchmark}");
+            assert_eq!(
+                profile.state_words,
+                task.state_region().words,
+                "{benchmark}"
+            );
         }
     }
 

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use chunkpoint_workloads::{
-    adpcm, g726, jpeg, pack_bytes, pack_i16, unpack_bytes, unpack_i16,
-};
+use chunkpoint_workloads::{adpcm, g726, jpeg, pack_bytes, pack_i16, unpack_bytes, unpack_i16};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]

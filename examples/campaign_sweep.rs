@@ -1,0 +1,65 @@
+//! Campaign-engine walkthrough: sweep the strike rate λ across three
+//! decades and watch each mitigation scheme's energy overhead and
+//! correctness respond — in parallel, reproducibly.
+//!
+//! The grid is benchmark × scheme × λ × replicate. Scenario seeds derive
+//! from `(campaign_seed, scenario_index)`, so the numbers below are
+//! bit-identical no matter how many worker threads run the grid (try
+//! `run_campaign(&spec, 1)` vs `run_campaign(&spec, 8)`).
+//!
+//! Run with `cargo run --release --example campaign_sweep`.
+
+use chunkpoint::campaign::{run_campaign, Axis, CampaignSpec, SchemeSpec};
+use chunkpoint::core::{MitigationScheme, SystemConfig};
+use chunkpoint::workloads::Benchmark;
+
+fn main() {
+    // λ across three decades: benign, the paper's worst case, extreme.
+    let rates = [1e-7, 1e-6, 1e-5];
+
+    let mut config = SystemConfig::paper(0);
+    config.scale = 0.5; // half-length frames keep the example snappy
+    let spec = CampaignSpec::new(config, 0x5EED)
+        .benchmarks(&[Benchmark::AdpcmDecode, Benchmark::G721Decode])
+        .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+        .scheme("Proposed", SchemeSpec::Optimal)
+        .error_rates(&rates)
+        .replicates(5);
+
+    let result = run_campaign(&spec, 0); // 0 = all cores
+    println!(
+        "{} scenarios in {:.2}s ({:.0} scenarios/s) on {} threads",
+        result.results.len(),
+        result.elapsed.as_secs_f64(),
+        result.scenarios_per_sec(),
+        result.threads,
+    );
+    println!();
+
+    // Aggregate over benchmarks: scheme x rate, mean +/- 95% CI.
+    let cells = result.aggregate(&[Axis::Scheme, Axis::ErrorRate]);
+    println!(
+        "{:<10} | {:>7} | {:>22} | {:>8}",
+        "scheme", "lambda", "energy ratio (95% CI)", "correct"
+    );
+    println!("{}", "-".repeat(58));
+    for scheme in ["SW-based", "Proposed"] {
+        for rate in rates {
+            let stats = cells
+                .get(&[scheme, &format!("{rate:e}")])
+                .expect("cell simulated");
+            println!(
+                "{:<10} | {:>7.0e} | {:>14.3} ± {:>5.3} | {:>3} / {:>2}",
+                scheme,
+                rate,
+                stats.energy_ratio.mean(),
+                stats.energy_ratio.ci95_half_width(),
+                stats.correct,
+                stats.n,
+            );
+        }
+    }
+    println!();
+    println!("the hybrid's overhead stays flat while the SW baseline's restart cost");
+    println!("grows with λ — and every scheme except Default stays bit-correct.");
+}

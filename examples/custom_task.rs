@@ -14,14 +14,14 @@
 use chunkpoint::core::{golden_task, run_task, MitigationScheme, SystemConfig, TaskSource};
 use chunkpoint::sim::{MemoryBus, Region};
 use chunkpoint::workloads::{
-    pack_i16, read_region, speech_pcm, unpack_i16, write_region, write_region_at,
-    StreamingTask, TaskError, TaskProfile,
+    pack_i16, read_region, speech_pcm, unpack_i16, write_region, write_region_at, StreamingTask,
+    TaskError, TaskProfile,
 };
 
 /// 16-tap symmetric low-pass FIR (Q15 coefficients, cutoff ~0.2 fs).
 const TAPS: [i32; 16] = [
-    -120, -340, -250, 560, 1220, 880, -1490, -4020, 19660, 19660, -4020, -1490, 880,
-    1220, 560, -250,
+    -120, -340, -250, 560, 1220, 880, -1490, -4020, 19660, 19660, -4020, -1490, 880, 1220, 560,
+    -250,
 ];
 const STATE_WORDS: u32 = 8; // 15 i16 delay-line samples + sample counter
 
@@ -42,10 +42,25 @@ impl FirFilterTask {
         let spb = chunk_words as usize * 2; // 2 samples per output word
         let blocks = samples.len().div_ceil(spb) as u32;
         let input_words = (spb as u32).div_ceil(2);
-        let state = Region { base: 0, words: STATE_WORDS };
-        let input = Region { base: state.end(), words: input_words };
-        let output = Region { base: input.end(), words: chunk_words * blocks };
-        Self { samples, chunk_words, state, input, output }
+        let state = Region {
+            base: 0,
+            words: STATE_WORDS,
+        };
+        let input = Region {
+            base: state.end(),
+            words: input_words,
+        };
+        let output = Region {
+            base: input.end(),
+            words: chunk_words * blocks,
+        };
+        Self {
+            samples,
+            chunk_words,
+            state,
+            input,
+            output,
+        }
     }
 
     fn samples_per_block(&self) -> usize {
@@ -119,7 +134,12 @@ impl StreamingTask for FirFilterTask {
             delay.truncate(15);
         }
         let out_words = pack_i16(&filtered);
-        write_region_at(bus, self.output, block as u32 * self.chunk_words, &out_words);
+        write_region_at(
+            bus,
+            self.output,
+            block as u32 * self.chunk_words,
+            &out_words,
+        );
         // Persist the delay line (padded to 16 samples = 8 words).
         let mut persisted = delay.clone();
         persisted.push(0);
@@ -141,12 +161,18 @@ fn main() {
 
     let reference = golden_task(&source, &config);
     println!("custom task  : {}", source.name);
-    println!("output       : {} words (fault-free reference)", reference.output.len());
+    println!(
+        "output       : {} words (fault-free reference)",
+        reference.output.len()
+    );
 
     // Run it under harsh faults with the hybrid scheme.
     let mut harsh = config.clone();
     harsh.faults.error_rate = 3e-5;
-    let scheme = MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 };
+    let scheme = MitigationScheme::Hybrid {
+        chunk_words: 8,
+        l1_prime_t: 8,
+    };
     let mut total_errors = 0;
     let mut all_correct = true;
     for seed in 0..20u64 {
@@ -160,7 +186,11 @@ fn main() {
     println!("  errors detected+recovered : {total_errors}");
     println!(
         "  all outputs bit-exact     : {}",
-        if all_correct { "yes — full mitigation, zero codec changes" } else { "NO" }
+        if all_correct {
+            "yes — full mitigation, zero codec changes"
+        } else {
+            "NO"
+        }
     );
     assert!(all_correct);
 }

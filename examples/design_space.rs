@@ -5,9 +5,7 @@
 //! cargo run --release --example design_space
 //! ```
 
-use chunkpoint::core::{
-    feasible_region, optimize, sweep, SystemConfig, MAX_CHUNK_WORDS,
-};
+use chunkpoint::core::{feasible_region, optimize, sweep, SystemConfig, MAX_CHUNK_WORDS};
 use chunkpoint::workloads::Benchmark;
 
 fn main() {
@@ -60,7 +58,11 @@ fn main() {
             } else {
                 0
             };
-            let marker = if k == best.chunk_words { " <-- optimum" } else { "" };
+            let marker = if k == best.chunk_words {
+                " <-- optimum"
+            } else {
+                ""
+            };
             println!("  K={k:>4} | {}{marker}", "#".repeat(bar_len + 1));
         }
         println!();

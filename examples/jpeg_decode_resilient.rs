@@ -24,8 +24,7 @@ fn main() {
 
         // Design-time sizing happens at the nominal rate; the runtime
         // rate is then whatever the environment delivers.
-        let best =
-            optimize(benchmark, &SystemConfig::paper(0x1199)).expect("feasible design");
+        let best = optimize(benchmark, &SystemConfig::paper(0x1199)).expect("feasible design");
         println!("== {label} ==");
         println!(
             "{:<26} | {:>10} | {:>12} | {:>10}",
@@ -55,14 +54,22 @@ fn main() {
                     format!("{v:.1} dB")
                 }
             } else {
-                format!("truncated ({} of {} px)", pixels.len(), reference_pixels.len())
+                format!(
+                    "truncated ({} of {} px)",
+                    pixels.len(),
+                    reference_pixels.len()
+                )
             };
             println!(
                 "{:<26} | {:>10.3} | {:>12} | {:>10}",
                 label,
                 report.energy_ratio(&denominator),
                 psnr,
-                if report.output_matches(&reference) { "yes" } else { "NO" },
+                if report.output_matches(&reference) {
+                    "yes"
+                } else {
+                    "NO"
+                },
             );
         }
         println!();

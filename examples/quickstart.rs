@@ -21,7 +21,10 @@ fn main() {
     let best = optimize(benchmark, &config).expect("paper constraints are feasible");
     println!("benchmark        : {benchmark}");
     println!("optimal chunk    : {} words", best.chunk_words);
-    println!("L1' buffer       : {} words, BCH t = {}", best.cost.buffer_words, best.l1_prime_t);
+    println!(
+        "L1' buffer       : {} words, BCH t = {}",
+        best.cost.buffer_words, best.l1_prime_t
+    );
     println!("checkpoints      : {}", best.cost.n_checkpoints);
     println!(
         "area / cycle use : {:.2}% of L1 (budget {:.0}%), {:.2}% cycles (budget {:.0}%)",

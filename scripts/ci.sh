@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: formatting, build, tests, and a smoke campaign that exercises
+# the parallel execution path (work-stealing pool + determinism check)
+# on every run. Keep it fast — the smoke grid is ~2 seconds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== smoke campaign (parallel path + determinism) =="
+cargo run --release -p chunkpoint_bench --bin bench_campaign -- --smoke --seeds 2 --threads 2
+
+echo "CI OK"

@@ -19,7 +19,12 @@
 //! * [`core`] — the paper's contribution: data chunks, checkpoints, the
 //!   BCH-protected L1′ buffer, the Read-Error-Interrupt rollback protocol,
 //!   the chunk-size optimizer (Eqs. 1–7), and the Default / HW / SW
-//!   baseline executors.
+//!   baseline executors;
+//! * [`campaign`] — the deterministic parallel Monte Carlo campaign
+//!   engine: declarative scenario grids, SplitMix64 per-scenario seed
+//!   derivation, a work-stealing thread pool, streaming statistics
+//!   (mean / stddev / 95 % CI) and machine-readable JSON reports, with
+//!   per-scenario results bit-identical at any thread count.
 //!
 //! ## Quickstart
 //!
@@ -56,3 +61,6 @@ pub use chunkpoint_workloads as workloads;
 
 /// The hybrid mitigation scheme, optimizer, and baseline executors.
 pub use chunkpoint_core as core;
+
+/// Deterministic parallel Monte Carlo campaign engine.
+pub use chunkpoint_campaign as campaign;

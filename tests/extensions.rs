@@ -20,7 +20,10 @@ fn single_parity_hybrid_eventually_corrupts_silently() {
         let reference = golden(benchmark, &config);
         let literal = run(
             benchmark,
-            MitigationScheme::HybridSingleParity { chunk_words: 8, l1_prime_t: 8 },
+            MitigationScheme::HybridSingleParity {
+                chunk_words: 8,
+                l1_prime_t: 8,
+            },
             &config,
         );
         if literal.completed && !literal.output_matches(&reference) {
@@ -28,7 +31,10 @@ fn single_parity_hybrid_eventually_corrupts_silently() {
         }
         let sound = run(
             benchmark,
-            MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 },
+            MitigationScheme::Hybrid {
+                chunk_words: 8,
+                l1_prime_t: 8,
+            },
             &config,
         );
         if sound.completed {
@@ -54,7 +60,9 @@ fn scrubbing_completes_and_heals_at_nominal_rate() {
         let reference = golden(benchmark, &config);
         let report = run(
             benchmark,
-            MitigationScheme::ScrubbedSecded { interval_cycles: 5_000 },
+            MitigationScheme::ScrubbedSecded {
+                interval_cycles: 5_000,
+            },
             &config,
         );
         assert!(report.completed, "seed {seed}: scrub run must finish");
@@ -88,12 +96,17 @@ fn scrubbing_is_costlier_than_hybrid() {
         let denominator = run(benchmark, MitigationScheme::Default, &config);
         let scrub = run(
             benchmark,
-            MitigationScheme::ScrubbedSecded { interval_cycles: 5_000 },
+            MitigationScheme::ScrubbedSecded {
+                interval_cycles: 5_000,
+            },
             &config,
         );
         let hybrid = run(
             benchmark,
-            MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 },
+            MitigationScheme::Hybrid {
+                chunk_words: 8,
+                l1_prime_t: 8,
+            },
             &config,
         );
         scrub_energy += scrub.energy_ratio(&denominator) / seeds as f64;
@@ -113,10 +126,9 @@ fn run_task_is_equivalent_to_run_for_builtins() {
     let mut config = SystemConfig::paper(0x7A5C);
     config.faults.error_rate = 1e-5;
     let scale = config.scale;
-    let build =
-        move |chunk: u32| -> Box<dyn StreamingTask> {
-            Benchmark::AdpcmDecode.build_task_scaled(chunk, scale)
-        };
+    let build = move |chunk: u32| -> Box<dyn StreamingTask> {
+        Benchmark::AdpcmDecode.build_task_scaled(chunk, scale)
+    };
     let source = TaskSource {
         name: Benchmark::AdpcmDecode.name().to_owned(),
         build: &build,
@@ -125,7 +137,10 @@ fn run_task_is_equivalent_to_run_for_builtins() {
     for scheme in [
         MitigationScheme::Default,
         MitigationScheme::SwRestart,
-        MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 },
+        MitigationScheme::Hybrid {
+            chunk_words: 8,
+            l1_prime_t: 8,
+        },
     ] {
         let via_enum = run(Benchmark::AdpcmDecode, scheme, &config);
         let via_source = run_task(&source, scheme, &config);
@@ -144,9 +159,17 @@ fn scheme_labels_cover_all_variants() {
         MitigationScheme::Default,
         MitigationScheme::hw_baseline(),
         MitigationScheme::SwRestart,
-        MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 },
-        MitigationScheme::HybridSingleParity { chunk_words: 8, l1_prime_t: 8 },
-        MitigationScheme::ScrubbedSecded { interval_cycles: 5_000 },
+        MitigationScheme::Hybrid {
+            chunk_words: 8,
+            l1_prime_t: 8,
+        },
+        MitigationScheme::HybridSingleParity {
+            chunk_words: 8,
+            l1_prime_t: 8,
+        },
+        MitigationScheme::ScrubbedSecded {
+            interval_cycles: 5_000,
+        },
     ];
     let labels: Vec<String> = schemes.iter().map(MitigationScheme::label).collect();
     for (i, a) in labels.iter().enumerate() {

@@ -46,7 +46,10 @@ fn hybrid_fully_mitigates_every_benchmark() {
                 },
                 &c,
             );
-            assert!(report.completed, "{benchmark} seed {seed}: did not complete");
+            assert!(
+                report.completed,
+                "{benchmark} seed {seed}: did not complete"
+            );
             assert!(
                 report.output_matches(&reference),
                 "{benchmark} seed {seed}: output diverged ({} errors, {} rollbacks)",
@@ -103,7 +106,11 @@ fn sw_restart_fully_mitigates_at_nominal_rate() {
         let config = SystemConfig::paper(0xCAFE);
         let reference = golden(benchmark, &config);
         let report = run(benchmark, MitigationScheme::SwRestart, &config);
-        assert!(report.completed, "{benchmark} ({} restarts)", report.restarts);
+        assert!(
+            report.completed,
+            "{benchmark} ({} restarts)",
+            report.restarts
+        );
         assert!(
             report.output_matches(&reference),
             "{benchmark} ({} restarts)",
@@ -137,13 +144,19 @@ fn default_corrupts_somewhere_under_harsh_faults() {
             let config = harsh_config(0xD00D ^ (seed * 31));
             let reference = golden(benchmark, &config);
             let report = run(benchmark, MitigationScheme::Default, &config);
-            assert_eq!(report.errors_detected, 0, "{benchmark}: default cannot detect");
+            assert_eq!(
+                report.errors_detected, 0,
+                "{benchmark}: default cannot detect"
+            );
             if !report.output_matches(&reference) {
                 corrupted_anywhere = true;
             }
         }
     }
-    assert!(corrupted_anywhere, "harsh faults never corrupted the default system");
+    assert!(
+        corrupted_anywhere,
+        "harsh faults never corrupted the default system"
+    );
 }
 
 #[test]
@@ -172,7 +185,10 @@ fn energy_ordering_matches_fig5() {
         hybrid_ratio += hybrid.energy_ratio(&denominator) / seeds as f64;
         hw_ratio += hw.energy_ratio(&denominator) / seeds as f64;
     }
-    assert!(hybrid_ratio > 1.0, "hybrid must cost something: {hybrid_ratio}");
+    assert!(
+        hybrid_ratio > 1.0,
+        "hybrid must cost something: {hybrid_ratio}"
+    );
     assert!(
         hybrid_ratio < 1.25,
         "hybrid overhead {hybrid_ratio} above the paper's 22% worst case"

@@ -5,9 +5,7 @@
 
 use chunkpoint::core::ProtectedBuffer;
 use chunkpoint::ecc::EccKind;
-use chunkpoint::sim::{
-    Component, EnergyLedger, FaultProcess, MemoryBus, PlainBus, Platform, Sram,
-};
+use chunkpoint::sim::{Component, EnergyLedger, FaultProcess, MemoryBus, PlainBus, Platform, Sram};
 
 fn detector_bus() -> PlainBus {
     let sram = Sram::new(
@@ -72,7 +70,9 @@ fn l1_prime_corrects_smu_bursts_during_restore() {
     for word in 0..4 {
         l1_prime.sram_mut().inject(word, 3 + word, 6);
     }
-    let restored = l1_prime.load_checkpoint(4, 10, &mut ledger).expect("corrected");
+    let restored = l1_prime
+        .load_checkpoint(4, 10, &mut ledger)
+        .expect("corrected");
     assert_eq!(restored, vec![11, 22, 33, 44]);
 }
 
@@ -109,8 +109,8 @@ fn l1_prime_exhaustion_is_loud() {
 
 #[test]
 fn corrected_reads_cost_latency_and_energy() {
-    let sram = Sram::new("l1", 64, EccKind::Bch { t: 4 }, FaultProcess::disabled())
-        .expect("valid kind");
+    let sram =
+        Sram::new("l1", 64, EccKind::Bch { t: 4 }, FaultProcess::disabled()).expect("valid kind");
     let mut bus = PlainBus::new(sram, Platform::lh7a400(), Component::L1);
     bus.store(7, 1234);
     let e0 = bus.ledger().component_pj(Component::EccLogic);

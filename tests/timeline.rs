@@ -9,7 +9,10 @@ use chunkpoint::workloads::Benchmark;
 
 /// Finds a seeded run with at least one rollback.
 fn faulty_run() -> chunkpoint::core::RunReport {
-    let scheme = MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 };
+    let scheme = MitigationScheme::Hybrid {
+        chunk_words: 8,
+        l1_prime_t: 8,
+    };
     for seed in 0..500u64 {
         let mut config = SystemConfig::paper(seed);
         config.faults.error_rate = 5e-5;
@@ -60,7 +63,10 @@ fn error_in_phase_i_recomputes_only_phase_i() {
         })
         .collect();
     let expected: Vec<usize> = (0..ends.len()).collect();
-    assert_eq!(ends, expected, "phases must complete exactly once, in order");
+    assert_eq!(
+        ends, expected,
+        "phases must complete exactly once, in order"
+    );
 }
 
 #[test]
@@ -110,7 +116,10 @@ fn deadline_is_met_despite_errors() {
     fault_free.faults.error_rate = 0.0;
     let clean = run(
         Benchmark::AdpcmDecode,
-        MitigationScheme::Hybrid { chunk_words: 8, l1_prime_t: 8 },
+        MitigationScheme::Hybrid {
+            chunk_words: 8,
+            l1_prime_t: 8,
+        },
         &fault_free,
     );
     let ratio = report.cycles() as f64 / clean.cycles() as f64;

@@ -28,7 +28,11 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            Self { cases: 64, max_shrink_iters: 0, max_global_rejects: 1024 }
+            Self {
+                cases: 64,
+                max_shrink_iters: 0,
+                max_global_rejects: 1024,
+            }
         }
     }
 
@@ -214,14 +218,20 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            Self { lo: r.start, hi: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty collection size range");
-            Self { lo: *r.start(), hi: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -254,7 +264,10 @@ pub mod collection {
 
     /// `Vec` strategy with the given element strategy and size bounds.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Strategy producing a `BTreeSet` of distinct values.
@@ -284,14 +297,14 @@ pub mod collection {
     }
 
     /// `BTreeSet` strategy with the given element strategy and size bounds.
-    pub fn btree_set<S: Strategy>(
-        element: S,
-        size: impl Into<SizeRange>,
-    ) -> BTreeSetStrategy<S>
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
     where
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
