@@ -6,13 +6,14 @@
 //! the engine produces bit-identical per-scenario results at any thread
 //! count — the pool only changes how long the campaign takes.
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use chunkpoint_core::{golden, run, MitigationScheme, RunReport, SystemConfig};
 use chunkpoint_workloads::Benchmark;
 
 use crate::json::JsonValue;
-use crate::pool::run_jobs;
+use crate::pool::{run_jobs_ctl, CancelToken};
 use crate::spec::{CampaignSpec, Scenario};
 use crate::stats::{Aggregator, Axis, GroupStats, Summary};
 
@@ -47,6 +48,102 @@ pub struct ScenarioResult {
 }
 
 impl ScenarioResult {
+    /// Serializes the result as one self-describing JSON object — the
+    /// per-scenario row of campaign reports and the line format of the
+    /// service's append-only journal.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let s = &self.scenario;
+        JsonValue::object()
+            .field("index", s.index)
+            .field("benchmark", s.benchmark.name())
+            .field("scheme", s.scheme_label.as_str())
+            .field("scheme_detail", s.scheme.label())
+            .field("error_rate", s.error_rate)
+            .field("chunk_words", s.chunk_words().map(u64::from))
+            .field("replicate", s.replicate)
+            .field("seed", s.seed)
+            .field("energy_pj", self.energy_pj)
+            .field("cycles", self.cycles)
+            .field("errors_detected", self.errors_detected)
+            .field("rollbacks", self.rollbacks)
+            .field("restarts", self.restarts)
+            .field("checkpoints", self.checkpoints)
+            .field("completed", self.completed)
+            .field("energy_ratio", self.energy_ratio)
+            .field("cycle_ratio", self.cycle_ratio)
+            .field("correct", self.correct)
+    }
+
+    /// Reconstructs a result from its [`ScenarioResult::to_json`] form
+    /// plus the scenario it claims to belong to (re-enumerated from the
+    /// spec — the journal stores measurements, the spec stays the single
+    /// source of truth for the grid).
+    ///
+    /// # Errors
+    ///
+    /// Rejects rows whose `index` or `seed` disagree with `scenario`
+    /// (a journal from a different spec or campaign seed) and rows with
+    /// missing or mistyped measurement fields.
+    pub fn from_json(value: &JsonValue, scenario: Scenario) -> Result<Self, String> {
+        let get_u64 = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("journal row: missing or non-integer {key:?}"))
+        };
+        let get_f64 = |key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("journal row: missing or non-numeric {key:?}"))
+        };
+        let opt_f64 = |key: &str| match value.get(key) {
+            None => Ok(None),
+            Some(v) if v.is_null() => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| format!("journal row: non-numeric {key:?}")),
+        };
+        let index = get_u64("index")? as usize;
+        if index != scenario.index {
+            return Err(format!(
+                "journal row: index {index} does not match scenario {}",
+                scenario.index
+            ));
+        }
+        let seed = get_u64("seed")?;
+        if seed != scenario.seed {
+            return Err(format!(
+                "journal row: seed {seed:#x} disagrees with the spec's derived seed \
+                 {:#x} for scenario {index} — journal belongs to a different campaign",
+                scenario.seed
+            ));
+        }
+        let correct = match value.get("correct") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(v.as_bool().ok_or("journal row: non-boolean \"correct\"")?),
+        };
+        Ok(Self {
+            scenario,
+            energy_pj: get_f64("energy_pj")?,
+            cycles: get_u64("cycles")?,
+            errors_detected: get_u64("errors_detected")?,
+            rollbacks: get_u64("rollbacks")?,
+            restarts: get_u64("restarts")?,
+            checkpoints: get_u64("checkpoints")?,
+            completed: value
+                .get("completed")
+                .and_then(JsonValue::as_bool)
+                .ok_or("journal row: missing or non-boolean \"completed\"")?,
+            energy_ratio: opt_f64("energy_ratio")?,
+            cycle_ratio: opt_f64("cycle_ratio")?,
+            correct,
+        })
+    }
+
     fn from_report(scenario: Scenario, report: &RunReport) -> Self {
         Self {
             scenario,
@@ -100,7 +197,7 @@ impl CampaignResult {
     /// and aggregates grouped by `axes`.
     #[must_use]
     pub fn to_json(&self, axes: &[Axis]) -> JsonValue {
-        let scenarios: Vec<JsonValue> = self.results.iter().map(scenario_json).collect();
+        let scenarios: Vec<JsonValue> = self.results.iter().map(ScenarioResult::to_json).collect();
         let aggregator = self.aggregate(axes);
         let axis_names: Vec<JsonValue> = axes
             .iter()
@@ -149,27 +246,47 @@ fn group_json(key: &[JsonValue], stats: &GroupStats) -> JsonValue {
         .field("completed", stats.completed)
 }
 
-fn scenario_json(result: &ScenarioResult) -> JsonValue {
-    let s = &result.scenario;
+/// The timing-free campaign report: metadata, aggregates grouped by
+/// `axes`, and per-scenario rows, from results alone.
+///
+/// Unlike [`CampaignResult::to_json`] this carries no wall-clock fields
+/// (`elapsed_secs`, `scenarios_per_sec`, `threads`), so its rendering is
+/// a pure function of the spec and seed: an interrupted campaign that
+/// resumes from a journal produces **bit-identical** report bytes to an
+/// uninterrupted run — the invariant the campaign service's checkpoint
+/// store is built on. `results` must be in scenario-index order (the
+/// aggregation streams in push order).
+#[must_use]
+pub fn canonical_report_json(
+    campaign_seed: u64,
+    results: &[ScenarioResult],
+    axes: &[Axis],
+) -> JsonValue {
+    let mut aggregator = Aggregator::new(axes);
+    for result in results {
+        aggregator.push(result);
+    }
+    let axis_names: Vec<JsonValue> = axes
+        .iter()
+        .map(|a| JsonValue::from(format!("{a:?}")))
+        .collect();
+    let groups: Vec<JsonValue> = aggregator
+        .groups()
+        .map(|(key, stats)| {
+            let key: Vec<JsonValue> = key
+                .iter()
+                .map(|part| JsonValue::from(part.as_str()))
+                .collect();
+            group_json(&key, stats)
+        })
+        .collect();
+    let rows: Vec<JsonValue> = results.iter().map(ScenarioResult::to_json).collect();
     JsonValue::object()
-        .field("index", s.index)
-        .field("benchmark", s.benchmark.name())
-        .field("scheme", s.scheme_label.as_str())
-        .field("scheme_detail", s.scheme.label())
-        .field("error_rate", s.error_rate)
-        .field("chunk_words", s.chunk_words().map(u64::from))
-        .field("replicate", s.replicate)
-        .field("seed", s.seed)
-        .field("energy_pj", result.energy_pj)
-        .field("cycles", result.cycles)
-        .field("errors_detected", result.errors_detected)
-        .field("rollbacks", result.rollbacks)
-        .field("restarts", result.restarts)
-        .field("checkpoints", result.checkpoints)
-        .field("completed", result.completed)
-        .field("energy_ratio", result.energy_ratio)
-        .field("cycle_ratio", result.cycle_ratio)
-        .field("correct", result.correct)
+        .field("campaign_seed", campaign_seed)
+        .field("scenarios", results.len())
+        .field("group_by", JsonValue::Array(axis_names))
+        .field("aggregates", JsonValue::Array(groups))
+        .field("results", JsonValue::Array(rows))
 }
 
 /// Runs one scenario: derive the config, execute the scheme, and — for
@@ -201,21 +318,49 @@ fn run_scenario(
     result
 }
 
-/// Executes the campaign on `threads` workers (`0` = all available
-/// cores). Per-scenario results are bit-identical at any thread count.
+/// Executes the part of a campaign not in `skip`, streaming every result
+/// to `on_result` as it completes and honouring cooperative cancellation
+/// — the engine seam the campaign service's checkpoint/resume machinery
+/// drives.
+///
+/// * `skip` holds scenario indices that are already journaled: they are
+///   neither re-run nor re-delivered. Because every scenario's seed is
+///   derived from `(campaign_seed, index)`, the scenarios that *do* run
+///   produce exactly the bytes they would have produced in the skipped
+///   run — resume is bit-identical by construction.
+/// * `cancel` stops the grid between scenarios ([`CancelToken`]); the
+///   results computed before the stop have already reached `on_result`.
+/// * `on_result` runs on the calling thread in **completion order**
+///   (suitable for append-only journaling); the returned vector is
+///   re-sorted into scenario-index order.
 ///
 /// # Panics
 ///
 /// Panics if the spec enumerates an empty or unresolvable grid (see
-/// [`CampaignSpec::scenarios`]).
-#[must_use]
-pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignResult {
+/// [`CampaignSpec::scenarios`]) or if a scenario's simulation panics.
+pub fn run_campaign_streaming(
+    spec: &CampaignSpec,
+    threads: usize,
+    cancel: &CancelToken,
+    skip: &HashSet<usize>,
+    mut on_result: impl FnMut(&ScenarioResult),
+) -> Vec<ScenarioResult> {
     let scenarios = spec.scenarios();
+    let pending: Vec<usize> = (0..scenarios.len())
+        .filter(|index| !skip.contains(index))
+        .collect();
     // Golden references are fault-free and seed-independent: one per
-    // benchmark, computed up front so workers only compare outputs.
+    // benchmark that still has work pending (a resumed campaign whose
+    // journal already covers a benchmark skips its golden run too),
+    // computed up front so workers only compare outputs.
     let goldens: Vec<(Benchmark, RunReport)> = if spec.checks_golden() {
         spec.benchmark_axis()
             .iter()
+            .filter(|&&benchmark| {
+                pending
+                    .iter()
+                    .any(|&index| scenarios[index].benchmark == benchmark)
+            })
             .map(|&benchmark| (benchmark, golden(benchmark, &spec.base)))
             .collect()
     } else {
@@ -227,19 +372,46 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignResult {
             .find(|(b, _)| *b == benchmark)
             .map(|(_, report)| report.output.as_slice())
     };
-    // The worker count the pool will actually use: never more workers
-    // than jobs, so small grids at tall ladder points report honestly.
+    let mut results: Vec<ScenarioResult> = Vec::with_capacity(pending.len());
+    run_jobs_ctl(
+        &pending,
+        threads,
+        cancel,
+        |index| {
+            let scenario = &scenarios[index];
+            run_scenario(spec, scenario, golden_for(scenario.benchmark))
+        },
+        |_, result| {
+            on_result(&result);
+            results.push(result);
+        },
+    );
+    results.sort_by_key(|r| r.scenario.index);
+    results
+}
+
+/// Executes the campaign on `threads` workers (`0` = all available
+/// cores). Per-scenario results are bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if the spec enumerates an empty or unresolvable grid (see
+/// [`CampaignSpec::scenarios`]).
+#[must_use]
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> CampaignResult {
+    let start = Instant::now();
+    let results =
+        run_campaign_streaming(spec, threads, &CancelToken::new(), &HashSet::new(), |_| {});
+    // The worker count the pool actually used: never more workers than
+    // jobs, so small grids at tall ladder points report honestly. (With
+    // nothing skipped, the result count is the grid size — computing it
+    // here avoids enumerating the grid twice.)
     let workers = if threads == 0 {
         crate::pool::default_threads()
     } else {
         threads
     }
-    .min(scenarios.len().max(1));
-    let start = Instant::now();
-    let results = run_jobs(scenarios.len(), threads, |index| {
-        let scenario = &scenarios[index];
-        run_scenario(spec, scenario, golden_for(scenario.benchmark))
-    });
+    .min(results.len().max(1));
     CampaignResult {
         results,
         threads: workers,
@@ -317,6 +489,84 @@ mod tests {
         let r = &result.results[0];
         assert!(r.energy_ratio.is_none() && r.correct.is_none());
         assert!(r.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn streaming_skip_set_resumes_bit_identically() {
+        let spec = CampaignSpec::new(fast_config(), 21)
+            .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+            .replicates(3);
+        let full = run_campaign(&spec, 1);
+        // "Crash" after an arbitrary prefix: pretend scenarios {0,3,7} are
+        // journaled and re-run only the rest.
+        let skip: HashSet<usize> = [0usize, 3, 7].into_iter().collect();
+        let rest = run_campaign_streaming(&spec, 2, &CancelToken::new(), &skip, |_| {});
+        assert_eq!(rest.len(), full.results.len() - skip.len());
+        // Merge journaled + fresh, sort, compare to the uninterrupted run
+        // at the canonical-report byte level.
+        let mut merged: Vec<ScenarioResult> = full
+            .results
+            .iter()
+            .filter(|r| skip.contains(&r.scenario.index))
+            .cloned()
+            .chain(rest)
+            .collect();
+        merged.sort_by_key(|r| r.scenario.index);
+        let axes = [Axis::Benchmark, Axis::Scheme, Axis::ErrorRate];
+        assert_eq!(
+            canonical_report_json(spec.campaign_seed, &merged, &axes).render(),
+            canonical_report_json(spec.campaign_seed, &full.results, &axes).render(),
+        );
+    }
+
+    #[test]
+    fn streaming_cancel_stops_between_scenarios() {
+        let spec = CampaignSpec::new(fast_config(), 5)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .replicates(12);
+        let cancel = CancelToken::new();
+        let mut delivered = 0;
+        let results = run_campaign_streaming(&spec, 1, &cancel, &HashSet::new(), |_| {
+            delivered += 1;
+            if delivered == 3 {
+                cancel.cancel();
+            }
+        });
+        assert!(cancel.is_cancelled());
+        assert_eq!(results.len(), delivered);
+        // Cancellation is cooperative and the worker races the sink, so
+        // anywhere from 3 to all 12 results may land — but never fewer
+        // than the delivery that triggered the cancel.
+        assert!(results.len() >= 3, "lost deliveries: {}", results.len());
+        // The partial results are the full run's prefix values, bit for bit.
+        let full = run_campaign(&spec, 1);
+        for r in &results {
+            assert_eq!(r, &full.results[r.scenario.index]);
+        }
+    }
+
+    #[test]
+    fn scenario_results_round_trip_through_json() {
+        let spec = CampaignSpec::new(fast_config(), 9)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+            .replicates(2);
+        let scenarios = spec.scenarios();
+        for result in run_campaign(&spec, 1).results {
+            let line = result.to_json().render();
+            let parsed = JsonValue::parse(&line).expect("journal line parses");
+            let back = ScenarioResult::from_json(&parsed, scenarios[result.scenario.index].clone())
+                .expect("journal line loads");
+            assert_eq!(back, result);
+            // A row from a different campaign seed is rejected loudly.
+            let mut forged = scenarios[result.scenario.index].clone();
+            forged.seed ^= 1;
+            let err = ScenarioResult::from_json(&parsed, forged).unwrap_err();
+            assert!(err.contains("different campaign"), "{err}");
+        }
     }
 
     #[test]

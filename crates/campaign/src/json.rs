@@ -1,4 +1,4 @@
-//! A minimal JSON document builder.
+//! A minimal JSON document builder **and parser**.
 //!
 //! The build environment has no crates.io access (so no serde); campaign
 //! reports need only a small, correct subset of JSON: objects, arrays,
@@ -6,6 +6,15 @@
 //! via [`JsonValue::render`] with deterministic formatting — floats use
 //! Rust's shortest-roundtrip `{}` so a re-parsed value is bit-identical,
 //! and non-finite floats render as `null` (JSON has no NaN/Infinity).
+//!
+//! [`JsonValue::parse`] is the inverse: a recursive-descent parser over
+//! the full JSON grammar (strings with `\uXXXX` escapes including
+//! surrogate pairs, scientific-notation numbers, arbitrarily nested
+//! containers up to a depth limit). Numbers parse back into the narrowest
+//! faithful variant — non-negative integers as [`JsonValue::Uint`],
+//! negative ones as [`JsonValue::Int`], everything else as
+//! [`JsonValue::Float`] — so `parse(render(v))` reproduces `v` up to that
+//! canonical numeric form (see [`JsonValue::canonicalize`]).
 
 /// A JSON value tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +129,408 @@ impl JsonValue {
     }
 }
 
+/// Parse failure: a message plus the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Containers deeper than this are rejected rather than risking a stack
+/// overflow on adversarial input (the service parses network bytes).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(format!("expected '{}'", byte as char))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return self.error("nesting deeper than 128 levels");
+        }
+        self.skip_whitespace();
+        match self.peek() {
+            None => self.error("unexpected end of input"),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') | Some(b'f') => {
+                if self.consume_literal("true") {
+                    Ok(JsonValue::Bool(true))
+                } else if self.consume_literal("false") {
+                    Ok(JsonValue::Bool(false))
+                } else {
+                    self.error("invalid literal")
+                }
+            }
+            Some(b'n') => {
+                if self.consume_literal("null") {
+                    Ok(JsonValue::Null)
+                } else {
+                    self.error("invalid literal")
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => self.error(format!("unexpected byte 0x{other:02x}")),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return self.error("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.error("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, JsonParseError> {
+        let mut value: u16 = 0;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => b - b'0',
+                Some(b @ b'a'..=b'f') => b - b'a' + 10,
+                Some(b @ b'A'..=b'F') => b - b'A' + 10,
+                _ => return self.error("invalid \\u escape"),
+            };
+            value = (value << 4) | u16::from(digit);
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.error("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek();
+                    self.pos += 1;
+                    match escape {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow to form one code point.
+                                if !self.consume_literal("\\u") {
+                                    return self.error("unpaired surrogate");
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return self.error("unpaired surrogate");
+                                }
+                                let combined = 0x10000
+                                    + ((u32::from(unit) - 0xD800) << 10)
+                                    + (u32::from(low) - 0xDC00);
+                                char::from_u32(combined)
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                None // lone low surrogate
+                            } else {
+                                char::from_u32(u32::from(unit))
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.error("invalid \\u escape"),
+                            }
+                        }
+                        _ => return self.error("invalid escape"),
+                    }
+                }
+                Some(b) if b < 0x20 => return self.error("raw control character in string"),
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so the
+                    // sequence is valid — copy the whole code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input was a valid &str");
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let int_digits = self.pos - int_start;
+        if int_digits == 0 {
+            return self.error("number has no digits");
+        }
+        if int_digits > 1 && self.bytes[int_start] == b'0' {
+            return self.error("number has a leading zero");
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return self.error("fraction has no digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return self.error("exponent has no digits");
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if integral {
+            // Narrowest faithful variant; digits that overflow even u64/i64
+            // fall through to f64 like every practical JSON reader.
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(JsonValue::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(JsonValue::Uint(u));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(JsonValue::Float(x)),
+            _ => self.error("number out of range"),
+        }
+    }
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with the byte offset of the first
+    /// violation of the JSON grammar.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.parse_value(0)?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return parser.error("trailing characters after document");
+        }
+        Ok(value)
+    }
+
+    /// Rewrites the tree into the form [`JsonValue::parse`] produces:
+    /// non-negative [`Int`](JsonValue::Int)s become
+    /// [`Uint`](JsonValue::Uint)s, non-finite floats become `null`, and
+    /// integral-valued floats stay floats (their rendering keeps the
+    /// `.0`). `parse(render(v)) == v.canonicalize()` for every tree.
+    #[must_use]
+    pub fn canonicalize(self) -> JsonValue {
+        match self {
+            JsonValue::Int(i) if i >= 0 => JsonValue::Uint(i as u64),
+            JsonValue::Float(x) if !x.is_finite() => JsonValue::Null,
+            JsonValue::Array(items) => {
+                JsonValue::Array(items.into_iter().map(JsonValue::canonicalize).collect())
+            }
+            JsonValue::Object(fields) => JsonValue::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k, v.canonicalize()))
+                    .collect(),
+            ),
+            other => other,
+        }
+    }
+
+    /// Looks up a field of an object (`None` for missing keys or
+    /// non-objects). Insertion order is preserved, first match wins.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::Uint(u) => Some(u),
+            JsonValue::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any JSON number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::Float(x) => Some(x),
+            JsonValue::Int(i) => Some(i as f64),
+            JsonValue::Uint(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
 impl From<bool> for JsonValue {
     fn from(b: bool) -> Self {
         JsonValue::Bool(b)
@@ -207,5 +618,119 @@ mod tests {
     fn big_integers_stay_exact() {
         let big = (1u64 << 53) + 1;
         assert_eq!(JsonValue::Uint(big).render(), big.to_string());
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = JsonValue::parse(
+            r#" { "name": "campaign", "n": 4, "neg": -2, "ok": true,
+                  "rate": 1.5e-6, "none": null, "items": [1, [2, {"k": "v"}]] } "#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("campaign"));
+        assert_eq!(doc.get("n").unwrap().as_u64(), Some(4));
+        assert_eq!(doc.get("neg"), Some(&JsonValue::Int(-2)));
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("rate").unwrap().as_f64(), Some(1.5e-6));
+        assert!(doc.get("none").unwrap().is_null());
+        let items = doc.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(
+            items[1].as_array().unwrap()[1].get("k").unwrap().as_str(),
+            Some("v")
+        );
+    }
+
+    #[test]
+    fn parses_string_escapes_and_unicode() {
+        let v = JsonValue::parse(r#""a\"b\\c\nd\teé😀π""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\teé😀π"));
+        // \u escapes: BMP char, astral surrogate pair, control char.
+        let src: String = ["\"", "\\u00e9", "\\ud83d", "\\ude00", "\\u0001", "\""].concat();
+        let escaped = JsonValue::parse(&src).unwrap();
+        assert_eq!(
+            escaped.as_str(),
+            Some(concat!("\u{e9}", "\u{1f600}", "\u{1}"))
+        );
+        // Lone surrogates are malformed.
+        assert!(JsonValue::parse(r#""\ud83d""#).is_err());
+        assert!(JsonValue::parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn parses_number_forms() {
+        assert_eq!(JsonValue::parse("0").unwrap(), JsonValue::Uint(0));
+        assert_eq!(
+            JsonValue::parse("18446744073709551615").unwrap(),
+            JsonValue::Uint(u64::MAX)
+        );
+        assert_eq!(
+            JsonValue::parse("-9223372036854775808").unwrap(),
+            JsonValue::Int(i64::MIN)
+        );
+        assert_eq!(JsonValue::parse("2.0").unwrap(), JsonValue::Float(2.0));
+        assert_eq!(JsonValue::parse("-1e3").unwrap(), JsonValue::Float(-1e3));
+        assert_eq!(JsonValue::parse("1E+2").unwrap(), JsonValue::Float(100.0));
+        // Integers beyond u64 degrade to f64 rather than erroring.
+        assert_eq!(
+            JsonValue::parse("36893488147419103232").unwrap(),
+            JsonValue::Float(3.6893488147419103e19)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "--1",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "[1] trailing",
+            "{\"a\" 1}",
+            "\u{1}",
+            "nan",
+            "Infinity",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Raw control characters must be escaped inside strings.
+        assert!(JsonValue::parse("\"a\nb\"").is_err());
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(JsonValue::parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let doc = JsonValue::object()
+            .field("name", "say \"hi\"\n")
+            .field("big", (1u64 << 53) + 1)
+            .field("neg", -42i64)
+            .field("x", 0.1 + 0.2)
+            .field("flag", false)
+            .field("nothing", JsonValue::Null)
+            .field(
+                "grid",
+                JsonValue::Array(vec![JsonValue::Float(1e-6), JsonValue::Uint(3)]),
+            );
+        let reparsed = JsonValue::parse(&doc.render()).unwrap();
+        assert_eq!(reparsed, doc.clone().canonicalize());
+        // And rendering is a fixed point after one round trip.
+        assert_eq!(reparsed.render(), doc.render());
     }
 }

@@ -66,8 +66,12 @@ pub mod spec;
 pub mod stats;
 
 pub use cli::{write_json_report, CampaignArgs};
-pub use engine::{run_campaign, run_cell, CampaignResult, ScenarioResult};
-pub use json::JsonValue;
+pub use engine::{
+    canonical_report_json, run_campaign, run_campaign_streaming, run_cell, CampaignResult,
+    ScenarioResult,
+};
+pub use json::{JsonParseError, JsonValue};
+pub use pool::CancelToken;
 pub use seed::scenario_seed;
-pub use spec::{CampaignSpec, Scenario, SchemeSpec};
+pub use spec::{CampaignSpec, Scenario, SchemeSpec, SPEC_VERSION};
 pub use stats::{Aggregator, Axis, GroupStats, Summary};

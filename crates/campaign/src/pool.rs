@@ -17,8 +17,9 @@
 //! exactly once".
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Number of workers to use when the caller passes `threads == 0`:
 /// everything the OS will give us.
@@ -27,47 +28,102 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Runs `job` over `0..jobs` on `threads` workers and returns the results
-/// in job order. `threads == 0` means [`default_threads`]; the pool never
-/// spawns more workers than jobs. With one worker the pool degenerates to
-/// a serial loop on a spawned thread — same code path, no special case.
+/// A cooperative cancellation token shared between a pool run and its
+/// controller.
+///
+/// Cancellation is *cooperative*: workers check the token between jobs,
+/// so the job currently executing runs to completion (its result is
+/// still delivered) and everything still queued is abandoned. The run
+/// always joins all of its workers before returning — cancellation can
+/// never orphan a thread.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// Runs `job` over the given job indices on `threads` workers, delivering
+/// each `(index, result)` to `sink` in **completion order** on the
+/// calling thread. This is the controllable core under [`run_jobs`]:
+///
+/// * `indices` need not be dense or sorted — a resumed campaign passes
+///   only the scenarios its journal is missing;
+/// * `cancel` stops the run between jobs (see [`CancelToken`]); results
+///   already computed still reach `sink`;
+/// * `sink` runs on the caller's thread, so it may hold non-`Sync` state
+///   (an open journal file, a progress counter).
+///
+/// Returns the number of jobs that completed and were delivered.
 ///
 /// # Panics
 ///
 /// Propagates panics from `job` (the scope joins all workers first).
-pub fn run_jobs<R, F>(jobs: usize, threads: usize, job: F) -> Vec<R>
+pub fn run_jobs_ctl<R, F, S>(
+    indices: &[usize],
+    threads: usize,
+    cancel: &CancelToken,
+    job: F,
+    mut sink: S,
+) -> usize
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
+    S: FnMut(usize, R),
 {
-    if jobs == 0 {
-        return Vec::new();
+    if indices.is_empty() || cancel.is_cancelled() {
+        return 0;
     }
     let threads = if threads == 0 {
         default_threads()
     } else {
         threads
     }
-    .min(jobs);
+    .min(indices.len());
     // Deal the job indices round-robin so every worker starts with a
     // near-equal share and stealing only handles imbalance.
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-    for index in 0..jobs {
-        queues[index % threads]
+    for (position, &index) in indices.iter().enumerate() {
+        queues[position % threads]
             .lock()
             .expect("queue poisoned")
             .push_back(index);
     }
     let (sender, receiver) = mpsc::channel::<(usize, R)>();
-    let mut results: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+    let mut delivered = 0;
     std::thread::scope(|scope| {
         for me in 0..threads {
             let sender = sender.clone();
             let queues = &queues;
             let job = &job;
+            let cancel = &*cancel;
             scope.spawn(move || {
                 loop {
+                    // Between jobs is the cancellation point: the grid is
+                    // abandoned without interrupting a running scenario.
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     // Own queue first (front) …
                     let next = queues[me].lock().expect("queue poisoned").pop_front();
                     // … then steal from the back of a sibling, trying
@@ -96,8 +152,30 @@ where
         }
         drop(sender);
         for (index, result) in receiver {
-            results[index] = Some(result);
+            sink(index, result);
+            delivered += 1;
         }
+    });
+    delivered
+}
+
+/// Runs `job` over `0..jobs` on `threads` workers and returns the results
+/// in job order. `threads == 0` means [`default_threads`]; the pool never
+/// spawns more workers than jobs. With one worker the pool degenerates to
+/// a serial loop on a spawned thread — same code path, no special case.
+///
+/// # Panics
+///
+/// Propagates panics from `job` (the scope joins all workers first).
+pub fn run_jobs<R, F>(jobs: usize, threads: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..jobs).collect();
+    let mut results: Vec<Option<R>> = (0..jobs).map(|_| None).collect();
+    run_jobs_ctl(&indices, threads, &CancelToken::new(), job, |index, r| {
+        results[index] = Some(r);
     });
     results
         .into_iter()
@@ -149,5 +227,62 @@ mod tests {
     fn zero_jobs_and_zero_threads() {
         assert!(run_jobs(0, 4, |i| i).is_empty());
         assert_eq!(run_jobs(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sparse_indices_run_and_deliver() {
+        let indices = [3usize, 17, 4, 99];
+        let mut seen = Vec::new();
+        let n = run_jobs_ctl(
+            &indices,
+            2,
+            &CancelToken::new(),
+            |i| i * 10,
+            |i, r| seen.push((i, r)),
+        );
+        assert_eq!(n, 4);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(3, 30), (4, 40), (17, 170), (99, 990)]);
+    }
+
+    #[test]
+    fn cancellation_joins_all_workers_without_deadlock() {
+        // 64 slow jobs on 4 workers; cancel from the sink after the first
+        // result. The run must (a) return — i.e. every worker joined, no
+        // orphaned thread can outlive the scope — (b) deliver far fewer
+        // than 64 results, and (c) do so in a bounded amount of time,
+        // which a deadlocked join would fail.
+        let started = AtomicUsize::new(0);
+        let token = CancelToken::new();
+        let t0 = std::time::Instant::now();
+        let delivered = run_jobs_ctl(
+            &(0..64).collect::<Vec<_>>(),
+            4,
+            &token,
+            |i| {
+                started.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                i
+            },
+            |_, _| token.cancel(),
+        );
+        assert!(token.is_cancelled());
+        // In-flight jobs (at most one per worker) finish; the rest of the
+        // grid is abandoned.
+        assert!(delivered >= 1, "the triggering result was delivered");
+        assert!(delivered <= 8, "cancelled run completed {delivered} jobs");
+        assert!(started.load(Ordering::SeqCst) <= 8);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "cancelled run failed to join promptly"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_run_does_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let delivered = run_jobs_ctl(&[0, 1, 2], 2, &token, |i| i, |_, _| {});
+        assert_eq!(delivered, 0);
     }
 }

@@ -12,6 +12,7 @@
 use chunkpoint_core::{optimize, suboptimal, MitigationScheme, SystemConfig};
 use chunkpoint_workloads::Benchmark;
 
+use crate::json::JsonValue;
 use crate::seed::scenario_seed;
 
 /// How the scheme axis resolves to a concrete [`MitigationScheme`] for a
@@ -303,6 +304,335 @@ impl CampaignSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Spec serde: the wire format of a campaign
+// ---------------------------------------------------------------------------
+
+/// Current wire-format version of [`CampaignSpec::to_json`].
+pub const SPEC_VERSION: u64 = 1;
+
+fn benchmark_from_name(name: &str) -> Result<Benchmark, String> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| {
+            let known: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+            format!("unknown benchmark {name:?} (known: {})", known.join(", "))
+        })
+}
+
+fn scheme_to_json(scheme: &MitigationScheme) -> JsonValue {
+    match *scheme {
+        MitigationScheme::Default => JsonValue::object().field("kind", "default"),
+        MitigationScheme::HwEcc { t } => JsonValue::object()
+            .field("kind", "hw-ecc")
+            .field("t", u64::from(t)),
+        MitigationScheme::SwRestart => JsonValue::object().field("kind", "sw-restart"),
+        MitigationScheme::Hybrid {
+            chunk_words,
+            l1_prime_t,
+        } => JsonValue::object()
+            .field("kind", "hybrid")
+            .field("chunk_words", u64::from(chunk_words))
+            .field("l1_prime_t", u64::from(l1_prime_t)),
+        MitigationScheme::HybridSingleParity {
+            chunk_words,
+            l1_prime_t,
+        } => JsonValue::object()
+            .field("kind", "hybrid-single-parity")
+            .field("chunk_words", u64::from(chunk_words))
+            .field("l1_prime_t", u64::from(l1_prime_t)),
+        MitigationScheme::ScrubbedSecded { interval_cycles } => JsonValue::object()
+            .field("kind", "scrubbed-secded")
+            .field("interval_cycles", u64::from(interval_cycles)),
+    }
+}
+
+fn field_u64(value: &JsonValue, key: &str, context: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("{context}: missing or non-integer {key:?}"))
+}
+
+fn field_f64(value: &JsonValue, key: &str, context: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{context}: missing or non-numeric {key:?}"))
+}
+
+fn narrow<T: TryFrom<u64>>(raw: u64, what: &str) -> Result<T, String> {
+    T::try_from(raw).map_err(|_| format!("{what} out of range: {raw}"))
+}
+
+fn scheme_from_json(value: &JsonValue) -> Result<MitigationScheme, String> {
+    let kind = value
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("scheme: missing \"kind\"")?;
+    match kind {
+        "default" => Ok(MitigationScheme::Default),
+        "sw-restart" => Ok(MitigationScheme::SwRestart),
+        "hw-ecc" => Ok(MitigationScheme::HwEcc {
+            t: narrow(field_u64(value, "t", "hw-ecc")?, "hw-ecc t")?,
+        }),
+        "hybrid" => Ok(MitigationScheme::Hybrid {
+            chunk_words: narrow(field_u64(value, "chunk_words", "hybrid")?, "chunk_words")?,
+            l1_prime_t: narrow(field_u64(value, "l1_prime_t", "hybrid")?, "l1_prime_t")?,
+        }),
+        "hybrid-single-parity" => Ok(MitigationScheme::HybridSingleParity {
+            chunk_words: narrow(
+                field_u64(value, "chunk_words", "hybrid-single-parity")?,
+                "chunk_words",
+            )?,
+            l1_prime_t: narrow(
+                field_u64(value, "l1_prime_t", "hybrid-single-parity")?,
+                "l1_prime_t",
+            )?,
+        }),
+        "scrubbed-secded" => Ok(MitigationScheme::ScrubbedSecded {
+            interval_cycles: narrow(
+                field_u64(value, "interval_cycles", "scrubbed-secded")?,
+                "interval_cycles",
+            )?,
+        }),
+        other => Err(format!("scheme: unknown kind {other:?}")),
+    }
+}
+
+fn scheme_spec_to_json(spec: &SchemeSpec) -> JsonValue {
+    match spec {
+        SchemeSpec::Fixed(scheme) => JsonValue::object()
+            .field("kind", "fixed")
+            .field("scheme", scheme_to_json(scheme)),
+        SchemeSpec::Optimal => JsonValue::object().field("kind", "optimal"),
+        SchemeSpec::Suboptimal => JsonValue::object().field("kind", "suboptimal"),
+        SchemeSpec::OptimalSingleParity => {
+            JsonValue::object().field("kind", "optimal-single-parity")
+        }
+    }
+}
+
+fn scheme_spec_from_json(value: &JsonValue) -> Result<SchemeSpec, String> {
+    let kind = value
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("scheme spec: missing \"kind\"")?;
+    match kind {
+        "fixed" => Ok(SchemeSpec::Fixed(scheme_from_json(
+            value
+                .get("scheme")
+                .ok_or("fixed scheme spec: missing \"scheme\"")?,
+        )?)),
+        "optimal" => Ok(SchemeSpec::Optimal),
+        "suboptimal" => Ok(SchemeSpec::Suboptimal),
+        "optimal-single-parity" => Ok(SchemeSpec::OptimalSingleParity),
+        other => Err(format!("scheme spec: unknown kind {other:?}")),
+    }
+}
+
+impl CampaignSpec {
+    /// Serializes the spec to its canonical JSON wire form — the format
+    /// [`CampaignSpec::from_json`] accepts and the campaign service hashes
+    /// for its content-addressed result cache.
+    ///
+    /// The rendering is deterministic (insertion-ordered keys,
+    /// shortest-roundtrip floats), so equal specs always render to equal
+    /// bytes and [`CampaignSpec::spec_hash`] is stable across processes
+    /// and platforms.
+    ///
+    /// The base [`SystemConfig`] serializes as its campaign-relevant
+    /// knobs (scale, fault environment, constraint overheads); the
+    /// platform is pinned to the paper's LH7A400 — a spec cannot carry a
+    /// custom platform over the wire.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let benchmarks: Vec<JsonValue> = self
+            .benchmarks
+            .iter()
+            .map(|b| JsonValue::from(b.name()))
+            .collect();
+        let schemes: Vec<JsonValue> = self
+            .schemes
+            .iter()
+            .map(|(label, spec)| {
+                JsonValue::object()
+                    .field("label", label.as_str())
+                    .field("spec", scheme_spec_to_json(spec))
+            })
+            .collect();
+        let error_rates: Vec<JsonValue> = self
+            .error_rates
+            .iter()
+            .map(|&r| JsonValue::Float(r))
+            .collect();
+        let chunk_words: Vec<JsonValue> = self
+            .chunk_words
+            .iter()
+            .map(|&k| JsonValue::from(u64::from(k)))
+            .collect();
+        JsonValue::object()
+            .field("version", SPEC_VERSION)
+            .field("campaign_seed", self.campaign_seed)
+            .field(
+                "base",
+                JsonValue::object()
+                    .field("scale", self.base.scale)
+                    .field("error_rate", self.base.faults.error_rate)
+                    .field("seed", self.base.faults.seed)
+                    .field("area_overhead", self.base.constraints.area_overhead)
+                    .field("cycle_overhead", self.base.constraints.cycle_overhead),
+            )
+            .field("benchmarks", JsonValue::Array(benchmarks))
+            .field("schemes", JsonValue::Array(schemes))
+            .field("error_rates", JsonValue::Array(error_rates))
+            .field("chunk_words", JsonValue::Array(chunk_words))
+            .field("replicates", self.replicates)
+            .field("normalize", self.normalize)
+            .field("golden_check", self.golden_check)
+    }
+
+    /// Deserializes a spec from the wire form produced by
+    /// [`CampaignSpec::to_json`]. The `base` object and both boolean
+    /// flags are optional (defaulting to the paper configuration,
+    /// normalization and golden checks on) so hand-written specs can stay
+    /// minimal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field on any structural,
+    /// type, or domain violation (unknown benchmark or scheme kind, zero
+    /// replicates, empty axes, non-finite or negative rates…).
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let version = field_u64(value, "version", "spec")?;
+        if version != SPEC_VERSION {
+            return Err(format!(
+                "spec: unsupported version {version} (this build speaks {SPEC_VERSION})"
+            ));
+        }
+        let campaign_seed = field_u64(value, "campaign_seed", "spec")?;
+        let mut base = SystemConfig::paper(0);
+        if let Some(base_json) = value.get("base") {
+            base.faults.seed = field_u64(base_json, "seed", "base")?;
+            base.scale = field_f64(base_json, "scale", "base")?;
+            base.faults.error_rate = field_f64(base_json, "error_rate", "base")?;
+            if !(base.scale.is_finite() && base.scale > 0.0) {
+                return Err(format!(
+                    "base: scale must be finite and > 0, got {}",
+                    base.scale
+                ));
+            }
+            if !(base.faults.error_rate.is_finite() && base.faults.error_rate >= 0.0) {
+                return Err("base: error_rate must be finite and >= 0".to_owned());
+            }
+            let area = field_f64(base_json, "area_overhead", "base")?;
+            let cycle = field_f64(base_json, "cycle_overhead", "base")?;
+            if !(area > 0.0 && area < 1.0 && cycle > 0.0 && cycle < 1.0) {
+                return Err("base: overheads must be in (0, 1)".to_owned());
+            }
+            base.constraints.area_overhead = area;
+            base.constraints.cycle_overhead = cycle;
+        }
+        let mut spec = CampaignSpec::new(base, campaign_seed);
+        let benchmarks = value
+            .get("benchmarks")
+            .and_then(JsonValue::as_array)
+            .ok_or("spec: missing \"benchmarks\" array")?;
+        if benchmarks.is_empty() {
+            return Err("spec: benchmark axis cannot be empty".to_owned());
+        }
+        spec.benchmarks = benchmarks
+            .iter()
+            .map(|b| {
+                b.as_str()
+                    .ok_or_else(|| "benchmarks: entries must be strings".to_owned())
+                    .and_then(benchmark_from_name)
+            })
+            .collect::<Result<_, _>>()?;
+        let schemes = value
+            .get("schemes")
+            .and_then(JsonValue::as_array)
+            .ok_or("spec: missing \"schemes\" array")?;
+        if schemes.is_empty() {
+            return Err("spec: scheme axis cannot be empty".to_owned());
+        }
+        spec.schemes = schemes
+            .iter()
+            .map(|entry| {
+                let label = entry
+                    .get("label")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("schemes: entry missing \"label\"")?;
+                let scheme_spec = scheme_spec_from_json(
+                    entry.get("spec").ok_or("schemes: entry missing \"spec\"")?,
+                )?;
+                Ok((label.to_owned(), scheme_spec))
+            })
+            .collect::<Result<_, String>>()?;
+        let error_rates = value
+            .get("error_rates")
+            .and_then(JsonValue::as_array)
+            .ok_or("spec: missing \"error_rates\" array")?;
+        if error_rates.is_empty() {
+            return Err("spec: error-rate axis cannot be empty".to_owned());
+        }
+        spec.error_rates = error_rates
+            .iter()
+            .map(|r| match r.as_f64() {
+                Some(rate) if rate.is_finite() && rate >= 0.0 => Ok(rate),
+                _ => Err("error_rates: entries must be finite and >= 0".to_owned()),
+            })
+            .collect::<Result<_, _>>()?;
+        spec.chunk_words = value
+            .get("chunk_words")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|k| {
+                let raw = k.as_u64().ok_or_else(|| {
+                    "chunk_words: entries must be non-negative integers".to_owned()
+                })?;
+                let chunk: u32 = narrow(raw, "chunk_words entry")?;
+                if chunk == 0 {
+                    return Err("chunk_words: entries must be >= 1".to_owned());
+                }
+                Ok(chunk)
+            })
+            .collect::<Result<_, _>>()?;
+        spec.replicates = field_u64(value, "replicates", "spec")?;
+        if spec.replicates == 0 {
+            return Err("spec: replicates must be at least 1".to_owned());
+        }
+        if let Some(flag) = value.get("normalize") {
+            spec.normalize = flag
+                .as_bool()
+                .ok_or("spec: \"normalize\" must be a boolean")?;
+        }
+        if let Some(flag) = value.get("golden_check") {
+            spec.golden_check = flag
+                .as_bool()
+                .ok_or("spec: \"golden_check\" must be a boolean")?;
+        }
+        Ok(spec)
+    }
+
+    /// A stable 64-bit content hash of the spec: FNV-1a over the
+    /// canonical [`CampaignSpec::to_json`] rendering. Equal specs hash
+    /// equal on every platform; the campaign service uses this as the
+    /// job/result-cache key, printed as 16 lowercase hex digits.
+    #[must_use]
+    pub fn spec_hash(&self) -> u64 {
+        let rendered = self.to_json().render();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in rendered.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,5 +698,118 @@ mod tests {
     #[should_panic(expected = "at least one scheme")]
     fn empty_scheme_axis_is_rejected() {
         let _ = CampaignSpec::new(SystemConfig::paper(0), 0).scenarios();
+    }
+
+    fn full_spec() -> CampaignSpec {
+        let mut config = SystemConfig::paper(3);
+        config.scale = 0.5;
+        config.faults.error_rate = 2e-6;
+        CampaignSpec::new(config, 0xFEED)
+            .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::JpegDecode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .scheme("HW", SchemeSpec::Fixed(MitigationScheme::HwEcc { t: 8 }))
+            .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+            .scheme(
+                "Proposed",
+                SchemeSpec::Fixed(MitigationScheme::Hybrid {
+                    chunk_words: 16,
+                    l1_prime_t: 8,
+                }),
+            )
+            .scheme("Optimal", SchemeSpec::Optimal)
+            .scheme("Suboptimal", SchemeSpec::Suboptimal)
+            .scheme("1-parity", SchemeSpec::OptimalSingleParity)
+            .scheme(
+                "Scrub",
+                SchemeSpec::Fixed(MitigationScheme::ScrubbedSecded {
+                    interval_cycles: 4096,
+                }),
+            )
+            .error_rates(&[1e-7, 1e-6])
+            .chunk_words(&[8, 32])
+            .replicates(3)
+            .normalize(false)
+            .golden_check(false)
+    }
+
+    #[test]
+    fn spec_serde_round_trips_every_axis() {
+        let spec = full_spec();
+        let json = spec.to_json();
+        let back = CampaignSpec::from_json(&json).expect("round trip");
+        assert_eq!(back.to_json().render(), json.render());
+        assert_eq!(back.campaign_seed, spec.campaign_seed);
+        assert_eq!(back.benchmarks, spec.benchmarks);
+        assert_eq!(back.schemes, spec.schemes);
+        assert_eq!(back.error_rates, spec.error_rates);
+        assert_eq!(back.chunk_words, spec.chunk_words);
+        assert_eq!(back.replicates, spec.replicates);
+        assert_eq!(back.normalize, spec.normalize);
+        assert_eq!(back.golden_check, spec.golden_check);
+        assert_eq!(back.base, spec.base);
+        // Byte-level round trip through the parser too.
+        let reparsed = JsonValue::parse(&json.render()).expect("valid JSON");
+        let again = CampaignSpec::from_json(&reparsed).expect("parse round trip");
+        assert_eq!(again.spec_hash(), spec.spec_hash());
+        // And the grid a wire-form spec enumerates is identical (checked
+        // on the fixed-scheme spec: full_spec's optimizer entries are
+        // deliberately infeasible at its scaled-down config).
+        let fixed = small_spec();
+        let fixed_back = CampaignSpec::from_json(&fixed.to_json()).expect("fixed round trip");
+        assert_eq!(fixed_back.scenarios(), fixed.scenarios());
+    }
+
+    #[test]
+    fn spec_hash_is_stable_and_content_sensitive() {
+        let spec = full_spec();
+        assert_eq!(spec.spec_hash(), full_spec().spec_hash());
+        let reseeded = CampaignSpec {
+            campaign_seed: spec.campaign_seed + 1,
+            ..full_spec()
+        };
+        assert_ne!(spec.spec_hash(), reseeded.spec_hash());
+        assert_ne!(spec.spec_hash(), full_spec().replicates(4).spec_hash());
+    }
+
+    #[test]
+    fn spec_from_json_rejects_bad_documents() {
+        let good = full_spec().to_json().render();
+        for (mutation, expect) in [
+            (good.replace("\"version\":1", "\"version\":99"), "version"),
+            (good.replace("ADPCM encode", "ADPCM encoed"), "benchmark"),
+            (
+                good.replace("\"replicates\":3", "\"replicates\":0"),
+                "replicates",
+            ),
+            (good.replace("sw-restart", "sw-restrat"), "kind"),
+            (
+                good.replace("\"error_rates\":[0.0000001,0.000001]", "\"error_rates\":[]"),
+                "error-rate",
+            ),
+            (good.replace("\"schemes\":[", "\"schemas\":["), "schemes"),
+        ] {
+            assert_ne!(mutation, good, "mutation {expect:?} did not apply");
+            let value = JsonValue::parse(&mutation).expect("still valid JSON");
+            let err = CampaignSpec::from_json(&value).expect_err(expect);
+            assert!(
+                err.contains(expect),
+                "error {err:?} should mention {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_spec_defaults_match_builder() {
+        let value = JsonValue::parse(
+            r#"{"version":1,"campaign_seed":5,
+                "benchmarks":["ADPCM encode"],
+                "schemes":[{"label":"Default","spec":{"kind":"fixed","scheme":{"kind":"default"}}}],
+                "error_rates":[0.000001],"replicates":1}"#,
+        )
+        .unwrap();
+        let spec = CampaignSpec::from_json(&value).expect("minimal spec");
+        assert!(spec.is_normalized() && spec.checks_golden());
+        assert_eq!(spec.base, SystemConfig::paper(0));
+        assert_eq!(spec.scenarios().len(), 1);
     }
 }

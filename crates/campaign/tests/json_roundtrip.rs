@@ -1,0 +1,124 @@
+//! Property tests pitting [`JsonValue::parse`] against the existing
+//! writer: for *any* value tree, rendering then parsing must reproduce
+//! the tree (up to the documented numeric canonicalization), and the
+//! rendering must be a fixed point — `render(parse(render(v))) ==
+//! render(v)`.
+
+use chunkpoint_campaign::JsonValue;
+use proptest::prelude::*;
+
+/// SplitMix64 step: the deterministic randomness source for tree shapes.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A random string exercising the writer's escape table: quotes,
+/// backslashes, control characters, multi-byte UTF-8, astral plane.
+fn arbitrary_string(state: &mut u64) -> String {
+    const ALPHABET: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{0}',
+        '\u{1}',
+        '\u{1f}',
+        'é',
+        'π',
+        '\u{2028}',
+        '😀',
+        '\u{10FFFF}',
+    ];
+    let len = (next(state) % 12) as usize;
+    (0..len)
+        .map(|_| ALPHABET[(next(state) as usize) % ALPHABET.len()])
+        .collect()
+}
+
+/// A random finite-or-not f64 drawn straight from the bit space, so the
+/// writer sees subnormals, extremes, negative zero, NaN and infinities.
+fn arbitrary_float(state: &mut u64) -> f64 {
+    f64::from_bits(next(state))
+}
+
+/// A random value tree of bounded depth over every [`JsonValue`] variant.
+fn arbitrary_json(state: &mut u64, depth: u32) -> JsonValue {
+    let leaf_only = depth == 0;
+    match next(state) % if leaf_only { 6 } else { 8 } {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(next(state) & 1 == 0),
+        2 => JsonValue::Int(next(state) as i64),
+        3 => JsonValue::Uint(next(state)),
+        4 => JsonValue::Float(arbitrary_float(state)),
+        5 => JsonValue::Str(arbitrary_string(state)),
+        6 => {
+            let len = (next(state) % 4) as usize;
+            JsonValue::Array((0..len).map(|_| arbitrary_json(state, depth - 1)).collect())
+        }
+        _ => {
+            let len = (next(state) % 4) as usize;
+            JsonValue::Object(
+                (0..len)
+                    .map(|_| (arbitrary_string(state), arbitrary_json(state, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// `parse` inverts `render` for arbitrary trees, up to the documented
+    /// canonical numeric form.
+    #[test]
+    fn parse_inverts_render(seed in any::<u64>()) {
+        let mut state = seed;
+        let value = arbitrary_json(&mut state, 4);
+        let rendered = value.render();
+        let parsed = JsonValue::parse(&rendered)
+            .unwrap_or_else(|e| panic!("writer produced unparseable JSON {rendered:?}: {e}"));
+        prop_assert_eq!(&parsed, &value.clone().canonicalize());
+        // One round trip reaches the rendering fixed point.
+        prop_assert_eq!(parsed.render(), rendered);
+    }
+
+    /// Floats survive the trip bit-for-bit (the report/journal invariant
+    /// the resumable campaign service depends on).
+    #[test]
+    fn finite_floats_round_trip_bitwise(bits in any::<u64>()) {
+        let x = f64::from_bits(bits);
+        prop_assume!(x.is_finite());
+        let rendered = JsonValue::Float(x).render();
+        match JsonValue::parse(&rendered).expect("float renders as valid JSON") {
+            JsonValue::Float(y) => prop_assert_eq!(y.to_bits(), x.to_bits()),
+            other => prop_assert!(false, "float reparsed as {:?}", other),
+        }
+    }
+
+    /// Whitespace-insensitivity: pretty-ish spacing parses to the same tree.
+    #[test]
+    fn parser_ignores_inter_token_whitespace(seed in any::<u64>()) {
+        let mut state = seed;
+        let value = arbitrary_json(&mut state, 3);
+        let spaced = value
+            .render()
+            .replace('{', "{ ")
+            .replace(',', " ,\n\t")
+            .replace(']', " ]");
+        prop_assert_eq!(
+            JsonValue::parse(&spaced).expect("spaced document parses"),
+            value.canonicalize()
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! The `serve` binary: the chunkpoint campaign service.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--data-dir PATH] [--jobs N] [--threads N]
+//!       [--port-file PATH]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
+//! the bound port as decimal text once listening (how CI scripts and
+//! tests find the service). Shut down with `POST /shutdown`.
+
+use std::path::PathBuf;
+
+use chunkpoint_serve::server::{ServeConfig, Server};
+
+const USAGE: &str = "chunkpoint campaign service:
+  --addr HOST:PORT   bind address (default 127.0.0.1:8077; port 0 = ephemeral)
+  --data-dir PATH    job store root (default ./chunkpoint-serve-data)
+  --jobs N           concurrent campaign jobs (default 2)
+  --threads N        worker threads per campaign (default: all cores)
+  --port-file PATH   write the bound port here once listening
+  --help             this text
+
+endpoints: POST /campaigns, GET /campaigns/:id, GET /campaigns/:id/result,
+           DELETE /campaigns/:id, GET /healthz, POST /shutdown";
+
+fn parse_args() -> Result<(ServeConfig, Option<PathBuf>), String> {
+    let mut config = ServeConfig::default();
+    let mut port_file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value\n\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value_of("--addr")?,
+            "--data-dir" => config.data_dir = PathBuf::from(value_of("--data-dir")?),
+            "--jobs" => {
+                config.max_jobs = value_of("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}\n\n{USAGE}"))?;
+                if config.max_jobs == 0 {
+                    return Err(format!("--jobs must be at least 1\n\n{USAGE}"));
+                }
+            }
+            "--threads" => {
+                config.campaign_threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}\n\n{USAGE}"))?;
+            }
+            "--port-file" => port_file = Some(PathBuf::from(value_of("--port-file")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    Ok((config, port_file))
+}
+
+fn main() {
+    let (config, port_file) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(if message == USAGE { 0 } else { 2 });
+        }
+    };
+    let server = match Server::bind(&config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: binding {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", addr.port())) {
+            eprintln!("serve: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "listening on http://{addr} (data: {}, jobs: {}, threads/campaign: {})",
+        config.data_dir.display(),
+        config.max_jobs,
+        if config.campaign_threads == 0 {
+            "all".to_owned()
+        } else {
+            config.campaign_threads.to_string()
+        }
+    );
+    server.run();
+    println!("serve: drained, bye");
+}

@@ -1,0 +1,306 @@
+//! A minimal HTTP/1.1 layer on `std::net` — just enough protocol for the
+//! campaign service and its clients, with no external dependencies.
+//!
+//! Server side: [`read_request`] parses a request head plus
+//! `Content-Length`-framed body off a [`TcpStream`] under hard size
+//! limits (network input is untrusted); [`Response::write_to`] emits a
+//! well-formed `Connection: close` response. Client side:
+//! [`request`] performs one round trip — the std-only client used by the
+//! `serve_client` example, the `bench_serve` harness, and the crash
+//! -resume integration tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request/response body. Campaign specs are small;
+/// reports of big grids are not, so the ceiling is generous.
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Per-connection socket timeout: a stalled peer cannot pin a handler
+/// thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Path component of the request target (query strings are not used
+    /// by this service and are kept attached).
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// One HTTP response; the body is always `application/json`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response from a rendered document.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, body }
+    }
+
+    /// A JSON error envelope: `{"error": message}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = chunkpoint_campaign::JsonValue::object()
+            .field("error", message)
+            .render();
+        Self { status, body }
+    }
+
+    /// Serializes the response onto `stream` (HTTP/1.1, connection
+    /// closed after the exchange — one request per connection keeps the
+    /// server trivially correct under slow or misbehaving peers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrases for the handful of statuses the service uses.
+#[must_use]
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads and parses one request off `stream`.
+///
+/// Returns `Ok(Err(response))` for protocol violations the caller should
+/// answer with (oversized head/body, missing framing, bad request line)
+/// and `Err(_)` only for socket-level failures.
+///
+/// # Errors
+///
+/// Propagates socket read errors and timeouts.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<Request, Response>> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    // `Take` enforces the head bound *inside* read_line: a peer streaming
+    // an endless newline-less header cannot grow memory past the limit —
+    // read_line simply hits the cap and returns what it has.
+    let mut reader = BufReader::new((&mut *stream).take(MAX_HEAD_BYTES as u64));
+    let mut head = String::new();
+    // Request line + headers, CRLF-delimited, bounded.
+    loop {
+        let before = head.len();
+        let read = reader.read_line(&mut head)?;
+        if read == 0 {
+            return Ok(Err(if head.len() >= MAX_HEAD_BYTES {
+                Response::error(413, "request head too large")
+            } else {
+                Response::error(400, "connection closed mid-request")
+            }));
+        }
+        if head.len() >= MAX_HEAD_BYTES {
+            return Ok(Err(Response::error(413, "request head too large")));
+        }
+        if head[before..].trim_end_matches(['\r', '\n']).is_empty() {
+            break; // blank line: end of head
+        }
+    }
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_ascii_uppercase(), p.to_owned(), v)
+        }
+        _ => return Ok(Err(Response::error(400, "malformed request line"))),
+    };
+    let _ = version;
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return Ok(Err(Response::error(400, "bad Content-Length"))),
+                };
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Err(Response::error(413, "request body too large")));
+    }
+    // Re-arm the limiter for the body (the buffer may already hold a
+    // body prefix pulled during the head reads — it was counted against
+    // the head allowance, so this bound is if anything generous), then
+    // read incrementally: memory grows with bytes actually received, so
+    // a peer declaring a huge Content-Length and stalling costs this
+    // thread a timeout, not a 64 MB allocation.
+    reader.get_mut().set_limit(content_length as u64);
+    let mut body = Vec::new();
+    let mut chunk = [0u8; 8 * 1024];
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let read = reader.read(&mut chunk[..want])?;
+        if read == 0 {
+            return Ok(Err(Response::error(
+                400,
+                "body shorter than Content-Length",
+            )));
+        }
+        body.extend_from_slice(&chunk[..read]);
+    }
+    let body = match String::from_utf8(body) {
+        Ok(s) => s,
+        Err(_) => return Ok(Err(Response::error(400, "body is not UTF-8"))),
+    };
+    Ok(Ok(Request { method, path, body }))
+}
+
+/// Performs one HTTP exchange as a client: connect, send, read the
+/// response, return `(status, body)`. Std-only — the client half used by
+/// the example client, the benchmark harness, and the tests.
+///
+/// # Errors
+///
+/// Returns socket errors, timeouts, and malformed responses as
+/// [`std::io::Error`].
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: chunkpoint\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        // Connection: close framing — read to EOF.
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    let body = String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One-shot echo server: accepts a single connection, parses the
+    /// request, responds with a JSON summary of what it saw.
+    fn spawn_one_shot() -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let response = match read_request(&mut stream).expect("read") {
+                Ok(request) => Response::json(
+                    200,
+                    chunkpoint_campaign::JsonValue::object()
+                        .field("method", request.method.as_str())
+                        .field("path", request.path.as_str())
+                        .field("body", request.body.as_str())
+                        .render(),
+                ),
+                Err(error) => error,
+            };
+            response.write_to(&mut stream).expect("write");
+        });
+        addr
+    }
+
+    #[test]
+    fn client_and_server_round_trip() {
+        let addr = spawn_one_shot();
+        let (status, body) =
+            request(addr, "POST", "/campaigns", Some("{\"x\":1}")).expect("round trip");
+        assert_eq!(status, 200);
+        let doc = chunkpoint_campaign::JsonValue::parse(&body).expect("json body");
+        assert_eq!(doc.get("method").unwrap().as_str(), Some("POST"));
+        assert_eq!(doc.get("path").unwrap().as_str(), Some("/campaigns"));
+        assert_eq!(doc.get("body").unwrap().as_str(), Some("{\"x\":1}"));
+    }
+
+    #[test]
+    fn malformed_requests_get_400s() {
+        let addr = spawn_one_shot();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"NONSENSE\r\n\r\n").expect("send garbage");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .expect("read response");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    }
+}

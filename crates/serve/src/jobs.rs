@@ -1,0 +1,501 @@
+//! The job manager: a bounded pool of campaign-runner threads over the
+//! checkpoint store.
+//!
+//! Submissions enqueue job ids; `max_jobs` runner threads pull from the
+//! queue and drive [`run_campaign_streaming`] with three hooks wired in:
+//! the job's [`CancelToken`] (DELETE and shutdown stop a grid between
+//! scenarios), the journal's skip set (restarted services resume instead
+//! of recomputing), and an `on_result` sink that appends every completed
+//! scenario to the journal before anything else sees it.
+//!
+//! Each campaign itself runs on the engine's work-stealing pool with
+//! `campaign_threads` workers, so total simulation parallelism is
+//! bounded by `max_jobs × campaign_threads`.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use chunkpoint_campaign::{
+    canonical_report_json, run_campaign_streaming, Axis, CampaignSpec, CancelToken, JsonValue,
+};
+
+use crate::store::JobStore;
+
+/// Axes of the canonical report's aggregate section. Fixed, so a cached
+/// report is a pure function of the spec.
+pub const REPORT_AXES: [Axis; 3] = [Axis::Benchmark, Axis::Scheme, Axis::ErrorRate];
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a runner thread.
+    Queued,
+    /// A runner is executing (or resuming) the campaign.
+    Running,
+    /// Finished; `result.json` is present and cached.
+    Done,
+    /// Cancelled by DELETE or service shutdown; the journal survives
+    /// unless the job was deleted.
+    Cancelled,
+    /// The runner hit an error; the message explains it.
+    Failed(String),
+}
+
+impl JobState {
+    /// Wire name of the state.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One tracked job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Content-hash id.
+    pub id: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Grid size.
+    pub scenarios: usize,
+    /// Scenarios journaled so far (monotonic across restarts).
+    pub completed: usize,
+}
+
+impl JobStatus {
+    /// The status document served by `GET /campaigns/:id`.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut doc = JsonValue::object()
+            .field("id", self.id.as_str())
+            .field("status", self.state.name())
+            .field("scenarios", self.scenarios)
+            .field("completed", self.completed);
+        if let JobState::Failed(message) = &self.state {
+            doc = doc.field("error", message.as_str());
+        }
+        doc
+    }
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    state: JobState,
+    scenarios: usize,
+    completed: usize,
+    cancel: CancelToken,
+    /// DELETE on a running job: cancel now, remove the directory when
+    /// the runner lets go of it.
+    delete_after_cancel: bool,
+    /// Canonical spec rendering, cached so the collision check on
+    /// duplicate submissions is a lock-held string compare instead of
+    /// disk I/O under the manager mutex.
+    canonical: String,
+}
+
+#[derive(Debug, Default)]
+struct ManagerState {
+    jobs: HashMap<String, JobEntry>,
+    queue: VecDeque<String>,
+    shutdown: bool,
+}
+
+/// The bounded job manager. All HTTP handlers and runner threads share
+/// one instance behind an [`Arc`].
+#[derive(Debug)]
+pub struct JobManager {
+    store: JobStore,
+    state: Mutex<ManagerState>,
+    wake: Condvar,
+    campaign_threads: usize,
+}
+
+/// The outcome of a submission, for the POST handler.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Status snapshot after the submit.
+    pub status: JobStatus,
+    /// Whether the result cache answered (job already `Done`).
+    pub cached: bool,
+    /// Whether this submit created the job (false: already known).
+    pub created: bool,
+}
+
+impl JobManager {
+    /// Builds a manager over `store`, **recovering** persisted jobs:
+    /// directories with a `result.json` register as done (cache hits),
+    /// everything else re-enqueues and resumes from its journal.
+    #[must_use]
+    pub fn recover(store: JobStore, campaign_threads: usize) -> Arc<Self> {
+        let manager = Arc::new(Self {
+            store,
+            state: Mutex::new(ManagerState::default()),
+            wake: Condvar::new(),
+            campaign_threads,
+        });
+        let ids = manager.store.list_jobs();
+        {
+            let mut state = manager.state.lock().expect("manager poisoned");
+            for id in ids {
+                let scenarios = manager.store.load_scenario_count(&id).unwrap_or(0);
+                // The stored spec is the collision-check reference; a job
+                // whose spec no longer parses is skipped (a runner would
+                // only mark it Failed anyway).
+                let Ok(canonical) = manager
+                    .store
+                    .load_spec(&id)
+                    .map(|spec| spec.to_json().render())
+                else {
+                    continue;
+                };
+                if manager.store.read_result(&id).is_some() {
+                    state.jobs.insert(
+                        id,
+                        JobEntry {
+                            state: JobState::Done,
+                            scenarios,
+                            completed: scenarios,
+                            cancel: CancelToken::new(),
+                            delete_after_cancel: false,
+                            canonical,
+                        },
+                    );
+                } else {
+                    // Journaled progress survives the restart: report the
+                    // sealed row count so `completed` stays monotonic
+                    // while the job waits for a runner.
+                    let completed = manager.store.journal_line_count(&id);
+                    state.jobs.insert(
+                        id.clone(),
+                        JobEntry {
+                            state: JobState::Queued,
+                            scenarios,
+                            completed,
+                            cancel: CancelToken::new(),
+                            delete_after_cancel: false,
+                            canonical,
+                        },
+                    );
+                    state.queue.push_back(id);
+                }
+            }
+        }
+        manager
+    }
+
+    /// Spawns `max_jobs` runner threads draining the queue. The handles
+    /// are joined by [`JobManager::shutdown`].
+    #[must_use]
+    pub fn spawn_runners(self: &Arc<Self>, max_jobs: usize) -> Vec<JoinHandle<()>> {
+        (0..max_jobs.max(1))
+            .map(|_| {
+                let manager = Arc::clone(self);
+                std::thread::spawn(move || manager.runner_loop())
+            })
+            .collect()
+    }
+
+    /// Submits a spec: instant cache hit if this content hash already
+    /// finished, join onto the live job if it is queued/running,
+    /// re-enqueue (resuming from the journal) if a previous attempt
+    /// failed or was cancelled, otherwise persist and enqueue.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unenumerable grids (infeasible optimizer
+    /// points surface here, at submit time), store I/O failures, and —
+    /// because the id is a 64-bit content hash — a submitted spec whose
+    /// canonical bytes differ from the stored spec under the same id
+    /// (hash collision: refused rather than serving the wrong report).
+    pub fn submit(&self, spec: &CampaignSpec) -> Result<Submission, String> {
+        let id = JobStore::job_id(spec);
+        // Enumerate outside the lock: optimizer-backed scheme axes do
+        // real work, and an infeasible point panics — turn that into a
+        // client error instead of a dead runner.
+        let scenarios = catch_unwind(AssertUnwindSafe(|| spec.scenarios().len()))
+            .map_err(|_| "spec enumerates no feasible grid (optimizer found no design point)")?;
+        let canonical = spec.to_json().render();
+        let mut state = self.state.lock().expect("manager poisoned");
+        if state.shutdown {
+            return Err("service is shutting down".to_owned());
+        }
+        if state.jobs.contains_key(&id) {
+            // The id is a 64-bit hash: before treating this as the same
+            // campaign, make sure the known spec really is this spec
+            // (string compare against the cached canonical rendering —
+            // no disk I/O under the lock).
+            if state.jobs[&id].canonical != canonical {
+                return Err(format!(
+                    "spec hash collision: {id} already names a different campaign"
+                ));
+            }
+            // Failed/cancelled attempts re-enqueue and resume from their
+            // journal; done/queued/running jobs are simply reported.
+            let entry = state.jobs.get_mut(&id).expect("checked above");
+            // Resubmission revokes any pending DELETE: the spec is
+            // wanted again, so a racing delete must not remove the job
+            // (a deletion-pending Running job still ends Cancelled —
+            // its token already fired — but keeps its journal, and the
+            // next submit resumes it).
+            entry.delete_after_cancel = false;
+            if matches!(entry.state, JobState::Failed(_) | JobState::Cancelled) {
+                entry.state = JobState::Queued;
+                entry.cancel = CancelToken::new();
+                entry.delete_after_cancel = false;
+                state.queue.push_back(id.clone());
+                self.wake.notify_one();
+            }
+            let entry = state.jobs.get(&id).expect("entry just touched");
+            return Ok(Submission {
+                cached: entry.state == JobState::Done,
+                created: false,
+                status: JobStatus {
+                    id,
+                    state: entry.state.clone(),
+                    scenarios: entry.scenarios,
+                    completed: entry.completed,
+                },
+            });
+        }
+        self.store
+            .create_job(&id, spec, scenarios)
+            .map_err(|e| format!("persisting job: {e}"))?;
+        state.jobs.insert(
+            id.clone(),
+            JobEntry {
+                state: JobState::Queued,
+                scenarios,
+                completed: 0,
+                cancel: CancelToken::new(),
+                delete_after_cancel: false,
+                canonical,
+            },
+        );
+        state.queue.push_back(id.clone());
+        self.wake.notify_one();
+        Ok(Submission {
+            cached: false,
+            created: true,
+            status: JobStatus {
+                id,
+                state: JobState::Queued,
+                scenarios,
+                completed: 0,
+            },
+        })
+    }
+
+    /// Status of one job.
+    #[must_use]
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        let state = self.state.lock().expect("manager poisoned");
+        state.jobs.get(id).map(|entry| JobStatus {
+            id: id.to_owned(),
+            state: entry.state.clone(),
+            scenarios: entry.scenarios,
+            completed: entry.completed,
+        })
+    }
+
+    /// Counts per state: `(queued, running, done, cancelled, failed)`.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
+        let state = self.state.lock().expect("manager poisoned");
+        let mut counts = (0, 0, 0, 0, 0);
+        for entry in state.jobs.values() {
+            match entry.state {
+                JobState::Queued => counts.0 += 1,
+                JobState::Running => counts.1 += 1,
+                JobState::Done => counts.2 += 1,
+                JobState::Cancelled => counts.3 += 1,
+                JobState::Failed(_) => counts.4 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The cached final report, if the job is done.
+    #[must_use]
+    pub fn result(&self, id: &str) -> Option<String> {
+        // Serve only completed jobs: a half-written journal is not a
+        // result, and write_result is atomic, so presence ⇒ complete.
+        self.status(id)
+            .filter(|s| s.state == JobState::Done)
+            .and_then(|_| self.store.read_result(id))
+    }
+
+    /// Cancels and deletes a job. Queued/finished jobs are removed
+    /// immediately; a running job is cancelled and its runner removes
+    /// the directory once the campaign lets go. Returns the state the
+    /// job was in, or `None` if unknown.
+    #[must_use]
+    pub fn delete(&self, id: &str) -> Option<JobState> {
+        let mut state = self.state.lock().expect("manager poisoned");
+        let entry = state.jobs.get_mut(id)?;
+        let was = entry.state.clone();
+        match was {
+            JobState::Running => {
+                entry.delete_after_cancel = true;
+                entry.cancel.cancel();
+            }
+            _ => {
+                state.queue.retain(|queued| queued != id);
+                state.jobs.remove(id);
+                // Deleted while still holding the lock: a concurrent
+                // resubmit must not re-create the job directory between
+                // the map removal and the filesystem removal.
+                let _ = self.store.delete_job(id);
+            }
+        }
+        Some(was)
+    }
+
+    /// Graceful shutdown: stop accepting, cancel running campaigns (their
+    /// journals make the work resumable), wake and join every runner.
+    pub fn shutdown(&self, runners: Vec<JoinHandle<()>>) {
+        {
+            let mut state = self.state.lock().expect("manager poisoned");
+            state.shutdown = true;
+            for entry in state.jobs.values() {
+                entry.cancel.cancel();
+            }
+        }
+        self.wake.notify_all();
+        for runner in runners {
+            let _ = runner.join();
+        }
+    }
+
+    fn runner_loop(&self) {
+        loop {
+            let id = {
+                let mut state = self.state.lock().expect("manager poisoned");
+                loop {
+                    if state.shutdown {
+                        return;
+                    }
+                    if let Some(id) = state.queue.pop_front() {
+                        break id;
+                    }
+                    state = self.wake.wait(state).expect("manager poisoned");
+                }
+            };
+            self.run_one(&id);
+        }
+    }
+
+    /// Runs (or resumes) one job to completion, cancellation, or failure.
+    fn run_one(&self, id: &str) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.drive(id)));
+        let verdict = match outcome {
+            Ok(verdict) => verdict,
+            Err(panic) => {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "campaign panicked".to_owned());
+                Err(format!("campaign panicked: {message}"))
+            }
+        };
+        let mut state = self.state.lock().expect("manager poisoned");
+        let Some(entry) = state.jobs.get_mut(id) else {
+            return;
+        };
+        entry.state = match verdict {
+            Ok(true) => JobState::Done,
+            Ok(false) => JobState::Cancelled,
+            Err(message) => JobState::Failed(message),
+        };
+        // A DELETE can race any campaign ending (completion, the cancel
+        // itself, or a failure): the client was told "deleted", so the
+        // job goes regardless of which verdict won the race. The
+        // directory is removed under the lock so a concurrent resubmit
+        // cannot slip a fresh job dir in between.
+        if entry.delete_after_cancel {
+            state.jobs.remove(id);
+            let _ = self.store.delete_job(id);
+        }
+    }
+
+    /// The actual campaign drive. `Ok(true)` = finished, `Ok(false)` =
+    /// cancelled.
+    fn drive(&self, id: &str) -> Result<bool, String> {
+        let spec = self.store.load_spec(id)?;
+        let scenarios = spec.scenarios();
+        let journal = self.store.load_journal(id, &scenarios)?;
+        let cancel = {
+            let mut state = self.state.lock().expect("manager poisoned");
+            let entry = state
+                .jobs
+                .get_mut(id)
+                .ok_or_else(|| format!("job {id} vanished from the registry"))?;
+            entry.state = JobState::Running;
+            entry.scenarios = scenarios.len();
+            entry.completed = journal.done.len();
+            entry.cancel.clone()
+        };
+        let mut writer = self
+            .store
+            .open_journal(id)
+            .map_err(|e| format!("job {id}: opening journal: {e}"))?;
+        let mut io_error: Option<String> = None;
+        let fresh = run_campaign_streaming(
+            &spec,
+            self.campaign_threads,
+            &cancel,
+            &journal.done,
+            |result| {
+                // Once an append has failed the file may end in partial
+                // bytes; further appends would corrupt the line after
+                // the tear. Drop everything until the cancel drains.
+                if io_error.is_some() {
+                    return;
+                }
+                // Journal first: a result the journal has not sealed does
+                // not exist as far as crash recovery is concerned.
+                if let Err(e) = writer.append(result) {
+                    io_error.get_or_insert_with(|| format!("journal append: {e}"));
+                    cancel.cancel();
+                    return;
+                }
+                let mut state = self.state.lock().expect("manager poisoned");
+                if let Some(entry) = state.jobs.get_mut(id) {
+                    entry.completed += 1;
+                }
+            },
+        );
+        if let Some(error) = io_error {
+            return Err(error);
+        }
+        if cancel.is_cancelled() {
+            return Ok(false);
+        }
+        // Merge journaled + fresh in scenario order; both sides carry
+        // bit-identical numbers to an uninterrupted run by seed
+        // construction, so the canonical report is too.
+        let mut merged = journal.results;
+        merged.extend(fresh);
+        merged.sort_by_key(|r| r.scenario.index);
+        if merged.len() != scenarios.len() {
+            return Err(format!(
+                "job {id}: merged {} of {} scenarios — journal inconsistent",
+                merged.len(),
+                scenarios.len()
+            ));
+        }
+        let report = canonical_report_json(spec.campaign_seed, &merged, &REPORT_AXES).render();
+        self.store
+            .write_result(id, &report)
+            .map_err(|e| format!("job {id}: writing result: {e}"))?;
+        Ok(true)
+    }
+}

@@ -1,0 +1,267 @@
+//! The HTTP front: bind, accept, route, and gracefully shut down.
+//!
+//! Endpoints:
+//!
+//! | Method & path                | Meaning                                      |
+//! |------------------------------|----------------------------------------------|
+//! | `POST /campaigns`            | submit a spec (body: canonical spec JSON)    |
+//! | `GET /campaigns/:id`         | job status                                   |
+//! | `GET /campaigns/:id/result`  | final report (cache-served once done)        |
+//! | `DELETE /campaigns/:id`      | cancel and remove a job                      |
+//! | `GET /healthz`               | liveness + job counts                        |
+//! | `POST /shutdown`             | graceful shutdown (used by CI and tests)     |
+//!
+//! Connections are handled one request each (`Connection: close`) on
+//! short-lived threads; campaign execution happens on the job manager's
+//! bounded runner pool, so a slow client can never stall a simulation
+//! and vice versa.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use chunkpoint_campaign::{CampaignSpec, JsonValue};
+
+use crate::http::{read_request, Request, Response};
+use crate::jobs::JobManager;
+use crate::store::JobStore;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Store root; journals and cached results live here across
+    /// restarts.
+    pub data_dir: PathBuf,
+    /// Concurrent campaign jobs (runner threads).
+    pub max_jobs: usize,
+    /// Worker threads per campaign (`0` = all cores).
+    pub campaign_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8077".to_owned(),
+            data_dir: PathBuf::from("chunkpoint-serve-data"),
+            max_jobs: 2,
+            campaign_threads: 0,
+        }
+    }
+}
+
+/// A bound, recovered, not-yet-serving service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<JobManager>,
+    stop: Arc<AtomicBool>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, opens the store, recovers persisted jobs
+    /// (journaled-but-unfinished campaigns re-enqueue and will resume),
+    /// and spawns the runner pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/store I/O errors.
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Self> {
+        let store = JobStore::open(&config.data_dir)?;
+        let manager = JobManager::recover(store, config.campaign_threads);
+        let runners = manager.spawn_runners(config.max_jobs);
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Self {
+            listener,
+            manager,
+            stop: Arc::new(AtomicBool::new(false)),
+            runners,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `POST /shutdown` arrives, then drains: stops
+    /// accepting, cancels running campaigns (journals keep them
+    /// resumable), and joins every runner thread before returning.
+    pub fn run(self) {
+        let Server {
+            listener,
+            manager,
+            stop,
+            runners,
+        } = self;
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(_) => {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            };
+            // The /shutdown handler sets the flag and then knocks with a
+            // bare connection to unblock this accept; checking after the
+            // accept turns that knock into the exit.
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let manager = Arc::clone(&manager);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || handle_connection(stream, &manager, &stop));
+        }
+        manager.shutdown(runners);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, manager: &JobManager, stop: &AtomicBool) {
+    let request = match read_request(&mut stream) {
+        Ok(Ok(request)) => request,
+        Ok(Err(bad_request)) => {
+            let _ = bad_request.write_to(&mut stream);
+            return;
+        }
+        Err(_) => return, // socket died; nobody to answer
+    };
+    let response = route(&request, manager, stop);
+    let _ = response.write_to(&mut stream);
+    if request.method == "POST" && request.path == "/shutdown" {
+        // Wake the (blocking) accept loop so it observes the stop flag.
+        if let Ok(addr) = stream.local_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// Splits `/campaigns/:id[/result]` into its id and trailing segment.
+fn campaign_route(path: &str) -> Option<(&str, Option<&str>)> {
+    let rest = path.strip_prefix("/campaigns/")?;
+    match rest.split_once('/') {
+        None => Some((rest, None)),
+        Some((id, tail)) => Some((id, Some(tail))),
+    }
+}
+
+fn route(request: &Request, manager: &JobManager, stop: &AtomicBool) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let (queued, running, done, cancelled, failed) = manager.counts();
+            Response::json(
+                200,
+                JsonValue::object()
+                    .field("status", "ok")
+                    .field("queued", queued)
+                    .field("running", running)
+                    .field("done", done)
+                    .field("cancelled", cancelled)
+                    .field("failed", failed)
+                    .render(),
+            )
+        }
+        ("POST", "/shutdown") => {
+            stop.store(true, Ordering::Release);
+            Response::json(
+                200,
+                JsonValue::object().field("status", "stopping").render(),
+            )
+        }
+        ("POST", "/campaigns") => submit(request, manager),
+        (method, path) => match campaign_route(path) {
+            Some((id, tail)) if JobStore::valid_id(id) => match (method, tail) {
+                ("GET", None) => match manager.status(id) {
+                    Some(status) => Response::json(200, status.to_json().render()),
+                    None => Response::error(404, "unknown campaign"),
+                },
+                ("GET", Some("result")) => match manager.status(id) {
+                    None => Response::error(404, "unknown campaign"),
+                    Some(status) => match manager.result(id) {
+                        Some(report) => Response::json(200, report),
+                        None => Response::error(
+                            409,
+                            &format!("campaign is {}, not done", status.state.name()),
+                        ),
+                    },
+                },
+                ("DELETE", None) => match manager.delete(id) {
+                    Some(state) => Response::json(
+                        200,
+                        JsonValue::object()
+                            .field("id", id)
+                            .field("was", state.name())
+                            .field("status", "deleted")
+                            .render(),
+                    ),
+                    None => Response::error(404, "unknown campaign"),
+                },
+                _ => Response::error(405, "unsupported method for this resource"),
+            },
+            Some(_) => Response::error(404, "malformed campaign id"),
+            None => Response::error(404, "no such route"),
+        },
+    }
+}
+
+fn submit(request: &Request, manager: &JobManager) -> Response {
+    let value = match JsonValue::parse(&request.body) {
+        Ok(value) => value,
+        Err(e) => return Response::error(400, &format!("body is not JSON: {e}")),
+    };
+    let spec = match CampaignSpec::from_json(&value) {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, &e),
+    };
+    match manager.submit(&spec) {
+        Ok(submission) => {
+            let status = if submission.cached { 200 } else { 202 };
+            let doc = submission
+                .status
+                .to_json()
+                .field("cached", submission.cached)
+                .field("created", submission.created);
+            Response::json(status, doc.render())
+        }
+        Err(message) => {
+            let status = if message.contains("shutting down") {
+                503
+            } else {
+                400
+            };
+            Response::error(status, &message)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_routes_split() {
+        assert_eq!(
+            campaign_route("/campaigns/0123456789abcdef"),
+            Some(("0123456789abcdef", None))
+        );
+        assert_eq!(
+            campaign_route("/campaigns/0123456789abcdef/result"),
+            Some(("0123456789abcdef", Some("result")))
+        );
+        assert_eq!(campaign_route("/healthz"), None);
+        // Traversal-shaped ids never reach the store (valid_id gate).
+        let (id, _) = campaign_route("/campaigns/../../etc/passwd").unwrap();
+        assert!(!JobStore::valid_id(id));
+    }
+}

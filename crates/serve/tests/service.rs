@@ -1,0 +1,142 @@
+//! In-process service lifecycle: submit → poll → result → cache hit →
+//! delete → graceful shutdown, all over real HTTP on an ephemeral port.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use chunkpoint_campaign::{
+    canonical_report_json, run_campaign, CampaignSpec, JsonValue, SchemeSpec,
+};
+use chunkpoint_core::{MitigationScheme, SystemConfig};
+use chunkpoint_serve::http::request;
+use chunkpoint_serve::server::{ServeConfig, Server};
+use chunkpoint_serve::REPORT_AXES;
+use chunkpoint_workloads::Benchmark;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chunkpoint_service_{}_{tag}", std::process::id()))
+}
+
+fn tiny_spec() -> CampaignSpec {
+    let mut config = SystemConfig::paper(0);
+    config.scale = 0.25;
+    CampaignSpec::new(config, 0xAB)
+        .benchmarks(&[Benchmark::AdpcmEncode])
+        .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+        .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+        .replicates(2)
+}
+
+fn wait_done(addr: std::net::SocketAddr, id: &str) -> JsonValue {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) =
+            request(addr, "GET", &format!("/campaigns/{id}"), None).expect("status poll");
+        assert_eq!(status, 200, "{body}");
+        let doc = JsonValue::parse(&body).expect("status json");
+        match doc.get("status").and_then(JsonValue::as_str) {
+            Some("done") => return doc,
+            Some("failed") => panic!("job failed: {body}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job never finished: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn submit_poll_result_cache_delete_shutdown() {
+    let dir = temp_dir("lifecycle");
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        data_dir: dir.clone(),
+        max_jobs: 2,
+        campaign_threads: 2,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let serving = std::thread::spawn(move || server.run());
+
+    // Health before anything.
+    let (status, body) = request(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    // Submit.
+    let spec = tiny_spec();
+    let spec_body = spec.to_json().render();
+    let (status, body) = request(addr, "POST", "/campaigns", Some(&spec_body)).expect("submit");
+    assert_eq!(status, 202, "{body}");
+    let doc = JsonValue::parse(&body).expect("submit json");
+    let id = doc.get("id").unwrap().as_str().expect("id").to_owned();
+    assert_eq!(doc.get("cached").unwrap().as_bool(), Some(false));
+    assert_eq!(doc.get("scenarios").unwrap().as_u64(), Some(4));
+
+    // Poll to completion; fetch the report.
+    let status_doc = wait_done(addr, &id);
+    assert_eq!(status_doc.get("completed").unwrap().as_u64(), Some(4));
+    let (status, report) =
+        request(addr, "GET", &format!("/campaigns/{id}/result"), None).expect("result");
+    assert_eq!(status, 200, "{report}");
+
+    // The served report is the canonical timing-free report, byte for
+    // byte identical to an in-process single-threaded run.
+    let reference = run_campaign(&spec, 1);
+    let expected = canonical_report_json(spec.campaign_seed, &reference.results, &REPORT_AXES);
+    assert_eq!(report.trim_end(), expected.render());
+
+    // Resubmitting the identical spec is an instant cache hit.
+    let t0 = Instant::now();
+    let (status, body) = request(addr, "POST", "/campaigns", Some(&spec_body)).expect("resubmit");
+    assert_eq!(status, 200, "{body}");
+    let doc = JsonValue::parse(&body).expect("resubmit json");
+    assert_eq!(doc.get("cached").unwrap().as_bool(), Some(true));
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "cache hit was not instant: {:?}",
+        t0.elapsed()
+    );
+
+    // A different spec is a different content address.
+    let other = tiny_spec().replicates(3);
+    let (status, body) = request(addr, "POST", "/campaigns", Some(&other.to_json().render()))
+        .expect("different spec");
+    assert_eq!(status, 202, "{body}");
+    let other_id = JsonValue::parse(&body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    assert_ne!(other_id, id);
+    wait_done(addr, &other_id);
+
+    // Delete removes the job and its result.
+    let (status, _) =
+        request(addr, "DELETE", &format!("/campaigns/{other_id}"), None).expect("delete");
+    assert_eq!(status, 200);
+    let (status, _) =
+        request(addr, "GET", &format!("/campaigns/{other_id}"), None).expect("post-delete");
+    assert_eq!(status, 404);
+
+    // Unknown and malformed ids are 404s, not store accesses.
+    let (status, _) = request(addr, "GET", "/campaigns/ffffffffffffffff", None).expect("unknown");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/campaigns/../etc", None).expect("traversal");
+    assert_eq!(status, 404);
+
+    // Bad specs are 400s.
+    let (status, _) = request(addr, "POST", "/campaigns", Some("{not json")).expect("bad json");
+    assert_eq!(status, 400);
+    let (status, _) =
+        request(addr, "POST", "/campaigns", Some("{\"version\":1}")).expect("bad spec");
+    assert_eq!(status, 400);
+
+    // Result of a still-unknown id refuses politely, then shut down.
+    let (status, _) = request(addr, "POST", "/shutdown", None).expect("shutdown");
+    assert_eq!(status, 200);
+    serving.join().expect("server drained");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,188 @@
+//! Campaign-service walkthrough: a **std-only HTTP client** that submits
+//! a λ-sweep campaign spec, polls job status, fetches the cached report,
+//! and prints the aggregate table — the full service loop in one file.
+//!
+//! By default the example starts its own service in-process on an
+//! ephemeral port (so it is self-contained); point it at a running
+//! service instead with `--addr HOST:PORT`:
+//!
+//! ```text
+//! cargo run --release --example serve_client [-- --addr 127.0.0.1:8077]
+//! ```
+//!
+//! Submitting the same spec twice demonstrates the content-addressed
+//! result cache: the second submission answers `cached: true` without
+//! simulating anything.
+
+use std::time::{Duration, Instant};
+
+use chunkpoint::campaign::{CampaignSpec, JsonValue, SchemeSpec};
+use chunkpoint::core::{MitigationScheme, SystemConfig};
+use chunkpoint::workloads::Benchmark;
+use chunkpoint_bench::report::Table;
+use chunkpoint_serve::http::request;
+use chunkpoint_serve::server::{ServeConfig, Server};
+
+/// The λ sweep: three decades around the paper's worst case.
+const RATES: [f64; 3] = [1e-7, 1e-6, 1e-5];
+
+fn sweep_spec() -> CampaignSpec {
+    let mut config = SystemConfig::paper(0);
+    config.scale = 0.5; // half-length frames keep the example snappy
+    CampaignSpec::new(config, 0x5E44E)
+        .benchmarks(&[Benchmark::AdpcmDecode])
+        .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+        .scheme(
+            "Proposed",
+            SchemeSpec::Fixed(MitigationScheme::Hybrid {
+                chunk_words: 16,
+                l1_prime_t: 8,
+            }),
+        )
+        .error_rates(&RATES)
+        .replicates(5)
+}
+
+fn main() {
+    // --addr HOST:PORT targets an external service; otherwise start one
+    // in-process on an ephemeral port.
+    let mut args = std::env::args().skip(1);
+    let mut external: Option<String> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => external = Some(args.next().expect("--addr requires HOST:PORT")),
+            other => {
+                eprintln!("unknown flag {other}; usage: serve_client [--addr HOST:PORT]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (addr, local_data_dir) = match external {
+        Some(addr) => (addr, None),
+        None => {
+            let data_dir =
+                std::env::temp_dir().join(format!("chunkpoint_client_{}", std::process::id()));
+            let server = Server::bind(&ServeConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                data_dir: data_dir.clone(),
+                max_jobs: 1,
+                campaign_threads: 0,
+            })
+            .expect("bind in-process service");
+            let addr = server.local_addr().expect("addr").to_string();
+            std::thread::spawn(move || server.run());
+            println!("started in-process service on {addr}");
+            (addr, Some(data_dir))
+        }
+    };
+
+    // Submit the sweep.
+    let spec = sweep_spec();
+    let body = spec.to_json().render();
+    let (status, response) =
+        request(addr.as_str(), "POST", "/campaigns", Some(&body)).expect("submit");
+    assert!(status == 202 || status == 200, "submit failed: {response}");
+    let doc = JsonValue::parse(&response).expect("submit response");
+    let id = doc.get("id").unwrap().as_str().expect("job id").to_owned();
+    let scenarios = doc.get("scenarios").unwrap().as_u64().unwrap_or(0);
+    println!("submitted λ sweep as job {id} ({scenarios} scenarios)");
+
+    // Poll until done.
+    let started = Instant::now();
+    loop {
+        let (_, body) =
+            request(addr.as_str(), "GET", &format!("/campaigns/{id}"), None).expect("poll");
+        let doc = JsonValue::parse(&body).expect("status");
+        let state = doc
+            .get("status")
+            .unwrap()
+            .as_str()
+            .unwrap_or("?")
+            .to_owned();
+        let completed = doc.get("completed").unwrap().as_u64().unwrap_or(0);
+        match state.as_str() {
+            "done" => {
+                println!(
+                    "done: {completed}/{scenarios} scenarios in {:.2?}",
+                    started.elapsed()
+                );
+                break;
+            }
+            "failed" => panic!("job failed: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+
+    // Fetch the canonical report and print scheme × λ energy ratios.
+    let (status, report) = request(
+        addr.as_str(),
+        "GET",
+        &format!("/campaigns/{id}/result"),
+        None,
+    )
+    .expect("result");
+    assert_eq!(status, 200, "{report}");
+    let report = JsonValue::parse(&report).expect("report JSON");
+    let aggregates = report
+        .get("aggregates")
+        .and_then(JsonValue::as_array)
+        .expect("aggregates");
+
+    // Aggregate keys are [benchmark, scheme, error_rate] (REPORT_AXES).
+    let table = Table::new(10, 14);
+    println!();
+    table.header(
+        "scheme",
+        &[
+            "lambda".to_owned(),
+            "energy ratio".to_owned(),
+            "±95% CI".to_owned(),
+            "correct".to_owned(),
+        ],
+    );
+    for scheme in ["SW-based", "Proposed"] {
+        for rate in RATES {
+            let rate_key = format!("{rate:e}");
+            let group = aggregates
+                .iter()
+                .find(|g| {
+                    let key = g.get("key").and_then(JsonValue::as_array).unwrap_or(&[]);
+                    key.len() == 3
+                        && key[1].as_str() == Some(scheme)
+                        && key[2].as_str() == Some(rate_key.as_str())
+                })
+                .expect("aggregate cell");
+            let energy = group.get("energy_ratio").expect("energy_ratio");
+            let mean = energy.get("mean").unwrap().as_f64().unwrap_or(f64::NAN);
+            let ci = energy.get("ci95").unwrap().as_f64().unwrap_or(f64::NAN);
+            let n = group.get("n").unwrap().as_u64().unwrap_or(0);
+            let correct = group.get("correct").unwrap().as_u64().unwrap_or(0);
+            table.row(
+                scheme,
+                &[
+                    format!("{rate:>.0e}"),
+                    format!("{mean:.3}"),
+                    format!("{ci:.3}"),
+                    format!("{correct}/{n}"),
+                ],
+            );
+        }
+    }
+
+    // Same spec again: the content-addressed cache answers instantly.
+    let resubmit = Instant::now();
+    let (status, response) =
+        request(addr.as_str(), "POST", "/campaigns", Some(&body)).expect("resubmit");
+    let doc = JsonValue::parse(&response).expect("resubmit response");
+    println!();
+    println!(
+        "resubmit of the identical spec: HTTP {status}, cached: {}, {:.2?}",
+        doc.get("cached").unwrap().as_bool().unwrap_or(false),
+        resubmit.elapsed()
+    );
+
+    if let Some(data_dir) = local_data_dir {
+        let _ = request(addr.as_str(), "POST", "/shutdown", None);
+        let _ = std::fs::remove_dir_all(data_dir);
+    }
+}

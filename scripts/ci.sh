@@ -17,4 +17,47 @@ cargo test -q
 echo "== smoke campaign (parallel path + determinism) =="
 cargo run --release -p chunkpoint_bench --bin bench_campaign -- --smoke --seeds 2 --threads 2
 
+echo "== service smoke (submit, poll, cached resubmit, clean shutdown) =="
+SERVE_DIR="$(mktemp -d)"
+# Failure paths exit mid-test: take the background server down with us
+# (no-op after the success path's wait) before removing its data dir.
+trap 'kill "${SERVE_PID:-0}" 2>/dev/null || true; rm -rf "$SERVE_DIR"' EXIT
+target/release/serve --addr 127.0.0.1:0 --data-dir "$SERVE_DIR/data" \
+    --port-file "$SERVE_DIR/port" --jobs 1 &
+SERVE_PID=$!
+for _ in $(seq 1 200); do [ -s "$SERVE_DIR/port" ] && break; sleep 0.05; done
+[ -s "$SERVE_DIR/port" ] || { echo "serve never wrote its port"; exit 1; }
+BASE="http://127.0.0.1:$(cat "$SERVE_DIR/port")"
+SPEC='{"version":1,"campaign_seed":7,"benchmarks":["ADPCM encode"],
+  "schemes":[{"label":"Default","spec":{"kind":"fixed","scheme":{"kind":"default"}}}],
+  "error_rates":[0.000001],"replicates":2,"normalize":false,"golden_check":false}'
+SUBMIT="$(curl -sf -X POST --data "$SPEC" "$BASE/campaigns")"
+ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p')"
+[ -n "$ID" ] || { echo "submit failed: $SUBMIT"; exit 1; }
+STATUS=""
+for _ in $(seq 1 200); do
+    STATUS="$(curl -sf "$BASE/campaigns/$ID")"
+    case "$STATUS" in
+        *'"status":"done"'*) break ;;
+        *'"status":"failed"'*) echo "job failed: $STATUS"; exit 1 ;;
+    esac
+    sleep 0.05
+done
+case "$STATUS" in *'"status":"done"'*) ;; *) echo "job never finished: $STATUS"; exit 1 ;; esac
+curl -sf "$BASE/campaigns/$ID/result" | grep -q '"campaign_seed":7' \
+    || { echo "result endpoint returned no report"; exit 1; }
+# The cached resubmit must answer instantly (content-addressed hit).
+T0="$(date +%s%N)"
+RESUBMIT="$(curl -sf -X POST --data "$SPEC" "$BASE/campaigns")"
+T1="$(date +%s%N)"
+case "$RESUBMIT" in
+    *'"cached":true'*) ;;
+    *) echo "resubmit was not a cache hit: $RESUBMIT"; exit 1 ;;
+esac
+ELAPSED_MS=$(( (T1 - T0) / 1000000 ))
+[ "$ELAPSED_MS" -lt 1000 ] || { echo "cache hit took ${ELAPSED_MS}ms"; exit 1; }
+curl -sf -X POST "$BASE/shutdown" >/dev/null
+wait "$SERVE_PID"
+echo "service smoke OK (job $ID, cached resubmit in ${ELAPSED_MS}ms)"
+
 echo "CI OK"

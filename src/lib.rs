@@ -24,7 +24,12 @@
 //!   engine: declarative scenario grids, SplitMix64 per-scenario seed
 //!   derivation, a work-stealing thread pool, streaming statistics
 //!   (mean / stddev / 95 % CI) and machine-readable JSON reports, with
-//!   per-scenario results bit-identical at any thread count.
+//!   per-scenario results bit-identical at any thread count;
+//! * [`serve`] — the std-only HTTP campaign service over the engine:
+//!   a checkpointable job store (append-only scenario journals),
+//!   crash/restart resume that is bit-identical to an uninterrupted
+//!   run, and a content-addressed result cache keyed by the canonical
+//!   spec hash.
 //!
 //! ## Quickstart
 //!
@@ -64,3 +69,7 @@ pub use chunkpoint_core as core;
 
 /// Deterministic parallel Monte Carlo campaign engine.
 pub use chunkpoint_campaign as campaign;
+
+/// Std-only HTTP campaign service: checkpointable job store, resumable
+/// runs, content-addressed result cache.
+pub use chunkpoint_serve as serve;
