@@ -323,6 +323,11 @@ fn run_scenario(
 /// — the engine seam the campaign service's checkpoint/resume machinery
 /// drives.
 ///
+/// * A spec with a [`CampaignSpec::scenario_range`] restriction runs only
+///   the scenarios inside its half-open range — the shard execution path.
+///   Indices and seeds are global (enumeration always covers the whole
+///   grid), so the rows a ranged run produces are exactly the rows the
+///   full campaign would produce for those indices.
 /// * `skip` holds scenario indices that are already journaled: they are
 ///   neither re-run nor re-delivered. Because every scenario's seed is
 ///   derived from `(campaign_seed, index)`, the scenarios that *do* run
@@ -346,7 +351,8 @@ pub fn run_campaign_streaming(
     mut on_result: impl FnMut(&ScenarioResult),
 ) -> Vec<ScenarioResult> {
     let scenarios = spec.scenarios();
-    let pending: Vec<usize> = (0..scenarios.len())
+    let pending: Vec<usize> = spec
+        .active_range(scenarios.len())
         .filter(|index| !skip.contains(index))
         .collect();
     // Golden references are fault-free and seed-independent: one per
@@ -519,6 +525,34 @@ mod tests {
             canonical_report_json(spec.campaign_seed, &merged, &axes).render(),
             canonical_report_json(spec.campaign_seed, &full.results, &axes).render(),
         );
+    }
+
+    #[test]
+    fn ranged_specs_run_exactly_their_slice() {
+        let spec = CampaignSpec::new(fast_config(), 31)
+            .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+            .replicates(2);
+        let full = run_campaign(&spec, 1);
+        let n = full.results.len();
+        // Shard the grid in two; each half computes precisely the full
+        // run's rows for its indices, bit for bit.
+        let lo = spec.clone().scenario_range(0, n / 2);
+        let hi = spec.clone().scenario_range(n / 2, n);
+        let lo_rows = run_campaign_streaming(&lo, 2, &CancelToken::new(), &HashSet::new(), |_| {});
+        let hi_rows = run_campaign_streaming(&hi, 1, &CancelToken::new(), &HashSet::new(), |_| {});
+        assert_eq!(lo_rows.len() + hi_rows.len(), n);
+        let merged: Vec<ScenarioResult> = lo_rows.into_iter().chain(hi_rows).collect();
+        for (merged_row, full_row) in merged.iter().zip(&full.results) {
+            assert_eq!(merged_row, full_row);
+        }
+        // A skip set composes with the range: already-journaled rows in
+        // the slice are not recomputed.
+        let skip: HashSet<usize> = [n / 2, n / 2 + 1].into_iter().collect();
+        let resumed = run_campaign_streaming(&hi, 1, &CancelToken::new(), &skip, |_| {});
+        assert_eq!(resumed.len(), n - n / 2 - 2);
+        assert!(resumed.iter().all(|r| !skip.contains(&r.scenario.index)));
     }
 
     #[test]

@@ -136,6 +136,7 @@ pub struct CampaignSpec {
     replicates: u64,
     normalize: bool,
     golden_check: bool,
+    scenario_range: Option<(usize, usize)>,
 }
 
 impl CampaignSpec {
@@ -155,6 +156,7 @@ impl CampaignSpec {
             replicates: 1,
             normalize: true,
             golden_check: true,
+            scenario_range: None,
         }
     }
 
@@ -214,6 +216,39 @@ impl CampaignSpec {
     pub fn golden_check(mut self, golden_check: bool) -> Self {
         self.golden_check = golden_check;
         self
+    }
+
+    /// Restricts execution to the half-open slice `start..end` of the
+    /// global scenario index space — the shard wire format. Enumeration
+    /// ([`CampaignSpec::scenarios`]) still covers the whole grid with
+    /// unchanged indices and seeds, so a ranged sub-spec computes exactly
+    /// the rows the full campaign would, and per-shard journals merge
+    /// back into the unsharded report byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range (`start >= end`).
+    #[must_use]
+    pub fn scenario_range(mut self, start: usize, end: usize) -> Self {
+        assert!(start < end, "scenario range must be non-empty");
+        self.scenario_range = Some((start, end));
+        self
+    }
+
+    /// The raw range restriction, if any (half-open, unclamped).
+    #[must_use]
+    pub fn range(&self) -> Option<(usize, usize)> {
+        self.scenario_range
+    }
+
+    /// The half-open index range this spec actually executes, clamped to
+    /// a grid of `grid` scenarios. An unranged spec runs everything.
+    #[must_use]
+    pub fn active_range(&self, grid: usize) -> std::ops::Range<usize> {
+        match self.scenario_range {
+            None => 0..grid,
+            Some((start, end)) => start.min(grid)..end.min(grid),
+        }
     }
 
     /// Whether scenarios carry normalized ratios.
@@ -472,7 +507,7 @@ impl CampaignSpec {
             .iter()
             .map(|&k| JsonValue::from(u64::from(k)))
             .collect();
-        JsonValue::object()
+        let mut doc = JsonValue::object()
             .field("version", SPEC_VERSION)
             .field("campaign_seed", self.campaign_seed)
             .field(
@@ -490,7 +525,21 @@ impl CampaignSpec {
             .field("chunk_words", JsonValue::Array(chunk_words))
             .field("replicates", self.replicates)
             .field("normalize", self.normalize)
-            .field("golden_check", self.golden_check)
+            .field("golden_check", self.golden_check);
+        // Emitted only when set: unranged specs keep their pre-shard
+        // rendering, so every existing spec hash is stable — and every
+        // ranged sub-spec hashes differently from its parent and from
+        // every sibling range.
+        if let Some((start, end)) = self.scenario_range {
+            doc = doc.field(
+                "scenario_range",
+                JsonValue::Array(vec![
+                    JsonValue::from(start as u64),
+                    JsonValue::from(end as u64),
+                ]),
+            );
+        }
+        doc
     }
 
     /// Deserializes a spec from the wire form produced by
@@ -613,6 +662,30 @@ impl CampaignSpec {
             spec.golden_check = flag
                 .as_bool()
                 .ok_or("spec: \"golden_check\" must be a boolean")?;
+        }
+        if let Some(range) = value.get("scenario_range") {
+            let parts = range
+                .as_array()
+                .ok_or("spec: \"scenario_range\" must be a [start, end) pair")?;
+            if parts.len() != 2 {
+                return Err(format!(
+                    "spec: scenario_range needs exactly [start, end), got {} entries",
+                    parts.len()
+                ));
+            }
+            let bound = |part: &JsonValue, name: &str| {
+                part.as_u64()
+                    .ok_or_else(|| format!("scenario_range: {name} must be a non-negative integer"))
+                    .and_then(|raw| narrow::<usize>(raw, "scenario_range bound"))
+            };
+            let start = bound(&parts[0], "start")?;
+            let end = bound(&parts[1], "end")?;
+            if start >= end {
+                return Err(format!(
+                    "spec: scenario_range [{start}, {end}) is empty — start must be < end"
+                ));
+            }
+            spec.scenario_range = Some((start, end));
         }
         Ok(spec)
     }
@@ -796,6 +869,75 @@ mod tests {
                 "error {err:?} should mention {expect:?}"
             );
         }
+    }
+
+    #[test]
+    fn scenario_range_round_trips_and_rehashes() {
+        let parent = small_spec();
+        let ranged = small_spec().scenario_range(1, 3);
+        assert_eq!(ranged.range(), Some((1, 3)));
+        // Enumeration is untouched: same grid, same indices, same seeds.
+        assert_eq!(ranged.scenarios(), parent.scenarios());
+        // But the wire form (and therefore the content hash) differs —
+        // from the parent and from any other range.
+        assert_ne!(ranged.spec_hash(), parent.spec_hash());
+        assert_ne!(
+            ranged.spec_hash(),
+            small_spec().scenario_range(0, 1).spec_hash()
+        );
+        let back = CampaignSpec::from_json(&ranged.to_json()).expect("ranged round trip");
+        assert_eq!(back.range(), Some((1, 3)));
+        assert_eq!(back.to_json().render(), ranged.to_json().render());
+        // An unranged spec renders without the field at all (pre-shard
+        // hashes stay stable).
+        assert!(!parent.to_json().render().contains("scenario_range"));
+    }
+
+    #[test]
+    fn active_range_clamps_to_grid() {
+        let spec = small_spec();
+        assert_eq!(spec.active_range(4), 0..4);
+        assert_eq!(small_spec().scenario_range(1, 3).active_range(4), 1..3);
+        // Ranges beyond the grid clamp rather than index out of bounds.
+        assert_eq!(small_spec().scenario_range(2, 99).active_range(4), 2..4);
+        assert!(small_spec().scenario_range(7, 9).active_range(4).is_empty());
+    }
+
+    #[test]
+    fn bad_scenario_ranges_are_rejected() {
+        let good = small_spec().scenario_range(1, 3).to_json().render();
+        for (mutation, expect) in [
+            (
+                good.replace("\"scenario_range\":[1,3]", "\"scenario_range\":[3,1]"),
+                "start must be < end",
+            ),
+            (
+                good.replace("\"scenario_range\":[1,3]", "\"scenario_range\":[1]"),
+                "exactly",
+            ),
+            (
+                good.replace("\"scenario_range\":[1,3]", "\"scenario_range\":true"),
+                "pair",
+            ),
+            (
+                good.replace("\"scenario_range\":[1,3]", "\"scenario_range\":[-1,3]"),
+                "non-negative",
+            ),
+        ] {
+            assert_ne!(mutation, good, "mutation {expect:?} did not apply");
+            let value = JsonValue::parse(&mutation).expect("still valid JSON");
+            let err = CampaignSpec::from_json(&value).expect_err(expect);
+            assert!(
+                err.contains(expect),
+                "error {err:?} should mention {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_scenario_range_builder_panics() {
+        let _ = small_spec().scenario_range(2, 2);
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub struct JobStatus {
     pub id: String,
     /// Current lifecycle state.
     pub state: JobState,
-    /// Grid size.
+    /// Scenarios this job executes: its `scenario_range` slice for a
+    /// ranged sub-spec, the whole grid otherwise.
     pub scenarios: usize,
     /// Scenarios journaled so far (monotonic across restarts).
     pub completed: usize,
@@ -220,8 +221,21 @@ impl JobManager {
         // Enumerate outside the lock: optimizer-backed scheme axes do
         // real work, and an infeasible point panics — turn that into a
         // client error instead of a dead runner.
-        let scenarios = catch_unwind(AssertUnwindSafe(|| spec.scenarios().len()))
+        let grid = catch_unwind(AssertUnwindSafe(|| spec.scenarios().len()))
             .map_err(|_| "spec enumerates no feasible grid (optimizer found no design point)")?;
+        // A ranged sub-spec must fit the grid it claims to slice: a
+        // range past the end means the submitter partitioned a different
+        // campaign.
+        if let Some((start, end)) = spec.range() {
+            if end > grid {
+                return Err(format!(
+                    "scenario_range [{start}, {end}) exceeds the {grid}-scenario grid"
+                ));
+            }
+        }
+        // A job's size is what it will actually execute (its range for
+        // sub-specs), not the whole grid — `completed` counts toward it.
+        let scenarios = spec.active_range(grid).len();
         let canonical = spec.to_json().render();
         let mut state = self.state.lock().expect("manager poisoned");
         if state.shutdown {
@@ -249,7 +263,6 @@ impl JobManager {
             if matches!(entry.state, JobState::Failed(_) | JobState::Cancelled) {
                 entry.state = JobState::Queued;
                 entry.cancel = CancelToken::new();
-                entry.delete_after_cancel = false;
                 state.queue.push_back(id.clone());
                 self.wake.notify_one();
             }
@@ -330,6 +343,36 @@ impl JobManager {
         self.status(id)
             .filter(|s| s.state == JobState::Done)
             .and_then(|_| self.store.read_result(id))
+    }
+
+    /// The job's sealed journal rows, rendered as one JSON document:
+    /// `{"id": ..., "status": ..., "rows": [<ScenarioResult>, ...]}` —
+    /// the payload of `GET /campaigns/:id/journal`, which a shard
+    /// coordinator fetches to merge this job's slice of a campaign with
+    /// its sibling shards. Rows are in journal (completion) order; the
+    /// merge defines the canonical ordering, not the shard.
+    ///
+    /// The rows are raw sealed journal lines (each one a JSON object the
+    /// service itself rendered), spliced in verbatim rather than
+    /// re-parsed — serving a journal never costs a parse of every row.
+    #[must_use]
+    pub fn journal(&self, id: &str) -> Option<String> {
+        let status = self.status(id)?;
+        let rows = self.store.read_journal_rows(id);
+        let mut doc = String::with_capacity(64 + rows.iter().map(|r| r.len() + 1).sum::<usize>());
+        doc.push_str("{\"id\":\"");
+        doc.push_str(id); // ids are 16 hex digits — nothing to escape
+        doc.push_str("\",\"status\":\"");
+        doc.push_str(status.state.name());
+        doc.push_str("\",\"rows\":[");
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(row);
+        }
+        doc.push_str("]}");
+        Some(doc)
     }
 
     /// Cancels and deletes a job. Queued/finished jobs are removed
@@ -431,7 +474,8 @@ impl JobManager {
     fn drive(&self, id: &str) -> Result<bool, String> {
         let spec = self.store.load_spec(id)?;
         let scenarios = spec.scenarios();
-        let journal = self.store.load_journal(id, &scenarios)?;
+        let active = spec.active_range(scenarios.len());
+        let journal = self.store.load_journal(id, &scenarios, &active)?;
         let cancel = {
             let mut state = self.state.lock().expect("manager poisoned");
             let entry = state
@@ -439,7 +483,7 @@ impl JobManager {
                 .get_mut(id)
                 .ok_or_else(|| format!("job {id} vanished from the registry"))?;
             entry.state = JobState::Running;
-            entry.scenarios = scenarios.len();
+            entry.scenarios = active.len();
             entry.completed = journal.done.len();
             entry.cancel.clone()
         };
@@ -485,11 +529,11 @@ impl JobManager {
         let mut merged = journal.results;
         merged.extend(fresh);
         merged.sort_by_key(|r| r.scenario.index);
-        if merged.len() != scenarios.len() {
+        if merged.len() != active.len() {
             return Err(format!(
                 "job {id}: merged {} of {} scenarios — journal inconsistent",
                 merged.len(),
-                scenarios.len()
+                active.len()
             ));
         }
         let report = canonical_report_json(spec.campaign_seed, &merged, &REPORT_AXES).render();

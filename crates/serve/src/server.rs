@@ -7,6 +7,7 @@
 //! | `POST /campaigns`            | submit a spec (body: canonical spec JSON)    |
 //! | `GET /campaigns/:id`         | job status                                   |
 //! | `GET /campaigns/:id/result`  | final report (cache-served once done)        |
+//! | `GET /campaigns/:id/journal` | sealed per-scenario rows journaled so far    |
 //! | `DELETE /campaigns/:id`      | cancel and remove a job                      |
 //! | `GET /healthz`               | liveness + job counts                        |
 //! | `POST /shutdown`             | graceful shutdown (used by CI and tests)     |
@@ -147,7 +148,8 @@ fn handle_connection(mut stream: TcpStream, manager: &JobManager, stop: &AtomicB
     }
 }
 
-/// Splits `/campaigns/:id[/result]` into its id and trailing segment.
+/// Splits `/campaigns/:id[/result|/journal]` into its id and trailing
+/// segment.
 fn campaign_route(path: &str) -> Option<(&str, Option<&str>)> {
     let rest = path.strip_prefix("/campaigns/")?;
     match rest.split_once('/') {
@@ -184,6 +186,10 @@ fn route(request: &Request, manager: &JobManager, stop: &AtomicBool) -> Response
             Some((id, tail)) if JobStore::valid_id(id) => match (method, tail) {
                 ("GET", None) => match manager.status(id) {
                     Some(status) => Response::json(200, status.to_json().render()),
+                    None => Response::error(404, "unknown campaign"),
+                },
+                ("GET", Some("journal")) => match manager.journal(id) {
+                    Some(doc) => Response::json(200, doc),
                     None => Response::error(404, "unknown campaign"),
                 },
                 ("GET", Some("result")) => match manager.status(id) {
@@ -235,8 +241,14 @@ fn submit(request: &Request, manager: &JobManager) -> Response {
             Response::json(status, doc.render())
         }
         Err(message) => {
+            // 4xx is reserved for "the spec itself is bad" (every
+            // replica would refuse it); this backend's own store
+            // failing is a 500 so shard coordinators re-dispatch
+            // instead of aborting the campaign.
             let status = if message.contains("shutting down") {
                 503
+            } else if message.starts_with("persisting job") {
+                500
             } else {
                 400
             };

@@ -187,7 +187,10 @@ impl JobStore {
             .ok_or_else(|| format!("job {id}: corrupt meta.json"))
     }
 
-    /// Loads the journal against the spec's re-enumerated grid.
+    /// Loads the journal against the spec's re-enumerated grid. `active`
+    /// is the job's executable index range ([`CampaignSpec::active_range`]
+    /// — the whole grid for unranged specs): a row outside it belongs to
+    /// a different slice of the campaign and is rejected.
     ///
     /// Tolerates exactly the damage a `SIGKILL` can cause — a final line
     /// with no trailing newline (dropped) — and rejects everything else
@@ -197,8 +200,14 @@ impl JobStore {
     ///
     /// # Errors
     ///
-    /// Reports unreadable files and rows inconsistent with `scenarios`.
-    pub fn load_journal(&self, id: &str, scenarios: &[Scenario]) -> Result<LoadedJournal, String> {
+    /// Reports unreadable files and rows inconsistent with `scenarios`
+    /// or `active`.
+    pub fn load_journal(
+        &self,
+        id: &str,
+        scenarios: &[Scenario],
+        active: &std::ops::Range<usize>,
+    ) -> Result<LoadedJournal, String> {
         let path = self.journal_path(id);
         if !path.is_file() {
             return Ok(LoadedJournal::default());
@@ -228,6 +237,15 @@ impl JobStore {
                     lineno + 1
                 )
             })?;
+            if !active.contains(&index) {
+                return Err(format!(
+                    "job {id}: journal line {} indexes scenario {index} outside this job's \
+                     scenario range [{}, {})",
+                    lineno + 1,
+                    active.start,
+                    active.end
+                ));
+            }
             let result = ScenarioResult::from_json(&value, scenario.clone())
                 .map_err(|e| format!("job {id}: journal line {}: {e}", lineno + 1))?;
             if journal.done.insert(index) {
@@ -235,6 +253,27 @@ impl JobStore {
             }
         }
         Ok(journal)
+    }
+
+    /// The sealed (newline-terminated) journal rows as raw JSON lines, in
+    /// journal (completion) order — the payload of
+    /// `GET /campaigns/:id/journal`, which a shard coordinator merges
+    /// with its sibling shards' rows. A torn final line is dropped, same
+    /// as [`JobStore::load_journal`]; a missing journal is simply empty.
+    #[must_use]
+    pub fn read_journal_rows(&self, id: &str) -> Vec<String> {
+        let Ok(raw) = fs::read_to_string(self.journal_path(id)) else {
+            return Vec::new();
+        };
+        let sealed = match raw.rfind('\n') {
+            Some(last_newline) => &raw[..=last_newline],
+            None => "",
+        };
+        sealed
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(str::to_owned)
+            .collect()
     }
 
     /// Counts the sealed (newline-terminated) journal rows without
@@ -393,7 +432,9 @@ mod tests {
         raw.push_str("{\"index\":2,\"seed\":12345,\"energy_pj\":1.0");
         fs::write(root.join("jobs").join(&id).join("journal.jsonl"), &raw).expect("tear");
 
-        let loaded = store.load_journal(&id, &scenarios).expect("load");
+        let loaded = store
+            .load_journal(&id, &scenarios, &(0..scenarios.len()))
+            .expect("load");
         assert_eq!(loaded.done, [0usize, 1].into_iter().collect());
         assert_eq!(loaded.results, campaign.results[..2].to_vec());
 
@@ -405,7 +446,9 @@ mod tests {
                 .append(&campaign.results[2])
                 .expect("append after tear");
         }
-        let healed = store.load_journal(&id, &scenarios).expect("load healed");
+        let healed = store
+            .load_journal(&id, &scenarios, &(0..scenarios.len()))
+            .expect("load healed");
         assert_eq!(healed.done, [0usize, 1, 2].into_iter().collect());
         assert_eq!(healed.results, campaign.results.to_vec());
         let _ = fs::remove_dir_all(&root);
@@ -433,7 +476,7 @@ mod tests {
         let mut journal = store.open_journal(&id).expect("journal");
         journal.append(&foreign_run.results[0]).expect("append");
         let err = store
-            .load_journal(&id, &scenarios)
+            .load_journal(&id, &scenarios, &(0..scenarios.len()))
             .expect_err("foreign journal");
         assert!(err.contains("different campaign"), "{err}");
         let _ = fs::remove_dir_all(&root);

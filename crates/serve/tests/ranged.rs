@@ -1,0 +1,164 @@
+//! Ranged sub-specs through the service: a job restricted to a
+//! `scenario_range` slice of the grid journals only its slice, resumes
+//! from that journal after a restart with the range-restricted skip set
+//! intact, and serves a canonical report identical to an in-process run
+//! of the same slice.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use chunkpoint_campaign::{
+    canonical_report_json, run_campaign_streaming, CampaignSpec, CancelToken, ScenarioResult,
+    SchemeSpec,
+};
+use chunkpoint_core::{MitigationScheme, SystemConfig};
+use chunkpoint_serve::{JobManager, JobState, JobStore, REPORT_AXES};
+use chunkpoint_workloads::Benchmark;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chunkpoint_ranged_{}_{tag}", std::process::id()))
+}
+
+/// A 12-scenario grid; the job under test runs the slice `[4, 10)`.
+fn base_spec() -> CampaignSpec {
+    let mut config = SystemConfig::paper(0);
+    config.scale = 0.25;
+    CampaignSpec::new(config, 0x4A6E)
+        .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+        .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+        .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+        .replicates(3)
+}
+
+fn wait_done(manager: &JobManager, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = manager.status(id).expect("job known");
+        match status.state {
+            JobState::Done => return,
+            JobState::Failed(message) => panic!("ranged job failed: {message}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "ranged job never finished");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A ranged job interrupted after journaling part of its slice resumes
+/// on a restarted service — skipping the journaled rows, running only
+/// the rest of its range, never touching the rest of the grid — and the
+/// final report is byte-identical to an uninterrupted in-process run of
+/// the slice.
+#[test]
+fn ranged_job_resumes_from_journal_after_restart() {
+    let root = temp_dir("resume");
+    let _ = std::fs::remove_dir_all(&root);
+
+    let sub = base_spec().scenario_range(4, 10);
+    let grid = sub.scenarios();
+    assert_eq!(grid.len(), 12);
+    let id = JobStore::job_id(&sub);
+
+    // The uninterrupted reference: the slice's rows, computed in-process.
+    let reference: Vec<ScenarioResult> =
+        run_campaign_streaming(&sub, 1, &CancelToken::new(), &HashSet::new(), |_| {});
+    assert_eq!(reference.len(), 6);
+    assert!(reference
+        .iter()
+        .all(|r| (4..10).contains(&r.scenario.index)));
+
+    // "First service life": persist the job and journal two rows of the
+    // slice, as if the process died mid-campaign.
+    let store = JobStore::open(&root).expect("open store");
+    store.create_job(&id, &sub, 6).expect("create job");
+    {
+        let mut journal = store.open_journal(&id).expect("journal");
+        journal.append(&reference[0]).expect("append row 4");
+        journal.append(&reference[1]).expect("append row 5");
+    }
+
+    // "Restart": recovery re-enqueues the unfinished job with its
+    // journaled progress; a runner resumes it with the range-restricted
+    // skip set and finishes only scenarios 6..10.
+    let manager = JobManager::recover(JobStore::open(&root).expect("reopen"), 1);
+    let recovered = manager.status(&id).expect("recovered job");
+    assert_eq!(recovered.state, JobState::Queued);
+    assert_eq!(
+        recovered.scenarios, 6,
+        "status counts the slice, not the grid"
+    );
+    assert_eq!(recovered.completed, 2, "journaled progress survived");
+    let runners = manager.spawn_runners(1);
+    wait_done(&manager, &id);
+
+    // The journal holds exactly the slice — nothing outside [4, 10) ran.
+    let final_journal = store
+        .load_journal(&id, &grid, &(4..10))
+        .expect("final journal");
+    assert_eq!(final_journal.done, (4..10).collect::<HashSet<_>>());
+
+    // Byte-identical to the uninterrupted slice run.
+    let expected = canonical_report_json(sub.campaign_seed, &reference, &REPORT_AXES).render();
+    let served = manager.result(&id).expect("cached result");
+    assert_eq!(
+        served.trim_end(),
+        expected,
+        "resumed ranged report diverged"
+    );
+
+    manager.shutdown(runners);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A journal row outside the job's range is rejected loudly on load —
+/// resuming from another shard's journal would corrupt the merge.
+#[test]
+fn out_of_range_journal_rows_are_rejected() {
+    let root = temp_dir("foreign");
+    let _ = std::fs::remove_dir_all(&root);
+
+    let sub = base_spec().scenario_range(4, 10);
+    let grid = sub.scenarios();
+    let id = JobStore::job_id(&sub);
+    let store = JobStore::open(&root).expect("open store");
+    store.create_job(&id, &sub, 6).expect("create job");
+
+    // Scenario 0 belongs to the sibling shard [0, 4).
+    let foreign: Vec<ScenarioResult> = run_campaign_streaming(
+        &base_spec().scenario_range(0, 1),
+        1,
+        &CancelToken::new(),
+        &HashSet::new(),
+        |_| {},
+    );
+    let mut journal = store.open_journal(&id).expect("journal");
+    journal.append(&foreign[0]).expect("append foreign row");
+    drop(journal);
+
+    let err = store
+        .load_journal(&id, &grid, &(4..10))
+        .expect_err("foreign row");
+    assert!(err.contains("scenario range"), "{err}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Submitting a ranged spec over HTTP-free manager API validates the
+/// range against the grid it slices.
+#[test]
+fn range_past_the_grid_is_rejected_at_submit() {
+    let root = temp_dir("bounds");
+    let _ = std::fs::remove_dir_all(&root);
+    let manager = JobManager::recover(JobStore::open(&root).expect("open"), 1);
+    // Grid is 12 scenarios; [8, 20) overhangs it.
+    let err = manager
+        .submit(&base_spec().scenario_range(8, 20))
+        .expect_err("overhanging range");
+    assert!(err.contains("exceeds"), "{err}");
+    // A range that fits is accepted and sized by its slice.
+    let ok = manager
+        .submit(&base_spec().scenario_range(8, 12))
+        .expect("valid range");
+    assert_eq!(ok.status.scenarios, 4);
+    let _ = std::fs::remove_dir_all(&root);
+}

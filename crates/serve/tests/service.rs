@@ -86,6 +86,21 @@ fn submit_poll_result_cache_delete_shutdown() {
     let expected = canonical_report_json(spec.campaign_seed, &reference.results, &REPORT_AXES);
     assert_eq!(report.trim_end(), expected.render());
 
+    // The journal endpoint serves every sealed row of the finished job.
+    let (status, body) =
+        request(addr, "GET", &format!("/campaigns/{id}/journal"), None).expect("journal");
+    assert_eq!(status, 200, "{body}");
+    let journal = JsonValue::parse(&body).expect("journal json");
+    assert_eq!(journal.get("id").unwrap().as_str(), Some(id.as_str()));
+    let rows = journal.get("rows").unwrap().as_array().expect("rows");
+    assert_eq!(rows.len(), 4);
+    let mut journaled: Vec<u64> = rows
+        .iter()
+        .map(|row| row.get("index").unwrap().as_u64().expect("row index"))
+        .collect();
+    journaled.sort_unstable();
+    assert_eq!(journaled, vec![0, 1, 2, 3]);
+
     // Resubmitting the identical spec is an instant cache hit.
     let t0 = Instant::now();
     let (status, body) = request(addr, "POST", "/campaigns", Some(&spec_body)).expect("resubmit");

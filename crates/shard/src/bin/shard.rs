@@ -1,0 +1,147 @@
+//! The `shard` binary: run one campaign spec across several running
+//! `serve` instances and write the merged canonical report.
+//!
+//! ```text
+//! shard --backends HOST:PORT[,HOST:PORT...] --spec PATH [--json PATH]
+//!       [--poll-ms N] [--timeout-secs N]
+//! ```
+//!
+//! The report written by `--json` (stdout without it) is byte-identical
+//! to what a single `serve` instance — or an in-process single-threaded
+//! run — would produce for the same spec.
+
+use std::time::{Duration, Instant};
+
+use chunkpoint_campaign::{CampaignSpec, JsonValue};
+use chunkpoint_shard::{run_sharded, ShardConfig};
+
+const USAGE: &str = "chunkpoint shard coordinator:
+  --backends LIST    comma-separated serve addresses (HOST:PORT), required
+  --spec PATH        campaign spec JSON (canonical wire form), required
+  --json PATH        write the merged canonical report here (default: stdout)
+  --poll-ms N        poll sweep interval in milliseconds (default 25)
+  --timeout-secs N   per-request timeout in seconds (default 10)
+  --help             this text";
+
+struct Args {
+    backends: Vec<String>,
+    spec_path: String,
+    json: Option<String>,
+    config: ShardConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut backends = Vec::new();
+    let mut spec_path = None;
+    let mut json = None;
+    let mut config = ShardConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value\n\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--backends" => {
+                backends = value_of("--backends")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|part| !part.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--spec" => spec_path = Some(value_of("--spec")?),
+            "--json" => json = Some(value_of("--json")?),
+            "--poll-ms" => {
+                let ms: u64 = value_of("--poll-ms")?
+                    .parse()
+                    .map_err(|e| format!("--poll-ms: {e}\n\n{USAGE}"))?;
+                config.poll_interval = Duration::from_millis(ms);
+            }
+            "--timeout-secs" => {
+                let secs: u64 = value_of("--timeout-secs")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-secs: {e}\n\n{USAGE}"))?;
+                if secs == 0 {
+                    return Err(format!("--timeout-secs must be at least 1\n\n{USAGE}"));
+                }
+                config.request_timeout = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    if backends.is_empty() {
+        return Err(format!("--backends is required\n\n{USAGE}"));
+    }
+    let spec_path = spec_path.ok_or_else(|| format!("--spec is required\n\n{USAGE}"))?;
+    Ok(Args {
+        backends,
+        spec_path,
+        json,
+        config,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(if message == USAGE { 0 } else { 2 });
+        }
+    };
+    let raw = match std::fs::read_to_string(&args.spec_path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("shard: reading {}: {e}", args.spec_path);
+            std::process::exit(1);
+        }
+    };
+    let spec = match JsonValue::parse(&raw)
+        .map_err(|e| e.to_string())
+        .and_then(|value| CampaignSpec::from_json(&value))
+    {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("shard: {}: {e}", args.spec_path);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "shard: dispatching across {} backend(s): {}",
+        args.backends.len(),
+        args.backends.join(", ")
+    );
+    let start = Instant::now();
+    let run = match run_sharded(&spec, &args.backends, &args.config) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("shard: {e}");
+            std::process::exit(1);
+        }
+    };
+    for event in &run.events {
+        eprintln!("shard: {event}");
+    }
+    eprintln!(
+        "shard: {} scenarios over {} shard(s), {} dispatch(es), {} failure(s), {:.2}s",
+        run.results.len(),
+        run.shards,
+        run.dispatches,
+        run.failures,
+        start.elapsed().as_secs_f64()
+    );
+    let mut report = run.report;
+    match &args.json {
+        Some(path) => {
+            report.push('\n');
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("shard: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("shard: wrote {path}");
+        }
+        None => println!("{report}"),
+    }
+}

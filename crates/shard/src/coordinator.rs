@@ -1,0 +1,617 @@
+//! The shard coordinator: split one campaign across several `serve`
+//! backends, survive backend failures, and merge the journals back into
+//! the canonical single-machine report.
+//!
+//! The dispatch loop is deliberately simple because determinism does all
+//! the heavy lifting: a shard is a [`CampaignSpec`] with a
+//! `scenario_range` restriction, every scenario's seed derives from
+//! `(campaign_seed, global_index)`, so *where* and *how many times* a
+//! range runs cannot change a single byte of its rows. Re-dispatching a
+//! failed shard to any other backend — or the same one — is therefore
+//! always safe, and the merged report is byte-identical to an unsharded
+//! run no matter which backends did the work or in what order they
+//! finished.
+
+use std::time::Duration;
+
+use chunkpoint_campaign::{
+    canonical_report_json, CampaignSpec, JsonValue, Scenario, ScenarioResult,
+};
+use chunkpoint_serve::REPORT_AXES;
+
+use crate::client::exchange;
+use crate::partition::partition;
+
+/// Coordinator knobs. The defaults suit a LAN of `serve` instances.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Pause between poll sweeps over the outstanding shards.
+    pub poll_interval: Duration,
+    /// Connect/read/write timeout of every HTTP exchange.
+    pub request_timeout: Duration,
+    /// Consecutive failed exchanges before a backend is declared dead
+    /// and its shards re-dispatch to the survivors.
+    pub backend_strikes: u32,
+    /// Submission attempts one shard may burn (first dispatch included)
+    /// before the run gives up — the terminator for a range that fails
+    /// *deterministically* on every backend (a scenario that panics, a
+    /// full disk everywhere), which transport strikes alone would
+    /// ping-pong forever.
+    pub shard_attempts: u32,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            poll_interval: Duration::from_millis(25),
+            request_timeout: Duration::from_secs(10),
+            backend_strikes: 3,
+            shard_attempts: 5,
+        }
+    }
+}
+
+/// Why a sharded campaign could not complete.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The backend list was empty.
+    NoBackends,
+    /// A backend answered a submit with a client error — the sub-spec
+    /// itself is bad, so no amount of re-dispatching can help.
+    Rejected {
+        /// The backend that answered.
+        backend: String,
+        /// Its HTTP status.
+        status: u16,
+        /// Its error body.
+        body: String,
+    },
+    /// Every backend struck out with shards still outstanding.
+    Exhausted {
+        /// What the coordinator saw last.
+        detail: String,
+    },
+    /// The merged rows do not cover the grid exactly once each —
+    /// overlapping or gapped journals.
+    BadMerge(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoBackends => write!(f, "no backends to shard across"),
+            ShardError::Rejected {
+                backend,
+                status,
+                body,
+            } => write!(
+                f,
+                "backend {backend} rejected the sub-spec ({status}): {body}"
+            ),
+            ShardError::Exhausted { detail } => {
+                write!(f, "every backend struck out: {detail}")
+            }
+            ShardError::BadMerge(why) => write!(f, "journal merge failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// A completed sharded campaign.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// The canonical timing-free report — byte-identical to
+    /// `canonical_report_json` of an unsharded single-threaded run.
+    pub report: String,
+    /// Merged per-scenario rows in global scenario-index order.
+    pub results: Vec<ScenarioResult>,
+    /// Ranges the grid was split into.
+    pub shards: usize,
+    /// Sub-spec submissions, including re-dispatches (`> shards` means
+    /// at least one shard moved).
+    pub dispatches: usize,
+    /// Failed exchanges and failed jobs observed along the way.
+    pub failures: usize,
+    /// Human-readable dispatch decisions, in order.
+    pub events: Vec<String>,
+}
+
+/// Merges per-shard journal rows into the canonical campaign report.
+///
+/// The merge — not shard arrival order — defines the report's ordering:
+/// rows sort by **global scenario index**, so any assignment of ranges
+/// to backends, any completion order, and any interleaving of journal
+/// fetches produce the same bytes. `grid_len` is the full campaign's
+/// scenario count; the merged rows must cover `0..grid_len` exactly
+/// once each.
+///
+/// # Errors
+///
+/// [`ShardError::BadMerge`] on duplicate, missing, or out-of-grid rows.
+pub fn merged_report(
+    campaign_seed: u64,
+    grid_len: usize,
+    mut rows: Vec<ScenarioResult>,
+) -> Result<(String, Vec<ScenarioResult>), ShardError> {
+    rows.sort_by_key(|r| r.scenario.index);
+    if rows.len() != grid_len {
+        return Err(ShardError::BadMerge(format!(
+            "merged {} rows for a {grid_len}-scenario grid",
+            rows.len()
+        )));
+    }
+    for (expected, row) in rows.iter().enumerate() {
+        if row.scenario.index != expected {
+            return Err(ShardError::BadMerge(format!(
+                "scenario {expected} is {}, found index {} in its place",
+                if row.scenario.index > expected {
+                    "missing"
+                } else {
+                    "duplicated"
+                },
+                row.scenario.index
+            )));
+        }
+    }
+    let report = canonical_report_json(campaign_seed, &rows, &REPORT_AXES).render();
+    Ok((report, rows))
+}
+
+/// One backend's liveness bookkeeping.
+struct Backend {
+    addr: String,
+    strikes: u32,
+    dead: bool,
+}
+
+/// One contiguous slice of the grid and where it currently lives.
+struct Shard {
+    range: (usize, usize),
+    backend: usize,
+    job_id: Option<String>,
+    rows: Option<Vec<ScenarioResult>>,
+    /// Submissions burned so far (bounded by `shard_attempts`).
+    attempts: u32,
+}
+
+/// The coordinator state machine driving [`run_sharded`].
+struct Dispatcher<'a> {
+    spec: &'a CampaignSpec,
+    /// The full grid, enumerated once — journal validation needs every
+    /// row's expected scenario (index + derived seed).
+    grid: &'a [Scenario],
+    config: &'a ShardConfig,
+    backends: Vec<Backend>,
+    shards: Vec<Shard>,
+    dispatches: usize,
+    failures: usize,
+    events: Vec<String>,
+}
+
+impl Dispatcher<'_> {
+    /// Records a failed exchange against a backend; marks it dead after
+    /// `backend_strikes` consecutive failures.
+    fn strike(&mut self, backend: usize, why: &str) {
+        self.failures += 1;
+        let b = &mut self.backends[backend];
+        b.strikes += 1;
+        if !b.dead && b.strikes >= self.config.backend_strikes {
+            b.dead = true;
+            self.events
+                .push(format!("backend {} struck out: {why}", b.addr));
+        }
+    }
+
+    /// Picks the next live backend for a shard, preferring anyone other
+    /// than `avoid`. Falls back to `avoid` itself if it is the only
+    /// survivor (a failed *job* on a live backend resumes from its own
+    /// journal there).
+    fn reassign(&mut self, shard: usize, avoid: usize) -> Result<(), ShardError> {
+        let k = self.backends.len();
+        let target = (1..k)
+            .map(|offset| (avoid + offset) % k)
+            .find(|&candidate| !self.backends[candidate].dead)
+            .or_else(|| (!self.backends[avoid].dead).then_some(avoid));
+        let Some(target) = target else {
+            return Err(ShardError::Exhausted {
+                detail: format!(
+                    "no live backend left for shard {shard} [{}, {})",
+                    self.shards[shard].range.0, self.shards[shard].range.1
+                ),
+            });
+        };
+        let (start, end) = self.shards[shard].range;
+        self.events.push(format!(
+            "shard {shard} [{start}, {end}) → {}",
+            self.backends[target].addr
+        ));
+        self.shards[shard].backend = target;
+        self.shards[shard].job_id = None;
+        Ok(())
+    }
+
+    /// Submits a shard's sub-spec to its assigned backend.
+    fn submit(&mut self, shard: usize) -> Result<(), ShardError> {
+        let (start, end) = self.shards[shard].range;
+        if self.shards[shard].attempts >= self.config.shard_attempts {
+            return Err(ShardError::Exhausted {
+                detail: format!(
+                    "shard {shard} [{start}, {end}) burned all {} dispatch attempts",
+                    self.config.shard_attempts
+                ),
+            });
+        }
+        self.shards[shard].attempts += 1;
+        let backend = self.shards[shard].backend;
+        let body = self
+            .spec
+            .clone()
+            .scenario_range(start, end)
+            .to_json()
+            .render();
+        let addr = self.backends[backend].addr.clone();
+        self.dispatches += 1;
+        match exchange(
+            &addr,
+            "POST",
+            "/campaigns",
+            Some(&body),
+            self.config.request_timeout,
+        ) {
+            Ok((status @ (200 | 202), response)) => {
+                match JsonValue::parse(&response)
+                    .ok()
+                    .as_ref()
+                    .and_then(|doc| doc.get("id"))
+                    .and_then(JsonValue::as_str)
+                {
+                    Some(id) => {
+                        self.backends[backend].strikes = 0;
+                        self.shards[shard].job_id = Some(id.to_owned());
+                        Ok(())
+                    }
+                    None => {
+                        self.strike(backend, &format!("submit answered {status} with no id"));
+                        self.reassign(shard, backend)
+                    }
+                }
+            }
+            // A 4xx is about the sub-spec itself; every backend would
+            // say the same, so fail loudly now.
+            Ok((status @ 400..=499, response)) => Err(ShardError::Rejected {
+                backend: addr,
+                status,
+                body: response,
+            }),
+            // Everything else (503 draining, 500 store trouble, weird
+            // codes) is this backend's problem, not the spec's.
+            Ok((status, response)) => {
+                self.strike(backend, &format!("submit answered {status}: {response}"));
+                self.reassign(shard, backend)
+            }
+            Err(e) => {
+                self.strike(backend, &e.to_string());
+                self.reassign(shard, backend)
+            }
+        }
+    }
+
+    /// Fetches and validates a finished shard's journal rows.
+    fn fetch_rows(&self, shard: usize) -> Result<Vec<ScenarioResult>, String> {
+        let (start, end) = self.shards[shard].range;
+        let addr = &self.backends[self.shards[shard].backend].addr;
+        let id = self.shards[shard].job_id.as_deref().expect("polled a job");
+        let (status, body) = exchange(
+            addr,
+            "GET",
+            &format!("/campaigns/{id}/journal"),
+            None,
+            self.config.request_timeout,
+        )
+        .map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("journal fetch answered {status}: {body}"));
+        }
+        let doc = JsonValue::parse(&body).map_err(|e| format!("journal is not JSON: {e}"))?;
+        let rows = doc
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .ok_or("journal document has no \"rows\" array")?;
+        // Journals are completion-ordered and — across a resume — may
+        // repeat an index; first occurrence wins, same as the service's
+        // own loader. Validation is the strict row check: every row must
+        // be this campaign's (index + derived seed) and in this shard's
+        // range.
+        let mut out: Vec<Option<ScenarioResult>> = vec![None; end - start];
+        for row in rows {
+            let index = row
+                .get("index")
+                .and_then(JsonValue::as_u64)
+                .ok_or("journal row has no index")? as usize;
+            if index < start || index >= end {
+                return Err(format!(
+                    "journal row indexes scenario {index} outside shard range [{start}, {end})"
+                ));
+            }
+            let slot = &mut out[index - start];
+            if slot.is_some() {
+                continue;
+            }
+            *slot = Some(ScenarioResult::from_json(row, self.grid[index].clone())?);
+        }
+        let have = out.iter().filter(|slot| slot.is_some()).count();
+        if have != end - start {
+            return Err(format!(
+                "journal covers {have} of {} scenarios in [{start}, {end})",
+                end - start
+            ));
+        }
+        Ok(out.into_iter().map(|slot| slot.expect("counted")).collect())
+    }
+
+    /// One poll of one outstanding shard. `Ok(())` means "keep going";
+    /// shard completion is recorded in place.
+    fn poll(&mut self, shard: usize) -> Result<(), ShardError> {
+        let backend = self.shards[shard].backend;
+        let addr = self.backends[backend].addr.clone();
+        let id = self.shards[shard]
+            .job_id
+            .clone()
+            .expect("poll of an unsubmitted shard");
+        match exchange(
+            &addr,
+            "GET",
+            &format!("/campaigns/{id}"),
+            None,
+            self.config.request_timeout,
+        ) {
+            Ok((200, body)) => {
+                self.backends[backend].strikes = 0;
+                match JsonValue::parse(&body)
+                    .ok()
+                    .as_ref()
+                    .and_then(|doc| doc.get("status"))
+                    .and_then(JsonValue::as_str)
+                {
+                    Some("done") => match self.fetch_rows(shard) {
+                        Ok(rows) => {
+                            self.shards[shard].rows = Some(rows);
+                            Ok(())
+                        }
+                        Err(why) => {
+                            // A "done" job whose journal does not check
+                            // out is a misbehaving backend: strike it and
+                            // run the range somewhere trustworthy.
+                            self.strike(backend, &why);
+                            self.reassign(shard, backend)
+                        }
+                    },
+                    Some("failed") => {
+                        self.failures += 1;
+                        let why = format!("backend {addr} reported the shard failed: {body}");
+                        self.events.push(why);
+                        // Resubmission elsewhere runs the range fresh; on
+                        // the same (sole surviving) backend it re-enqueues
+                        // and resumes from the journal.
+                        self.reassign(shard, backend)
+                    }
+                    Some(_) => Ok(()), // queued / running / cancelled-being-resumed
+                    None => {
+                        self.strike(backend, "status document has no status");
+                        self.reassign(shard, backend)
+                    }
+                }
+            }
+            // The backend no longer knows the job (restarted over a
+            // fresh data dir): submit it again wherever it lives now.
+            Ok((404, _)) => {
+                self.shards[shard].job_id = None;
+                Ok(())
+            }
+            Ok((status, body)) => {
+                self.strike(backend, &format!("status poll answered {status}: {body}"));
+                self.reassign(shard, backend)
+            }
+            Err(e) => {
+                self.strike(backend, &e.to_string());
+                if self.backends[backend].dead {
+                    self.reassign(shard, backend)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Runs `spec` sharded across `backends` (each a `HOST:PORT` of a
+/// running `serve` instance): partition the grid into contiguous
+/// scenario ranges, submit one ranged sub-spec per backend, poll to
+/// completion re-dispatching failed or unreachable shards to the
+/// survivors, and merge the journals into the canonical report.
+///
+/// The returned report is **byte-identical** to
+/// [`canonical_report_json`] of an unsharded single-threaded run of
+/// `spec` — the invariant `crates/shard/tests/cross_shard.rs` enforces
+/// against real killed processes.
+///
+/// # Errors
+///
+/// See [`ShardError`]. Backend failures are survived as long as one
+/// backend lives; spec rejections and exhausted backends are fatal.
+///
+/// # Panics
+///
+/// Panics if the spec enumerates no feasible grid (same contract as
+/// [`CampaignSpec::scenarios`]).
+pub fn run_sharded(
+    spec: &CampaignSpec,
+    backends: &[String],
+    config: &ShardConfig,
+) -> Result<ShardRun, ShardError> {
+    if backends.is_empty() {
+        return Err(ShardError::NoBackends);
+    }
+    let grid = spec.scenarios();
+    let grid_len = grid.len();
+    let ranges = partition(grid_len, backends.len());
+    let mut dispatcher = Dispatcher {
+        spec,
+        grid: &grid,
+        config,
+        backends: backends
+            .iter()
+            .map(|addr| Backend {
+                addr: addr.clone(),
+                strikes: 0,
+                dead: false,
+            })
+            .collect(),
+        shards: ranges
+            .iter()
+            .enumerate()
+            .map(|(k, &range)| Shard {
+                range,
+                backend: k % backends.len(),
+                job_id: None,
+                rows: None,
+                attempts: 0,
+            })
+            .collect(),
+        dispatches: 0,
+        failures: 0,
+        events: Vec::new(),
+    };
+    for (k, &(start, end)) in ranges.iter().enumerate() {
+        dispatcher.events.push(format!(
+            "shard {k} [{start}, {end}) → {}",
+            backends[k % backends.len()]
+        ));
+    }
+    loop {
+        let mut outstanding = false;
+        for shard in 0..dispatcher.shards.len() {
+            if dispatcher.shards[shard].rows.is_some() {
+                continue;
+            }
+            outstanding = true;
+            if dispatcher.shards[shard].job_id.is_none() {
+                dispatcher.submit(shard)?;
+            } else {
+                dispatcher.poll(shard)?;
+            }
+        }
+        if !outstanding {
+            break;
+        }
+        std::thread::sleep(config.poll_interval);
+    }
+    let rows: Vec<ScenarioResult> = dispatcher
+        .shards
+        .into_iter()
+        .flat_map(|shard| {
+            shard
+                .rows
+                .expect("loop exits only when every shard has rows")
+        })
+        .collect();
+    let (report, results) = merged_report(spec.campaign_seed, grid_len, rows)?;
+    Ok(ShardRun {
+        report,
+        results,
+        shards: ranges.len(),
+        dispatches: dispatcher.dispatches,
+        failures: dispatcher.failures,
+        events: dispatcher.events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chunkpoint_campaign::{run_campaign, SchemeSpec};
+    use chunkpoint_core::{MitigationScheme, SystemConfig};
+    use chunkpoint_workloads::Benchmark;
+
+    fn small_spec() -> CampaignSpec {
+        let mut config = SystemConfig::paper(0);
+        config.scale = 0.25;
+        CampaignSpec::new(config, 0x5A4D)
+            .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+            .replicates(3)
+    }
+
+    /// Satellite: the merge sorts by global scenario index, so shard
+    /// arrival order — whichever backend finishes first — cannot change
+    /// the report bytes.
+    #[test]
+    fn merge_is_deterministic_regardless_of_arrival_order() {
+        let spec = small_spec();
+        let full = run_campaign(&spec, 1);
+        let n = full.results.len();
+        let expected =
+            canonical_report_json(spec.campaign_seed, &full.results, &REPORT_AXES).render();
+        // Three shards arriving in every permutation, each shard's rows
+        // additionally reversed (journals are completion-ordered, not
+        // index-ordered).
+        let ranges = partition(n, 3);
+        let shards: Vec<Vec<ScenarioResult>> = ranges
+            .iter()
+            .map(|&(start, end)| {
+                let mut rows = full.results[start..end].to_vec();
+                rows.reverse();
+                rows
+            })
+            .collect();
+        for order in [
+            [0usize, 1, 2],
+            [2, 1, 0],
+            [1, 2, 0],
+            [0, 2, 1],
+            [2, 0, 1],
+            [1, 0, 2],
+        ] {
+            let arrival: Vec<ScenarioResult> =
+                order.iter().flat_map(|&k| shards[k].clone()).collect();
+            let (report, merged) = merged_report(spec.campaign_seed, n, arrival).expect("merge");
+            assert_eq!(
+                report, expected,
+                "arrival order {order:?} changed the bytes"
+            );
+            assert!(merged
+                .windows(2)
+                .all(|w| w[0].scenario.index < w[1].scenario.index));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_gaps_and_duplicates() {
+        let spec = small_spec();
+        let full = run_campaign(&spec, 1);
+        let n = full.results.len();
+        // Gap: drop one row.
+        let mut gapped = full.results.clone();
+        gapped.remove(2);
+        let err = merged_report(spec.campaign_seed, n, gapped).expect_err("gap");
+        assert!(matches!(err, ShardError::BadMerge(_)), "{err}");
+        // Duplicate: repeat one row (length back to n).
+        let mut duplicated = full.results.clone();
+        duplicated.remove(2);
+        duplicated.push(full.results[5].clone());
+        let err = merged_report(spec.campaign_seed, n, duplicated).expect_err("duplicate");
+        let message = err.to_string();
+        assert!(
+            message.contains("duplicated") || message.contains("missing"),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn no_backends_is_a_typed_error() {
+        let err = run_sharded(&small_spec(), &[], &ShardConfig::default()).expect_err("empty");
+        assert!(matches!(err, ShardError::NoBackends));
+    }
+}

@@ -1,0 +1,137 @@
+//! Sharded-campaign walkthrough: split one λ-sweep grid across **two**
+//! campaign services and merge their journals into the canonical report
+//! — the cross-machine scaling path, self-contained in one file.
+//!
+//! By default the example starts two services in-process on ephemeral
+//! ports; point it at running services instead with repeated `--backend`
+//! flags:
+//!
+//! ```text
+//! cargo run --release --example shard_campaign \
+//!     [-- --backend HOST:PORT --backend HOST:PORT]
+//! ```
+//!
+//! The merged report is byte-identical to what a single service — or an
+//! in-process single-threaded run — would produce for the same spec,
+//! which the example verifies before printing the table.
+
+use chunkpoint::campaign::{canonical_report_json, run_campaign, Axis, CampaignSpec, SchemeSpec};
+use chunkpoint::core::{MitigationScheme, SystemConfig};
+use chunkpoint::shard::{run_sharded, ShardConfig};
+use chunkpoint::workloads::Benchmark;
+use chunkpoint_bench::report::Table;
+use chunkpoint_serve::server::{ServeConfig, Server};
+use chunkpoint_serve::REPORT_AXES;
+
+/// The λ sweep: three decades around the paper's worst case.
+const RATES: [f64; 3] = [1e-7, 1e-6, 1e-5];
+
+fn sweep_spec() -> CampaignSpec {
+    let mut config = SystemConfig::paper(0);
+    config.scale = 0.25; // short frames keep the example snappy
+    CampaignSpec::new(config, 0x5A4DED)
+        .benchmarks(&[Benchmark::AdpcmDecode])
+        .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+        .scheme(
+            "Proposed",
+            SchemeSpec::Fixed(MitigationScheme::Hybrid {
+                chunk_words: 16,
+                l1_prime_t: 8,
+            }),
+        )
+        .error_rates(&RATES)
+        .replicates(6)
+}
+
+fn main() {
+    let mut backends: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--backend" => backends.push(args.next().expect("--backend requires HOST:PORT")),
+            other => {
+                eprintln!("unknown flag {other}; usage: shard_campaign [--backend HOST:PORT ...]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut data_dirs = Vec::new();
+    if backends.is_empty() {
+        for k in 0..2 {
+            let data_dir = std::env::temp_dir().join(format!(
+                "chunkpoint_shard_example_{}_{k}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&data_dir);
+            let server = Server::bind(&ServeConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                data_dir: data_dir.clone(),
+                max_jobs: 1,
+                campaign_threads: 1,
+            })
+            .expect("bind in-process service");
+            let addr = server.local_addr().expect("addr").to_string();
+            std::thread::spawn(move || server.run());
+            println!("started in-process service on {addr}");
+            backends.push(addr);
+            data_dirs.push(data_dir);
+        }
+    }
+
+    let spec = sweep_spec();
+    println!(
+        "dispatching a {}-scenario grid across {} backends…",
+        spec.scenarios().len(),
+        backends.len()
+    );
+    let run = run_sharded(&spec, &backends, &ShardConfig::default()).expect("sharded campaign");
+    for event in &run.events {
+        println!("  {event}");
+    }
+    println!(
+        "merged {} scenarios from {} shard(s) in {} dispatch(es)",
+        run.results.len(),
+        run.shards,
+        run.dispatches
+    );
+
+    // The whole point: the merged report is byte-identical to a
+    // single-machine run.
+    let reference = run_campaign(&spec, 1);
+    let expected =
+        canonical_report_json(spec.campaign_seed, &reference.results, &REPORT_AXES).render();
+    assert_eq!(run.report, expected, "sharded bytes diverged");
+    println!("byte-identical to the unsharded single-threaded run ✓");
+
+    // Aggregate the merged rows by scheme × λ and print the sweep.
+    let mut aggregator = chunkpoint::campaign::Aggregator::new(&[Axis::Scheme, Axis::ErrorRate]);
+    for row in &run.results {
+        aggregator.push(row);
+    }
+    let table = Table::new(10, 14);
+    println!();
+    table.header(
+        "scheme",
+        &[
+            "lambda".to_owned(),
+            "energy ratio".to_owned(),
+            "±95% CI".to_owned(),
+            "n".to_owned(),
+        ],
+    );
+    for (key, stats) in aggregator.groups() {
+        table.row(
+            &key[0],
+            &[
+                key[1].clone(),
+                format!("{:.3}", stats.energy_ratio.mean()),
+                format!("{:.3}", stats.energy_ratio.ci95_half_width()),
+                stats.n.to_string(),
+            ],
+        );
+    }
+
+    for dir in &data_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

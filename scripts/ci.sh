@@ -60,4 +60,34 @@ curl -sf -X POST "$BASE/shutdown" >/dev/null
 wait "$SERVE_PID"
 echo "service smoke OK (job $ID, cached resubmit in ${ELAPSED_MS}ms)"
 
+echo "== shard smoke (two serves + coordinator on a 1-second grid) =="
+SHARD_DIR="$(mktemp -d)"
+trap 'kill "${SERVE_PID:-0}" "${SHARD_A_PID:-0}" "${SHARD_B_PID:-0}" 2>/dev/null || true; rm -rf "$SERVE_DIR" "$SHARD_DIR"' EXIT
+target/release/serve --addr 127.0.0.1:0 --data-dir "$SHARD_DIR/a" \
+    --port-file "$SHARD_DIR/port_a" --jobs 1 --threads 1 &
+SHARD_A_PID=$!
+target/release/serve --addr 127.0.0.1:0 --data-dir "$SHARD_DIR/b" \
+    --port-file "$SHARD_DIR/port_b" --jobs 1 --threads 1 &
+SHARD_B_PID=$!
+for _ in $(seq 1 200); do [ -s "$SHARD_DIR/port_a" ] && [ -s "$SHARD_DIR/port_b" ] && break; sleep 0.05; done
+[ -s "$SHARD_DIR/port_a" ] && [ -s "$SHARD_DIR/port_b" ] \
+    || { echo "shard-smoke serves never wrote their ports"; exit 1; }
+# 2 benchmarks x 1 scheme x 2 replicates = 4 scenarios, ~1 s of work.
+cat > "$SHARD_DIR/spec.json" <<'SPEC'
+{"version":1,"campaign_seed":11,"benchmarks":["ADPCM encode","ADPCM decode"],
+ "schemes":[{"label":"Default","spec":{"kind":"fixed","scheme":{"kind":"default"}}}],
+ "error_rates":[0.000001],"replicates":2,"normalize":false,"golden_check":false}
+SPEC
+target/release/shard \
+    --backends "127.0.0.1:$(cat "$SHARD_DIR/port_a"),127.0.0.1:$(cat "$SHARD_DIR/port_b")" \
+    --spec "$SHARD_DIR/spec.json" --json "$SHARD_DIR/report.json" --poll-ms 10
+grep -q '"campaign_seed":11' "$SHARD_DIR/report.json" \
+    || { echo "merged shard report did not parse"; exit 1; }
+grep -q '"scenarios":4' "$SHARD_DIR/report.json" \
+    || { echo "merged shard report has the wrong scenario count"; exit 1; }
+curl -sf -X POST "http://127.0.0.1:$(cat "$SHARD_DIR/port_a")/shutdown" >/dev/null
+curl -sf -X POST "http://127.0.0.1:$(cat "$SHARD_DIR/port_b")/shutdown" >/dev/null
+wait "$SHARD_A_PID" "$SHARD_B_PID"
+echo "shard smoke OK (merged report covers 4 scenarios)"
+
 echo "CI OK"

@@ -5,7 +5,7 @@
 //! (Sabry, Atienza, Catthoor — DATE 2012), as a production-quality Rust
 //! workspace.
 //!
-//! This facade crate re-exports the four library layers:
+//! This facade crate re-exports the library layers:
 //!
 //! * [`ecc`] — error-correcting codes and hardware-overhead models
 //!   (parity, interleaved parity, SECDED, interleaved SECDED, binary BCH
@@ -29,7 +29,12 @@
 //!   a checkpointable job store (append-only scenario journals),
 //!   crash/restart resume that is bit-identical to an uninterrupted
 //!   run, and a content-addressed result cache keyed by the canonical
-//!   spec hash.
+//!   spec hash;
+//! * [`shard`] — the scenario-range shard coordinator over multiple
+//!   `serve` instances: contiguous grid partitioning, typed-error HTTP
+//!   dispatch with re-dispatch of failed or unreachable shards, and a
+//!   journal merge whose report is byte-identical to a single-machine
+//!   run.
 //!
 //! ## Quickstart
 //!
@@ -73,3 +78,6 @@ pub use chunkpoint_campaign as campaign;
 /// Std-only HTTP campaign service: checkpointable job store, resumable
 /// runs, content-addressed result cache.
 pub use chunkpoint_serve as serve;
+
+/// Scenario-range shard coordinator over multiple `serve` instances.
+pub use chunkpoint_shard as shard;
