@@ -1,0 +1,296 @@
+//! The typed observation surface of a running campaign: the event
+//! stream every executor emits and the one error enum every executor
+//! fails with.
+
+use std::time::Duration;
+
+use chunkpoint_campaign::ScenarioResult;
+use chunkpoint_shard::{ClientError, ShardError};
+
+/// One observable step of a submitted campaign, delivered through
+/// [`CampaignHandle::events`](crate::CampaignHandle::events) in the
+/// order it happened.
+///
+/// Every execution path emits [`CampaignEvent::ScenarioDone`] for each
+/// scenario, monotone [`CampaignEvent::Progress`] updates ending at
+/// `done == total`, and exactly one final [`CampaignEvent::Complete`]
+/// on success (never on error or cancellation). The `Shard*` events
+/// only occur on the sharded path; *when* `ScenarioDone` events arrive
+/// differs by path (live for local, per completed shard for sharded,
+/// after the final journal fetch for remote) — their contents do not.
+#[derive(Debug, Clone)]
+pub enum CampaignEvent {
+    /// One scenario finished; the result is exactly the row the
+    /// canonical report will carry.
+    ScenarioDone(ScenarioResult),
+    /// Scenario completion progress. `done` never decreases and ends at
+    /// `total` on every successful run.
+    Progress {
+        /// Scenarios completed so far.
+        done: usize,
+        /// Scenarios this run executes.
+        total: usize,
+    },
+    /// A shard was assigned to a backend (sharded path, first
+    /// dispatch).
+    ShardDispatched {
+        /// Shard index.
+        shard: usize,
+        /// The shard's scenario range `[start, end)`.
+        range: (usize, usize),
+        /// Backend address.
+        backend: String,
+    },
+    /// A shard's job failed on a backend, or — with `shard: None` — the
+    /// backend itself struck out (sharded path).
+    ShardFailed {
+        /// The failed shard, or `None` when the whole backend died.
+        shard: Option<usize>,
+        /// Backend address.
+        backend: String,
+        /// What the coordinator observed.
+        why: String,
+    },
+    /// A shard moved to a surviving backend after a failure (sharded
+    /// path).
+    ShardRedispatched {
+        /// Shard index.
+        shard: usize,
+        /// The shard's scenario range `[start, end)`.
+        range: (usize, usize),
+        /// Backend address the shard now lives on.
+        backend: String,
+    },
+    /// The campaign finished; [`CampaignHandle::wait`](crate::CampaignHandle::wait)
+    /// will return `Ok`. Always the final event of a successful run.
+    Complete,
+}
+
+impl std::fmt::Display for CampaignEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignEvent::ScenarioDone(result) => {
+                write!(
+                    f,
+                    "scenario {} done ({} · {} · λ={:e})",
+                    result.scenario.index,
+                    result.scenario.benchmark.name(),
+                    result.scenario.scheme_label,
+                    result.scenario.error_rate
+                )
+            }
+            CampaignEvent::Progress { done, total } => write!(f, "{done}/{total} scenarios"),
+            CampaignEvent::ShardDispatched {
+                shard,
+                range: (start, end),
+                backend,
+            } => write!(f, "shard {shard} [{start}, {end}) → {backend}"),
+            CampaignEvent::ShardFailed {
+                shard: Some(shard),
+                backend,
+                why,
+            } => write!(f, "shard {shard} failed on {backend}: {why}"),
+            CampaignEvent::ShardFailed {
+                shard: None,
+                backend,
+                why,
+            } => write!(f, "backend {backend} struck out: {why}"),
+            CampaignEvent::ShardRedispatched {
+                shard,
+                range: (start, end),
+                backend,
+            } => write!(
+                f,
+                "shard {shard} [{start}, {end}) re-dispatched → {backend}"
+            ),
+            CampaignEvent::Complete => write!(f, "complete"),
+        }
+    }
+}
+
+/// Why a submitted campaign did not produce a [`CampaignRun`] — one
+/// enum over every execution path, subsuming the shard coordinator's
+/// [`ShardError`], the typed transport [`ClientError`], and the job
+/// manager's stringly submit errors.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The executor has no backends to run on.
+    NoBackends,
+    /// The spec itself was refused — an unenumerable grid, invalid
+    /// weights, or a backend 4xx. Retrying cannot help; every backend
+    /// would say the same.
+    Rejected {
+        /// The refusing backend, if one was involved.
+        backend: Option<String>,
+        /// The HTTP status, if the refusal came over the wire.
+        status: Option<u16>,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Talking to a backend failed at the transport level and the
+    /// executor's retry budget ran out.
+    Transport {
+        /// The unreachable backend.
+        backend: String,
+        /// The last transport failure observed.
+        detail: String,
+    },
+    /// Every backend or dispatch attempt was exhausted with work still
+    /// outstanding (sharded path).
+    Exhausted {
+        /// What the coordinator saw last.
+        detail: String,
+    },
+    /// The campaign ran and failed — a backend reported the job failed,
+    /// or a worker panicked.
+    JobFailed {
+        /// The reporting backend, if any.
+        backend: Option<String>,
+        /// The failure report.
+        detail: String,
+    },
+    /// The collected rows do not cover the scenarios this run was to
+    /// execute exactly once each.
+    BadMerge {
+        /// What did not line up.
+        detail: String,
+    },
+    /// The run was cancelled through
+    /// [`CampaignHandle::cancel`](crate::CampaignHandle::cancel).
+    Cancelled,
+}
+
+impl ExecError {
+    /// Wraps a typed transport failure with the backend it happened
+    /// against.
+    #[must_use]
+    pub fn transport(backend: impl Into<String>, error: &ClientError) -> Self {
+        ExecError::Transport {
+            backend: backend.into(),
+            detail: error.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::NoBackends => write!(f, "no backends to execute on"),
+            ExecError::Rejected {
+                backend,
+                status,
+                detail,
+            } => {
+                write!(f, "spec rejected")?;
+                if let Some(backend) = backend {
+                    write!(f, " by {backend}")?;
+                }
+                if let Some(status) = status {
+                    write!(f, " ({status})")?;
+                }
+                write!(f, ": {detail}")
+            }
+            ExecError::Transport { backend, detail } => {
+                write!(f, "transport failure against {backend}: {detail}")
+            }
+            ExecError::Exhausted { detail } => write!(f, "backends exhausted: {detail}"),
+            ExecError::JobFailed { backend, detail } => {
+                write!(f, "campaign failed")?;
+                if let Some(backend) = backend {
+                    write!(f, " on {backend}")?;
+                }
+                write!(f, ": {detail}")
+            }
+            ExecError::BadMerge { detail } => write!(f, "result merge failed: {detail}"),
+            ExecError::Cancelled => write!(f, "campaign cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ShardError> for ExecError {
+    fn from(error: ShardError) -> Self {
+        match error {
+            ShardError::NoBackends => ExecError::NoBackends,
+            ShardError::BadWeights(detail) => ExecError::Rejected {
+                backend: None,
+                status: None,
+                detail: format!("bad backend weights: {detail}"),
+            },
+            ShardError::Rejected {
+                backend,
+                status,
+                body,
+            } => ExecError::Rejected {
+                backend: Some(backend),
+                status: Some(status),
+                detail: body,
+            },
+            ShardError::Exhausted { detail } => ExecError::Exhausted { detail },
+            ShardError::BadMerge(detail) => ExecError::BadMerge { detail },
+            ShardError::Cancelled => ExecError::Cancelled,
+        }
+    }
+}
+
+/// A completed campaign, identical in content across every execution
+/// path: the acceptance invariant is that the same spec yields
+/// **byte-identical** `report` strings through the local, remote, and
+/// sharded executors.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The canonical timing-free report
+    /// ([`chunkpoint_campaign::canonical_report_json`] rendered) — a
+    /// pure function of the spec, so identical across executors,
+    /// thread counts, backend failures, and resumes.
+    pub report: String,
+    /// Per-scenario rows in scenario-index order.
+    pub results: Vec<ScenarioResult>,
+    /// Scenarios this run executed.
+    pub scenarios: usize,
+    /// Wall-clock time from submit to completion.
+    pub elapsed: Duration,
+    /// Job submissions performed (0 for local; `> shards` on the
+    /// sharded path means at least one shard was re-dispatched).
+    pub dispatches: usize,
+    /// Failed exchanges and failed jobs observed along the way.
+    pub failures: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_errors_map_to_typed_exec_errors() {
+        assert!(matches!(
+            ExecError::from(ShardError::NoBackends),
+            ExecError::NoBackends
+        ));
+        assert!(matches!(
+            ExecError::from(ShardError::Cancelled),
+            ExecError::Cancelled
+        ));
+        let rejected = ExecError::from(ShardError::Rejected {
+            backend: "127.0.0.1:1".to_owned(),
+            status: 400,
+            body: "bad spec".to_owned(),
+        });
+        match rejected {
+            ExecError::Rejected {
+                backend: Some(backend),
+                status: Some(400),
+                detail,
+            } => {
+                assert_eq!(backend, "127.0.0.1:1");
+                assert_eq!(detail, "bad spec");
+            }
+            other => panic!("wrong mapping: {other:?}"),
+        }
+        let exhausted = ExecError::from(ShardError::Exhausted {
+            detail: "all dead".to_owned(),
+        });
+        assert!(exhausted.to_string().contains("all dead"));
+    }
+}

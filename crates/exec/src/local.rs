@@ -1,0 +1,152 @@
+//! In-process execution: the engine's streaming seam behind the
+//! executor API.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use chunkpoint_campaign::{run_campaign_streaming, CampaignSpec};
+
+use crate::event::{CampaignEvent, CampaignRun, ExecError};
+use crate::handle::{spawn_worker, CampaignHandle};
+use crate::util::{check_coverage, enumerate_grid, render_report};
+use crate::CampaignExecutor;
+
+/// Runs campaigns in-process on the engine's work-stealing pool
+/// (wrapping [`run_campaign_streaming`] with the handle's
+/// [`CancelToken`](chunkpoint_campaign::CancelToken)).
+///
+/// Events are fully live: every scenario emits
+/// [`CampaignEvent::ScenarioDone`] and a [`CampaignEvent::Progress`]
+/// the moment it completes. The report is byte-identical to the remote
+/// and sharded paths at **any** thread count — per-scenario seeds are
+/// pre-derived, so threads change wall-clock time only.
+#[derive(Debug, Clone)]
+pub struct LocalExecutor {
+    threads: usize,
+}
+
+impl LocalExecutor {
+    /// An executor running campaigns on `threads` workers (`0` = all
+    /// available cores).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self { threads }
+    }
+}
+
+impl CampaignExecutor for LocalExecutor {
+    fn submit(&self, spec: &CampaignSpec) -> CampaignHandle {
+        let spec = spec.clone();
+        let threads = self.threads;
+        spawn_worker(move |sink, cancel| {
+            let started = Instant::now();
+            // The engine re-enumerates internally; this up-front pass
+            // buys the typed infeasible-spec rejection and the progress
+            // total, and is startup-only (bench_exec puts the whole
+            // abstraction's overhead at ~0).
+            let grid = enumerate_grid(&spec)?;
+            let active = spec.active_range(grid.len());
+            let total = active.len();
+            drop(grid);
+            sink.emit(CampaignEvent::Progress { done: 0, total });
+            let mut done = 0usize;
+            let results =
+                run_campaign_streaming(&spec, threads, cancel, &HashSet::new(), |result| {
+                    done += 1;
+                    sink.emit(CampaignEvent::ScenarioDone(result.clone()));
+                    sink.emit(CampaignEvent::Progress { done, total });
+                });
+            if cancel.is_cancelled() {
+                return Err(ExecError::Cancelled);
+            }
+            check_coverage(&results, &active)?;
+            Ok(CampaignRun {
+                report: render_report(spec.campaign_seed, &results),
+                results,
+                scenarios: total,
+                elapsed: started.elapsed(),
+                dispatches: 0,
+                failures: 0,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chunkpoint_campaign::{run_campaign, SchemeSpec};
+    use chunkpoint_core::{MitigationScheme, SystemConfig};
+    use chunkpoint_workloads::Benchmark;
+
+    fn small_spec(replicates: u64) -> CampaignSpec {
+        let mut config = SystemConfig::paper(0);
+        config.scale = 0.25;
+        CampaignSpec::new(config, 0xE4EC)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+            .replicates(replicates)
+    }
+
+    #[test]
+    fn local_run_matches_direct_engine_bytes_at_any_thread_count() {
+        let spec = small_spec(2);
+        let direct = run_campaign(&spec, 1);
+        let expected = render_report(spec.campaign_seed, &direct.results);
+        for threads in [1, 2] {
+            let handle = LocalExecutor::new(threads).submit(&spec);
+            let events: Vec<CampaignEvent> = handle.events().collect();
+            let run = handle.wait().expect("local run");
+            assert_eq!(run.report, expected, "threads {threads}");
+            assert_eq!(run.scenarios, direct.results.len());
+            assert!(matches!(events.last(), Some(CampaignEvent::Complete)));
+            let scenario_events = events
+                .iter()
+                .filter(|e| matches!(e, CampaignEvent::ScenarioDone(_)))
+                .count();
+            assert_eq!(scenario_events, run.scenarios);
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, CampaignEvent::Progress { done, total } if done == total)));
+        }
+    }
+
+    #[test]
+    fn cancel_surfaces_as_the_typed_error() {
+        let spec = small_spec(24);
+        let handle = LocalExecutor::new(1).submit(&spec);
+        let mut seen = 0;
+        for event in handle.events() {
+            if matches!(event, CampaignEvent::ScenarioDone(_)) {
+                seen += 1;
+                if seen == 2 {
+                    handle.cancel();
+                }
+            }
+        }
+        match handle.wait() {
+            Err(ExecError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_specs_are_rejected_not_panicked() {
+        // An optimizer-backed scheme over an impossible area budget
+        // panics inside `scenarios()`; the executor must type it.
+        let mut config = SystemConfig::paper(0);
+        config.scale = 0.25;
+        config.constraints.area_overhead = 0.0;
+        let spec = CampaignSpec::new(config, 1)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Optimal", SchemeSpec::Optimal);
+        let handle = LocalExecutor::new(1).submit(&spec);
+        match handle.wait() {
+            Err(ExecError::Rejected { detail, .. }) => {
+                assert!(detail.contains("feasible"), "{detail}");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Single-backend remote execution over the typed shard client —
+//! submit, poll, fetch, validate, all without a hand-rolled HTTP loop
+//! in sight.
+
+use std::time::{Duration, Instant};
+
+use chunkpoint_campaign::{CampaignSpec, CancelToken, JsonValue, Scenario};
+use chunkpoint_shard::{classify_submit, exchange, fetch_journal_rows, SubmitOutcome};
+
+use crate::event::{CampaignEvent, CampaignRun, ExecError};
+use crate::handle::{spawn_worker, CampaignHandle, EventSink};
+use crate::util::{enumerate_grid, render_report};
+use crate::CampaignExecutor;
+
+/// Knobs of the remote path. Defaults suit a LAN `serve` instance.
+#[derive(Debug, Clone)]
+pub struct RemoteConfig {
+    /// Pause between status polls.
+    pub poll_interval: Duration,
+    /// Connect/read/write timeout of every HTTP exchange.
+    pub request_timeout: Duration,
+    /// Consecutive failed exchanges tolerated before the run gives up
+    /// with [`ExecError::Transport`] — a single backend has nowhere to
+    /// re-dispatch to.
+    pub strikes: u32,
+    /// Total job submissions the run may burn (the first dispatch
+    /// included) before it gives up with [`ExecError::Exhausted`] —
+    /// the terminator for a backend that keeps forgetting (crash loop
+    /// over a fresh data dir) or cancelling the job.
+    pub submit_attempts: u32,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        Self {
+            poll_interval: Duration::from_millis(25),
+            request_timeout: Duration::from_secs(10),
+            strikes: 3,
+            submit_attempts: 5,
+        }
+    }
+}
+
+/// Runs campaigns on one remote `serve` backend through the typed
+/// [`chunkpoint_shard::client`]: submit the spec, poll the job,
+/// fetch and row-validate the journal, and render the canonical
+/// report locally.
+///
+/// [`CampaignEvent::Progress`] streams live as the backend's
+/// `completed` count advances; [`CampaignEvent::ScenarioDone`] events
+/// arrive in one index-ordered burst after the final journal fetch
+/// (the service journals rows, it does not push them). Submitting a
+/// spec the backend has cached answers from the content-addressed
+/// result store without re-simulating — the same `CampaignRun` comes
+/// back, just faster.
+///
+/// Cancellation `DELETE`s the job on the backend (stopping its
+/// campaign between scenarios) and surfaces [`ExecError::Cancelled`].
+#[derive(Debug, Clone)]
+pub struct RemoteExecutor {
+    addr: String,
+    config: RemoteConfig,
+}
+
+impl RemoteExecutor {
+    /// An executor against the `serve` instance at `addr`
+    /// (`HOST:PORT`), with default [`RemoteConfig`].
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            config: RemoteConfig::default(),
+        }
+    }
+
+    /// Overrides the poll/timeout/strike knobs.
+    #[must_use]
+    pub fn with_config(mut self, config: RemoteConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// One submission (with strike-bounded transport retries): `POST
+/// /campaigns`, answering the job id. Response triage is the shared
+/// [`classify_submit`] the shard coordinator uses.
+fn submit_spec(
+    addr: &str,
+    body: &str,
+    config: &RemoteConfig,
+    failures: &mut usize,
+) -> Result<String, ExecError> {
+    let mut strikes = 0u32;
+    loop {
+        match exchange(
+            addr,
+            "POST",
+            "/campaigns",
+            Some(body),
+            config.request_timeout,
+        ) {
+            Ok((status, response)) => match classify_submit(status, response) {
+                SubmitOutcome::Accepted(id) => return Ok(id),
+                SubmitOutcome::Rejected { status, body } => {
+                    return Err(ExecError::Rejected {
+                        backend: Some(addr.to_owned()),
+                        status: Some(status),
+                        detail: body,
+                    });
+                }
+                SubmitOutcome::Retryable { detail, .. } => {
+                    *failures += 1;
+                    strikes += 1;
+                    if strikes >= config.strikes {
+                        return Err(ExecError::Transport {
+                            backend: addr.to_owned(),
+                            detail,
+                        });
+                    }
+                }
+            },
+            Err(e) => {
+                *failures += 1;
+                strikes += 1;
+                if strikes >= config.strikes {
+                    return Err(ExecError::transport(addr, &e));
+                }
+            }
+        }
+        std::thread::sleep(config.poll_interval);
+    }
+}
+
+/// The remote drive loop, separated from `submit` so the worker
+/// closure stays readable.
+#[allow(clippy::too_many_lines)]
+fn drive_remote(
+    spec: &CampaignSpec,
+    addr: &str,
+    config: &RemoteConfig,
+    sink: &EventSink,
+    cancel: &CancelToken,
+) -> Result<CampaignRun, ExecError> {
+    let started = Instant::now();
+    let grid: Vec<Scenario> = enumerate_grid(spec)?;
+    let active = spec.active_range(grid.len());
+    let total = active.len();
+    let body = spec.to_json().render();
+    let mut failures = 0usize;
+    let mut dispatches = 1usize;
+    let mut id = submit_spec(addr, &body, config, &mut failures)?;
+    sink.emit(CampaignEvent::Progress { done: 0, total });
+
+    let mut strikes = 0u32;
+    let mut reported = 0usize;
+    loop {
+        if cancel.is_cancelled() {
+            let _ = exchange(
+                addr,
+                "DELETE",
+                &format!("/campaigns/{id}"),
+                None,
+                config.request_timeout,
+            );
+            return Err(ExecError::Cancelled);
+        }
+        match exchange(
+            addr,
+            "GET",
+            &format!("/campaigns/{id}"),
+            None,
+            config.request_timeout,
+        ) {
+            Ok((200, status_body)) => {
+                let doc = JsonValue::parse(&status_body).ok();
+                let state = doc
+                    .as_ref()
+                    .and_then(|d| d.get("status"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                let completed = doc
+                    .as_ref()
+                    .and_then(|d| d.get("completed"))
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0) as usize;
+                if completed > reported && completed <= total {
+                    reported = completed;
+                    sink.emit(CampaignEvent::Progress {
+                        done: completed,
+                        total,
+                    });
+                }
+                match state.as_str() {
+                    "done" => break,
+                    "failed" => {
+                        return Err(ExecError::JobFailed {
+                            backend: Some(addr.to_owned()),
+                            detail: status_body,
+                        });
+                    }
+                    // Someone else cancelled the job out from under us:
+                    // resubmitting the same spec re-enqueues it and
+                    // resumes from its journal (attempt-bounded, or a
+                    // backend stuck cancelling would hang us forever).
+                    "cancelled" => {
+                        if dispatches >= config.submit_attempts as usize {
+                            return Err(ExecError::Exhausted {
+                                detail: format!(
+                                    "job kept getting cancelled on {addr}: burned all {} \
+                                     submit attempts",
+                                    config.submit_attempts
+                                ),
+                            });
+                        }
+                        strikes = 0;
+                        dispatches += 1;
+                        id = submit_spec(addr, &body, config, &mut failures)?;
+                    }
+                    "queued" | "running" => strikes = 0,
+                    // A 200 whose body is not a recognizable status
+                    // document is a misbehaving peer — strike it like
+                    // any other bad answer, or this loop never ends.
+                    _ => {
+                        failures += 1;
+                        strikes += 1;
+                        if strikes >= config.strikes {
+                            return Err(ExecError::Transport {
+                                backend: addr.to_owned(),
+                                detail: format!(
+                                    "status poll answered 200 with an unrecognizable \
+                                     body: {status_body}"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            // The backend restarted over a fresh data dir and forgot
+            // the job: submit it again (determinism makes the re-run
+            // produce identical rows). Attempt-bounded — a backend in
+            // a crash loop must surface as a typed error, not a hang.
+            Ok((404, _)) => {
+                if dispatches >= config.submit_attempts as usize {
+                    return Err(ExecError::Exhausted {
+                        detail: format!(
+                            "{addr} kept forgetting the job: burned all {} submit attempts",
+                            config.submit_attempts
+                        ),
+                    });
+                }
+                dispatches += 1;
+                id = submit_spec(addr, &body, config, &mut failures)?;
+            }
+            Ok((status, response)) => {
+                failures += 1;
+                strikes += 1;
+                if strikes >= config.strikes {
+                    return Err(ExecError::Transport {
+                        backend: addr.to_owned(),
+                        detail: format!("status poll answered {status}: {response}"),
+                    });
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                strikes += 1;
+                if strikes >= config.strikes {
+                    return Err(ExecError::transport(addr, &e));
+                }
+            }
+        }
+        std::thread::sleep(config.poll_interval);
+    }
+
+    // Fetch + row-validate the journal through the same trust boundary
+    // the shard coordinator uses.
+    let mut rows = None;
+    let mut last_error = String::new();
+    for _ in 0..config.strikes.max(1) {
+        match fetch_journal_rows(
+            addr,
+            &id,
+            &grid,
+            (active.start, active.end),
+            config.request_timeout,
+        ) {
+            Ok(fetched) => {
+                rows = Some(fetched);
+                break;
+            }
+            Err(why) => {
+                failures += 1;
+                last_error = why;
+                std::thread::sleep(config.poll_interval);
+            }
+        }
+    }
+    let rows = rows.ok_or_else(|| ExecError::JobFailed {
+        backend: Some(addr.to_owned()),
+        detail: format!("done job's journal did not check out: {last_error}"),
+    })?;
+    for row in &rows {
+        sink.emit(CampaignEvent::ScenarioDone(row.clone()));
+    }
+    sink.emit(CampaignEvent::Progress { done: total, total });
+    // No coverage check needed: fetch_journal_rows already guarantees
+    // the rows cover exactly [active.start, active.end) in index order.
+    Ok(CampaignRun {
+        report: render_report(spec.campaign_seed, &rows),
+        results: rows,
+        scenarios: total,
+        elapsed: started.elapsed(),
+        dispatches,
+        failures,
+    })
+}
+
+impl CampaignExecutor for RemoteExecutor {
+    fn submit(&self, spec: &CampaignSpec) -> CampaignHandle {
+        let spec = spec.clone();
+        let addr = self.addr.clone();
+        let config = self.config.clone();
+        spawn_worker(move |sink, cancel| drive_remote(&spec, &addr, &config, sink, cancel))
+    }
+}

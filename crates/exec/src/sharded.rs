@@ -1,0 +1,206 @@
+//! Multi-backend execution: the shard coordinator's dispatch loop
+//! surfaced through the one executor API.
+
+use std::time::Instant;
+
+use chunkpoint_campaign::CampaignSpec;
+use chunkpoint_shard::{run_sharded_ctl, ShardConfig, ShardEvent};
+
+use crate::event::{CampaignEvent, CampaignRun};
+use crate::handle::{spawn_worker, CampaignHandle};
+use crate::util::enumerate_grid;
+use crate::CampaignExecutor;
+
+/// Runs campaigns sharded across several `serve` backends through
+/// [`run_sharded_ctl`]: contiguous (optionally weighted) grid
+/// partitioning, re-dispatch of failed or unreachable shards to
+/// survivors, and a journal merge byte-identical to a single-machine
+/// run.
+///
+/// The coordinator's dispatch decisions surface as
+/// [`CampaignEvent::ShardDispatched`] /
+/// [`CampaignEvent::ShardFailed`] /
+/// [`CampaignEvent::ShardRedispatched`];
+/// each completed shard bursts its validated rows as
+/// [`CampaignEvent::ScenarioDone`] events followed by a
+/// [`CampaignEvent::Progress`] update. Cancellation `DELETE`s every
+/// outstanding shard job (best effort) and surfaces
+/// [`ExecError::Cancelled`](crate::ExecError::Cancelled).
+#[derive(Debug, Clone)]
+pub struct ShardedExecutor {
+    backends: Vec<String>,
+    weights: Option<Vec<f64>>,
+    config: ShardConfig,
+}
+
+impl ShardedExecutor {
+    /// An executor across `backends` (each a `HOST:PORT` of a running
+    /// `serve` instance), evenly partitioned, with default
+    /// [`ShardConfig`].
+    #[must_use]
+    pub fn new(backends: Vec<String>) -> Self {
+        Self {
+            backends,
+            weights: None,
+            config: ShardConfig::default(),
+        }
+    }
+
+    /// Partitions the grid proportionally to per-backend capacity
+    /// weights (one per backend) instead of evenly — see
+    /// [`chunkpoint_shard::partition_weighted`]. Invalid weights
+    /// surface as [`ExecError::Rejected`](crate::ExecError::Rejected)
+    /// at wait time.
+    #[must_use]
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Overrides the coordinator's poll/timeout/strike knobs.
+    #[must_use]
+    pub fn with_config(mut self, config: ShardConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl CampaignExecutor for ShardedExecutor {
+    fn submit(&self, spec: &CampaignSpec) -> CampaignHandle {
+        let spec = spec.clone();
+        let backends = self.backends.clone();
+        let weights = self.weights.clone();
+        let config = self.config.clone();
+        spawn_worker(move |sink, cancel| {
+            let started = Instant::now();
+            // Grid enumeration runs again inside the coordinator; this
+            // up-front pass buys the typed infeasible-spec rejection and
+            // the progress total, and is startup-only (bench_exec puts
+            // the whole abstraction's overhead at ~0).
+            let grid = enumerate_grid(&spec)?;
+            let total = spec.active_range(grid.len()).len();
+            drop(grid);
+            sink.emit(CampaignEvent::Progress { done: 0, total });
+            let mut done = 0usize;
+            let run = run_sharded_ctl(
+                &spec,
+                &backends,
+                weights.as_deref(),
+                &config,
+                cancel,
+                |event| match event {
+                    ShardEvent::Dispatched {
+                        shard,
+                        range,
+                        backend,
+                    } => sink.emit(CampaignEvent::ShardDispatched {
+                        shard: *shard,
+                        range: *range,
+                        backend: backend.clone(),
+                    }),
+                    ShardEvent::Redispatched {
+                        shard,
+                        range,
+                        backend,
+                    } => sink.emit(CampaignEvent::ShardRedispatched {
+                        shard: *shard,
+                        range: *range,
+                        backend: backend.clone(),
+                    }),
+                    ShardEvent::BackendDead { backend, why } => {
+                        sink.emit(CampaignEvent::ShardFailed {
+                            shard: None,
+                            backend: backend.clone(),
+                            why: why.clone(),
+                        });
+                    }
+                    ShardEvent::ShardFailed {
+                        shard,
+                        backend,
+                        why,
+                    } => sink.emit(CampaignEvent::ShardFailed {
+                        shard: Some(*shard),
+                        backend: backend.clone(),
+                        why: why.clone(),
+                    }),
+                    ShardEvent::ShardDone { rows, .. } => {
+                        for row in rows {
+                            sink.emit(CampaignEvent::ScenarioDone(row.clone()));
+                        }
+                        done += rows.len();
+                        sink.emit(CampaignEvent::Progress { done, total });
+                    }
+                },
+            )?;
+            Ok(CampaignRun {
+                report: run.report,
+                results: run.results,
+                scenarios: total,
+                elapsed: started.elapsed(),
+                dispatches: run.dispatches,
+                failures: run.failures,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ExecError;
+    use chunkpoint_campaign::SchemeSpec;
+    use chunkpoint_core::{MitigationScheme, SystemConfig};
+    use chunkpoint_workloads::Benchmark;
+
+    #[test]
+    fn no_backends_is_the_typed_error() {
+        let mut config = SystemConfig::paper(0);
+        config.scale = 0.25;
+        let spec = CampaignSpec::new(config, 3)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default));
+        let handle = ShardedExecutor::new(Vec::new()).submit(&spec);
+        match handle.wait() {
+            Err(ExecError::NoBackends) => {}
+            other => panic!("expected NoBackends, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_weight_values_are_rejected_not_panicked() {
+        let mut config = SystemConfig::paper(0);
+        config.scale = 0.25;
+        let spec = CampaignSpec::new(config, 3)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default));
+        for bad in [vec![0.0, 0.0], vec![1.0, -1.0], vec![f64::NAN, 1.0]] {
+            let handle = ShardedExecutor::new(vec!["127.0.0.1:1".to_owned(), "x:2".to_owned()])
+                .with_weights(bad.clone())
+                .submit(&spec);
+            match handle.wait() {
+                Err(ExecError::Rejected { detail, .. }) => {
+                    assert!(detail.contains("weights"), "{bad:?}: {detail}");
+                }
+                other => panic!("{bad:?}: expected Rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_weights_are_rejected() {
+        let mut config = SystemConfig::paper(0);
+        config.scale = 0.25;
+        let spec = CampaignSpec::new(config, 3)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default));
+        let handle = ShardedExecutor::new(vec!["127.0.0.1:1".to_owned()])
+            .with_weights(vec![1.0, 2.0])
+            .submit(&spec);
+        match handle.wait() {
+            Err(ExecError::Rejected { detail, .. }) => {
+                assert!(detail.contains("weights"), "{detail}");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared plumbing of the three execution paths: grid enumeration with
+//! panic containment, coverage validation, and canonical rendering.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use chunkpoint_campaign::{canonical_report_json, CampaignSpec, Scenario, ScenarioResult};
+use chunkpoint_serve::REPORT_AXES;
+
+use crate::event::ExecError;
+
+/// Enumerates the spec's grid, turning the optimizer's "no feasible
+/// design point" panic into the typed rejection every backend would
+/// answer with.
+pub(crate) fn enumerate_grid(spec: &CampaignSpec) -> Result<Vec<Scenario>, ExecError> {
+    catch_unwind(AssertUnwindSafe(|| spec.scenarios())).map_err(|_| ExecError::Rejected {
+        backend: None,
+        status: None,
+        detail: "spec enumerates no feasible grid (optimizer found no design point)".to_owned(),
+    })
+}
+
+/// Checks that `rows` (scenario-index sorted) cover exactly the
+/// scenarios in `active`, once each.
+pub(crate) fn check_coverage(
+    rows: &[ScenarioResult],
+    active: &Range<usize>,
+) -> Result<(), ExecError> {
+    if rows.len() != active.len() {
+        return Err(ExecError::BadMerge {
+            detail: format!(
+                "collected {} rows for {} scenarios [{}, {})",
+                rows.len(),
+                active.len(),
+                active.start,
+                active.end
+            ),
+        });
+    }
+    for (expected, row) in active.clone().zip(rows) {
+        if row.scenario.index != expected {
+            return Err(ExecError::BadMerge {
+                detail: format!(
+                    "scenario {expected} missing or duplicated (found index {})",
+                    row.scenario.index
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Renders the canonical timing-free report over `rows` — the exact
+/// bytes `serve` caches as `result.json` and the shard coordinator
+/// merges to, which is what makes cross-executor byte-identity
+/// checkable at all.
+pub(crate) fn render_report(campaign_seed: u64, rows: &[ScenarioResult]) -> String {
+    canonical_report_json(campaign_seed, rows, &REPORT_AXES).render()
+}

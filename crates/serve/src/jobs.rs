@@ -87,6 +87,42 @@ impl JobStatus {
     }
 }
 
+/// Jobs known to the manager, counted by lifecycle state — the payload
+/// of `GET /healthz` and the capacity signal a shard coordinator can
+/// weight its partitioning by.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Waiting for a runner thread.
+    pub queued: usize,
+    /// Currently executing on a runner.
+    pub running: usize,
+    /// Finished with a cached result.
+    pub done: usize,
+    /// Cancelled (journal kept unless deleted).
+    pub cancelled: usize,
+    /// Failed with an error message.
+    pub failed: usize,
+}
+
+impl JobCounts {
+    /// Total jobs known to the manager.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.queued + self.running + self.done + self.cancelled + self.failed
+    }
+
+    /// The per-state fields of the `/healthz` document.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("queued", self.queued)
+            .field("running", self.running)
+            .field("done", self.done)
+            .field("cancelled", self.cancelled)
+            .field("failed", self.failed)
+    }
+}
+
 #[derive(Debug)]
 struct JobEntry {
     state: JobState,
@@ -318,18 +354,18 @@ impl JobManager {
         })
     }
 
-    /// Counts per state: `(queued, running, done, cancelled, failed)`.
+    /// Counts of known jobs per lifecycle state.
     #[must_use]
-    pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
+    pub fn counts(&self) -> JobCounts {
         let state = self.state.lock().expect("manager poisoned");
-        let mut counts = (0, 0, 0, 0, 0);
+        let mut counts = JobCounts::default();
         for entry in state.jobs.values() {
             match entry.state {
-                JobState::Queued => counts.0 += 1,
-                JobState::Running => counts.1 += 1,
-                JobState::Done => counts.2 += 1,
-                JobState::Cancelled => counts.3 += 1,
-                JobState::Failed(_) => counts.4 += 1,
+                JobState::Queued => counts.queued += 1,
+                JobState::Running => counts.running += 1,
+                JobState::Done => counts.done += 1,
+                JobState::Cancelled => counts.cancelled += 1,
+                JobState::Failed(_) => counts.failed += 1,
             }
         }
         counts

@@ -80,6 +80,6 @@ pub mod jobs;
 pub mod server;
 pub mod store;
 
-pub use jobs::{JobManager, JobState, JobStatus, REPORT_AXES};
+pub use jobs::{JobCounts, JobManager, JobState, JobStatus, REPORT_AXES};
 pub use server::{ServeConfig, Server};
 pub use store::{JobStore, JournalWriter, LoadedJournal};

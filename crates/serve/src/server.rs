@@ -160,20 +160,10 @@ fn campaign_route(path: &str) -> Option<(&str, Option<&str>)> {
 
 fn route(request: &Request, manager: &JobManager, stop: &AtomicBool) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            let (queued, running, done, cancelled, failed) = manager.counts();
-            Response::json(
-                200,
-                JsonValue::object()
-                    .field("status", "ok")
-                    .field("queued", queued)
-                    .field("running", running)
-                    .field("done", done)
-                    .field("cancelled", cancelled)
-                    .field("failed", failed)
-                    .render(),
-            )
-        }
+        ("GET", "/healthz") => Response::json(
+            200,
+            manager.counts().to_json().field("status", "ok").render(),
+        ),
         ("POST", "/shutdown") => {
             stop.store(true, Ordering::Release);
             Response::json(

@@ -3,28 +3,32 @@
 //!
 //! ```text
 //! shard --backends HOST:PORT[,HOST:PORT...] --spec PATH [--json PATH]
-//!       [--poll-ms N] [--timeout-secs N]
+//!       [--weights W[,W...]] [--poll-ms N] [--timeout-secs N]
 //! ```
 //!
 //! The report written by `--json` (stdout without it) is byte-identical
 //! to what a single `serve` instance — or an in-process single-threaded
-//! run — would produce for the same spec.
+//! run — would produce for the same spec. Dispatch decisions stream to
+//! stderr as they happen; `--weights` partitions the grid
+//! proportionally to per-backend capacity instead of evenly.
 
 use std::time::{Duration, Instant};
 
-use chunkpoint_campaign::{CampaignSpec, JsonValue};
-use chunkpoint_shard::{run_sharded, ShardConfig};
+use chunkpoint_campaign::{CampaignSpec, CancelToken, JsonValue};
+use chunkpoint_shard::{run_sharded_ctl, ShardConfig};
 
 const USAGE: &str = "chunkpoint shard coordinator:
   --backends LIST    comma-separated serve addresses (HOST:PORT), required
   --spec PATH        campaign spec JSON (canonical wire form), required
   --json PATH        write the merged canonical report here (default: stdout)
+  --weights LIST     comma-separated per-backend weights (default: even split)
   --poll-ms N        poll sweep interval in milliseconds (default 25)
   --timeout-secs N   per-request timeout in seconds (default 10)
   --help             this text";
 
 struct Args {
     backends: Vec<String>,
+    weights: Option<Vec<f64>>,
     spec_path: String,
     json: Option<String>,
     config: ShardConfig,
@@ -32,6 +36,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut backends = Vec::new();
+    let mut weights = None;
     let mut spec_path = None;
     let mut json = None;
     let mut config = ShardConfig::default();
@@ -49,6 +54,18 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|part| !part.is_empty())
                     .map(str::to_owned)
                     .collect();
+            }
+            "--weights" => {
+                weights = Some(
+                    value_of("--weights")?
+                        .split(',')
+                        .map(|w| {
+                            w.trim()
+                                .parse::<f64>()
+                                .map_err(|e| format!("--weights {w:?}: {e}\n\n{USAGE}"))
+                        })
+                        .collect::<Result<Vec<f64>, String>>()?,
+                );
             }
             "--spec" => spec_path = Some(value_of("--spec")?),
             "--json" => json = Some(value_of("--json")?),
@@ -74,9 +91,19 @@ fn parse_args() -> Result<Args, String> {
     if backends.is_empty() {
         return Err(format!("--backends is required\n\n{USAGE}"));
     }
+    if let Some(weights) = &weights {
+        if weights.len() != backends.len() {
+            return Err(format!(
+                "--weights needs one weight per backend ({} weights, {} backends)\n\n{USAGE}",
+                weights.len(),
+                backends.len()
+            ));
+        }
+    }
     let spec_path = spec_path.ok_or_else(|| format!("--spec is required\n\n{USAGE}"))?;
     Ok(Args {
         backends,
+        weights,
         spec_path,
         json,
         config,
@@ -114,16 +141,22 @@ fn main() {
         args.backends.join(", ")
     );
     let start = Instant::now();
-    let run = match run_sharded(&spec, &args.backends, &args.config) {
+    // Stream every coordinator decision to stderr as it happens; the
+    // merged report alone goes to stdout/--json.
+    let run = match run_sharded_ctl(
+        &spec,
+        &args.backends,
+        args.weights.as_deref(),
+        &args.config,
+        &CancelToken::new(),
+        |event| eprintln!("shard: {event}"),
+    ) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("shard: {e}");
             std::process::exit(1);
         }
     };
-    for event in &run.events {
-        eprintln!("shard: {event}");
-    }
     eprintln!(
         "shard: {} scenarios over {} shard(s), {} dispatch(es), {} failure(s), {:.2}s",
         run.results.len(),

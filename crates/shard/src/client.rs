@@ -16,6 +16,8 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use chunkpoint_campaign::JsonValue;
+
 /// Hard cap on a response body the coordinator will buffer. Shard
 /// journals of big grids are large; anything past this is a misbehaving
 /// peer, not a report.
@@ -71,6 +73,57 @@ impl std::error::Error for ClientError {}
 
 fn torn<T>(why: impl Into<String>) -> Result<T, ClientError> {
     Err(ClientError::TornResponse(why.into()))
+}
+
+/// How a backend answered a `POST /campaigns` submit, classified by
+/// what the caller should do about it — the triage both the shard
+/// coordinator and the unified executor API's remote path share.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// The job was accepted (or cache-answered); here is its id.
+    Accepted(String),
+    /// A 4xx: the spec itself was refused. Every backend would say the
+    /// same, so retrying elsewhere cannot help.
+    Rejected {
+        /// The HTTP status.
+        status: u16,
+        /// The error body.
+        body: String,
+    },
+    /// Anything else — 5xx store trouble, 503 draining, a 2xx with no
+    /// id in it — is this backend's problem, not the spec's: retry or
+    /// strike it.
+    Retryable {
+        /// The HTTP status.
+        status: u16,
+        /// A rendered description of what was wrong.
+        detail: String,
+    },
+}
+
+/// Classifies one submit response (status + body) into a
+/// [`SubmitOutcome`].
+#[must_use]
+pub fn classify_submit(status: u16, body: String) -> SubmitOutcome {
+    match status {
+        200 | 202 => match JsonValue::parse(&body)
+            .ok()
+            .as_ref()
+            .and_then(|doc| doc.get("id"))
+            .and_then(JsonValue::as_str)
+        {
+            Some(id) => SubmitOutcome::Accepted(id.to_owned()),
+            None => SubmitOutcome::Retryable {
+                status,
+                detail: format!("submit answered {status} with no id"),
+            },
+        },
+        400..=499 => SubmitOutcome::Rejected { status, body },
+        _ => SubmitOutcome::Retryable {
+            status,
+            detail: format!("submit answered {status}: {body}"),
+        },
+    }
 }
 
 /// What is left of the exchange deadline, or a typed timeout error once

@@ -15,12 +15,12 @@
 use std::time::Duration;
 
 use chunkpoint_campaign::{
-    canonical_report_json, CampaignSpec, JsonValue, Scenario, ScenarioResult,
+    canonical_report_json, CampaignSpec, CancelToken, JsonValue, Scenario, ScenarioResult,
 };
 use chunkpoint_serve::REPORT_AXES;
 
-use crate::client::exchange;
-use crate::partition::partition;
+use crate::client::{classify_submit, exchange, SubmitOutcome};
+use crate::partition::{partition, partition_weighted};
 
 /// Coordinator knobs. The defaults suit a LAN of `serve` instances.
 #[derive(Debug, Clone)]
@@ -56,6 +56,10 @@ impl Default for ShardConfig {
 pub enum ShardError {
     /// The backend list was empty.
     NoBackends,
+    /// The per-backend weight list does not describe the backend list
+    /// (wrong length — weight values themselves are validated by
+    /// [`partition_weighted`]).
+    BadWeights(String),
     /// A backend answered a submit with a client error — the sub-spec
     /// itself is bad, so no amount of re-dispatching can help.
     Rejected {
@@ -74,12 +78,17 @@ pub enum ShardError {
     /// The merged rows do not cover the grid exactly once each —
     /// overlapping or gapped journals.
     BadMerge(String),
+    /// The run was cancelled through its [`CancelToken`]. Outstanding
+    /// shard jobs received a best-effort `DELETE` so their backends
+    /// stop working; already-completed shards stay cached on theirs.
+    Cancelled,
 }
 
 impl std::fmt::Display for ShardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ShardError::NoBackends => write!(f, "no backends to shard across"),
+            ShardError::BadWeights(why) => write!(f, "bad backend weights: {why}"),
             ShardError::Rejected {
                 backend,
                 status,
@@ -92,11 +101,175 @@ impl std::fmt::Display for ShardError {
                 write!(f, "every backend struck out: {detail}")
             }
             ShardError::BadMerge(why) => write!(f, "journal merge failed: {why}"),
+            ShardError::Cancelled => write!(f, "sharded campaign cancelled"),
         }
     }
 }
 
 impl std::error::Error for ShardError {}
+
+/// Fetches `GET /campaigns/:id/journal` from `addr` and validates the
+/// rows against `grid` for the half-open scenario `range`: every row
+/// must carry this campaign's `(index, derived seed)`, land inside the
+/// range, and the range must be covered exactly (journals are
+/// completion-ordered and — across a resume — may repeat an index;
+/// first occurrence wins, same as the service's own loader). Returns
+/// the rows in scenario-index order.
+///
+/// This is the trust boundary both the shard coordinator and the
+/// unified executor API's remote path go through: a backend's journal
+/// is never merged without checking out row by row.
+///
+/// # Errors
+///
+/// A rendered description of the transport failure, non-200 answer, or
+/// validation failure — the caller decides whether that means a strike,
+/// a re-dispatch, or a typed error.
+pub fn fetch_journal_rows(
+    addr: &str,
+    id: &str,
+    grid: &[Scenario],
+    range: (usize, usize),
+    timeout: Duration,
+) -> Result<Vec<ScenarioResult>, String> {
+    let (start, end) = range;
+    let (status, body) = exchange(
+        addr,
+        "GET",
+        &format!("/campaigns/{id}/journal"),
+        None,
+        timeout,
+    )
+    .map_err(|e| e.to_string())?;
+    if status != 200 {
+        return Err(format!("journal fetch answered {status}: {body}"));
+    }
+    let doc = JsonValue::parse(&body).map_err(|e| format!("journal is not JSON: {e}"))?;
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or("journal document has no \"rows\" array")?;
+    let mut out: Vec<Option<ScenarioResult>> = vec![None; end - start];
+    for row in rows {
+        let index = row
+            .get("index")
+            .and_then(JsonValue::as_u64)
+            .ok_or("journal row has no index")? as usize;
+        if index < start || index >= end {
+            return Err(format!(
+                "journal row indexes scenario {index} outside shard range [{start}, {end})"
+            ));
+        }
+        let slot = &mut out[index - start];
+        if slot.is_some() {
+            continue;
+        }
+        *slot = Some(ScenarioResult::from_json(row, grid[index].clone())?);
+    }
+    let have = out.iter().filter(|slot| slot.is_some()).count();
+    if have != end - start {
+        return Err(format!(
+            "journal covers {have} of {} scenarios in [{start}, {end})",
+            end - start
+        ));
+    }
+    Ok(out.into_iter().map(|slot| slot.expect("counted")).collect())
+}
+
+/// One observable step of a sharded run, emitted through the sink of
+/// [`run_sharded_ctl`] the moment it happens — the coordinator-level
+/// event stream the unified executor API's
+/// `ShardDispatched`/`ShardFailed`/`ShardRedispatched` events are cut
+/// from. [`ShardRun::events`] keeps the rendered form of every event,
+/// so the sink is for *live* observation, not the only record.
+#[derive(Debug)]
+pub enum ShardEvent {
+    /// A shard was assigned (first dispatch) to a backend.
+    Dispatched {
+        /// Shard index.
+        shard: usize,
+        /// The shard's scenario range `[start, end)`.
+        range: (usize, usize),
+        /// Backend address the shard now lives on.
+        backend: String,
+    },
+    /// A shard moved to another backend after a failure.
+    Redispatched {
+        /// Shard index.
+        shard: usize,
+        /// The shard's scenario range `[start, end)`.
+        range: (usize, usize),
+        /// Backend address the shard now lives on.
+        backend: String,
+    },
+    /// A backend exceeded its strike budget and was declared dead.
+    BackendDead {
+        /// The backend's address.
+        backend: String,
+        /// The failure that pushed it over.
+        why: String,
+    },
+    /// A backend reported a shard's job failed (the shard will be
+    /// re-dispatched if attempts remain).
+    ShardFailed {
+        /// Shard index.
+        shard: usize,
+        /// Backend that reported the failure.
+        backend: String,
+        /// The backend's failure report.
+        why: String,
+    },
+    /// A shard's journal was fetched and validated; `rows` are its
+    /// scenario results in index order.
+    ShardDone {
+        /// Shard index.
+        shard: usize,
+        /// The shard's scenario range `[start, end)`.
+        range: (usize, usize),
+        /// Backend that completed the shard.
+        backend: String,
+        /// The shard's validated rows, in scenario-index order.
+        rows: Vec<ScenarioResult>,
+    },
+}
+
+impl std::fmt::Display for ShardEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardEvent::Dispatched {
+                shard,
+                range: (start, end),
+                backend,
+            } => write!(f, "shard {shard} [{start}, {end}) → {backend}"),
+            ShardEvent::Redispatched {
+                shard,
+                range: (start, end),
+                backend,
+            } => write!(
+                f,
+                "shard {shard} [{start}, {end}) re-dispatched → {backend}"
+            ),
+            ShardEvent::BackendDead { backend, why } => {
+                write!(f, "backend {backend} struck out: {why}")
+            }
+            ShardEvent::ShardFailed {
+                shard,
+                backend,
+                why,
+            } => write!(f, "backend {backend} reported shard {shard} failed: {why}"),
+            ShardEvent::ShardDone {
+                shard,
+                range: (start, end),
+                backend,
+                rows,
+            } => write!(
+                f,
+                "shard {shard} [{start}, {end}) done: {} rows from {backend}",
+                rows.len()
+            ),
+        }
+    }
+}
 
 /// A completed sharded campaign.
 #[derive(Debug)]
@@ -132,16 +305,31 @@ pub struct ShardRun {
 pub fn merged_report(
     campaign_seed: u64,
     grid_len: usize,
+    rows: Vec<ScenarioResult>,
+) -> Result<(String, Vec<ScenarioResult>), ShardError> {
+    merged_report_over(campaign_seed, 0..grid_len, rows)
+}
+
+/// [`merged_report`] generalized to a ranged campaign: the merged rows
+/// must cover exactly the half-open `active` scenario range — the
+/// execution slice of a spec with a `scenario_range` restriction (the
+/// whole grid for an unranged spec).
+fn merged_report_over(
+    campaign_seed: u64,
+    active: std::ops::Range<usize>,
     mut rows: Vec<ScenarioResult>,
 ) -> Result<(String, Vec<ScenarioResult>), ShardError> {
     rows.sort_by_key(|r| r.scenario.index);
-    if rows.len() != grid_len {
+    if rows.len() != active.len() {
         return Err(ShardError::BadMerge(format!(
-            "merged {} rows for a {grid_len}-scenario grid",
-            rows.len()
+            "merged {} rows for {} scenarios [{}, {})",
+            rows.len(),
+            active.len(),
+            active.start,
+            active.end
         )));
     }
-    for (expected, row) in rows.iter().enumerate() {
+    for (expected, row) in active.clone().zip(rows.iter()) {
         if row.scenario.index != expected {
             return Err(ShardError::BadMerge(format!(
                 "scenario {expected} is {}, found index {} in its place",
@@ -175,7 +363,7 @@ struct Shard {
     attempts: u32,
 }
 
-/// The coordinator state machine driving [`run_sharded`].
+/// The coordinator state machine driving [`run_sharded_ctl`].
 struct Dispatcher<'a> {
     spec: &'a CampaignSpec,
     /// The full grid, enumerated once — journal validation needs every
@@ -187,9 +375,18 @@ struct Dispatcher<'a> {
     dispatches: usize,
     failures: usize,
     events: Vec<String>,
+    /// Live event sink; every event is also rendered into `events`.
+    sink: &'a mut dyn FnMut(&ShardEvent),
 }
 
 impl Dispatcher<'_> {
+    /// Records an event: renders it into the run's human-readable log
+    /// and hands it to the live sink.
+    fn emit(&mut self, event: &ShardEvent) {
+        self.events.push(event.to_string());
+        (self.sink)(event);
+    }
+
     /// Records a failed exchange against a backend; marks it dead after
     /// `backend_strikes` consecutive failures.
     fn strike(&mut self, backend: usize, why: &str) {
@@ -198,8 +395,11 @@ impl Dispatcher<'_> {
         b.strikes += 1;
         if !b.dead && b.strikes >= self.config.backend_strikes {
             b.dead = true;
-            self.events
-                .push(format!("backend {} struck out: {why}", b.addr));
+            let addr = b.addr.clone();
+            self.emit(&ShardEvent::BackendDead {
+                backend: addr,
+                why: why.to_owned(),
+            });
         }
     }
 
@@ -221,11 +421,11 @@ impl Dispatcher<'_> {
                 ),
             });
         };
-        let (start, end) = self.shards[shard].range;
-        self.events.push(format!(
-            "shard {shard} [{start}, {end}) → {}",
-            self.backends[target].addr
-        ));
+        self.emit(&ShardEvent::Redispatched {
+            shard,
+            range: self.shards[shard].range,
+            backend: self.backends[target].addr.clone(),
+        });
         self.shards[shard].backend = target;
         self.shards[shard].job_id = None;
         Ok(())
@@ -259,37 +459,27 @@ impl Dispatcher<'_> {
             Some(&body),
             self.config.request_timeout,
         ) {
-            Ok((status @ (200 | 202), response)) => {
-                match JsonValue::parse(&response)
-                    .ok()
-                    .as_ref()
-                    .and_then(|doc| doc.get("id"))
-                    .and_then(JsonValue::as_str)
-                {
-                    Some(id) => {
-                        self.backends[backend].strikes = 0;
-                        self.shards[shard].job_id = Some(id.to_owned());
-                        Ok(())
-                    }
-                    None => {
-                        self.strike(backend, &format!("submit answered {status} with no id"));
-                        self.reassign(shard, backend)
-                    }
+            Ok((status, response)) => match classify_submit(status, response) {
+                SubmitOutcome::Accepted(id) => {
+                    self.backends[backend].strikes = 0;
+                    self.shards[shard].job_id = Some(id);
+                    Ok(())
                 }
-            }
-            // A 4xx is about the sub-spec itself; every backend would
-            // say the same, so fail loudly now.
-            Ok((status @ 400..=499, response)) => Err(ShardError::Rejected {
-                backend: addr,
-                status,
-                body: response,
-            }),
-            // Everything else (503 draining, 500 store trouble, weird
-            // codes) is this backend's problem, not the spec's.
-            Ok((status, response)) => {
-                self.strike(backend, &format!("submit answered {status}: {response}"));
-                self.reassign(shard, backend)
-            }
+                // A 4xx is about the sub-spec itself; every backend
+                // would say the same, so fail loudly now.
+                SubmitOutcome::Rejected { status, body } => Err(ShardError::Rejected {
+                    backend: addr,
+                    status,
+                    body,
+                }),
+                // Everything else (503 draining, 500 store trouble, a
+                // 2xx with no id) is this backend's problem, not the
+                // spec's.
+                SubmitOutcome::Retryable { detail, .. } => {
+                    self.strike(backend, &detail);
+                    self.reassign(shard, backend)
+                }
+            },
             Err(e) => {
                 self.strike(backend, &e.to_string());
                 self.reassign(shard, backend)
@@ -297,57 +487,42 @@ impl Dispatcher<'_> {
         }
     }
 
-    /// Fetches and validates a finished shard's journal rows.
-    fn fetch_rows(&self, shard: usize) -> Result<Vec<ScenarioResult>, String> {
-        let (start, end) = self.shards[shard].range;
-        let addr = &self.backends[self.shards[shard].backend].addr;
-        let id = self.shards[shard].job_id.as_deref().expect("polled a job");
-        let (status, body) = exchange(
-            addr,
-            "GET",
-            &format!("/campaigns/{id}/journal"),
-            None,
-            self.config.request_timeout,
-        )
-        .map_err(|e| e.to_string())?;
-        if status != 200 {
-            return Err(format!("journal fetch answered {status}: {body}"));
-        }
-        let doc = JsonValue::parse(&body).map_err(|e| format!("journal is not JSON: {e}"))?;
-        let rows = doc
-            .get("rows")
-            .and_then(JsonValue::as_array)
-            .ok_or("journal document has no \"rows\" array")?;
-        // Journals are completion-ordered and — across a resume — may
-        // repeat an index; first occurrence wins, same as the service's
-        // own loader. Validation is the strict row check: every row must
-        // be this campaign's (index + derived seed) and in this shard's
-        // range.
-        let mut out: Vec<Option<ScenarioResult>> = vec![None; end - start];
-        for row in rows {
-            let index = row
-                .get("index")
-                .and_then(JsonValue::as_u64)
-                .ok_or("journal row has no index")? as usize;
-            if index < start || index >= end {
-                return Err(format!(
-                    "journal row indexes scenario {index} outside shard range [{start}, {end})"
-                ));
-            }
-            let slot = &mut out[index - start];
-            if slot.is_some() {
+    /// Best-effort cancellation of every outstanding shard: `DELETE`
+    /// each submitted, unfinished job on its current backend so the
+    /// backends stop burning cycles on a campaign nobody is waiting
+    /// for. Errors are ignored — an unreachable backend cannot be
+    /// asked to stop, and the coordinator is abandoning the run either
+    /// way.
+    fn cancel_outstanding(&mut self) {
+        for shard in 0..self.shards.len() {
+            if self.shards[shard].rows.is_some() {
                 continue;
             }
-            *slot = Some(ScenarioResult::from_json(row, self.grid[index].clone())?);
+            let Some(id) = self.shards[shard].job_id.clone() else {
+                continue;
+            };
+            let addr = self.backends[self.shards[shard].backend].addr.clone();
+            let _ = exchange(
+                &addr,
+                "DELETE",
+                &format!("/campaigns/{id}"),
+                None,
+                self.config.request_timeout,
+            );
         }
-        let have = out.iter().filter(|slot| slot.is_some()).count();
-        if have != end - start {
-            return Err(format!(
-                "journal covers {have} of {} scenarios in [{start}, {end})",
-                end - start
-            ));
-        }
-        Ok(out.into_iter().map(|slot| slot.expect("counted")).collect())
+    }
+
+    /// Fetches and validates a finished shard's journal rows.
+    fn fetch_rows(&self, shard: usize) -> Result<Vec<ScenarioResult>, String> {
+        let addr = &self.backends[self.shards[shard].backend].addr;
+        let id = self.shards[shard].job_id.as_deref().expect("polled a job");
+        fetch_journal_rows(
+            addr,
+            id,
+            self.grid,
+            self.shards[shard].range,
+            self.config.request_timeout,
+        )
     }
 
     /// One poll of one outstanding shard. `Ok(())` means "keep going";
@@ -376,6 +551,20 @@ impl Dispatcher<'_> {
                 {
                     Some("done") => match self.fetch_rows(shard) {
                         Ok(rows) => {
+                            // The event carries the rows to the live sink
+                            // (the executor layer streams them on as
+                            // per-scenario events), then they come back
+                            // out for the merge.
+                            let event = ShardEvent::ShardDone {
+                                shard,
+                                range: self.shards[shard].range,
+                                backend: addr,
+                                rows,
+                            };
+                            self.emit(&event);
+                            let ShardEvent::ShardDone { rows, .. } = event else {
+                                unreachable!("just constructed")
+                            };
                             self.shards[shard].rows = Some(rows);
                             Ok(())
                         }
@@ -389,14 +578,26 @@ impl Dispatcher<'_> {
                     },
                     Some("failed") => {
                         self.failures += 1;
-                        let why = format!("backend {addr} reported the shard failed: {body}");
-                        self.events.push(why);
+                        self.emit(&ShardEvent::ShardFailed {
+                            shard,
+                            backend: addr,
+                            why: body,
+                        });
                         // Resubmission elsewhere runs the range fresh; on
                         // the same (sole surviving) backend it re-enqueues
                         // and resumes from the journal.
                         self.reassign(shard, backend)
                     }
-                    Some(_) => Ok(()), // queued / running / cancelled-being-resumed
+                    // Someone cancelled the shard's job out from under
+                    // us (operator DELETE, backend shutdown): clear the
+                    // job id so the next sweep resubmits — which
+                    // re-enqueues and resumes on the backend, and is
+                    // bounded by `shard_attempts` like any dispatch.
+                    Some("cancelled") => {
+                        self.shards[shard].job_id = None;
+                        Ok(())
+                    }
+                    Some(_) => Ok(()), // queued / running
                     None => {
                         self.strike(backend, "status document has no status");
                         self.reassign(shard, backend)
@@ -436,6 +637,10 @@ impl Dispatcher<'_> {
 /// `spec` — the invariant `crates/shard/tests/cross_shard.rs` enforces
 /// against real killed processes.
 ///
+/// This is the convenience form of [`run_sharded_ctl`]: uniform
+/// partitioning, no cancellation, no live event sink (events still end
+/// up rendered in [`ShardRun::events`]).
+///
 /// # Errors
 ///
 /// See [`ShardError`]. Backend failures are survived as long as one
@@ -450,12 +655,84 @@ pub fn run_sharded(
     backends: &[String],
     config: &ShardConfig,
 ) -> Result<ShardRun, ShardError> {
+    run_sharded_ctl(spec, backends, None, config, &CancelToken::new(), |_| {})
+}
+
+/// The controllable core of [`run_sharded`]: the same dispatch loop
+/// with three extra seams the unified executor API drives.
+///
+/// * `weights` — optional per-backend capacity weights (one per
+///   backend); the grid partitions proportionally via
+///   [`partition_weighted`] instead of evenly. Backends whose share
+///   rounds to zero scenarios simply receive no initial shard.
+/// * `cancel` — checked between poll sweeps; on cancellation every
+///   outstanding shard's job receives a best-effort `DELETE` (so its
+///   backend stops working) and the run returns
+///   [`ShardError::Cancelled`].
+/// * `on_event` — called with every [`ShardEvent`] the moment it
+///   happens: dispatches, re-dispatches, backend deaths, shard
+///   failures, and completed shards (with their validated rows).
+///
+/// A parent spec carrying its own `scenario_range` shards only that
+/// slice (the scenarios the local and remote execution paths would
+/// run), and the merged report covers exactly the slice.
+///
+/// # Errors
+///
+/// See [`ShardError`].
+///
+/// # Panics
+///
+/// Panics if the spec enumerates no feasible grid (same contract as
+/// [`CampaignSpec::scenarios`]) or if `weights` is present but invalid
+/// for [`partition_weighted`].
+pub fn run_sharded_ctl(
+    spec: &CampaignSpec,
+    backends: &[String],
+    weights: Option<&[f64]>,
+    config: &ShardConfig,
+    cancel: &CancelToken,
+    mut on_event: impl FnMut(&ShardEvent),
+) -> Result<ShardRun, ShardError> {
     if backends.is_empty() {
         return Err(ShardError::NoBackends);
     }
+    if let Some(weights) = weights {
+        if weights.len() != backends.len() {
+            return Err(ShardError::BadWeights(format!(
+                "{} weights for {} backends",
+                weights.len(),
+                backends.len()
+            )));
+        }
+        // Value validation here, typed — so a caller's bad weights
+        // surface as BadWeights, not as partition_weighted's panic.
+        crate::partition::validate_weights(weights).map_err(ShardError::BadWeights)?;
+    }
     let grid = spec.scenarios();
-    let grid_len = grid.len();
-    let ranges = partition(grid_len, backends.len());
+    // A ranged parent spec shards only its own execution slice — the
+    // indices the local and remote paths would run — so the merged
+    // report stays byte-identical across executors for ranged specs
+    // too. (Unranged specs: the whole grid, as before.)
+    let active = spec.active_range(grid.len());
+    // Weighted ranges stay index-aligned with their backends (empty
+    // ranges are skipped); uniform ranges round-robin, which for the
+    // common `shards == backends` case is the same alignment.
+    let offset = |(start, end): (usize, usize)| (active.start + start, active.start + end);
+    let shards: Vec<(usize, (usize, usize))> = match weights {
+        Some(weights) => partition_weighted(active.len(), weights)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, (start, end))| start < end)
+            .map(|(k, range)| (k, offset(range)))
+            .collect(),
+        None => partition(active.len(), backends.len())
+            .into_iter()
+            .enumerate()
+            .map(|(k, range)| (k % backends.len(), offset(range)))
+            .collect(),
+    };
+    let shard_count = shards.len();
     let mut dispatcher = Dispatcher {
         spec,
         grid: &grid,
@@ -468,12 +745,11 @@ pub fn run_sharded(
                 dead: false,
             })
             .collect(),
-        shards: ranges
+        shards: shards
             .iter()
-            .enumerate()
-            .map(|(k, &range)| Shard {
+            .map(|&(backend, range)| Shard {
                 range,
-                backend: k % backends.len(),
+                backend,
                 job_id: None,
                 rows: None,
                 attempts: 0,
@@ -482,14 +758,20 @@ pub fn run_sharded(
         dispatches: 0,
         failures: 0,
         events: Vec::new(),
+        sink: &mut on_event,
     };
-    for (k, &(start, end)) in ranges.iter().enumerate() {
-        dispatcher.events.push(format!(
-            "shard {k} [{start}, {end}) → {}",
-            backends[k % backends.len()]
-        ));
+    for (shard, &(backend, range)) in shards.iter().enumerate() {
+        dispatcher.emit(&ShardEvent::Dispatched {
+            shard,
+            range,
+            backend: backends[backend].clone(),
+        });
     }
     loop {
+        if cancel.is_cancelled() {
+            dispatcher.cancel_outstanding();
+            return Err(ShardError::Cancelled);
+        }
         let mut outstanding = false;
         for shard in 0..dispatcher.shards.len() {
             if dispatcher.shards[shard].rows.is_some() {
@@ -516,11 +798,11 @@ pub fn run_sharded(
                 .expect("loop exits only when every shard has rows")
         })
         .collect();
-    let (report, results) = merged_report(spec.campaign_seed, grid_len, rows)?;
+    let (report, results) = merged_report_over(spec.campaign_seed, active, rows)?;
     Ok(ShardRun {
         report,
         results,
-        shards: ranges.len(),
+        shards: shard_count,
         dispatches: dispatcher.dispatches,
         failures: dispatcher.failures,
         events: dispatcher.events,

@@ -11,8 +11,9 @@
 //!
 //! The three layers:
 //!
-//! * [`partition`] — splits `0..n` into at most `k` contiguous,
-//!   non-empty, disjoint ranges covering the grid exactly;
+//! * [`partition`](mod@partition) — splits `0..n` into at most `k`
+//!   contiguous, non-empty, disjoint ranges covering the grid exactly
+//!   (evenly, or proportionally to backend weights);
 //! * [`client`] — the coordinator's std-only HTTP client with **typed**
 //!   errors (connect vs. mid-exchange I/O vs. torn response vs.
 //!   oversized body), bounded in time and memory against misbehaving
@@ -56,6 +57,9 @@ pub mod client;
 pub mod coordinator;
 pub mod partition;
 
-pub use client::{exchange, ClientError, MAX_RESPONSE_BYTES};
-pub use coordinator::{merged_report, run_sharded, ShardConfig, ShardError, ShardRun};
-pub use partition::partition;
+pub use client::{classify_submit, exchange, ClientError, SubmitOutcome, MAX_RESPONSE_BYTES};
+pub use coordinator::{
+    fetch_journal_rows, merged_report, run_sharded, run_sharded_ctl, ShardConfig, ShardError,
+    ShardEvent, ShardRun,
+};
+pub use partition::{partition, partition_weighted, validate_weights};

@@ -1,16 +1,20 @@
 //! Campaign-engine walkthrough: sweep the strike rate λ across three
 //! decades and watch each mitigation scheme's energy overhead and
-//! correctness respond — in parallel, reproducibly.
+//! correctness respond — in parallel, reproducibly, **live**.
 //!
-//! The grid is benchmark × scheme × λ × replicate. Scenario seeds derive
-//! from `(campaign_seed, scenario_index)`, so the numbers below are
-//! bit-identical no matter how many worker threads run the grid (try
-//! `run_campaign(&spec, 1)` vs `run_campaign(&spec, 8)`).
+//! The grid is benchmark × scheme × λ × replicate, submitted through
+//! the unified executor API ([`chunkpoint::exec`]): the same
+//! submit/observe/wait calls would run this grid on a remote service
+//! (`RemoteExecutor`) or a fleet of them (`ShardedExecutor`) with
+//! byte-identical results. Scenario seeds derive from
+//! `(campaign_seed, scenario_index)`, so the numbers below are
+//! bit-identical no matter how many worker threads run the grid.
 //!
 //! Run with `cargo run --release --example campaign_sweep`.
 
-use chunkpoint::campaign::{run_campaign, Axis, CampaignSpec, SchemeSpec};
+use chunkpoint::campaign::{Axis, CampaignSpec, SchemeSpec};
 use chunkpoint::core::{MitigationScheme, SystemConfig};
+use chunkpoint::exec::{CampaignExecutor, LiveAggregates, LocalExecutor};
 use chunkpoint::workloads::Benchmark;
 
 fn main() {
@@ -26,18 +30,28 @@ fn main() {
         .error_rates(&rates)
         .replicates(5);
 
-    let result = run_campaign(&spec, 0); // 0 = all cores
+    // Submit to the in-process executor (0 = all cores) and watch the
+    // partial aggregates tighten as scenario results stream in.
+    let handle = LocalExecutor::new(0).submit(&spec);
+    let mut live = LiveAggregates::new(&[Axis::Scheme, Axis::ErrorRate]);
+    for event in handle.events() {
+        if let Some(line) = live.observe(&event) {
+            println!("  {line}");
+        }
+    }
+    let run = handle.wait().expect("campaign");
+    println!();
     println!(
-        "{} scenarios in {:.2}s ({:.0} scenarios/s) on {} threads",
-        result.results.len(),
-        result.elapsed.as_secs_f64(),
-        result.scenarios_per_sec(),
-        result.threads,
+        "{} scenarios in {:.2}s ({:.0} scenarios/s)",
+        run.scenarios,
+        run.elapsed.as_secs_f64(),
+        run.scenarios as f64 / run.elapsed.as_secs_f64().max(1e-9),
     );
     println!();
 
-    // Aggregate over benchmarks: scheme x rate, mean +/- 95% CI.
-    let cells = result.aggregate(&[Axis::Scheme, Axis::ErrorRate]);
+    // The live aggregator has folded every row; its cells are the final
+    // report's cells. Print scheme × rate, mean ± 95% CI.
+    let cells = live.groups();
     println!(
         "{:<10} | {:>7} | {:>22} | {:>8}",
         "scheme", "lambda", "energy ratio (95% CI)", "correct"

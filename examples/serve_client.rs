@@ -1,6 +1,8 @@
-//! Campaign-service walkthrough: a **std-only HTTP client** that submits
-//! a λ-sweep campaign spec, polls job status, fetches the cached report,
-//! and prints the aggregate table — the full service loop in one file.
+//! Campaign-service walkthrough through the **unified executor API**:
+//! submit a λ-sweep spec to a `serve` instance with
+//! [`chunkpoint::exec::RemoteExecutor`], stream its typed progress
+//! events, and print the aggregate table — no hand-rolled HTTP loop;
+//! the executor drives the typed shard client underneath.
 //!
 //! By default the example starts its own service in-process on an
 //! ephemeral port (so it is self-contained); point it at a running
@@ -11,16 +13,16 @@
 //! ```
 //!
 //! Submitting the same spec twice demonstrates the content-addressed
-//! result cache: the second submission answers `cached: true` without
-//! simulating anything.
+//! result cache: the second run answers from the backend's cache
+//! without simulating anything — through the very same executor calls.
 
 use std::time::{Duration, Instant};
 
-use chunkpoint::campaign::{CampaignSpec, JsonValue, SchemeSpec};
+use chunkpoint::campaign::{Axis, CampaignSpec, SchemeSpec};
 use chunkpoint::core::{MitigationScheme, SystemConfig};
+use chunkpoint::exec::{CampaignEvent, CampaignExecutor, LiveAggregates, RemoteExecutor};
 use chunkpoint::workloads::Benchmark;
 use chunkpoint_bench::report::Table;
-use chunkpoint_serve::http::request;
 use chunkpoint_serve::server::{ServeConfig, Server};
 
 /// The λ sweep: three decades around the paper's worst case.
@@ -76,59 +78,33 @@ fn main() {
         }
     };
 
-    // Submit the sweep.
+    // Submit the sweep through the executor API and observe it live.
     let spec = sweep_spec();
-    let body = spec.to_json().render();
-    let (status, response) =
-        request(addr.as_str(), "POST", "/campaigns", Some(&body)).expect("submit");
-    assert!(status == 202 || status == 200, "submit failed: {response}");
-    let doc = JsonValue::parse(&response).expect("submit response");
-    let id = doc.get("id").unwrap().as_str().expect("job id").to_owned();
-    let scenarios = doc.get("scenarios").unwrap().as_u64().unwrap_or(0);
-    println!("submitted λ sweep as job {id} ({scenarios} scenarios)");
-
-    // Poll until done.
+    let executor = RemoteExecutor::new(addr.clone());
     let started = Instant::now();
-    loop {
-        let (_, body) =
-            request(addr.as_str(), "GET", &format!("/campaigns/{id}"), None).expect("poll");
-        let doc = JsonValue::parse(&body).expect("status");
-        let state = doc
-            .get("status")
-            .unwrap()
-            .as_str()
-            .unwrap_or("?")
-            .to_owned();
-        let completed = doc.get("completed").unwrap().as_u64().unwrap_or(0);
-        match state.as_str() {
-            "done" => {
-                println!(
-                    "done: {completed}/{scenarios} scenarios in {:.2?}",
-                    started.elapsed()
-                );
-                break;
+    let handle = executor.submit(&spec);
+    let mut live = LiveAggregates::new(&[Axis::Scheme, Axis::ErrorRate]);
+    for event in handle.events() {
+        match &event {
+            CampaignEvent::Progress { done, total } => {
+                println!("  progress: {done}/{total} scenarios");
             }
-            "failed" => panic!("job failed: {body}"),
-            _ => std::thread::sleep(Duration::from_millis(20)),
+            CampaignEvent::Complete => println!("  complete"),
+            _ => {}
         }
+        live.observe(&event);
     }
+    let run = handle.wait().expect("remote campaign");
+    println!(
+        "done: {} scenarios in {:.2?} ({} dispatch(es))",
+        run.scenarios,
+        started.elapsed(),
+        run.dispatches
+    );
 
-    // Fetch the canonical report and print scheme × λ energy ratios.
-    let (status, report) = request(
-        addr.as_str(),
-        "GET",
-        &format!("/campaigns/{id}/result"),
-        None,
-    )
-    .expect("result");
-    assert_eq!(status, 200, "{report}");
-    let report = JsonValue::parse(&report).expect("report JSON");
-    let aggregates = report
-        .get("aggregates")
-        .and_then(JsonValue::as_array)
-        .expect("aggregates");
-
-    // Aggregate keys are [benchmark, scheme, error_rate] (REPORT_AXES).
+    // The executor already validated and ordered the rows; aggregate
+    // them into the scheme × λ table.
+    let cells = live.groups();
     let table = Table::new(10, 14);
     println!();
     table.header(
@@ -142,47 +118,36 @@ fn main() {
     );
     for scheme in ["SW-based", "Proposed"] {
         for rate in RATES {
-            let rate_key = format!("{rate:e}");
-            let group = aggregates
-                .iter()
-                .find(|g| {
-                    let key = g.get("key").and_then(JsonValue::as_array).unwrap_or(&[]);
-                    key.len() == 3
-                        && key[1].as_str() == Some(scheme)
-                        && key[2].as_str() == Some(rate_key.as_str())
-                })
+            let stats = cells
+                .get(&[scheme, &format!("{rate:e}")])
                 .expect("aggregate cell");
-            let energy = group.get("energy_ratio").expect("energy_ratio");
-            let mean = energy.get("mean").unwrap().as_f64().unwrap_or(f64::NAN);
-            let ci = energy.get("ci95").unwrap().as_f64().unwrap_or(f64::NAN);
-            let n = group.get("n").unwrap().as_u64().unwrap_or(0);
-            let correct = group.get("correct").unwrap().as_u64().unwrap_or(0);
             table.row(
                 scheme,
                 &[
                     format!("{rate:>.0e}"),
-                    format!("{mean:.3}"),
-                    format!("{ci:.3}"),
-                    format!("{correct}/{n}"),
+                    format!("{:.3}", stats.energy_ratio.mean()),
+                    format!("{:.3}", stats.energy_ratio.ci95_half_width()),
+                    format!("{}/{}", stats.correct, stats.n),
                 ],
             );
         }
     }
 
-    // Same spec again: the content-addressed cache answers instantly.
+    // Same spec again: the backend's content-addressed cache answers
+    // without re-simulating — same API, same bytes, a fraction of the
+    // time.
     let resubmit = Instant::now();
-    let (status, response) =
-        request(addr.as_str(), "POST", "/campaigns", Some(&body)).expect("resubmit");
-    let doc = JsonValue::parse(&response).expect("resubmit response");
+    let cached = executor.submit(&spec).wait().expect("cached campaign");
     println!();
     println!(
-        "resubmit of the identical spec: HTTP {status}, cached: {}, {:.2?}",
-        doc.get("cached").unwrap().as_bool().unwrap_or(false),
+        "resubmit of the identical spec: byte-identical: {}, {:.2?}",
+        cached.report == run.report,
         resubmit.elapsed()
     );
 
     if let Some(data_dir) = local_data_dir {
-        let _ = request(addr.as_str(), "POST", "/shutdown", None);
+        let _ =
+            chunkpoint::shard::exchange(&addr, "POST", "/shutdown", None, Duration::from_secs(5));
         let _ = std::fs::remove_dir_all(data_dir);
     }
 }

@@ -1,23 +1,21 @@
-//! Sharded-campaign walkthrough: split one λ-sweep grid across **two**
-//! campaign services and merge their journals into the canonical report
-//! — the cross-machine scaling path, self-contained in one file.
+//! Sharded-campaign walkthrough through the **unified executor API**:
+//! split one λ-sweep grid across **two** campaign services with
+//! [`chunkpoint::exec::ShardedExecutor`], watch the typed dispatch and
+//! completion events stream by, and verify the merged report is
+//! byte-identical to a single-machine run.
 //!
 //! By default the example starts two services in-process on ephemeral
 //! ports; point it at running services instead with repeated `--backend`
-//! flags:
+//! flags, optionally weighting the split with `--weights W,W`:
 //!
 //! ```text
 //! cargo run --release --example shard_campaign \
-//!     [-- --backend HOST:PORT --backend HOST:PORT]
+//!     [-- --backend HOST:PORT --backend HOST:PORT [--weights 3,1]]
 //! ```
-//!
-//! The merged report is byte-identical to what a single service — or an
-//! in-process single-threaded run — would produce for the same spec,
-//! which the example verifies before printing the table.
 
 use chunkpoint::campaign::{canonical_report_json, run_campaign, Axis, CampaignSpec, SchemeSpec};
 use chunkpoint::core::{MitigationScheme, SystemConfig};
-use chunkpoint::shard::{run_sharded, ShardConfig};
+use chunkpoint::exec::{CampaignEvent, CampaignExecutor, LiveAggregates, ShardedExecutor};
 use chunkpoint::workloads::Benchmark;
 use chunkpoint_bench::report::Table;
 use chunkpoint_serve::server::{ServeConfig, Server};
@@ -45,12 +43,25 @@ fn sweep_spec() -> CampaignSpec {
 
 fn main() {
     let mut backends: Vec<String> = Vec::new();
+    let mut weights: Option<Vec<f64>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--backend" => backends.push(args.next().expect("--backend requires HOST:PORT")),
+            "--weights" => {
+                weights = Some(
+                    args.next()
+                        .expect("--weights requires W,W,...")
+                        .split(',')
+                        .map(|w| w.trim().parse().expect("numeric weight"))
+                        .collect(),
+                );
+            }
             other => {
-                eprintln!("unknown flag {other}; usage: shard_campaign [--backend HOST:PORT ...]");
+                eprintln!(
+                    "unknown flag {other}; usage: shard_campaign \
+                     [--backend HOST:PORT ...] [--weights W,W,...]"
+                );
                 std::process::exit(2);
             }
         }
@@ -84,15 +95,31 @@ fn main() {
         spec.scenarios().len(),
         backends.len()
     );
-    let run = run_sharded(&spec, &backends, &ShardConfig::default()).expect("sharded campaign");
-    for event in &run.events {
-        println!("  {event}");
+    let mut executor = ShardedExecutor::new(backends);
+    if let Some(weights) = weights {
+        executor = executor.with_weights(weights);
     }
+    let handle = executor.submit(&spec);
+    let mut live = LiveAggregates::new(&[Axis::Scheme, Axis::ErrorRate]);
+    for event in handle.events() {
+        // Narrate the coordinator's decisions; fold scenario rows into
+        // the live aggregates quietly (a shard bursts its whole range
+        // at once — per-row lines would just scroll).
+        match &event {
+            CampaignEvent::ScenarioDone(_) => {
+                live.observe(&event);
+            }
+            CampaignEvent::Progress { .. } => {
+                live.observe(&event);
+                println!("  {}", live.line());
+            }
+            other => println!("  {other}"),
+        }
+    }
+    let run = handle.wait().expect("sharded campaign");
     println!(
-        "merged {} scenarios from {} shard(s) in {} dispatch(es)",
-        run.results.len(),
-        run.shards,
-        run.dispatches
+        "merged {} scenarios in {} dispatch(es), {} failure(s)",
+        run.scenarios, run.dispatches, run.failures
     );
 
     // The whole point: the merged report is byte-identical to a
@@ -103,11 +130,8 @@ fn main() {
     assert_eq!(run.report, expected, "sharded bytes diverged");
     println!("byte-identical to the unsharded single-threaded run ✓");
 
-    // Aggregate the merged rows by scheme × λ and print the sweep.
-    let mut aggregator = chunkpoint::campaign::Aggregator::new(&[Axis::Scheme, Axis::ErrorRate]);
-    for row in &run.results {
-        aggregator.push(row);
-    }
+    // The live aggregator's cells are the final report's cells: print
+    // the scheme × λ sweep.
     let table = Table::new(10, 14);
     println!();
     table.header(
@@ -119,7 +143,7 @@ fn main() {
             "n".to_owned(),
         ],
     );
-    for (key, stats) in aggregator.groups() {
+    for (key, stats) in live.groups().groups() {
         table.row(
             &key[0],
             &[

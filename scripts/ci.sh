@@ -17,6 +17,9 @@ cargo test -q
 echo "== smoke campaign (parallel path + determinism) =="
 cargo run --release -p chunkpoint_bench --bin bench_campaign -- --smoke --seeds 2 --threads 2
 
+echo "== exec smoke (one executor API: local + remote parity on a 1-second grid) =="
+cargo run --release --example exec_parity
+
 echo "== service smoke (submit, poll, cached resubmit, clean shutdown) =="
 SERVE_DIR="$(mktemp -d)"
 # Failure paths exit mid-test: take the background server down with us

@@ -34,7 +34,11 @@
 //!   `serve` instances: contiguous grid partitioning, typed-error HTTP
 //!   dispatch with re-dispatch of failed or unreachable shards, and a
 //!   journal merge whose report is byte-identical to a single-machine
-//!   run.
+//!   run;
+//! * [`exec`] — the one campaign executor API over all of the above:
+//!   typed submit / observe / cancel with a shared `CampaignEvent`
+//!   stream and one `ExecError` enum, implemented by local, remote,
+//!   and sharded executors proven byte-identical on the same spec.
 //!
 //! ## Quickstart
 //!
@@ -81,3 +85,7 @@ pub use chunkpoint_serve as serve;
 
 /// Scenario-range shard coordinator over multiple `serve` instances.
 pub use chunkpoint_shard as shard;
+
+/// One campaign executor API: typed submit/observe/cancel over local,
+/// remote, and sharded execution, byte-identical across all three.
+pub use chunkpoint_exec as exec;
