@@ -63,6 +63,7 @@ fn main() {
         data_dir: data_dir.clone(),
         max_jobs: 2,
         campaign_threads: args.threads,
+        max_queued: 0,
     })
     .expect("bind server");
     let addr = server.local_addr().expect("addr");

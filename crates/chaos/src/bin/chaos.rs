@@ -1,0 +1,146 @@
+//! The `chaos` binary: a deterministic fault-injecting TCP proxy in
+//! front of one upstream.
+//!
+//! ```text
+//! chaos --upstream HOST:PORT [--seed N] [--rate F] [--kinds LIST]
+//!       [--stall-ms N] [--dribble-ms N] [--port-file PATH]
+//! ```
+//!
+//! Point any chunkpoint client (`shard`, the executor, `curl`) at the
+//! printed address instead of the upstream. The fault schedule is a
+//! pure function of `--seed` and the connection index, so a failing run
+//! replays exactly. Shut down with SIGTERM/SIGKILL — the proxy holds no
+//! state worth draining.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use chunkpoint_chaos::{ChaosProxy, FaultKind, FaultPlan};
+
+const USAGE: &str = "chunkpoint chaos proxy:
+  --upstream HOST:PORT  address to proxy to (required)
+  --seed N              fault plan seed (default 0)
+  --rate F              fraction of connections faulted, 0..=1 (default 0.3)
+  --kinds LIST          comma-separated fault kinds (default: all of
+                        refuse,close,truncate-head,truncate-body,corrupt,
+                        stall,slow-loris,inject-500)
+  --stall-ms N          stall fault delay in milliseconds (default 50)
+  --dribble-ms N        slow-loris inter-byte pause in milliseconds (default 1)
+  --port-file PATH      write the bound port here once listening
+  --help                this text";
+
+struct Args {
+    upstream: String,
+    plan: FaultPlan,
+    port_file: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut upstream = None;
+    let mut seed = 0u64;
+    let mut rate = 0.3f64;
+    let mut kinds = FaultKind::ALL.to_vec();
+    let mut stall = Duration::from_millis(50);
+    let mut dribble = Duration::from_millis(1);
+    let mut port_file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value\n\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--upstream" => upstream = Some(value_of("--upstream")?),
+            "--seed" => {
+                seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}\n\n{USAGE}"))?;
+            }
+            "--rate" => {
+                rate = value_of("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}\n\n{USAGE}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--rate must be within 0..=1\n\n{USAGE}"));
+                }
+            }
+            "--kinds" => {
+                kinds = value_of("--kinds")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|part| !part.is_empty())
+                    .map(|name| {
+                        FaultKind::from_name(name)
+                            .ok_or_else(|| format!("--kinds: unknown kind {name:?}\n\n{USAGE}"))
+                    })
+                    .collect::<Result<Vec<FaultKind>, String>>()?;
+            }
+            "--stall-ms" => {
+                let ms: u64 = value_of("--stall-ms")?
+                    .parse()
+                    .map_err(|e| format!("--stall-ms: {e}\n\n{USAGE}"))?;
+                stall = Duration::from_millis(ms);
+            }
+            "--dribble-ms" => {
+                let ms: u64 = value_of("--dribble-ms")?
+                    .parse()
+                    .map_err(|e| format!("--dribble-ms: {e}\n\n{USAGE}"))?;
+                dribble = Duration::from_millis(ms);
+            }
+            "--port-file" => port_file = Some(PathBuf::from(value_of("--port-file")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    let upstream = upstream.ok_or_else(|| format!("--upstream is required\n\n{USAGE}"))?;
+    let mut plan = FaultPlan::new(seed, rate).kinds(&kinds);
+    plan.stall = stall;
+    plan.dribble_pause = dribble;
+    Ok(Args {
+        upstream,
+        plan,
+        port_file,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(if message == USAGE { 0 } else { 2 });
+        }
+    };
+    let kinds = args
+        .plan
+        .kinds
+        .iter()
+        .map(|kind| kind.name())
+        .collect::<Vec<_>>()
+        .join(",");
+    let seed = args.plan.seed;
+    let rate = args.plan.rate;
+    let proxy = match ChaosProxy::start(&args.upstream, args.plan) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("chaos: binding proxy: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = proxy.addr();
+    if let Some(path) = &args.port_file {
+        let port = addr.rsplit(':').next().unwrap_or_default();
+        if let Err(e) = std::fs::write(path, format!("{port}\n")) {
+            eprintln!("chaos: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "chaos: {addr} -> {} (seed {seed}, rate {rate}, kinds {kinds})",
+        args.upstream
+    );
+    // The proxy runs on its own threads; park forever (kill to stop).
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,39 @@
+//! # chunkpoint_chaos — deterministic fault injection for the service stack
+//!
+//! The campaign stack's load-bearing invariant is that every execution
+//! path — local, remote, sharded, resumed, and now *faulted* — ends in
+//! one of exactly two states: a **byte-identical canonical report**, or
+//! a **typed error** (possibly carrying a `PartialCampaign` of the
+//! completed ranges, on the sharded path). Never
+//! corrupt bytes, never a hang. This crate supplies the adversary that
+//! proves it: a TCP proxy that sits between any HTTP client in the
+//! stack and a `serve` instance, misbehaving on a **seeded, replayable
+//! schedule**.
+//!
+//! Determinism is the design center, inherited from the campaign
+//! engine's own seed discipline: which connection faults, which fault
+//! it draws, which byte gets corrupted, where a truncation cuts — all
+//! are pure functions of `(plan_seed, connection_index)` through the
+//! same SplitMix64 derivation used for scenario seeds. A chaos failure
+//! in CI is reproduced exactly by re-running with the printed seed.
+//!
+//! ```no_run
+//! use chunkpoint_chaos::{ChaosProxy, FaultPlan};
+//!
+//! // 30% of connections misbehave, drawn from the full fault palette.
+//! let plan = FaultPlan::new(0xBAD5EED, 0.3);
+//! // A client with more strikes than the longest fault streak always
+//! // survives this plan (deterministically):
+//! let strikes = plan.max_fault_run(512) + 1;
+//! let proxy = ChaosProxy::start("127.0.0.1:8077", plan).expect("bind proxy");
+//! println!("point clients at {} (survives with {strikes} strikes)", proxy.addr());
+//! ```
+//!
+//! The `chaos` binary wraps the same proxy for shell use (CI smoke
+//! tests front a real `serve` process with it).
+
+pub mod plan;
+pub mod proxy;
+
+pub use plan::{ConnFault, FaultKind, FaultPlan};
+pub use proxy::ChaosProxy;

@@ -1,0 +1,246 @@
+//! Deterministic fault plans: which fault (if any) hits connection `n`
+//! is a pure function of `(plan_seed, n)`, using the same SplitMix64
+//! derivation discipline as scenario seeds — so a failing chaos run is
+//! replayed exactly by re-running with the same seed, and a fault
+//! schedule can be analyzed (e.g. longest fault run) without opening a
+//! single socket.
+
+use chunkpoint_campaign::seed::{mix64, GOLDEN_GAMMA};
+
+/// One way a proxied connection can go wrong.
+///
+/// The variants cover the observable failure surface of a TCP backend:
+/// connection-level faults (refused, accepted-then-closed), response
+/// tearing (head or body truncation), payload damage (a corrupted body
+/// byte), time faults (a fixed stall, a slow-loris dribble), and an
+/// application-level injected `500`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Close the client connection immediately, before reading anything
+    /// — observed as connection refused / reset.
+    Refuse,
+    /// Read the request, then close without answering a byte.
+    AcceptThenClose,
+    /// Relay the response but cut it off inside the head (status line +
+    /// a partial header), then close.
+    TruncateHead,
+    /// Relay the full head but only half the body, then close.
+    TruncateBody,
+    /// Relay the response with one body byte XORed with `0x80` — always
+    /// detectable, because every chunkpoint payload is ASCII JSON and
+    /// the flip makes the body invalid UTF-8.
+    CorruptByte,
+    /// Sleep a fixed delay before relaying anything, then answer
+    /// faithfully.
+    Stall,
+    /// Dribble the faithful response one byte at a time with a pause
+    /// between bytes (the slow-loris shape, server-to-client).
+    SlowLoris,
+    /// Ignore the upstream entirely and answer a canned `500`.
+    Inject500,
+}
+
+impl FaultKind {
+    /// Every kind, in the canonical order used by index-based selection
+    /// and the `--kinds` CLI flag.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::Refuse,
+        FaultKind::AcceptThenClose,
+        FaultKind::TruncateHead,
+        FaultKind::TruncateBody,
+        FaultKind::CorruptByte,
+        FaultKind::Stall,
+        FaultKind::SlowLoris,
+        FaultKind::Inject500,
+    ];
+
+    /// Canonical lowercase name (CLI `--kinds` vocabulary).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Refuse => "refuse",
+            FaultKind::AcceptThenClose => "close",
+            FaultKind::TruncateHead => "truncate-head",
+            FaultKind::TruncateBody => "truncate-body",
+            FaultKind::CorruptByte => "corrupt",
+            FaultKind::Stall => "stall",
+            FaultKind::SlowLoris => "slow-loris",
+            FaultKind::Inject500 => "inject-500",
+        }
+    }
+
+    /// Parses a canonical name back to its kind.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// The fault assigned to one connection: its kind plus 64 bits of
+/// connection-specific entropy for intra-fault decisions (which byte to
+/// corrupt, where to cut a truncated head).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnFault {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Connection-specific entropy, derived — like the kind — purely
+    /// from `(plan_seed, connection_index)`.
+    pub entropy: u64,
+}
+
+/// A seeded, replayable schedule of connection faults.
+///
+/// `fault_for(n)` is a pure function: connection `n` draws two
+/// SplitMix64 outputs from the stream seeded with `seed` — one deciding
+/// *whether* it faults (against `rate`), one deciding *which* fault and
+/// carrying the entropy. Two proxies built from the same plan misbehave
+/// identically, byte for byte and sleep for sleep.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Stream seed; the whole schedule derives from it.
+    pub seed: u64,
+    /// Fraction of connections faulted, in `[0, 1]`. `1.0` faults every
+    /// connection; `0.0` is a faithful relay.
+    pub rate: f64,
+    /// The fault kinds this plan draws from (uniformly, by the second
+    /// SplitMix64 draw). Empty means no faults regardless of `rate`.
+    pub kinds: Vec<FaultKind>,
+    /// Sleep for [`FaultKind::Stall`].
+    pub stall: std::time::Duration,
+    /// Inter-byte pause for [`FaultKind::SlowLoris`].
+    pub dribble_pause: std::time::Duration,
+}
+
+impl FaultPlan {
+    /// A plan over every fault kind with 50 ms stalls and 1 ms dribble
+    /// pauses — aggressive enough to bite, bounded enough for tests.
+    #[must_use]
+    pub fn new(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            kinds: FaultKind::ALL.to_vec(),
+            stall: std::time::Duration::from_millis(50),
+            dribble_pause: std::time::Duration::from_millis(1),
+        }
+    }
+
+    /// Restricts the plan to the given kinds.
+    #[must_use]
+    pub fn kinds(mut self, kinds: &[FaultKind]) -> Self {
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// The `index`-th output of SplitMix64(`seed`) — the same stream
+    /// discipline as scenario seed derivation.
+    fn draw(&self, index: u64) -> u64 {
+        mix64(
+            self.seed
+                .wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)),
+        )
+    }
+
+    /// The fault (if any) for connection `connection_index` — pure,
+    /// stateless, replayable.
+    #[must_use]
+    pub fn fault_for(&self, connection_index: u64) -> Option<ConnFault> {
+        if self.kinds.is_empty() || self.rate <= 0.0 {
+            return None;
+        }
+        // Two draws per connection: gate, then kind + entropy.
+        let gate = self.draw(connection_index.wrapping_mul(2));
+        // Top 53 bits → an IEEE-exact uniform in [0, 1).
+        #[allow(clippy::cast_precision_loss)]
+        let unit = (gate >> 11) as f64 / (1u64 << 53) as f64;
+        if unit >= self.rate {
+            return None;
+        }
+        let pick = self.draw(connection_index.wrapping_mul(2).wrapping_add(1));
+        let kind = self.kinds[(pick % self.kinds.len() as u64) as usize];
+        Some(ConnFault {
+            kind,
+            entropy: mix64(pick),
+        })
+    }
+
+    /// The longest run of consecutive faulted connections among the
+    /// first `n` — what a retrying client must outlast. A client whose
+    /// strike budget exceeds this is guaranteed (deterministically, for
+    /// this plan) to get a clean connection before striking out.
+    #[must_use]
+    pub fn max_fault_run(&self, n: u64) -> u64 {
+        let mut longest = 0;
+        let mut current = 0;
+        for index in 0..n {
+            if self.fault_for(index).is_some() {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        longest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(0xC0FFEE, 0.4);
+        let b = FaultPlan::new(0xC0FFEE, 0.4);
+        for index in 0..256 {
+            assert_eq!(a.fault_for(index), b.fault_for(index));
+        }
+    }
+
+    #[test]
+    fn rate_bounds_are_exact() {
+        let never = FaultPlan::new(7, 0.0);
+        let always = FaultPlan::new(7, 1.0);
+        for index in 0..256 {
+            assert!(never.fault_for(index).is_none());
+            assert!(always.fault_for(index).is_some());
+        }
+        assert_eq!(never.max_fault_run(256), 0);
+        assert_eq!(always.max_fault_run(256), 256);
+    }
+
+    #[test]
+    fn mid_rate_hits_roughly_the_rate_and_every_kind() {
+        let plan = FaultPlan::new(0xDECADE, 0.5);
+        let faults: Vec<ConnFault> = (0..4096).filter_map(|i| plan.fault_for(i)).collect();
+        let frac = faults.len() as f64 / 4096.0;
+        assert!((frac - 0.5).abs() < 0.05, "fault fraction {frac}");
+        for kind in FaultKind::ALL {
+            assert!(
+                faults.iter().any(|f| f.kind == kind),
+                "{} never drawn",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_kinds_only_draw_those() {
+        let plan = FaultPlan::new(3, 1.0).kinds(&[FaultKind::Stall, FaultKind::Inject500]);
+        for index in 0..128 {
+            let fault = plan.fault_for(index).expect("rate 1.0 always faults");
+            assert!(matches!(
+                fault.kind,
+                FaultKind::Stall | FaultKind::Inject500
+            ));
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("nope"), None);
+    }
+}

@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use chunkpoint_campaign::ScenarioResult;
-use chunkpoint_shard::{ClientError, ShardError};
+use chunkpoint_shard::{ClientError, PartialCampaign, ShardError};
 
 /// One observable step of a submitted campaign, delivered through
 /// [`CampaignHandle::events`](crate::CampaignHandle::events) in the
@@ -136,10 +136,16 @@ pub enum ExecError {
         detail: String,
     },
     /// Every backend or dispatch attempt was exhausted with work still
-    /// outstanding (sharded path).
+    /// outstanding. On the sharded path the completed shards ride along
+    /// as a [`PartialCampaign`] — graceful degradation instead of an
+    /// opaque error; the remote path has nothing partial to salvage
+    /// (its one backend journals server-side) and carries `None`.
     Exhausted {
-        /// What the coordinator saw last.
+        /// What the executor saw last.
         detail: String,
+        /// Completed ranges, validated rows, and a canonical report
+        /// over them (sharded path only).
+        partial: Option<Box<PartialCampaign>>,
     },
     /// The campaign ran and failed — a backend reported the job failed,
     /// or a worker panicked.
@@ -193,7 +199,18 @@ impl std::fmt::Display for ExecError {
             ExecError::Transport { backend, detail } => {
                 write!(f, "transport failure against {backend}: {detail}")
             }
-            ExecError::Exhausted { detail } => write!(f, "backends exhausted: {detail}"),
+            ExecError::Exhausted { detail, partial } => {
+                write!(f, "backends exhausted: {detail}")?;
+                if let Some(partial) = partial {
+                    write!(
+                        f,
+                        " ({} scenarios salvaged across {} completed ranges)",
+                        partial.scenarios(),
+                        partial.completed_ranges.len()
+                    )?;
+                }
+                Ok(())
+            }
             ExecError::JobFailed { backend, detail } => {
                 write!(f, "campaign failed")?;
                 if let Some(backend) = backend {
@@ -227,7 +244,10 @@ impl From<ShardError> for ExecError {
                 status: Some(status),
                 detail: body,
             },
-            ShardError::Exhausted { detail } => ExecError::Exhausted { detail },
+            ShardError::Exhausted { detail, partial } => ExecError::Exhausted {
+                detail,
+                partial: Some(partial),
+            },
             ShardError::BadMerge(detail) => ExecError::BadMerge { detail },
             ShardError::Cancelled => ExecError::Cancelled,
         }
@@ -290,7 +310,19 @@ mod tests {
         }
         let exhausted = ExecError::from(ShardError::Exhausted {
             detail: "all dead".to_owned(),
+            partial: Box::new(PartialCampaign {
+                completed_ranges: vec![(0, 3)],
+                results: Vec::new(),
+                report_so_far: String::new(),
+            }),
         });
         assert!(exhausted.to_string().contains("all dead"));
+        match exhausted {
+            ExecError::Exhausted {
+                partial: Some(partial),
+                ..
+            } => assert_eq!(partial.completed_ranges, vec![(0, 3)]),
+            other => panic!("partial payload lost: {other:?}"),
+        }
     }
 }

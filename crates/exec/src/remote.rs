@@ -4,8 +4,11 @@
 
 use std::time::{Duration, Instant};
 
+use chunkpoint_campaign::seed::GOLDEN_GAMMA;
 use chunkpoint_campaign::{CampaignSpec, CancelToken, JsonValue, Scenario};
-use chunkpoint_shard::{classify_submit, exchange, fetch_journal_rows, SubmitOutcome};
+use chunkpoint_shard::{
+    classify_submit, exchange, fetch_journal_rows, Backoff, CircuitBreaker, SubmitOutcome,
+};
 
 use crate::event::{CampaignEvent, CampaignRun, ExecError};
 use crate::handle::{spawn_worker, CampaignHandle, EventSink};
@@ -15,7 +18,12 @@ use crate::CampaignExecutor;
 /// Knobs of the remote path. Defaults suit a LAN `serve` instance.
 #[derive(Debug, Clone)]
 pub struct RemoteConfig {
-    /// Pause between status polls.
+    /// Base pause between status polls. The actual sleep follows the
+    /// deterministic [`Backoff`] schedule: `poll_interval` while the
+    /// backend reports progress, doubling (with seeded jitter) toward
+    /// [`RemoteConfig::poll_max`] across idle polls; after a failed
+    /// exchange, the backend's circuit breaker paces the retries on
+    /// the same ladder.
     pub poll_interval: Duration,
     /// Connect/read/write timeout of every HTTP exchange.
     pub request_timeout: Duration,
@@ -28,6 +36,11 @@ pub struct RemoteConfig {
     /// the terminator for a backend that keeps forgetting (crash loop
     /// over a fresh data dir) or cancelling the job.
     pub submit_attempts: u32,
+    /// Cap of the poll/retry backoff ladder.
+    pub poll_max: Duration,
+    /// Seed of the deterministic backoff jitter — same seed, same poll
+    /// cadence and retry schedule, every run.
+    pub backoff_seed: u64,
 }
 
 impl Default for RemoteConfig {
@@ -37,6 +50,8 @@ impl Default for RemoteConfig {
             request_timeout: Duration::from_secs(10),
             strikes: 3,
             submit_attempts: 5,
+            poll_max: Duration::from_millis(400),
+            backoff_seed: 0,
         }
     }
 }
@@ -90,6 +105,11 @@ fn submit_spec(
     config: &RemoteConfig,
     failures: &mut usize,
 ) -> Result<String, ExecError> {
+    let retry = Backoff::new(
+        config.poll_interval,
+        config.poll_max,
+        config.backoff_seed ^ GOLDEN_GAMMA,
+    );
     let mut strikes = 0u32;
     loop {
         match exchange(
@@ -127,7 +147,9 @@ fn submit_spec(
                 }
             }
         }
-        std::thread::sleep(config.poll_interval);
+        // Deterministic retry pacing: the first retry waits the base
+        // interval, each further strike doubles it (seeded jitter).
+        std::thread::sleep(retry.delay(strikes.saturating_sub(1)));
     }
 }
 
@@ -151,6 +173,21 @@ fn drive_remote(
     let mut id = submit_spec(addr, &body, config, &mut failures)?;
     sink.emit(CampaignEvent::Progress { done: 0, total });
 
+    // Poll pacing: the backoff stretches the sleep across idle polls;
+    // the breaker (threshold 1 — a single backend has no one to fail
+    // over to, so any failure starts a cooldown) paces retries after
+    // failed exchanges on the same deterministic ladder.
+    let epoch = Instant::now();
+    let poll = Backoff::new(config.poll_interval, config.poll_max, config.backoff_seed);
+    let mut breaker = CircuitBreaker::new(
+        1,
+        Backoff::new(
+            config.poll_interval,
+            config.poll_max,
+            config.backoff_seed.wrapping_add(GOLDEN_GAMMA),
+        ),
+    );
+    let mut idle_polls = 0u32;
     let mut strikes = 0u32;
     let mut reported = 0usize;
     loop {
@@ -164,6 +201,19 @@ fn drive_remote(
             );
             return Err(ExecError::Cancelled);
         }
+        // Cooling down after a failure: wait out the breaker window
+        // (bounded, so cancellation stays responsive) instead of
+        // hammering a backend that just failed.
+        if !breaker.ready(epoch.elapsed()) {
+            let wait = breaker
+                .retry_at()
+                .map(|at| at.saturating_sub(epoch.elapsed()))
+                .unwrap_or(config.poll_interval)
+                .min(config.poll_max)
+                .max(Duration::from_millis(1));
+            std::thread::sleep(wait);
+            continue;
+        }
         match exchange(
             addr,
             "GET",
@@ -172,6 +222,7 @@ fn drive_remote(
             config.request_timeout,
         ) {
             Ok((200, status_body)) => {
+                breaker.record_success();
                 let doc = JsonValue::parse(&status_body).ok();
                 let state = doc
                     .as_ref()
@@ -186,6 +237,7 @@ fn drive_remote(
                     .unwrap_or(0) as usize;
                 if completed > reported && completed <= total {
                     reported = completed;
+                    idle_polls = 0; // progress resets the poll backoff
                     sink.emit(CampaignEvent::Progress {
                         done: completed,
                         total,
@@ -211,9 +263,11 @@ fn drive_remote(
                                      submit attempts",
                                     config.submit_attempts
                                 ),
+                                partial: None,
                             });
                         }
                         strikes = 0;
+                        idle_polls = 0;
                         dispatches += 1;
                         id = submit_spec(addr, &body, config, &mut failures)?;
                     }
@@ -233,6 +287,8 @@ fn drive_remote(
                                 ),
                             });
                         }
+                        breaker.record_failure(epoch.elapsed());
+                        continue; // the breaker cooldown paces the retry
                     }
                 }
             }
@@ -247,8 +303,10 @@ fn drive_remote(
                             "{addr} kept forgetting the job: burned all {} submit attempts",
                             config.submit_attempts
                         ),
+                        partial: None,
                     });
                 }
+                idle_polls = 0;
                 dispatches += 1;
                 id = submit_spec(addr, &body, config, &mut failures)?;
             }
@@ -261,6 +319,8 @@ fn drive_remote(
                         detail: format!("status poll answered {status}: {response}"),
                     });
                 }
+                breaker.record_failure(epoch.elapsed());
+                continue;
             }
             Err(e) => {
                 failures += 1;
@@ -268,16 +328,19 @@ fn drive_remote(
                 if strikes >= config.strikes {
                     return Err(ExecError::transport(addr, &e));
                 }
+                breaker.record_failure(epoch.elapsed());
+                continue;
             }
         }
-        std::thread::sleep(config.poll_interval);
+        idle_polls = idle_polls.saturating_add(1);
+        std::thread::sleep(poll.delay(idle_polls.saturating_sub(1)));
     }
 
     // Fetch + row-validate the journal through the same trust boundary
     // the shard coordinator uses.
     let mut rows = None;
     let mut last_error = String::new();
-    for _ in 0..config.strikes.max(1) {
+    for attempt in 0..config.strikes.max(1) {
         match fetch_journal_rows(
             addr,
             &id,
@@ -292,7 +355,7 @@ fn drive_remote(
             Err(why) => {
                 failures += 1;
                 last_error = why;
-                std::thread::sleep(config.poll_interval);
+                std::thread::sleep(poll.delay(attempt));
             }
         }
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--data-dir PATH] [--jobs N] [--threads N]
-//!       [--port-file PATH]
+//!       [--max-queued N] [--port-file PATH]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
@@ -18,6 +18,8 @@ const USAGE: &str = "chunkpoint campaign service:
   --data-dir PATH    job store root (default ./chunkpoint-serve-data)
   --jobs N           concurrent campaign jobs (default 2)
   --threads N        worker threads per campaign (default: all cores)
+  --max-queued N     shed new submissions (429) past N queued jobs
+                     (default 1024; 0 = unbounded)
   --port-file PATH   write the bound port here once listening
   --help             this text
 
@@ -48,6 +50,11 @@ fn parse_args() -> Result<(ServeConfig, Option<PathBuf>), String> {
                 config.campaign_threads = value_of("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}\n\n{USAGE}"))?;
+            }
+            "--max-queued" => {
+                config.max_queued = value_of("--max-queued")?
+                    .parse()
+                    .map_err(|e| format!("--max-queued: {e}\n\n{USAGE}"))?;
             }
             "--port-file" => port_file = Some(PathBuf::from(value_of("--port-file")?)),
             "--help" | "-h" => return Err(USAGE.to_owned()),

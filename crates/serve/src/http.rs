@@ -11,7 +11,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -21,6 +21,13 @@ const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 /// Per-connection socket timeout: a stalled peer cannot pin a handler
 /// thread forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Deadline for the **whole** request head. Re-armed before every read
+/// with what is left, so a slow-loris peer dribbling one header byte
+/// per (almost-)timeout cannot stretch the head read indefinitely —
+/// the failure mode a flat per-syscall timeout leaves open.
+const HEAD_DEADLINE: Duration = Duration::from_secs(10);
+/// Deadline for the whole request body, same re-arming discipline.
+const BODY_DEADLINE: Duration = Duration::from_secs(30);
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -41,13 +48,20 @@ pub struct Response {
     pub status: u16,
     /// JSON body.
     pub body: String,
+    /// Seconds for a `Retry-After` header — set on 429s by admission
+    /// control so shedding tells clients *when*, not just *no*.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     /// A JSON response from a rendered document.
     #[must_use]
     pub fn json(status: u16, body: String) -> Self {
-        Self { status, body }
+        Self {
+            status,
+            body,
+            retry_after: None,
+        }
     }
 
     /// A JSON error envelope: `{"error": message}`.
@@ -56,7 +70,18 @@ impl Response {
         let body = chunkpoint_campaign::JsonValue::object()
             .field("error", message)
             .render();
-        Self { status, body }
+        Self {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// Attaches a `Retry-After: seconds` header.
+    #[must_use]
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// Serializes the response onto `stream` (HTTP/1.1, connection
@@ -67,8 +92,12 @@ impl Response {
     ///
     /// Propagates socket write errors.
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let retry_after = self
+            .retry_after
+            .map(|seconds| format!("Retry-After: {seconds}\r\n"))
+            .unwrap_or_default();
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n",
             self.status,
             status_text(self.status),
             self.body.len()
@@ -88,49 +117,80 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
+/// What is left of `deadline`, or `None` once it is spent.
+fn remaining(deadline: Instant) -> Option<Duration> {
+    let now = Instant::now();
+    (now < deadline).then(|| deadline - now)
+}
+
 /// Reads and parses one request off `stream`.
 ///
 /// Returns `Ok(Err(response))` for protocol violations the caller should
-/// answer with (oversized head/body, missing framing, bad request line)
+/// answer with (oversized head/body, missing framing, bad request line,
+/// a head or body dribbled past its deadline — answered with a `408`)
 /// and `Err(_)` only for socket-level failures.
+///
+/// The head and body each get a **whole-phase deadline**
+/// ([`HEAD_DEADLINE`], [`BODY_DEADLINE`]), re-armed before every read
+/// with what is left — a slow-loris peer trickling one byte per
+/// near-timeout interval is dropped at the deadline instead of pinning
+/// a handler thread for as long as it cares to dribble.
 ///
 /// # Errors
 ///
 /// Propagates socket read errors and timeouts.
 pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<Request, Response>> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    read_request_within(stream, HEAD_DEADLINE, BODY_DEADLINE)
+}
+
+/// [`read_request`] with caller-chosen head/body deadlines — the seam
+/// the slow-loris tests drive with tight deadlines so they finish in
+/// milliseconds, not tens of seconds.
+pub fn read_request_within(
+    stream: &mut TcpStream,
+    head_timeout: Duration,
+    body_timeout: Duration,
+) -> std::io::Result<Result<Request, Response>> {
+    let timed_out = || Response::error(408, "request not completed before the read deadline");
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    // `Take` enforces the head bound *inside* read_line: a peer streaming
-    // an endless newline-less header cannot grow memory past the limit —
-    // read_line simply hits the cap and returns what it has.
-    let mut reader = BufReader::new((&mut *stream).take(MAX_HEAD_BYTES as u64));
-    let mut head = String::new();
-    // Request line + headers, CRLF-delimited, bounded.
-    loop {
-        let before = head.len();
-        let read = reader.read_line(&mut head)?;
-        if read == 0 {
-            return Ok(Err(if head.len() >= MAX_HEAD_BYTES {
-                Response::error(413, "request head too large")
-            } else {
-                Response::error(400, "connection closed mid-request")
-            }));
+    // Head phase: raw chunked reads until the blank line, re-arming the
+    // socket timeout with what is left of the head deadline before each
+    // read — the deadline bounds the *phase*, not each syscall, so a
+    // peer dribbling one byte per near-timeout interval (with or
+    // without newlines) is dropped at the deadline. Memory stays
+    // bounded by MAX_HEAD_BYTES: no terminator within the cap is a 413.
+    let head_deadline = Instant::now() + head_timeout;
+    let mut buffered: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 2 * 1024];
+    let (head_len, body_start) = loop {
+        if let Some(bounds) = find_head_end(&buffered) {
+            break bounds;
         }
-        if head.len() >= MAX_HEAD_BYTES {
+        if buffered.len() >= MAX_HEAD_BYTES {
             return Ok(Err(Response::error(413, "request head too large")));
         }
-        if head[before..].trim_end_matches(['\r', '\n']).is_empty() {
-            break; // blank line: end of head
+        let Some(left) = remaining(head_deadline) else {
+            return Ok(Err(timed_out()));
+        };
+        stream.set_read_timeout(Some(left))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(Err(Response::error(400, "connection closed mid-request"))),
+            Ok(read) => buffered.extend_from_slice(&chunk[..read]),
+            Err(e) if is_timeout(&e) => return Ok(Err(timed_out())),
+            Err(e) => return Err(e),
         }
-    }
+    };
+    let head = String::from_utf8_lossy(&buffered[..head_len]).into_owned();
     let mut lines = head.lines();
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
@@ -155,31 +215,59 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<Request, R
     if content_length > MAX_BODY_BYTES {
         return Ok(Err(Response::error(413, "request body too large")));
     }
-    // Re-arm the limiter for the body (the buffer may already hold a
-    // body prefix pulled during the head reads — it was counted against
-    // the head allowance, so this bound is if anything generous), then
-    // read incrementally: memory grows with bytes actually received, so
-    // a peer declaring a huge Content-Length and stalling costs this
-    // thread a timeout, not a 64 MB allocation.
-    reader.get_mut().set_limit(content_length as u64);
-    let mut body = Vec::new();
-    let mut chunk = [0u8; 8 * 1024];
+    // Body phase: whatever arrived behind the head seeds the body, the
+    // rest reads incrementally under its own whole-phase deadline.
+    // Memory grows with bytes actually received, so a peer declaring a
+    // huge Content-Length and stalling costs this thread a deadline,
+    // not a 64 MB allocation.
+    let mut body = buffered[body_start..].to_vec();
+    body.truncate(content_length); // ignore pipelined bytes past the frame
+    let body_deadline = Instant::now() + body_timeout;
     while body.len() < content_length {
         let want = (content_length - body.len()).min(chunk.len());
-        let read = reader.read(&mut chunk[..want])?;
-        if read == 0 {
-            return Ok(Err(Response::error(
-                400,
-                "body shorter than Content-Length",
-            )));
+        let Some(left) = remaining(body_deadline) else {
+            return Ok(Err(timed_out()));
+        };
+        stream.set_read_timeout(Some(left))?;
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Ok(Err(Response::error(
+                    400,
+                    "body shorter than Content-Length",
+                )))
+            }
+            Ok(read) => body.extend_from_slice(&chunk[..read]),
+            Err(e) if is_timeout(&e) => return Ok(Err(timed_out())),
+            Err(e) => return Err(e),
         }
-        body.extend_from_slice(&chunk[..read]);
     }
     let body = match String::from_utf8(body) {
         Ok(s) => s,
         Err(_) => return Ok(Err(Response::error(400, "body is not UTF-8"))),
     };
     Ok(Ok(Request { method, path, body }))
+}
+
+/// Whether an I/O error is a read-timeout expiry (platform-dependent
+/// kind: `WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Finds the head/body boundary: `(head_len, body_start)` around the
+/// first blank line (`\r\n\r\n`, tolerating bare `\n\n`).
+fn find_head_end(buffered: &[u8]) -> Option<(usize, usize)> {
+    let crlf = buffered.windows(4).position(|w| w == b"\r\n\r\n");
+    let lf = buffered.windows(2).position(|w| w == b"\n\n");
+    match (crlf, lf) {
+        (Some(c), Some(l)) if l + 1 < c => Some((l, l + 2)),
+        (Some(c), _) => Some((c, c + 4)),
+        (None, Some(l)) => Some((l, l + 2)),
+        (None, None) => None,
+    }
 }
 
 /// Performs one HTTP exchange as a client: connect, send, read the

@@ -102,10 +102,15 @@ pub struct JobCounts {
     pub cancelled: usize,
     /// Failed with an error message.
     pub failed: usize,
+    /// Submits refused by admission control since startup (cumulative,
+    /// not a lifecycle state — shed submissions never became jobs).
+    /// The overload signal for healthz-driven backend weighting.
+    pub shed: usize,
 }
 
 impl JobCounts {
-    /// Total jobs known to the manager.
+    /// Total jobs known to the manager. Shed submissions are not jobs
+    /// and do not count.
     #[must_use]
     pub fn total(&self) -> usize {
         self.queued + self.running + self.done + self.cancelled + self.failed
@@ -120,8 +125,50 @@ impl JobCounts {
             .field("done", self.done)
             .field("cancelled", self.cancelled)
             .field("failed", self.failed)
+            .field("shed", self.shed)
     }
 }
+
+/// Why a submission was refused, typed by the HTTP answer it deserves —
+/// the seam that lets admission control shed load as `429 +
+/// Retry-After` (retryable elsewhere or later) without being mistaken
+/// for "the spec is bad" (fatal everywhere).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control: the submit queue is full. Answered `429` with
+    /// a `Retry-After` hint; a shard coordinator treats it as a strike
+    /// against this backend's breaker, not as a spec rejection.
+    Shed {
+        /// Jobs waiting when the submit was refused.
+        queued: usize,
+        /// The queue bound that refused it.
+        limit: usize,
+    },
+    /// The service is draining; answered `503`.
+    ShuttingDown,
+    /// The spec itself is bad (unenumerable grid, range past the grid,
+    /// hash collision); answered `400` — every replica would refuse it.
+    Invalid(String),
+    /// This backend's store failed; answered `500` so coordinators
+    /// re-dispatch instead of aborting the campaign.
+    Store(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Shed { queued, limit } => write!(
+                f,
+                "submit queue is full ({queued} queued, limit {limit}): shedding load"
+            ),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Invalid(why) => write!(f, "{why}"),
+            SubmitError::Store(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 #[derive(Debug)]
 struct JobEntry {
@@ -143,6 +190,8 @@ struct ManagerState {
     jobs: HashMap<String, JobEntry>,
     queue: VecDeque<String>,
     shutdown: bool,
+    /// Cumulative count of submits refused by admission control.
+    shed: usize,
 }
 
 /// The bounded job manager. All HTTP handlers and runner threads share
@@ -153,6 +202,10 @@ pub struct JobManager {
     state: Mutex<ManagerState>,
     wake: Condvar,
     campaign_threads: usize,
+    /// Admission bound: new jobs are refused (shed) while this many are
+    /// already queued. Joins onto known jobs and cache hits are exempt —
+    /// they add no work.
+    max_queued: usize,
 }
 
 /// The outcome of a submission, for the POST handler.
@@ -170,13 +223,23 @@ impl JobManager {
     /// Builds a manager over `store`, **recovering** persisted jobs:
     /// directories with a `result.json` register as done (cache hits),
     /// everything else re-enqueues and resumes from its journal.
+    ///
+    /// `max_queued` is the admission bound for *new* jobs (`0` means
+    /// unbounded); recovered jobs re-enqueue regardless — they were
+    /// admitted before the restart and their journals are real work
+    /// already done.
     #[must_use]
-    pub fn recover(store: JobStore, campaign_threads: usize) -> Arc<Self> {
+    pub fn recover(store: JobStore, campaign_threads: usize, max_queued: usize) -> Arc<Self> {
         let manager = Arc::new(Self {
             store,
             state: Mutex::new(ManagerState::default()),
             wake: Condvar::new(),
             campaign_threads,
+            max_queued: if max_queued == 0 {
+                usize::MAX
+            } else {
+                max_queued
+            },
         });
         let ids = manager.store.list_jobs();
         {
@@ -247,26 +310,32 @@ impl JobManager {
     ///
     /// # Errors
     ///
-    /// Returns a message for unenumerable grids (infeasible optimizer
-    /// points surface here, at submit time), store I/O failures, and —
-    /// because the id is a 64-bit content hash — a submitted spec whose
-    /// canonical bytes differ from the stored spec under the same id
-    /// (hash collision: refused rather than serving the wrong report).
-    pub fn submit(&self, spec: &CampaignSpec) -> Result<Submission, String> {
+    /// Typed [`SubmitError`]: `Invalid` for unenumerable grids
+    /// (infeasible optimizer points surface here, at submit time),
+    /// ranges past the grid, and — because the id is a 64-bit content
+    /// hash — a submitted spec whose canonical bytes differ from the
+    /// stored spec under the same id (hash collision: refused rather
+    /// than serving the wrong report); `Shed` when admission control
+    /// refuses a *new* job over a full queue; `ShuttingDown` while
+    /// draining; `Store` for this backend's own I/O trouble.
+    pub fn submit(&self, spec: &CampaignSpec) -> Result<Submission, SubmitError> {
         let id = JobStore::job_id(spec);
         // Enumerate outside the lock: optimizer-backed scheme axes do
         // real work, and an infeasible point panics — turn that into a
         // client error instead of a dead runner.
-        let grid = catch_unwind(AssertUnwindSafe(|| spec.scenarios().len()))
-            .map_err(|_| "spec enumerates no feasible grid (optimizer found no design point)")?;
+        let grid = catch_unwind(AssertUnwindSafe(|| spec.scenarios().len())).map_err(|_| {
+            SubmitError::Invalid(
+                "spec enumerates no feasible grid (optimizer found no design point)".to_owned(),
+            )
+        })?;
         // A ranged sub-spec must fit the grid it claims to slice: a
         // range past the end means the submitter partitioned a different
         // campaign.
         if let Some((start, end)) = spec.range() {
             if end > grid {
-                return Err(format!(
+                return Err(SubmitError::Invalid(format!(
                     "scenario_range [{start}, {end}) exceeds the {grid}-scenario grid"
-                ));
+                )));
             }
         }
         // A job's size is what it will actually execute (its range for
@@ -275,7 +344,7 @@ impl JobManager {
         let canonical = spec.to_json().render();
         let mut state = self.state.lock().expect("manager poisoned");
         if state.shutdown {
-            return Err("service is shutting down".to_owned());
+            return Err(SubmitError::ShuttingDown);
         }
         if state.jobs.contains_key(&id) {
             // The id is a 64-bit hash: before treating this as the same
@@ -283,9 +352,9 @@ impl JobManager {
             // (string compare against the cached canonical rendering —
             // no disk I/O under the lock).
             if state.jobs[&id].canonical != canonical {
-                return Err(format!(
+                return Err(SubmitError::Invalid(format!(
                     "spec hash collision: {id} already names a different campaign"
-                ));
+                )));
             }
             // Failed/cancelled attempts re-enqueue and resume from their
             // journal; done/queued/running jobs are simply reported.
@@ -314,9 +383,19 @@ impl JobManager {
                 },
             });
         }
+        // Admission control: only *new* jobs are bounded. Joins and
+        // cache hits above cost nothing to serve; shedding them would
+        // refuse work the service already did.
+        if state.queue.len() >= self.max_queued {
+            state.shed += 1;
+            return Err(SubmitError::Shed {
+                queued: state.queue.len(),
+                limit: self.max_queued,
+            });
+        }
         self.store
             .create_job(&id, spec, scenarios)
-            .map_err(|e| format!("persisting job: {e}"))?;
+            .map_err(|e| SubmitError::Store(format!("persisting job: {e}")))?;
         state.jobs.insert(
             id.clone(),
             JobEntry {
@@ -368,6 +447,7 @@ impl JobManager {
                 JobState::Failed(_) => counts.failed += 1,
             }
         }
+        counts.shed = state.shed;
         counts
     }
 

@@ -48,6 +48,7 @@
 //!     data_dir: dir.clone(),
 //!     max_jobs: 1,
 //!     campaign_threads: 1,
+//!     max_queued: 0, // unbounded
 //! };
 //! let server = Server::bind(&config).expect("bind");
 //! let addr = server.local_addr().expect("addr");

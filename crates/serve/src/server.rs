@@ -27,7 +27,7 @@ use std::time::Duration;
 use chunkpoint_campaign::{CampaignSpec, JsonValue};
 
 use crate::http::{read_request, Request, Response};
-use crate::jobs::JobManager;
+use crate::jobs::{JobManager, SubmitError};
 use crate::store::JobStore;
 
 /// Server configuration.
@@ -42,6 +42,10 @@ pub struct ServeConfig {
     pub max_jobs: usize,
     /// Worker threads per campaign (`0` = all cores).
     pub campaign_threads: usize,
+    /// Admission bound: *new* submissions are shed with `429 +
+    /// Retry-After` while this many jobs are queued (`0` = unbounded).
+    /// Joins, cache hits, and recovered jobs are never shed.
+    pub max_queued: usize,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +55,7 @@ impl Default for ServeConfig {
             data_dir: PathBuf::from("chunkpoint-serve-data"),
             max_jobs: 2,
             campaign_threads: 0,
+            max_queued: 1024,
         }
     }
 }
@@ -74,7 +79,7 @@ impl Server {
     /// Propagates bind/store I/O errors.
     pub fn bind(config: &ServeConfig) -> std::io::Result<Self> {
         let store = JobStore::open(&config.data_dir)?;
-        let manager = JobManager::recover(store, config.campaign_threads);
+        let manager = JobManager::recover(store, config.campaign_threads, config.max_queued);
         let runners = manager.spawn_runners(config.max_jobs);
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Self {
@@ -230,20 +235,16 @@ fn submit(request: &Request, manager: &JobManager) -> Response {
                 .field("created", submission.created);
             Response::json(status, doc.render())
         }
-        Err(message) => {
-            // 4xx is reserved for "the spec itself is bad" (every
-            // replica would refuse it); this backend's own store
-            // failing is a 500 so shard coordinators re-dispatch
-            // instead of aborting the campaign.
-            let status = if message.contains("shutting down") {
-                503
-            } else if message.starts_with("persisting job") {
-                500
-            } else {
-                400
-            };
-            Response::error(status, &message)
+        // 400 is reserved for "the spec itself is bad" (every replica
+        // would refuse it); overload (429) and this backend's own
+        // trouble (500/503) are retryable elsewhere, so shard
+        // coordinators re-dispatch instead of aborting the campaign.
+        Err(ref error @ SubmitError::Shed { .. }) => {
+            Response::error(429, &error.to_string()).with_retry_after(1)
         }
+        Err(ref error @ SubmitError::ShuttingDown) => Response::error(503, &error.to_string()),
+        Err(SubmitError::Store(detail)) => Response::error(500, &detail),
+        Err(SubmitError::Invalid(detail)) => Response::error(400, &detail),
     }
 }
 

@@ -81,7 +81,7 @@ fn ranged_job_resumes_from_journal_after_restart() {
     // "Restart": recovery re-enqueues the unfinished job with its
     // journaled progress; a runner resumes it with the range-restricted
     // skip set and finishes only scenarios 6..10.
-    let manager = JobManager::recover(JobStore::open(&root).expect("reopen"), 1);
+    let manager = JobManager::recover(JobStore::open(&root).expect("reopen"), 1, 0);
     let recovered = manager.status(&id).expect("recovered job");
     assert_eq!(recovered.state, JobState::Queued);
     assert_eq!(
@@ -149,12 +149,12 @@ fn out_of_range_journal_rows_are_rejected() {
 fn range_past_the_grid_is_rejected_at_submit() {
     let root = temp_dir("bounds");
     let _ = std::fs::remove_dir_all(&root);
-    let manager = JobManager::recover(JobStore::open(&root).expect("open"), 1);
+    let manager = JobManager::recover(JobStore::open(&root).expect("open"), 1, 0);
     // Grid is 12 scenarios; [8, 20) overhangs it.
     let err = manager
         .submit(&base_spec().scenario_range(8, 20))
         .expect_err("overhanging range");
-    assert!(err.contains("exceeds"), "{err}");
+    assert!(err.to_string().contains("exceeds"), "{err}");
     // A range that fits is accepted and sized by its slice.
     let ok = manager
         .submit(&base_spec().scenario_range(8, 12))

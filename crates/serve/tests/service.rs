@@ -53,6 +53,7 @@ fn submit_poll_result_cache_delete_shutdown() {
         data_dir: dir.clone(),
         max_jobs: 2,
         campaign_threads: 2,
+        max_queued: 0,
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr");

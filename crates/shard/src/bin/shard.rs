@@ -4,6 +4,7 @@
 //! ```text
 //! shard --backends HOST:PORT[,HOST:PORT...] --spec PATH [--json PATH]
 //!       [--weights W[,W...]] [--poll-ms N] [--timeout-secs N]
+//!       [--strikes N] [--attempts N]
 //! ```
 //!
 //! The report written by `--json` (stdout without it) is byte-identical
@@ -22,8 +23,11 @@ const USAGE: &str = "chunkpoint shard coordinator:
   --spec PATH        campaign spec JSON (canonical wire form), required
   --json PATH        write the merged canonical report here (default: stdout)
   --weights LIST     comma-separated per-backend weights (default: even split)
-  --poll-ms N        poll sweep interval in milliseconds (default 25)
+  --poll-ms N        base poll sweep interval in milliseconds (default 25);
+                     idle sweeps back off exponentially with jitter
   --timeout-secs N   per-request timeout in seconds (default 10)
+  --strikes N        consecutive failures opening a backend's breaker (default 3)
+  --attempts N       dispatch attempts per shard before giving up (default 5)
   --help             this text";
 
 struct Args {
@@ -83,6 +87,22 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("--timeout-secs must be at least 1\n\n{USAGE}"));
                 }
                 config.request_timeout = Duration::from_secs(secs);
+            }
+            "--strikes" => {
+                config.backend_strikes = value_of("--strikes")?
+                    .parse()
+                    .map_err(|e| format!("--strikes: {e}\n\n{USAGE}"))?;
+                if config.backend_strikes == 0 {
+                    return Err(format!("--strikes must be at least 1\n\n{USAGE}"));
+                }
+            }
+            "--attempts" => {
+                config.shard_attempts = value_of("--attempts")?
+                    .parse()
+                    .map_err(|e| format!("--attempts: {e}\n\n{USAGE}"))?;
+                if config.shard_attempts == 0 {
+                    return Err(format!("--attempts must be at least 1\n\n{USAGE}"));
+                }
             }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),

@@ -1,0 +1,244 @@
+//! Deterministic retry pacing: a seeded exponential [`Backoff`]
+//! schedule and a per-backend [`CircuitBreaker`] built on it.
+//!
+//! Both types follow the repo's seed discipline: every delay derives
+//! from `(seed, step)` through SplitMix64's finalizer, so two breakers
+//! (or two whole runs) configured with the same seed produce the same
+//! schedule down to the nanosecond — a failure run is replayable the
+//! same way a campaign is. The jitter exists to de-synchronize *
+//! different* seeds (a fleet of coordinators hammering a recovering
+//! backend), not to add entropy to any one of them.
+//!
+//! The breaker itself is a pure state machine over a **caller-owned
+//! clock**: every transition takes `now` as a [`Duration`] since an
+//! epoch the caller picks (run start for the coordinator, a synthetic
+//! counter in property tests). No `Instant::now()` hides inside, which
+//! is what makes `tests/breaker_prop.rs` able to drive years of
+//! schedule in microseconds.
+
+use std::time::Duration;
+
+use chunkpoint_campaign::seed::{mix64, GOLDEN_GAMMA};
+
+/// A deterministic truncated-exponential backoff schedule with seeded
+/// jitter: `delay(step) = min(base · 2^step · (1 + j/4), max)` where
+/// `j ∈ [0, 1)` derives from `mix64(seed, step)`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    max: Duration,
+    seed: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and doubling per step up to `max`,
+    /// jittered by `seed`. A zero `base` is clamped to one millisecond
+    /// so the schedule still grows.
+    #[must_use]
+    pub fn new(base: Duration, max: Duration, seed: u64) -> Self {
+        let base = base.max(Duration::from_millis(1));
+        Self {
+            base,
+            max: max.max(base),
+            seed,
+        }
+    }
+
+    /// The jitter unit in `[0, 1)` for `step` — the top 53 bits of the
+    /// mixed seed, so the float is exact and identical on every
+    /// platform (IEEE-754 double arithmetic only).
+    fn jitter_unit(&self, step: u32) -> f64 {
+        let word = mix64(
+            self.seed
+                .wrapping_add(u64::from(step).wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)),
+        );
+        (word >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The delay for retry `step` (0 = first retry). Monotone in `step`
+    /// up to the cap; never exceeds the configured max.
+    #[must_use]
+    pub fn delay(&self, step: u32) -> Duration {
+        let exp = self.base.as_secs_f64() * 2f64.powi(step.min(32) as i32);
+        let jittered = exp * (1.0 + self.jitter_unit(step) / 4.0);
+        Duration::from_secs_f64(jittered.min(self.max.as_secs_f64()))
+    }
+
+    /// The configured base delay (step 0 before jitter).
+    #[must_use]
+    pub fn base(&self) -> Duration {
+        self.base
+    }
+
+    /// The configured cap.
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+}
+
+/// The breaker's observable state at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; failures are being counted.
+    Closed,
+    /// Cooling down after too many consecutive failures — no request
+    /// may be sent until the cooldown elapses.
+    Open,
+    /// The cooldown elapsed: exactly the next request is a probe. A
+    /// probe success closes the breaker; a probe failure re-opens it
+    /// with a longer cooldown.
+    HalfOpen,
+}
+
+/// A per-backend circuit breaker: `threshold` consecutive failures open
+/// it, the [`Backoff`] schedule decides each cooldown (doubling per
+/// consecutive open, so a backend that keeps failing its probes is
+/// bothered less and less often), and one success closes it entirely.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    backoff: Backoff,
+    consecutive_failures: u32,
+    /// Consecutive opens without an intervening success — the backoff
+    /// step of the current cooldown.
+    opens: u32,
+    open_until: Option<Duration>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures (clamped to at least 1) and cools down on `backoff`'s
+    /// schedule.
+    #[must_use]
+    pub fn new(threshold: u32, backoff: Backoff) -> Self {
+        Self {
+            threshold: threshold.max(1),
+            backoff,
+            consecutive_failures: 0,
+            opens: 0,
+            open_until: None,
+        }
+    }
+
+    /// The state at `now` (a duration since the caller's epoch).
+    #[must_use]
+    pub fn state(&self, now: Duration) -> BreakerState {
+        match self.open_until {
+            None => BreakerState::Closed,
+            Some(until) if now < until => BreakerState::Open,
+            Some(_) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Whether a request may be sent at `now` — closed, or half-open
+    /// (the probe). Never true while open: that is the breaker's whole
+    /// contract, and `tests/breaker_prop.rs` holds it over arbitrary
+    /// failure/success sequences.
+    #[must_use]
+    pub fn ready(&self, now: Duration) -> bool {
+        self.state(now) != BreakerState::Open
+    }
+
+    /// When the current cooldown ends (the earliest `now` at which
+    /// [`CircuitBreaker::ready`] turns true again), if open.
+    #[must_use]
+    pub fn retry_at(&self) -> Option<Duration> {
+        self.open_until
+    }
+
+    /// Records a failed exchange at `now`. Returns `true` when this
+    /// failure opened (or re-opened) the breaker — the caller's cue to
+    /// emit a backend-down event and re-dispatch work. While open or
+    /// half-open, *any* failure re-opens with the next longer cooldown
+    /// (a failed probe must not be retried at the old cadence).
+    pub fn record_failure(&mut self, now: Duration) -> bool {
+        if self.open_until.is_some() {
+            self.open_until = Some(now + self.backoff.delay(self.opens));
+            self.opens += 1;
+            return true;
+        }
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.threshold {
+            self.open_until = Some(now + self.backoff.delay(self.opens));
+            self.opens += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Records a successful exchange: closes the breaker and resets the
+    /// failure count and the cooldown ladder.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opens = 0;
+        self.open_until = None;
+    }
+
+    /// Consecutive opens without an intervening success.
+    #[must_use]
+    pub fn opens(&self) -> u32 {
+        self.opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backoff() -> Backoff {
+        Backoff::new(
+            Duration::from_millis(100),
+            Duration::from_secs(2),
+            0xB0FF_5EED,
+        )
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_capped() {
+        let b = backoff();
+        let mut last = Duration::ZERO;
+        for step in 0..12 {
+            let d = b.delay(step);
+            assert!(d >= last, "step {step}: {d:?} < {last:?}");
+            assert!(d <= b.max(), "step {step}: {d:?} over the cap");
+            last = d;
+        }
+        assert_eq!(b.delay(11), b.max(), "deep steps must sit at the cap");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let (a, b) = (backoff(), backoff());
+        for step in 0..16 {
+            assert_eq!(a.delay(step), b.delay(step));
+        }
+        let other = Backoff::new(Duration::from_millis(100), Duration::from_secs(2), 7);
+        assert!(
+            (0..16).any(|step| other.delay(step) != a.delay(step)),
+            "different seeds should jitter differently"
+        );
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen() {
+        let mut breaker = CircuitBreaker::new(2, backoff());
+        let t0 = Duration::ZERO;
+        assert_eq!(breaker.state(t0), BreakerState::Closed);
+        assert!(!breaker.record_failure(t0), "below threshold");
+        assert!(breaker.record_failure(t0), "threshold opens");
+        assert_eq!(breaker.state(t0), BreakerState::Open);
+        assert!(!breaker.ready(t0));
+        let until = breaker.retry_at().expect("open has a deadline");
+        assert_eq!(breaker.state(until), BreakerState::HalfOpen);
+        assert!(breaker.ready(until), "cooldown elapsed: probe allowed");
+        // Failed probe re-opens with a longer cooldown.
+        assert!(breaker.record_failure(until));
+        let reopened = breaker.retry_at().expect("re-opened");
+        assert!(reopened - until > until - t0, "cooldown must grow");
+        // Success closes and resets the ladder.
+        breaker.record_success();
+        assert_eq!(breaker.state(reopened), BreakerState::Closed);
+        assert_eq!(breaker.opens(), 0);
+    }
+}

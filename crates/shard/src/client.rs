@@ -118,6 +118,14 @@ pub fn classify_submit(status: u16, body: String) -> SubmitOutcome {
                 detail: format!("submit answered {status} with no id"),
             },
         },
+        // 429 (admission control shed the submit) and 408 (the backend
+        // timed the request out) are about the backend's load, not the
+        // spec: retrying — elsewhere, or here after the breaker's
+        // cooldown — is exactly right.
+        408 | 429 => SubmitOutcome::Retryable {
+            status,
+            detail: format!("submit answered {status}: {body}"),
+        },
         400..=499 => SubmitOutcome::Rejected { status, body },
         _ => SubmitOutcome::Retryable {
             status,

@@ -12,25 +12,31 @@
 //! run no matter which backends did the work or in what order they
 //! finished.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use chunkpoint_campaign::{
     canonical_report_json, CampaignSpec, CancelToken, JsonValue, Scenario, ScenarioResult,
 };
 use chunkpoint_serve::REPORT_AXES;
 
+use crate::breaker::{Backoff, CircuitBreaker};
 use crate::client::{classify_submit, exchange, SubmitOutcome};
 use crate::partition::{partition, partition_weighted};
 
 /// Coordinator knobs. The defaults suit a LAN of `serve` instances.
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
-    /// Pause between poll sweeps over the outstanding shards.
+    /// Base pause between poll sweeps over the outstanding shards. The
+    /// actual sleep follows the deterministic [`Backoff`] schedule:
+    /// `poll_interval` while the run makes progress, doubling (with
+    /// seeded jitter) toward [`ShardConfig::poll_max`] across idle
+    /// sweeps.
     pub poll_interval: Duration,
     /// Connect/read/write timeout of every HTTP exchange.
     pub request_timeout: Duration,
-    /// Consecutive failed exchanges before a backend is declared dead
-    /// and its shards re-dispatch to the survivors.
+    /// Consecutive failed exchanges that open a backend's circuit
+    /// breaker (its shards re-dispatch to ready backends; the breaker
+    /// half-open-probes it on the cooldown schedule).
     pub backend_strikes: u32,
     /// Submission attempts one shard may burn (first dispatch included)
     /// before the run gives up — the terminator for a range that fails
@@ -38,6 +44,16 @@ pub struct ShardConfig {
     /// full disk everywhere), which transport strikes alone would
     /// ping-pong forever.
     pub shard_attempts: u32,
+    /// Cap of the idle-sweep poll backoff.
+    pub poll_max: Duration,
+    /// Base cooldown of a backend's circuit breaker when it opens; each
+    /// consecutive re-open doubles it (with seeded jitter).
+    pub breaker_cooldown: Duration,
+    /// Cap of the breaker cooldown ladder.
+    pub breaker_max: Duration,
+    /// Seed of the deterministic backoff jitter schedules — same seed,
+    /// same poll cadence and same cooldowns, every run.
+    pub backoff_seed: u64,
 }
 
 impl Default for ShardConfig {
@@ -47,7 +63,39 @@ impl Default for ShardConfig {
             request_timeout: Duration::from_secs(10),
             backend_strikes: 3,
             shard_attempts: 5,
+            poll_max: Duration::from_millis(400),
+            breaker_cooldown: Duration::from_millis(100),
+            breaker_max: Duration::from_secs(2),
+            backoff_seed: 0,
         }
+    }
+}
+
+/// What a sharded run salvaged before giving up: the graceful-degradation
+/// payload of [`ShardError::Exhausted`]. Ranges that completed (fetched
+/// and row-validated) are reported with their rows and a canonical
+/// report over just those rows — so an operator keeps the finished
+/// slices of an overnight campaign instead of an opaque error, and a
+/// re-run against healthy backends is instant for them (result cache).
+#[derive(Debug, Clone)]
+pub struct PartialCampaign {
+    /// Scenario ranges `[start, end)` whose journals were fetched and
+    /// validated, in range order.
+    pub completed_ranges: Vec<(usize, usize)>,
+    /// The validated rows of those ranges, in global scenario-index
+    /// order.
+    pub results: Vec<ScenarioResult>,
+    /// [`canonical_report_json`] rendered over the salvaged rows only —
+    /// byte-deterministic for a given set of completed ranges, but
+    /// **not** the full campaign's report.
+    pub report_so_far: String,
+}
+
+impl PartialCampaign {
+    /// Scenarios salvaged.
+    #[must_use]
+    pub fn scenarios(&self) -> usize {
+        self.results.len()
     }
 }
 
@@ -70,10 +118,15 @@ pub enum ShardError {
         /// Its error body.
         body: String,
     },
-    /// Every backend struck out with shards still outstanding.
+    /// Every backend or dispatch attempt was exhausted with shards
+    /// still outstanding. The work that *did* finish is not thrown
+    /// away: `partial` carries the completed ranges, their validated
+    /// rows, and a canonical report over them.
     Exhausted {
         /// What the coordinator saw last.
         detail: String,
+        /// Completed ranges, rows, and the report over them.
+        partial: Box<PartialCampaign>,
     },
     /// The merged rows do not cover the grid exactly once each —
     /// overlapping or gapped journals.
@@ -97,8 +150,13 @@ impl std::fmt::Display for ShardError {
                 f,
                 "backend {backend} rejected the sub-spec ({status}): {body}"
             ),
-            ShardError::Exhausted { detail } => {
-                write!(f, "every backend struck out: {detail}")
+            ShardError::Exhausted { detail, partial } => {
+                write!(
+                    f,
+                    "every backend struck out: {detail} ({} scenarios salvaged across {} completed ranges)",
+                    partial.scenarios(),
+                    partial.completed_ranges.len()
+                )
             }
             ShardError::BadMerge(why) => write!(f, "journal merge failed: {why}"),
             ShardError::Cancelled => write!(f, "sharded campaign cancelled"),
@@ -202,7 +260,10 @@ pub enum ShardEvent {
         /// Backend address the shard now lives on.
         backend: String,
     },
-    /// A backend exceeded its strike budget and was declared dead.
+    /// A backend exceeded its strike budget and opened its circuit
+    /// breaker: its shards re-dispatch to ready backends and the
+    /// coordinator half-open-probes it on the cooldown schedule.
+    /// Emitted on the first open only, not on every failed probe.
     BackendDead {
         /// The backend's address.
         backend: String,
@@ -346,11 +407,10 @@ fn merged_report_over(
     Ok((report, rows))
 }
 
-/// One backend's liveness bookkeeping.
+/// One backend and its circuit breaker.
 struct Backend {
     addr: String,
-    strikes: u32,
-    dead: bool,
+    breaker: CircuitBreaker,
 }
 
 /// One contiguous slice of the grid and where it currently lives.
@@ -361,6 +421,10 @@ struct Shard {
     rows: Option<Vec<ScenarioResult>>,
     /// Submissions burned so far (bounded by `shard_attempts`).
     attempts: u32,
+    /// Failed exchanges charged to this shard (bounded by the failure
+    /// budget) — the terminator for a fleet whose breakers keep
+    /// half-open-probing dead backends forever.
+    failures: u32,
 }
 
 /// The coordinator state machine driving [`run_sharded_ctl`].
@@ -370,6 +434,9 @@ struct Dispatcher<'a> {
     /// row's expected scenario (index + derived seed).
     grid: &'a [Scenario],
     config: &'a ShardConfig,
+    /// Epoch of the breaker clock: every breaker transition is stamped
+    /// with `epoch.elapsed()`.
+    epoch: Instant,
     backends: Vec<Backend>,
     shards: Vec<Shard>,
     dispatches: usize,
@@ -380,6 +447,18 @@ struct Dispatcher<'a> {
 }
 
 impl Dispatcher<'_> {
+    /// The breaker clock.
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Failed exchanges one shard may absorb before the run gives up.
+    /// Derived rather than a knob: enough for every backend to strike
+    /// out once per dispatch attempt.
+    fn failure_budget(&self) -> u32 {
+        self.config.shard_attempts.max(1) * self.config.backend_strikes.max(1)
+    }
+
     /// Records an event: renders it into the run's human-readable log
     /// and hands it to the live sink.
     fn emit(&mut self, event: &ShardEvent) {
@@ -387,40 +466,85 @@ impl Dispatcher<'_> {
         (self.sink)(event);
     }
 
-    /// Records a failed exchange against a backend; marks it dead after
-    /// `backend_strikes` consecutive failures.
-    fn strike(&mut self, backend: usize, why: &str) {
+    /// Builds the typed give-up error: what completed so far rides
+    /// along as a [`PartialCampaign`] instead of being thrown away.
+    fn exhausted(&self, detail: String) -> ShardError {
+        let mut completed_ranges: Vec<(usize, usize)> = Vec::new();
+        let mut results: Vec<ScenarioResult> = Vec::new();
+        for shard in &self.shards {
+            if let Some(rows) = &shard.rows {
+                completed_ranges.push(shard.range);
+                results.extend(rows.iter().cloned());
+            }
+        }
+        completed_ranges.sort_unstable();
+        results.sort_by_key(|r| r.scenario.index);
+        let report_so_far =
+            canonical_report_json(self.spec.campaign_seed, &results, &REPORT_AXES).render();
+        ShardError::Exhausted {
+            detail,
+            partial: Box::new(PartialCampaign {
+                completed_ranges,
+                results,
+                report_so_far,
+            }),
+        }
+    }
+
+    /// Records a failed exchange against a backend on behalf of a
+    /// shard: feeds the backend's breaker (emitting
+    /// [`ShardEvent::BackendDead`] the first time it opens) and charges
+    /// the shard's failure budget, turning budget exhaustion into the
+    /// typed [`ShardError::Exhausted`].
+    fn fail(&mut self, shard: usize, backend: usize, why: &str) -> Result<(), ShardError> {
         self.failures += 1;
-        let b = &mut self.backends[backend];
-        b.strikes += 1;
-        if !b.dead && b.strikes >= self.config.backend_strikes {
-            b.dead = true;
-            let addr = b.addr.clone();
+        let now = self.now();
+        let opened = self.backends[backend].breaker.record_failure(now);
+        if opened && self.backends[backend].breaker.opens() == 1 {
+            let addr = self.backends[backend].addr.clone();
             self.emit(&ShardEvent::BackendDead {
                 backend: addr,
                 why: why.to_owned(),
             });
         }
+        self.shards[shard].failures += 1;
+        if self.shards[shard].failures >= self.failure_budget() {
+            let (start, end) = self.shards[shard].range;
+            return Err(self.exhausted(format!(
+                "shard {shard} [{start}, {end}) burned its budget of {} failed exchanges \
+                 (last: {why})",
+                self.failure_budget()
+            )));
+        }
+        Ok(())
     }
 
-    /// Picks the next live backend for a shard, preferring anyone other
-    /// than `avoid`. Falls back to `avoid` itself if it is the only
-    /// survivor (a failed *job* on a live backend resumes from its own
-    /// journal there).
+    /// Whether `backend` may be sent a request right now (breaker
+    /// closed, or half-open for a probe).
+    fn ready(&self, backend: usize) -> bool {
+        self.backends[backend].breaker.ready(self.now())
+    }
+
+    /// Picks the next ready backend for a shard, preferring anyone
+    /// other than `avoid`; falls back to `avoid` itself if it is the
+    /// only one ready (a failed *job* on a live backend resumes from
+    /// its own journal there). With every breaker open the shard simply
+    /// waits — the next half-open probe re-dispatches it, and the
+    /// failure budget bounds how long the waiting can go on.
     fn reassign(&mut self, shard: usize, avoid: usize) -> Result<(), ShardError> {
         let k = self.backends.len();
         let target = (1..k)
             .map(|offset| (avoid + offset) % k)
-            .find(|&candidate| !self.backends[candidate].dead)
-            .or_else(|| (!self.backends[avoid].dead).then_some(avoid));
+            .find(|&candidate| self.ready(candidate))
+            .or_else(|| self.ready(avoid).then_some(avoid));
         let Some(target) = target else {
-            return Err(ShardError::Exhausted {
-                detail: format!(
-                    "no live backend left for shard {shard} [{}, {})",
-                    self.shards[shard].range.0, self.shards[shard].range.1
-                ),
-            });
+            return Ok(()); // everyone cooling down; wait for a probe window
         };
+        if target == avoid && self.shards[shard].job_id.is_some() {
+            // Nowhere better to go and the job is still live there:
+            // keep polling it rather than re-submitting in place.
+            return Ok(());
+        }
         self.emit(&ShardEvent::Redispatched {
             shard,
             range: self.shards[shard].range,
@@ -435,12 +559,10 @@ impl Dispatcher<'_> {
     fn submit(&mut self, shard: usize) -> Result<(), ShardError> {
         let (start, end) = self.shards[shard].range;
         if self.shards[shard].attempts >= self.config.shard_attempts {
-            return Err(ShardError::Exhausted {
-                detail: format!(
-                    "shard {shard} [{start}, {end}) burned all {} dispatch attempts",
-                    self.config.shard_attempts
-                ),
-            });
+            return Err(self.exhausted(format!(
+                "shard {shard} [{start}, {end}) burned all {} dispatch attempts",
+                self.config.shard_attempts
+            )));
         }
         self.shards[shard].attempts += 1;
         let backend = self.shards[shard].backend;
@@ -461,7 +583,7 @@ impl Dispatcher<'_> {
         ) {
             Ok((status, response)) => match classify_submit(status, response) {
                 SubmitOutcome::Accepted(id) => {
-                    self.backends[backend].strikes = 0;
+                    self.backends[backend].breaker.record_success();
                     self.shards[shard].job_id = Some(id);
                     Ok(())
                 }
@@ -472,16 +594,16 @@ impl Dispatcher<'_> {
                     status,
                     body,
                 }),
-                // Everything else (503 draining, 500 store trouble, a
-                // 2xx with no id) is this backend's problem, not the
-                // spec's.
+                // Everything else (503 draining, 429 shedding, 500
+                // store trouble, a 2xx with no id) is this backend's
+                // problem or load, not the spec's.
                 SubmitOutcome::Retryable { detail, .. } => {
-                    self.strike(backend, &detail);
+                    self.fail(shard, backend, &detail)?;
                     self.reassign(shard, backend)
                 }
             },
             Err(e) => {
-                self.strike(backend, &e.to_string());
+                self.fail(shard, backend, &e.to_string())?;
                 self.reassign(shard, backend)
             }
         }
@@ -542,7 +664,7 @@ impl Dispatcher<'_> {
             self.config.request_timeout,
         ) {
             Ok((200, body)) => {
-                self.backends[backend].strikes = 0;
+                self.backends[backend].breaker.record_success();
                 match JsonValue::parse(&body)
                     .ok()
                     .as_ref()
@@ -572,7 +694,7 @@ impl Dispatcher<'_> {
                             // A "done" job whose journal does not check
                             // out is a misbehaving backend: strike it and
                             // run the range somewhere trustworthy.
-                            self.strike(backend, &why);
+                            self.fail(shard, backend, &why)?;
                             self.reassign(shard, backend)
                         }
                     },
@@ -583,9 +705,14 @@ impl Dispatcher<'_> {
                             backend: addr,
                             why: body,
                         });
-                        // Resubmission elsewhere runs the range fresh; on
-                        // the same (sole surviving) backend it re-enqueues
-                        // and resumes from the journal.
+                        // A failed job never un-fails: drop its id so the
+                        // next sweep *resubmits* (elsewhere fresh; on the
+                        // same sole surviving backend it re-enqueues and
+                        // resumes from the journal) instead of re-polling
+                        // the same terminal status forever. Resubmission
+                        // is bounded by `shard_attempts`, which is what
+                        // terminates a deterministically failing range.
+                        self.shards[shard].job_id = None;
                         self.reassign(shard, backend)
                     }
                     // Someone cancelled the shard's job out from under
@@ -599,7 +726,7 @@ impl Dispatcher<'_> {
                     }
                     Some(_) => Ok(()), // queued / running
                     None => {
-                        self.strike(backend, "status document has no status");
+                        self.fail(shard, backend, "status document has no status")?;
                         self.reassign(shard, backend)
                     }
                 }
@@ -607,21 +734,48 @@ impl Dispatcher<'_> {
             // The backend no longer knows the job (restarted over a
             // fresh data dir): submit it again wherever it lives now.
             Ok((404, _)) => {
+                self.backends[backend].breaker.record_success();
                 self.shards[shard].job_id = None;
                 Ok(())
             }
             Ok((status, body)) => {
-                self.strike(backend, &format!("status poll answered {status}: {body}"));
+                self.fail(
+                    shard,
+                    backend,
+                    &format!("status poll answered {status}: {body}"),
+                )?;
                 self.reassign(shard, backend)
             }
             Err(e) => {
-                self.strike(backend, &e.to_string());
-                if self.backends[backend].dead {
-                    self.reassign(shard, backend)
-                } else {
+                self.fail(shard, backend, &e.to_string())?;
+                // A transient blip on a still-closed breaker keeps the
+                // job in place (the next sweep re-polls); an opened
+                // breaker moves the shard to whoever is ready.
+                if self.ready(backend) {
                     Ok(())
+                } else {
+                    self.reassign(shard, backend)
                 }
             }
+        }
+    }
+
+    /// One step of one outstanding shard: gate on the backend's
+    /// breaker, then submit or poll. A shard on a cooling-down backend
+    /// moves to a ready one if there is one, else waits for the
+    /// breaker's next probe window.
+    fn step(&mut self, shard: usize) -> Result<(), ShardError> {
+        let backend = self.shards[shard].backend;
+        if !self.ready(backend) {
+            self.reassign(shard, backend)?;
+            if !self.ready(self.shards[shard].backend) {
+                return Ok(()); // still gated: everyone is cooling down
+            }
+        }
+        if self.shards[shard].job_id.is_none() {
+            self.submit(shard)
+        } else {
+            self.poll(shard)
         }
     }
 }
@@ -733,16 +887,29 @@ pub fn run_sharded_ctl(
             .collect(),
     };
     let shard_count = shards.len();
+    let breaker_backoff = |index: u64| {
+        Backoff::new(
+            config.breaker_cooldown,
+            config.breaker_max,
+            // Per-backend jitter lane: breakers with the same run seed
+            // still de-synchronize their probes against each other.
+            config.backoff_seed ^ index.wrapping_mul(chunkpoint_campaign::seed::GOLDEN_GAMMA),
+        )
+    };
     let mut dispatcher = Dispatcher {
         spec,
         grid: &grid,
         config,
+        epoch: Instant::now(),
         backends: backends
             .iter()
-            .map(|addr| Backend {
+            .enumerate()
+            .map(|(index, addr)| Backend {
                 addr: addr.clone(),
-                strikes: 0,
-                dead: false,
+                breaker: CircuitBreaker::new(
+                    config.backend_strikes,
+                    breaker_backoff(index as u64 + 1),
+                ),
             })
             .collect(),
         shards: shards
@@ -753,6 +920,7 @@ pub fn run_sharded_ctl(
                 job_id: None,
                 rows: None,
                 attempts: 0,
+                failures: 0,
             })
             .collect(),
         dispatches: 0,
@@ -767,27 +935,53 @@ pub fn run_sharded_ctl(
             backend: backends[backend].clone(),
         });
     }
+    // Sweep pacing: `poll_interval` while the run makes progress,
+    // backing off deterministically toward `poll_max` across idle
+    // sweeps — a long-running shard is not hammered at submit cadence.
+    let poll_backoff = Backoff::new(config.poll_interval, config.poll_max, config.backoff_seed);
+    let mut idle_sweeps = 0u32;
     loop {
         if cancel.is_cancelled() {
             dispatcher.cancel_outstanding();
             return Err(ShardError::Cancelled);
         }
         let mut outstanding = false;
+        let before = (
+            dispatcher.dispatches,
+            dispatcher.failures,
+            dispatcher
+                .shards
+                .iter()
+                .filter(|s| s.rows.is_some())
+                .count(),
+        );
         for shard in 0..dispatcher.shards.len() {
             if dispatcher.shards[shard].rows.is_some() {
                 continue;
             }
             outstanding = true;
-            if dispatcher.shards[shard].job_id.is_none() {
-                dispatcher.submit(shard)?;
-            } else {
-                dispatcher.poll(shard)?;
-            }
+            dispatcher.step(shard)?;
         }
         if !outstanding {
             break;
         }
-        std::thread::sleep(config.poll_interval);
+        let after = (
+            dispatcher.dispatches,
+            dispatcher.failures,
+            dispatcher
+                .shards
+                .iter()
+                .filter(|s| s.rows.is_some())
+                .count(),
+        );
+        // Anything observable — a dispatch, a failure, a finished shard
+        // — resets the backoff; only truly idle sweeps stretch it.
+        if after == before {
+            idle_sweeps = idle_sweeps.saturating_add(1);
+        } else {
+            idle_sweeps = 0;
+        }
+        std::thread::sleep(poll_backoff.delay(idle_sweeps));
     }
     let rows: Vec<ScenarioResult> = dispatcher
         .shards

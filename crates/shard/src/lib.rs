@@ -53,13 +53,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod breaker;
 pub mod client;
 pub mod coordinator;
 pub mod partition;
 
+pub use breaker::{Backoff, BreakerState, CircuitBreaker};
 pub use client::{classify_submit, exchange, ClientError, SubmitOutcome, MAX_RESPONSE_BYTES};
 pub use coordinator::{
-    fetch_journal_rows, merged_report, run_sharded, run_sharded_ctl, ShardConfig, ShardError,
-    ShardEvent, ShardRun,
+    fetch_journal_rows, merged_report, run_sharded, run_sharded_ctl, PartialCampaign, ShardConfig,
+    ShardError, ShardEvent, ShardRun,
 };
 pub use partition::{partition, partition_weighted, validate_weights};

@@ -1,0 +1,181 @@
+//! Property coverage for the circuit breaker and its deterministic
+//! backoff: over arbitrary failure/success sequences on a synthetic
+//! clock, the breaker must never admit a request while open, must offer
+//! a half-open probe the moment its cooldown elapses, and — because
+//! every delay derives from `(seed, step)` — two breakers with the same
+//! seed must walk identical schedules. The caller-owned clock is what
+//! makes this possible: years of
+//! schedule run in microseconds, no sleeping involved.
+
+use std::time::Duration;
+
+use chunkpoint_shard::{Backoff, BreakerState, CircuitBreaker};
+use proptest::prelude::*;
+
+/// One step of a synthetic breaker history.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Report a failed exchange.
+    Fail,
+    /// Report a successful exchange.
+    Succeed,
+    /// Let this much synthetic time pass.
+    Advance(u64),
+}
+
+/// Decodes a raw draw into a weighted op: 4/9 fail, 2/9 succeed, 3/9
+/// advance by up to five synthetic seconds.
+fn decode_op(raw: u64) -> Op {
+    match raw % 9 {
+        0..=3 => Op::Fail,
+        4..=5 => Op::Succeed,
+        _ => Op::Advance(1 + raw / 9 % 4_999),
+    }
+}
+
+/// Builds a backoff whose cap is `factor` times its base, both in
+/// milliseconds — `(1..200, 1..30)` spans sub-base caps after clamping
+/// through wide ladders.
+fn make_backoff(base_ms: u64, factor: u64, seed: u64) -> Backoff {
+    Backoff::new(
+        Duration::from_millis(base_ms),
+        Duration::from_millis(base_ms * factor),
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The breaker's core contract: `ready` is **never** true while the
+    /// state is `Open`, under any interleaving of failures, successes,
+    /// and time — and the two views (`state`/`ready`) always agree.
+    #[test]
+    fn never_ready_while_open(
+        threshold in 1u32..6,
+        base_ms in 1u64..200,
+        factor in 1u64..30,
+        seed in any::<u64>(),
+        raw_ops in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let mut breaker = CircuitBreaker::new(threshold, make_backoff(base_ms, factor, seed));
+        let mut now = Duration::ZERO;
+        for op in raw_ops.into_iter().map(decode_op) {
+            match op {
+                Op::Fail => { breaker.record_failure(now); }
+                Op::Succeed => breaker.record_success(),
+                Op::Advance(ms) => now += Duration::from_millis(ms),
+            }
+            let state = breaker.state(now);
+            prop_assert_eq!(
+                breaker.ready(now),
+                state != BreakerState::Open,
+                "ready/state disagree at {:?} in {:?}", now, state
+            );
+            if state == BreakerState::Open {
+                let until = breaker.retry_at().expect("open must have a deadline");
+                prop_assert!(until > now, "open with an elapsed deadline");
+            }
+        }
+    }
+
+    /// The half-open window is exact: an open breaker refuses a request
+    /// one nanosecond before its deadline and offers the probe at the
+    /// deadline itself — and a success at any point closes it fully.
+    #[test]
+    fn half_open_probes_exactly_at_the_deadline(
+        threshold in 1u32..6,
+        base_ms in 1u64..200,
+        factor in 1u64..30,
+        seed in any::<u64>(),
+        reopen_rounds in 0u32..6,
+    ) {
+        let mut breaker = CircuitBreaker::new(threshold, make_backoff(base_ms, factor, seed));
+        let mut now = Duration::from_millis(1);
+        // Drive to open.
+        for _ in 0..threshold {
+            breaker.record_failure(now);
+        }
+        prop_assert_eq!(breaker.state(now), BreakerState::Open);
+        // Each round: cooldown boundary is exact, failed probe re-opens
+        // with a cooldown at least as long (monotone ladder up to the
+        // cap).
+        let mut last_cooldown = Duration::ZERO;
+        for round in 0..reopen_rounds {
+            let until = breaker.retry_at().expect("open has a deadline");
+            let cooldown = until - now;
+            prop_assert!(
+                cooldown >= last_cooldown,
+                "round {}: cooldown shrank from {:?} to {:?}", round, last_cooldown, cooldown
+            );
+            last_cooldown = cooldown;
+            prop_assert!(!breaker.ready(until - Duration::from_nanos(1)));
+            prop_assert_eq!(breaker.state(until), BreakerState::HalfOpen);
+            prop_assert!(breaker.ready(until), "probe refused at the deadline");
+            now = until;
+            prop_assert!(breaker.record_failure(now), "failed probe must report re-open");
+        }
+        breaker.record_success();
+        prop_assert_eq!(breaker.state(now), BreakerState::Closed);
+        prop_assert_eq!(breaker.opens(), 0);
+        prop_assert!(breaker.ready(now));
+    }
+
+    /// Below the threshold the breaker stays closed no matter how the
+    /// failures are spread over time; the threshold-th consecutive
+    /// failure opens it; any intervening success resets the count.
+    #[test]
+    fn threshold_counts_consecutive_failures_only(
+        threshold in 2u32..8,
+        base_ms in 1u64..200,
+        factor in 1u64..30,
+        seed in any::<u64>(),
+        gap_ms in 0u64..10_000,
+    ) {
+        let mut breaker = CircuitBreaker::new(threshold, make_backoff(base_ms, factor, seed));
+        let mut now = Duration::ZERO;
+        // threshold - 1 failures, then a success: still closed, and the
+        // next threshold - 1 failures are again below the bar.
+        for _ in 0..threshold - 1 {
+            prop_assert!(!breaker.record_failure(now), "opened below threshold");
+            now += Duration::from_millis(gap_ms);
+        }
+        breaker.record_success();
+        for _ in 0..threshold - 1 {
+            prop_assert!(!breaker.record_failure(now), "success did not reset the count");
+            now += Duration::from_millis(gap_ms);
+        }
+        prop_assert_eq!(breaker.state(now), BreakerState::Closed);
+        prop_assert!(breaker.record_failure(now), "threshold-th failure must open");
+        prop_assert_eq!(breaker.state(now), BreakerState::Open);
+    }
+
+    /// Determinism: the same seed yields bit-identical delay schedules
+    /// and breaker timelines, for any base/cap geometry.
+    #[test]
+    fn same_seed_identical_schedules(
+        base_ms in 1u64..200,
+        factor in 1u64..30,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = (
+            make_backoff(base_ms, factor, seed),
+            make_backoff(base_ms, factor, seed),
+        );
+        for step in 0..16 {
+            prop_assert_eq!(a.delay(step), b.delay(step), "step {} diverged", step);
+            prop_assert!(a.delay(step) <= a.max(), "step {} over the cap", step);
+        }
+        // Two breakers with the same seed, driven identically, stay in
+        // lockstep at every instant.
+        let mut x = CircuitBreaker::new(2, make_backoff(base_ms, factor, seed));
+        let mut y = CircuitBreaker::new(2, make_backoff(base_ms, factor, seed));
+        let mut now = Duration::ZERO;
+        for round in 0u64..8 {
+            now += Duration::from_millis(round * 7 + 1);
+            prop_assert_eq!(x.record_failure(now), y.record_failure(now));
+            prop_assert_eq!(x.retry_at(), y.retry_at(), "timelines diverged");
+            prop_assert_eq!(x.state(now), y.state(now));
+        }
+    }
+}

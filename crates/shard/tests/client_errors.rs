@@ -156,7 +156,7 @@ fn deterministically_failing_job_exhausts_attempts() {
     let start = Instant::now();
     let err = run_sharded(&spec, &[backend], &shard_config).expect_err("must give up");
     match &err {
-        ShardError::Exhausted { detail } => {
+        ShardError::Exhausted { detail, .. } => {
             assert!(detail.contains("dispatch attempts"), "{detail}");
         }
         other => panic!("expected Exhausted, got {other}"),
@@ -179,6 +179,7 @@ fn mid_poll_shutdown_surfaces_exhausted() {
         data_dir: dir.clone(),
         max_jobs: 1,
         campaign_threads: 1,
+        max_queued: 0,
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr").to_string();

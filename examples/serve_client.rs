@@ -69,6 +69,7 @@ fn main() {
                 data_dir: data_dir.clone(),
                 max_jobs: 1,
                 campaign_threads: 0,
+                max_queued: 0,
             })
             .expect("bind in-process service");
             let addr = server.local_addr().expect("addr").to_string();

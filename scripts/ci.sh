@@ -93,4 +93,53 @@ curl -sf -X POST "http://127.0.0.1:$(cat "$SHARD_DIR/port_b")/shutdown" >/dev/nu
 wait "$SHARD_A_PID" "$SHARD_B_PID"
 echo "shard smoke OK (merged report covers 4 scenarios)"
 
+echo "== chaos smoke (faulted proxy vs clean backend, byte-identical report) =="
+CHAOS_DIR="$(mktemp -d)"
+trap 'kill "${SERVE_PID:-0}" "${SHARD_A_PID:-0}" "${SHARD_B_PID:-0}" \
+         "${CHAOS_A_PID:-0}" "${CHAOS_B_PID:-0}" "${CHAOS_PROXY_PID:-0}" 2>/dev/null || true; \
+      rm -rf "$SERVE_DIR" "$SHARD_DIR" "$CHAOS_DIR"' EXIT
+target/release/serve --addr 127.0.0.1:0 --data-dir "$CHAOS_DIR/faulted" \
+    --port-file "$CHAOS_DIR/port_a" --jobs 1 --threads 1 &
+CHAOS_A_PID=$!
+target/release/serve --addr 127.0.0.1:0 --data-dir "$CHAOS_DIR/clean" \
+    --port-file "$CHAOS_DIR/port_b" --jobs 1 --threads 1 &
+CHAOS_B_PID=$!
+for _ in $(seq 1 200); do [ -s "$CHAOS_DIR/port_a" ] && [ -s "$CHAOS_DIR/port_b" ] && break; sleep 0.05; done
+[ -s "$CHAOS_DIR/port_a" ] && [ -s "$CHAOS_DIR/port_b" ] \
+    || { echo "chaos-smoke serves never wrote their ports"; exit 1; }
+# A seeded truncate+stall fault plan in front of backend A: the fault
+# sequence is a pure function of (seed, connection index), so this smoke
+# either always passes or always fails — no flaky middle ground.
+target/release/chaos --upstream "127.0.0.1:$(cat "$CHAOS_DIR/port_a")" \
+    --seed 3 --rate 0.3 --kinds truncate-head,truncate-body,stall,inject-500 \
+    --stall-ms 20 --port-file "$CHAOS_DIR/port_chaos" &
+CHAOS_PROXY_PID=$!
+for _ in $(seq 1 200); do [ -s "$CHAOS_DIR/port_chaos" ] && break; sleep 0.05; done
+[ -s "$CHAOS_DIR/port_chaos" ] || { echo "chaos proxy never wrote its port"; exit 1; }
+cat > "$CHAOS_DIR/spec.json" <<'SPEC'
+{"version":1,"campaign_seed":13,"benchmarks":["ADPCM encode","ADPCM decode"],
+ "schemes":[{"label":"Default","spec":{"kind":"fixed","scheme":{"kind":"default"}}}],
+ "error_rates":[0.000001],"replicates":2,"normalize":false,"golden_check":false}
+SPEC
+# Through the faulted proxy with a raised strike budget, then directly
+# against the clean backend; the reports must be byte-identical.
+timeout 120 target/release/shard \
+    --backends "127.0.0.1:$(cat "$CHAOS_DIR/port_chaos")" \
+    --spec "$CHAOS_DIR/spec.json" --json "$CHAOS_DIR/faulted.json" \
+    --poll-ms 10 --strikes 12 \
+    || { echo "faulted run did not survive the chaos proxy"; exit 1; }
+timeout 120 target/release/shard \
+    --backends "127.0.0.1:$(cat "$CHAOS_DIR/port_b")" \
+    --spec "$CHAOS_DIR/spec.json" --json "$CHAOS_DIR/clean.json" --poll-ms 10
+cmp "$CHAOS_DIR/faulted.json" "$CHAOS_DIR/clean.json" \
+    || { echo "faulted report diverged from the clean report"; exit 1; }
+kill "$CHAOS_PROXY_PID" 2>/dev/null || true
+curl -sf -X POST "http://127.0.0.1:$(cat "$CHAOS_DIR/port_a")/shutdown" >/dev/null
+curl -sf -X POST "http://127.0.0.1:$(cat "$CHAOS_DIR/port_b")/shutdown" >/dev/null
+wait "$CHAOS_A_PID" "$CHAOS_B_PID"
+echo "chaos smoke OK (faulted and clean reports byte-identical)"
+
+echo "== chaos bench smoke (submission throughput at 0/10/30% fault rates) =="
+cargo run --release -p chunkpoint_bench --bin bench_chaos -- --smoke
+
 echo "CI OK"

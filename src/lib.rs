@@ -89,3 +89,7 @@ pub use chunkpoint_shard as shard;
 /// One campaign executor API: typed submit/observe/cancel over local,
 /// remote, and sharded execution, byte-identical across all three.
 pub use chunkpoint_exec as exec;
+
+/// Deterministic fault-injecting TCP proxy for chaos-testing the
+/// service stack: seeded, replayable per-connection fault plans.
+pub use chunkpoint_chaos as chaos;
