@@ -71,6 +71,7 @@ fn main() {
         max_jobs: 2,
         campaign_threads: args.threads,
         max_queued: 0, // unbounded: this bench measures the wire, not shedding
+        trace_out: None,
     })
     .expect("bind server");
     let upstream = server.local_addr().expect("addr").to_string();

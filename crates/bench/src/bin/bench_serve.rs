@@ -10,7 +10,10 @@
 //! * `spec submission` — `POST /campaigns` with *unique* one-scenario
 //!   specs (each request hashes the spec, persists a job dir, enqueues);
 //! * `cache hit` — `POST /campaigns` re-submitting one finished spec
-//!   (the content-addressed fast path the result cache exists for).
+//!   (the content-addressed fast path the result cache exists for);
+//! * `concurrent cache hit` — the same cache-hit request from several
+//!   client threads at once (the accept-per-connection loop and the
+//!   lock-free metrics hot path under contention).
 //!
 //! Run with `cargo run --release -p chunkpoint_bench --bin bench_serve`.
 //! `--smoke` shrinks the request counts for CI; `--json PATH` overrides
@@ -64,6 +67,7 @@ fn main() {
         max_jobs: 2,
         campaign_threads: args.threads,
         max_queued: 0,
+        trace_out: None,
     })
     .expect("bind server");
     let addr = server.local_addr().expect("addr");
@@ -117,9 +121,30 @@ fn main() {
         assert!(response.contains("\"cached\":true"), "{response}");
     });
 
+    // Concurrent clients hammering the same cache-hit path: aggregate
+    // throughput across all threads, wall-clock measured over the
+    // whole burst.
+    let clients = 4usize;
+    let per_client = (cache_n / clients).max(1);
+    let warm_ref = &warm_body;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(move || {
+                for _ in 0..per_client {
+                    let (status, response) =
+                        request(addr, "POST", "/campaigns", Some(warm_ref)).expect("cache hit");
+                    assert_eq!(status, 200, "{response}");
+                }
+            });
+        }
+    });
+    let concurrent_rps = (clients * per_client) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
     println!("healthz:        {healthz_rps:>9.0} req/s");
     println!("spec submit:    {submit_rps:>9.0} req/s (unique specs; persist + enqueue)");
     println!("cache hit:      {cache_hit_rps:>9.0} req/s (content-addressed resubmit)");
+    println!("concurrent x{clients}: {concurrent_rps:>8.0} req/s (cache hits from {clients} client threads)");
 
     let doc = JsonValue::object()
         .field("bench", "campaign_service_throughput")
@@ -129,15 +154,19 @@ fn main() {
             JsonValue::object()
                 .field("healthz", healthz_n)
                 .field("submit", submit_n)
-                .field("cache_hit", cache_n),
+                .field("cache_hit", cache_n)
+                .field("concurrent_cache_hit", clients * per_client),
         )
         .field("healthz_rps", healthz_rps)
         .field("submit_rps", submit_rps)
         .field("cache_hit_rps", cache_hit_rps)
+        .field("concurrent_clients", clients)
+        .field("concurrent_cache_hit_rps", concurrent_rps)
         .field(
             "note",
             "sequential requests, one TCP connection each; submit = unique one-scenario \
-             specs (hash + persist + enqueue), cache_hit = resubmit of a finished spec",
+             specs (hash + persist + enqueue), cache_hit = resubmit of a finished spec, \
+             concurrent_cache_hit = the same resubmit from 4 client threads at once",
         );
 
     if args.smoke {

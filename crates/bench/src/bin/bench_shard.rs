@@ -60,6 +60,7 @@ fn main() {
             max_jobs: 1,
             campaign_threads: 1,
             max_queued: 0,
+            trace_out: None,
         })
         .expect("bind backend");
         let addr = server.local_addr().expect("addr").to_string();

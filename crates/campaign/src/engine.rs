@@ -385,7 +385,12 @@ pub fn run_campaign_streaming(
         cancel,
         |index| {
             let scenario = &scenarios[index];
-            run_scenario(spec, scenario, golden_for(scenario.benchmark))
+            let started = Instant::now();
+            let result = run_scenario(spec, scenario, golden_for(scenario.benchmark));
+            // Out-of-band: the sink observes wall time, it never feeds
+            // back into the result.
+            crate::telemetry::scenario_completed(started.elapsed().as_secs_f64());
+            result
         },
         |_, result| {
             on_result(&result);

@@ -64,6 +64,7 @@ pub mod pool;
 pub mod seed;
 pub mod spec;
 pub mod stats;
+pub mod telemetry;
 
 pub use cli::{write_json_report, CampaignArgs};
 pub use engine::{
@@ -75,3 +76,4 @@ pub use pool::CancelToken;
 pub use seed::scenario_seed;
 pub use spec::{CampaignSpec, Scenario, SchemeSpec, SPEC_VERSION};
 pub use stats::{Aggregator, Axis, GroupStats, Summary};
+pub use telemetry::TelemetrySink;

@@ -111,6 +111,10 @@ where
     }
     let (sender, receiver) = mpsc::channel::<(usize, R)>();
     let mut delivered = 0;
+    // Out-of-band depth reporting: set to the dealt total up front,
+    // decremented per delivery, zeroed on return (cancelled runs abandon
+    // jobs without delivering them, so the final state is always 0).
+    crate::telemetry::queue_depth(indices.len() as i64);
     std::thread::scope(|scope| {
         for me in 0..threads {
             let sender = sender.clone();
@@ -154,8 +158,10 @@ where
         for (index, result) in receiver {
             sink(index, result);
             delivered += 1;
+            crate::telemetry::queue_depth(indices.len() as i64 - delivered as i64);
         }
     });
+    crate::telemetry::queue_depth(0);
     delivered
 }
 

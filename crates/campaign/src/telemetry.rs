@@ -1,0 +1,56 @@
+//! The engine-side telemetry seam.
+//!
+//! `chunkpoint_campaign` sits at the bottom of the workspace and must
+//! not depend on the observability crate, so instead of recording
+//! metrics itself it exposes one narrow trait — [`TelemetrySink`] — and
+//! a process-wide installation point. `chunkpoint_telemetry` provides
+//! the adapter that forwards these callbacks into the real metrics
+//! registry; a process that never installs a sink pays one relaxed
+//! atomic load per callback.
+//!
+//! The seam is strictly out-of-band: nothing a sink observes can flow
+//! back into scenario execution, so installing one cannot change
+//! campaign results (the repo's byte-identical determinism invariant).
+
+use std::sync::OnceLock;
+
+/// Observer interface for engine-internal events the service layers
+/// want to meter: per-scenario wall time and the pool's queue depth.
+pub trait TelemetrySink: Send + Sync {
+    /// A scenario finished; `wall_seconds` is its measured wall-clock
+    /// execution time on the worker that ran it.
+    fn scenario_completed(&self, wall_seconds: f64);
+
+    /// The pool's undelivered-job count changed (set at run start,
+    /// decremented per delivery, zeroed when the run returns).
+    fn queue_depth(&self, depth: i64);
+}
+
+static SINK: OnceLock<Box<dyn TelemetrySink>> = OnceLock::new();
+
+/// Installs the process-wide sink. The first installation wins; later
+/// calls return `false` and drop their argument — idempotent enough for
+/// every entry point (server startup, test harnesses) to call blindly.
+pub fn install_sink(sink: Box<dyn TelemetrySink>) -> bool {
+    SINK.set(sink).is_ok()
+}
+
+/// The installed sink, if any.
+#[must_use]
+pub fn sink() -> Option<&'static dyn TelemetrySink> {
+    SINK.get().map(Box::as_ref)
+}
+
+/// Forwards a completed scenario's wall time to the sink, if installed.
+pub(crate) fn scenario_completed(wall_seconds: f64) {
+    if let Some(sink) = sink() {
+        sink.scenario_completed(wall_seconds);
+    }
+}
+
+/// Forwards a queue-depth change to the sink, if installed.
+pub(crate) fn queue_depth(depth: i64) {
+    if let Some(sink) = sink() {
+        sink.queue_depth(depth);
+    }
+}

@@ -164,6 +164,10 @@ fn surviving_config(plan: &FaultPlan) -> RemoteConfig {
 /// fault-free plan must too, through the proxy's faithful relay.
 #[test]
 fn faulted_runs_end_byte_identical_or_not_at_all() {
+    // Telemetry live during the chaos grid: the engine sink meters
+    // every in-process baseline run while the byte-identity asserts
+    // hold — fault handling and metrics are both out-of-band.
+    let _ = chunkpoint_telemetry::install_campaign_metrics();
     let backend = ServeProcess::start("grid");
     let plans = [
         FaultPlan::new(0xA1, 0.0),
@@ -294,6 +298,7 @@ fn corruption_is_always_detected_never_consumed() {
 /// byte-identical to the fault-free baseline.
 #[test]
 fn sharded_run_survives_faulted_backends_byte_identical() {
+    let _ = chunkpoint_telemetry::install_campaign_metrics();
     let backend_a = ServeProcess::start("shard_a");
     let backend_b = ServeProcess::start("shard_b");
     let plan_a = FaultPlan::new(0x11, 0.25);
@@ -314,6 +319,7 @@ fn sharded_run_survives_faulted_backends_byte_identical() {
             breaker_cooldown: Duration::from_millis(25),
             breaker_max: Duration::from_millis(200),
             backoff_seed: 0x33,
+            ..ShardConfig::default()
         })
         .submit(&spec)
         .wait()
@@ -356,6 +362,7 @@ fn exhaustion_salvages_completed_shards_as_partial_campaign() {
             breaker_cooldown: Duration::from_millis(25),
             breaker_max: Duration::from_millis(200),
             backoff_seed: 0,
+            ..ShardConfig::default()
         })
         .submit(&spec);
     // Shard 0's rows arrive in one burst the moment its journal is

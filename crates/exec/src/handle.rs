@@ -2,9 +2,11 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use chunkpoint_campaign::CancelToken;
+use chunkpoint_telemetry::Counter;
 
 use crate::event::{CampaignEvent, CampaignRun, ExecError};
 
@@ -66,11 +68,15 @@ impl CampaignHandle {
 /// poison it.
 pub(crate) struct EventSink {
     sender: Sender<CampaignEvent>,
+    /// `exec_events_total{executor=...}` — every event emitted through
+    /// this sink, counted whether or not the handle still listens.
+    events: Arc<Counter>,
 }
 
 impl EventSink {
     /// Emits one event to the handle (no-op once the handle is gone).
     pub(crate) fn emit(&self, event: CampaignEvent) {
+        self.events.inc();
         let _ = self.sender.send(event);
     }
 }
@@ -81,15 +87,24 @@ impl EventSink {
 /// [`CampaignEvent::Complete`] itself, so no executor can forget it;
 /// panics inside `run` are caught and surface as
 /// [`ExecError::JobFailed`] rather than poisoning `wait`.
-pub(crate) fn spawn_worker<F>(run: F) -> CampaignHandle
+///
+/// `executor` labels the sink's `exec_events_total` series — the
+/// execution path's name (`local` / `remote` / `sharded`), so one
+/// scrape shows which paths a process exercised.
+pub(crate) fn spawn_worker<F>(executor: &'static str, run: F) -> CampaignHandle
 where
     F: FnOnce(&EventSink, &CancelToken) -> Result<CampaignRun, ExecError> + Send + 'static,
 {
     let (sender, receiver) = channel();
     let cancel = CancelToken::new();
     let worker_cancel = cancel.clone();
+    let events = chunkpoint_telemetry::global().counter_with(
+        "exec_events_total",
+        &[("executor", executor)],
+        "Campaign events emitted per executor path",
+    );
     let worker = std::thread::spawn(move || {
-        let sink = EventSink { sender };
+        let sink = EventSink { sender, events };
         let outcome = match catch_unwind(AssertUnwindSafe(|| run(&sink, &worker_cancel))) {
             Ok(outcome) => outcome,
             Err(panic) => {

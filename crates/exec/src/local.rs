@@ -38,7 +38,7 @@ impl CampaignExecutor for LocalExecutor {
     fn submit(&self, spec: &CampaignSpec) -> CampaignHandle {
         let spec = spec.clone();
         let threads = self.threads;
-        spawn_worker(move |sink, cancel| {
+        spawn_worker("local", move |sink, cancel| {
             let started = Instant::now();
             // The engine re-enumerates internally; this up-front pass
             // buys the typed infeasible-spec rejection and the progress

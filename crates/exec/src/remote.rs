@@ -10,10 +10,35 @@ use chunkpoint_shard::{
     classify_submit, exchange, fetch_journal_rows, Backoff, CircuitBreaker, SubmitOutcome,
 };
 
+use std::sync::Arc;
+
+use chunkpoint_telemetry::Counter;
+
 use crate::event::{CampaignEvent, CampaignRun, ExecError};
 use crate::handle::{spawn_worker, CampaignHandle, EventSink};
 use crate::util::{enumerate_grid, render_report};
 use crate::CampaignExecutor;
+
+/// `exec_poll_waits_total{executor="remote"}` — idle status-poll
+/// sleeps of the drive loop (the backoff ladder stretches them, so the
+/// rate falls as a job stays quiet).
+fn poll_waits() -> Arc<Counter> {
+    chunkpoint_telemetry::global().counter_with(
+        "exec_poll_waits_total",
+        &[("executor", "remote")],
+        "Idle status-poll sleeps of the remote drive loop",
+    )
+}
+
+/// `exec_backoff_waits_total{executor="remote"}` — failure-paced
+/// sleeps: submit retries, breaker cooldowns, journal-fetch retries.
+fn backoff_waits() -> Arc<Counter> {
+    chunkpoint_telemetry::global().counter_with(
+        "exec_backoff_waits_total",
+        &[("executor", "remote")],
+        "Failure-paced sleeps of the remote path: submit retries, breaker cooldowns, journal-fetch retries",
+    )
+}
 
 /// Knobs of the remote path. Defaults suit a LAN `serve` instance.
 #[derive(Debug, Clone)]
@@ -149,6 +174,7 @@ fn submit_spec(
         }
         // Deterministic retry pacing: the first retry waits the base
         // interval, each further strike doubles it (seeded jitter).
+        backoff_waits().inc();
         std::thread::sleep(retry.delay(strikes.saturating_sub(1)));
     }
 }
@@ -187,6 +213,8 @@ fn drive_remote(
             config.backoff_seed.wrapping_add(GOLDEN_GAMMA),
         ),
     );
+    let poll_sleeps = poll_waits();
+    let backoff_sleeps = backoff_waits();
     let mut idle_polls = 0u32;
     let mut strikes = 0u32;
     let mut reported = 0usize;
@@ -211,6 +239,7 @@ fn drive_remote(
                 .unwrap_or(config.poll_interval)
                 .min(config.poll_max)
                 .max(Duration::from_millis(1));
+            backoff_sleeps.inc();
             std::thread::sleep(wait);
             continue;
         }
@@ -333,6 +362,7 @@ fn drive_remote(
             }
         }
         idle_polls = idle_polls.saturating_add(1);
+        poll_sleeps.inc();
         std::thread::sleep(poll.delay(idle_polls.saturating_sub(1)));
     }
 
@@ -355,6 +385,7 @@ fn drive_remote(
             Err(why) => {
                 failures += 1;
                 last_error = why;
+                backoff_sleeps.inc();
                 std::thread::sleep(poll.delay(attempt));
             }
         }
@@ -384,6 +415,8 @@ impl CampaignExecutor for RemoteExecutor {
         let spec = spec.clone();
         let addr = self.addr.clone();
         let config = self.config.clone();
-        spawn_worker(move |sink, cancel| drive_remote(&spec, &addr, &config, sink, cancel))
+        spawn_worker("remote", move |sink, cancel| {
+            drive_remote(&spec, &addr, &config, sink, cancel)
+        })
     }
 }

@@ -71,7 +71,7 @@ impl CampaignExecutor for ShardedExecutor {
         let backends = self.backends.clone();
         let weights = self.weights.clone();
         let config = self.config.clone();
-        spawn_worker(move |sink, cancel| {
+        spawn_worker("sharded", move |sink, cancel| {
             let started = Instant::now();
             // Grid enumeration runs again inside the coordinator; this
             // up-front pass buys the typed infeasible-spec rejection and

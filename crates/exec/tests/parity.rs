@@ -179,6 +179,11 @@ fn run_and_audit(handle: chunkpoint_exec::CampaignHandle, total: usize, path: &s
 /// complete and well-formed.
 #[test]
 fn three_executors_one_report() {
+    // Telemetry live for the whole run: the campaign engine's sink
+    // records scenario wall times and queue depths into the global
+    // registry while every byte-identity assert below still holds —
+    // the observability layer is provably out-of-band.
+    let _ = chunkpoint_telemetry::install_campaign_metrics();
     let spec = parity_spec();
     let total = spec.scenarios().len();
 
@@ -213,12 +218,17 @@ fn three_executors_one_report() {
     );
     remote_backend.shutdown();
 
-    // Sharded, across two real serve processes.
+    // Sharded, across two real serve processes — with a live trace
+    // sink: dispatch decisions become structured span events and the
+    // bytes still match.
+    let trace_out = temp_dir("parity_trace");
+    let _ = std::fs::remove_file(&trace_out);
     let shard_a = ServeProcess::start("shard_a");
     let shard_b = ServeProcess::start("shard_b");
     let sharded_exec = ShardedExecutor::new(vec![shard_a.addr.clone(), shard_b.addr.clone()])
         .with_config(ShardConfig {
             poll_interval: Duration::from_millis(10),
+            tracer: chunkpoint_telemetry::Tracer::to_file(&trace_out).expect("trace sink"),
             ..ShardConfig::default()
         });
     let sharded = run_and_audit(sharded_exec.submit(&spec), total, "sharded");
@@ -234,6 +244,43 @@ fn three_executors_one_report() {
     assert_eq!(local.results, sharded.results);
     shard_a.shutdown();
     shard_b.shutdown();
+
+    // The registry really was live: the engine's sink metered the
+    // local path's scenarios, and every executor path counted its
+    // events — telemetry recorded *and* the bytes above matched.
+    let scrape = chunkpoint_telemetry::Scrape::parse(&chunkpoint_telemetry::render_text(
+        chunkpoint_telemetry::global(),
+    ))
+    .expect("scrape parses");
+    assert!(
+        scrape
+            .value("campaign_scenario_wall_seconds_count", &[])
+            .unwrap_or(0.0)
+            >= total as f64,
+        "engine sink never observed the local run's scenarios"
+    );
+    for executor in ["local", "remote", "sharded"] {
+        assert!(
+            scrape
+                .value("exec_events_total", &[("executor", executor)])
+                .unwrap_or(0.0)
+                > 0.0,
+            "{executor} path emitted no counted events"
+        );
+    }
+    // And the dispatch trace holds well-formed records for both shards.
+    let trace = std::fs::read_to_string(&trace_out).expect("trace file");
+    let dispatched = trace
+        .lines()
+        .map(|line| chunkpoint_campaign::JsonValue::parse(line).expect("trace line is JSON"))
+        .filter(|r| {
+            r.get("name")
+                .and_then(chunkpoint_campaign::JsonValue::as_str)
+                == Some("dispatched")
+        })
+        .count();
+    assert_eq!(dispatched, 2, "one dispatched event per shard");
+    let _ = std::fs::remove_file(&trace_out);
 }
 
 /// A spec carrying its own `scenario_range` executes only its slice on

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--data-dir PATH] [--jobs N] [--threads N]
-//!       [--max-queued N] [--port-file PATH]
+//!       [--max-queued N] [--port-file PATH] [--trace-out PATH]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
@@ -21,10 +21,11 @@ const USAGE: &str = "chunkpoint campaign service:
   --max-queued N     shed new submissions (429) past N queued jobs
                      (default 1024; 0 = unbounded)
   --port-file PATH   write the bound port here once listening
+  --trace-out PATH   write structured trace spans (JSON lines) here
   --help             this text
 
 endpoints: POST /campaigns, GET /campaigns/:id, GET /campaigns/:id/result,
-           DELETE /campaigns/:id, GET /healthz, POST /shutdown";
+           DELETE /campaigns/:id, GET /healthz, GET /metrics, POST /shutdown";
 
 fn parse_args() -> Result<(ServeConfig, Option<PathBuf>), String> {
     let mut config = ServeConfig::default();
@@ -57,6 +58,7 @@ fn parse_args() -> Result<(ServeConfig, Option<PathBuf>), String> {
                     .map_err(|e| format!("--max-queued: {e}\n\n{USAGE}"))?;
             }
             "--port-file" => port_file = Some(PathBuf::from(value_of("--port-file")?)),
+            "--trace-out" => config.trace_out = Some(PathBuf::from(value_of("--trace-out")?)),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }

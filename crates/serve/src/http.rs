@@ -41,16 +41,19 @@ pub struct Request {
     pub body: String,
 }
 
-/// One HTTP response; the body is always `application/json`.
+/// One HTTP response; `application/json` unless built with
+/// [`Response::text`] (the `/metrics` exposition endpoint).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
     /// Seconds for a `Retry-After` header — set on 429s by admission
     /// control so shedding tells clients *when*, not just *no*.
     pub retry_after: Option<u64>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -61,6 +64,19 @@ impl Response {
             status,
             body,
             retry_after: None,
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response — the Prometheus exposition content type,
+    /// which scrapers accept for the text format.
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            retry_after: None,
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -70,11 +86,7 @@ impl Response {
         let body = chunkpoint_campaign::JsonValue::object()
             .field("error", message)
             .render();
-        Self {
-            status,
-            body,
-            retry_after: None,
-        }
+        Self::json(status, body)
     }
 
     /// Attaches a `Retry-After: seconds` header.
@@ -97,9 +109,10 @@ impl Response {
             .map(|seconds| format!("Retry-After: {seconds}\r\n"))
             .unwrap_or_default();
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len()
         );
         stream.write_all(head.as_bytes())?;

@@ -21,6 +21,7 @@ use chunkpoint_campaign::{
     canonical_report_json, run_campaign_streaming, Axis, CampaignSpec, CancelToken, JsonValue,
 };
 
+use crate::metrics::metrics;
 use crate::store::JobStore;
 
 /// Axes of the canonical report's aggregate section. Fixed, so a cached
@@ -285,6 +286,7 @@ impl JobManager {
                         },
                     );
                     state.queue.push_back(id);
+                    metrics().jobs_recovered.inc();
                 }
             }
         }
@@ -372,6 +374,9 @@ impl JobManager {
                 self.wake.notify_one();
             }
             let entry = state.jobs.get(&id).expect("entry just touched");
+            if entry.state == JobState::Done {
+                metrics().jobs_cached.inc();
+            }
             return Ok(Submission {
                 cached: entry.state == JobState::Done,
                 created: false,
@@ -388,6 +393,7 @@ impl JobManager {
         // refuse work the service already did.
         if state.queue.len() >= self.max_queued {
             state.shed += 1;
+            metrics().jobs_shed.inc();
             return Err(SubmitError::Shed {
                 queued: state.queue.len(),
                 limit: self.max_queued,
@@ -409,6 +415,7 @@ impl JobManager {
         );
         state.queue.push_back(id.clone());
         self.wake.notify_one();
+        metrics().jobs_submitted.inc();
         Ok(Submission {
             cached: false,
             created: true,
@@ -456,9 +463,14 @@ impl JobManager {
     pub fn result(&self, id: &str) -> Option<String> {
         // Serve only completed jobs: a half-written journal is not a
         // result, and write_result is atomic, so presence ⇒ complete.
-        self.status(id)
+        let report = self
+            .status(id)
             .filter(|s| s.state == JobState::Done)
-            .and_then(|_| self.store.read_result(id))
+            .and_then(|_| self.store.read_result(id));
+        if report.is_some() {
+            metrics().result_cache_hits.inc();
+        }
+        report
     }
 
     /// The job's sealed journal rows, rendered as one JSON document:
@@ -627,6 +639,7 @@ impl JobManager {
                     cancel.cancel();
                     return;
                 }
+                metrics().journal_rows.inc();
                 let mut state = self.state.lock().expect("manager poisoned");
                 if let Some(entry) = state.jobs.get_mut(id) {
                     entry.completed += 1;

@@ -49,6 +49,7 @@
 //!     max_jobs: 1,
 //!     campaign_threads: 1,
 //!     max_queued: 0, // unbounded
+//!     trace_out: None,
 //! };
 //! let server = Server::bind(&config).expect("bind");
 //! let addr = server.local_addr().expect("addr");
@@ -78,6 +79,7 @@
 
 pub mod http;
 pub mod jobs;
+pub mod metrics;
 pub mod server;
 pub mod store;
 

@@ -9,7 +9,8 @@
 //! | `GET /campaigns/:id/result`  | final report (cache-served once done)        |
 //! | `GET /campaigns/:id/journal` | sealed per-scenario rows journaled so far    |
 //! | `DELETE /campaigns/:id`      | cancel and remove a job                      |
-//! | `GET /healthz`               | liveness + job counts                        |
+//! | `GET /healthz`               | liveness + job counts + uptime               |
+//! | `GET /metrics`               | Prometheus-style text exposition             |
 //! | `POST /shutdown`             | graceful shutdown (used by CI and tests)     |
 //!
 //! Connections are handled one request each (`Connection: close`) on
@@ -22,12 +23,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use chunkpoint_campaign::{CampaignSpec, JsonValue};
+use chunkpoint_telemetry::{install_campaign_metrics, render_text, Tracer};
 
 use crate::http::{read_request, Request, Response};
 use crate::jobs::{JobManager, SubmitError};
+use crate::metrics::{endpoint_of, metrics};
 use crate::store::JobStore;
 
 /// Server configuration.
@@ -46,6 +49,9 @@ pub struct ServeConfig {
     /// Retry-After` while this many jobs are queued (`0` = unbounded).
     /// Joins, cache hits, and recovered jobs are never shed.
     pub max_queued: usize,
+    /// Trace sink: when set, structured span/event records are written
+    /// as JSON lines to this file (created/truncated at bind).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +62,7 @@ impl Default for ServeConfig {
             max_jobs: 2,
             campaign_threads: 0,
             max_queued: 1024,
+            trace_out: None,
         }
     }
 }
@@ -67,17 +74,33 @@ pub struct Server {
     manager: Arc<JobManager>,
     stop: Arc<AtomicBool>,
     runners: Vec<JoinHandle<()>>,
+    started: Instant,
+    tracer: Tracer,
 }
 
 impl Server {
     /// Binds the listener, opens the store, recovers persisted jobs
     /// (journaled-but-unfinished campaigns re-enqueue and will resume),
-    /// and spawns the runner pool.
+    /// spawns the runner pool, and wires the campaign engine's
+    /// telemetry seam into the process-wide metrics registry.
     ///
     /// # Errors
     ///
-    /// Propagates bind/store I/O errors.
+    /// Propagates bind/store/trace-sink I/O errors.
     pub fn bind(config: &ServeConfig) -> std::io::Result<Self> {
+        // Idempotent (first caller wins): scenario wall-time histograms
+        // and pool queue-depth gauges record for every campaign this
+        // process runs. Strictly out-of-band — results are unaffected.
+        let _ = install_campaign_metrics();
+        // Register the request/job metric surface eagerly so the very
+        // first `/metrics` scrape already exposes every series at zero
+        // (scrapers difference counters; absent-then-present reads as
+        // a reset).
+        let _ = metrics();
+        let tracer = match &config.trace_out {
+            Some(path) => Tracer::to_file(path)?,
+            None => Tracer::disabled(),
+        };
         let store = JobStore::open(&config.data_dir)?;
         let manager = JobManager::recover(store, config.campaign_threads, config.max_queued);
         let runners = manager.spawn_runners(config.max_jobs);
@@ -87,6 +110,8 @@ impl Server {
             manager,
             stop: Arc::new(AtomicBool::new(false)),
             runners,
+            started: Instant::now(),
+            tracer,
         })
     }
 
@@ -108,7 +133,10 @@ impl Server {
             manager,
             stop,
             runners,
+            started,
+            tracer,
         } = self;
+        let serve_span = Arc::new(tracer.root("serve"));
         loop {
             let stream = match listener.accept() {
                 Ok((stream, _peer)) => stream,
@@ -128,22 +156,48 @@ impl Server {
             }
             let manager = Arc::clone(&manager);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || handle_connection(stream, &manager, &stop));
+            let serve_span = Arc::clone(&serve_span);
+            std::thread::spawn(move || {
+                handle_connection(stream, &manager, &stop, started, &serve_span);
+            });
         }
         manager.shutdown(runners);
     }
 }
 
-fn handle_connection(mut stream: TcpStream, manager: &JobManager, stop: &AtomicBool) {
+fn handle_connection(
+    mut stream: TcpStream,
+    manager: &JobManager,
+    stop: &AtomicBool,
+    started: Instant,
+    serve_span: &chunkpoint_telemetry::Span,
+) {
+    let t0 = Instant::now();
     let request = match read_request(&mut stream) {
         Ok(Ok(request)) => request,
         Ok(Err(bad_request)) => {
+            // Protocol violations (408 slow-loris, 413, malformed
+            // framing) never reach the router; meter them under "bad".
+            if bad_request.status == 408 {
+                metrics().request_timeouts.inc();
+            }
+            metrics().observe_request("bad", t0.elapsed().as_secs_f64());
             let _ = bad_request.write_to(&mut stream);
             return;
         }
         Err(_) => return, // socket died; nobody to answer
     };
-    let response = route(&request, manager, stop);
+    let endpoint = endpoint_of(&request.method, &request.path);
+    let span = serve_span.child(endpoint);
+    let response = route(&request, manager, stop, started);
+    span.event(
+        "handled",
+        JsonValue::object()
+            .field("method", request.method.as_str())
+            .field("path", request.path.as_str())
+            .field("status", u64::from(response.status)),
+    );
+    metrics().observe_request(endpoint, t0.elapsed().as_secs_f64());
     let _ = response.write_to(&mut stream);
     if request.method == "POST" && request.path == "/shutdown" {
         // Wake the (blocking) accept loop so it observes the stop flag.
@@ -163,12 +217,18 @@ fn campaign_route(path: &str) -> Option<(&str, Option<&str>)> {
     }
 }
 
-fn route(request: &Request, manager: &JobManager, stop: &AtomicBool) -> Response {
+fn route(request: &Request, manager: &JobManager, stop: &AtomicBool, started: Instant) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(
             200,
-            manager.counts().to_json().field("status", "ok").render(),
+            manager
+                .counts()
+                .to_json()
+                .field("uptime_secs", started.elapsed().as_secs())
+                .field("status", "ok")
+                .render(),
         ),
+        ("GET", "/metrics") => Response::text(200, render_text(chunkpoint_telemetry::global())),
         ("POST", "/shutdown") => {
             stop.store(true, Ordering::Release);
             Response::json(

@@ -161,6 +161,7 @@ fn overload_sheds_429_with_retry_after_and_counts_it() {
         max_jobs: 1,
         campaign_threads: 1,
         max_queued: 1,
+        trace_out: None,
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr").to_string();

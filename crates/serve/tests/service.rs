@@ -54,6 +54,7 @@ fn submit_poll_result_cache_delete_shutdown() {
         max_jobs: 2,
         campaign_threads: 2,
         max_queued: 0,
+        trace_out: None,
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr");

@@ -4,19 +4,21 @@
 //! ```text
 //! shard --backends HOST:PORT[,HOST:PORT...] --spec PATH [--json PATH]
 //!       [--weights W[,W...]] [--poll-ms N] [--timeout-secs N]
-//!       [--strikes N] [--attempts N]
+//!       [--strikes N] [--attempts N] [--quiet]
 //! ```
 //!
 //! The report written by `--json` (stdout without it) is byte-identical
 //! to what a single `serve` instance — or an in-process single-threaded
 //! run — would produce for the same spec. Dispatch decisions stream to
-//! stderr as they happen; `--weights` partitions the grid
+//! stderr as structured JSON trace events (`--quiet` silences them;
+//! errors always reach stderr); `--weights` partitions the grid
 //! proportionally to per-backend capacity instead of evenly.
 
 use std::time::{Duration, Instant};
 
 use chunkpoint_campaign::{CampaignSpec, CancelToken, JsonValue};
 use chunkpoint_shard::{run_sharded_ctl, ShardConfig};
+use chunkpoint_telemetry::Tracer;
 
 const USAGE: &str = "chunkpoint shard coordinator:
   --backends LIST    comma-separated serve addresses (HOST:PORT), required
@@ -28,6 +30,7 @@ const USAGE: &str = "chunkpoint shard coordinator:
   --timeout-secs N   per-request timeout in seconds (default 10)
   --strikes N        consecutive failures opening a backend's breaker (default 3)
   --attempts N       dispatch attempts per shard before giving up (default 5)
+  --quiet            suppress the stderr trace-event stream (errors still print)
   --help             this text";
 
 struct Args {
@@ -35,6 +38,7 @@ struct Args {
     weights: Option<Vec<f64>>,
     spec_path: String,
     json: Option<String>,
+    quiet: bool,
     config: ShardConfig,
 }
 
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
     let mut weights = None;
     let mut spec_path = None;
     let mut json = None;
+    let mut quiet = false;
     let mut config = ShardConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -104,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("--attempts must be at least 1\n\n{USAGE}"));
                 }
             }
+            "--quiet" => quiet = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
@@ -126,12 +132,13 @@ fn parse_args() -> Result<Args, String> {
         weights,
         spec_path,
         json,
+        quiet,
         config,
     })
 }
 
 fn main() {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{message}");
@@ -155,21 +162,32 @@ fn main() {
             std::process::exit(1);
         }
     };
-    eprintln!(
-        "shard: dispatching across {} backend(s): {}",
-        args.backends.len(),
-        args.backends.join(", ")
+    // Progress narration: structured JSON trace events on stderr — the
+    // coordinator traces every dispatch decision through the tracer in
+    // its config, and the binary frames the run with its own span.
+    // `--quiet` silences all of it in one place; errors still print.
+    // The merged report alone goes to stdout/--json.
+    let tracer = if args.quiet {
+        Tracer::disabled()
+    } else {
+        Tracer::to_stderr()
+    };
+    args.config.tracer = tracer.clone();
+    let span = tracer.root("shard_bin");
+    span.event(
+        "dispatching",
+        JsonValue::object()
+            .field("backends", args.backends.len())
+            .field("addrs", args.backends.join(",")),
     );
     let start = Instant::now();
-    // Stream every coordinator decision to stderr as it happens; the
-    // merged report alone goes to stdout/--json.
     let run = match run_sharded_ctl(
         &spec,
         &args.backends,
         args.weights.as_deref(),
         &args.config,
         &CancelToken::new(),
-        |event| eprintln!("shard: {event}"),
+        |_| {},
     ) {
         Ok(run) => run,
         Err(e) => {
@@ -177,13 +195,14 @@ fn main() {
             std::process::exit(1);
         }
     };
-    eprintln!(
-        "shard: {} scenarios over {} shard(s), {} dispatch(es), {} failure(s), {:.2}s",
-        run.results.len(),
-        run.shards,
-        run.dispatches,
-        run.failures,
-        start.elapsed().as_secs_f64()
+    span.event(
+        "summary",
+        JsonValue::object()
+            .field("scenarios", run.results.len())
+            .field("shards", run.shards)
+            .field("dispatches", run.dispatches)
+            .field("failures", run.failures)
+            .field("secs", start.elapsed().as_secs_f64()),
     );
     let mut report = run.report;
     match &args.json {
@@ -193,7 +212,7 @@ fn main() {
                 eprintln!("shard: writing {path}: {e}");
                 std::process::exit(1);
             }
-            eprintln!("shard: wrote {path}");
+            span.event("wrote", JsonValue::object().field("path", path.as_str()));
         }
         None => println!("{report}"),
     }

@@ -18,9 +18,11 @@ use chunkpoint_campaign::{
     canonical_report_json, CampaignSpec, CancelToken, JsonValue, Scenario, ScenarioResult,
 };
 use chunkpoint_serve::REPORT_AXES;
+use chunkpoint_telemetry::{Span, Tracer};
 
 use crate::breaker::{Backoff, CircuitBreaker};
 use crate::client::{classify_submit, exchange, SubmitOutcome};
+use crate::metrics::{backend_telemetry, poll_sweeps, BackendTelemetry};
 use crate::partition::{partition, partition_weighted};
 
 /// Coordinator knobs. The defaults suit a LAN of `serve` instances.
@@ -54,6 +56,12 @@ pub struct ShardConfig {
     /// Seed of the deterministic backoff jitter schedules — same seed,
     /// same poll cadence and same cooldowns, every run.
     pub backoff_seed: u64,
+    /// Trace sink of the run's dispatch decisions. The default —
+    /// [`Tracer::disabled`] — costs nothing; a live tracer turns every
+    /// dispatch, re-dispatch, failure, breaker transition, and
+    /// completed shard into a structured span event. Strictly out of
+    /// band: the report bytes cannot change with tracing on or off.
+    pub tracer: Tracer,
 }
 
 impl Default for ShardConfig {
@@ -67,6 +75,7 @@ impl Default for ShardConfig {
             breaker_cooldown: Duration::from_millis(100),
             breaker_max: Duration::from_secs(2),
             backoff_seed: 0,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -444,6 +453,11 @@ struct Dispatcher<'a> {
     events: Vec<String>,
     /// Live event sink; every event is also rendered into `events`.
     sink: &'a mut dyn FnMut(&ShardEvent),
+    /// Per-backend counters, index-aligned with `backends`.
+    telemetry: Vec<BackendTelemetry>,
+    /// The run's trace span; every emitted [`ShardEvent`] doubles as a
+    /// structured span event (no-op under a disabled tracer).
+    span: Span,
 }
 
 impl Dispatcher<'_> {
@@ -459,11 +473,79 @@ impl Dispatcher<'_> {
         self.config.shard_attempts.max(1) * self.config.backend_strikes.max(1)
     }
 
-    /// Records an event: renders it into the run's human-readable log
-    /// and hands it to the live sink.
+    /// Records an event: renders it into the run's human-readable log,
+    /// mirrors it onto the trace span, and hands it to the live sink.
     fn emit(&mut self, event: &ShardEvent) {
+        self.trace(event);
         self.events.push(event.to_string());
         (self.sink)(event);
+    }
+
+    /// The trace-span mirror of one [`ShardEvent`]. Field values are
+    /// the event's own data — no timing — so the record *structure* is
+    /// deterministic for a deterministic dispatch history.
+    fn trace(&self, event: &ShardEvent) {
+        if !self.span.is_traced() {
+            return;
+        }
+        let (name, fields) = match event {
+            ShardEvent::Dispatched {
+                shard,
+                range: (start, end),
+                backend,
+            } => (
+                "dispatched",
+                JsonValue::object()
+                    .field("shard", *shard)
+                    .field("start", *start)
+                    .field("end", *end)
+                    .field("backend", backend.as_str()),
+            ),
+            ShardEvent::Redispatched {
+                shard,
+                range: (start, end),
+                backend,
+            } => (
+                "redispatched",
+                JsonValue::object()
+                    .field("shard", *shard)
+                    .field("start", *start)
+                    .field("end", *end)
+                    .field("backend", backend.as_str()),
+            ),
+            ShardEvent::BackendDead { backend, why } => (
+                "backend_dead",
+                JsonValue::object()
+                    .field("backend", backend.as_str())
+                    .field("why", why.as_str()),
+            ),
+            ShardEvent::ShardFailed {
+                shard,
+                backend,
+                why,
+            } => (
+                "shard_failed",
+                JsonValue::object()
+                    .field("shard", *shard)
+                    .field("backend", backend.as_str())
+                    .field("why", why.as_str()),
+            ),
+            ShardEvent::ShardDone {
+                shard,
+                range: (start, end),
+                backend,
+                rows,
+            } => (
+                "shard_done",
+                JsonValue::object()
+                    .field("shard", *shard)
+                    .field("start", *start)
+                    .field("end", *end)
+                    .field("backend", backend.as_str())
+                    .field("rows", rows.len()),
+            ),
+        };
+        self.span.event(name, fields);
     }
 
     /// Builds the typed give-up error: what completed so far rides
@@ -498,8 +580,21 @@ impl Dispatcher<'_> {
     /// typed [`ShardError::Exhausted`].
     fn fail(&mut self, shard: usize, backend: usize, why: &str) -> Result<(), ShardError> {
         self.failures += 1;
+        self.telemetry[backend].strikes.inc();
         let now = self.now();
         let opened = self.backends[backend].breaker.record_failure(now);
+        if opened {
+            self.telemetry[backend].breaker_opens.inc();
+            if self.span.is_traced() {
+                self.span.event(
+                    "breaker_open",
+                    JsonValue::object()
+                        .field("backend", self.backends[backend].addr.as_str())
+                        .field("opens", u64::from(self.backends[backend].breaker.opens()))
+                        .field("why", why),
+                );
+            }
+        }
         if opened && self.backends[backend].breaker.opens() == 1 {
             let addr = self.backends[backend].addr.clone();
             self.emit(&ShardEvent::BackendDead {
@@ -545,6 +640,7 @@ impl Dispatcher<'_> {
             // keep polling it rather than re-submitting in place.
             return Ok(());
         }
+        self.telemetry[target].redispatches.inc();
         self.emit(&ShardEvent::Redispatched {
             shard,
             range: self.shards[shard].range,
@@ -574,6 +670,7 @@ impl Dispatcher<'_> {
             .render();
         let addr = self.backends[backend].addr.clone();
         self.dispatches += 1;
+        self.telemetry[backend].dispatches.inc();
         match exchange(
             &addr,
             "POST",
@@ -927,6 +1024,11 @@ pub fn run_sharded_ctl(
         failures: 0,
         events: Vec::new(),
         sink: &mut on_event,
+        telemetry: backends
+            .iter()
+            .map(|addr| backend_telemetry(addr))
+            .collect(),
+        span: config.tracer.root("shard_run"),
     };
     for (shard, &(backend, range)) in shards.iter().enumerate() {
         dispatcher.emit(&ShardEvent::Dispatched {
@@ -939,6 +1041,7 @@ pub fn run_sharded_ctl(
     // backing off deterministically toward `poll_max` across idle
     // sweeps — a long-running shard is not hammered at submit cadence.
     let poll_backoff = Backoff::new(config.poll_interval, config.poll_max, config.backoff_seed);
+    let sweeps = poll_sweeps();
     let mut idle_sweeps = 0u32;
     loop {
         if cancel.is_cancelled() {
@@ -981,6 +1084,7 @@ pub fn run_sharded_ctl(
         } else {
             idle_sweeps = 0;
         }
+        sweeps.inc();
         std::thread::sleep(poll_backoff.delay(idle_sweeps));
     }
     let rows: Vec<ScenarioResult> = dispatcher

@@ -56,6 +56,7 @@
 pub mod breaker;
 pub mod client;
 pub mod coordinator;
+mod metrics;
 pub mod partition;
 
 pub use breaker::{Backoff, BreakerState, CircuitBreaker};

@@ -1,0 +1,69 @@
+//! Coordinator-side telemetry handles: per-backend dispatch and
+//! breaker counters plus the poll-sweep counter, registered against
+//! the process-wide [`chunkpoint_telemetry::global`] registry.
+//!
+//! All of it is strictly out of band — the counters observe the
+//! dispatch loop, they never steer it, so a sharded run's merged
+//! report stays byte-identical with telemetry scraped or ignored.
+
+use std::sync::Arc;
+
+use chunkpoint_telemetry::Counter;
+
+/// The per-backend counter family of one sharded run. The registry
+/// dedupes by `(name, labels)`, so successive runs against the same
+/// backend accumulate into the same series — scrape deltas, not
+/// absolutes, across runs.
+pub(crate) struct BackendTelemetry {
+    /// Sub-spec submissions sent to this backend (re-dispatches
+    /// included).
+    pub dispatches: Arc<Counter>,
+    /// Shards moved *to* this backend after a failure elsewhere (or a
+    /// breaker opening here sent them away and a probe brought one
+    /// back).
+    pub redispatches: Arc<Counter>,
+    /// Failed exchanges charged against this backend's breaker.
+    pub strikes: Arc<Counter>,
+    /// Times this backend's circuit breaker opened (first open and
+    /// every re-open after a failed half-open probe).
+    pub breaker_opens: Arc<Counter>,
+}
+
+/// Registers (or re-resolves) the counter family for one backend
+/// address.
+pub(crate) fn backend_telemetry(addr: &str) -> BackendTelemetry {
+    let registry = chunkpoint_telemetry::global();
+    let labels = &[("backend", addr)];
+    BackendTelemetry {
+        dispatches: registry.counter_with(
+            "shard_dispatches_total",
+            labels,
+            "Sub-spec submissions per backend, re-dispatches included",
+        ),
+        redispatches: registry.counter_with(
+            "shard_redispatches_total",
+            labels,
+            "Shards re-dispatched to this backend after a failure",
+        ),
+        strikes: registry.counter_with(
+            "shard_backend_strikes_total",
+            labels,
+            "Failed exchanges charged against this backend's circuit breaker",
+        ),
+        breaker_opens: registry.counter_with(
+            "shard_breaker_opens_total",
+            labels,
+            "Circuit-breaker open transitions per backend",
+        ),
+    }
+}
+
+/// The coordinator's poll-sweep counter — one increment per pass over
+/// the outstanding shards, so idle-backoff stretching is visible as a
+/// falling sweep rate.
+pub(crate) fn poll_sweeps() -> Arc<Counter> {
+    chunkpoint_telemetry::global().counter(
+        "shard_poll_sweeps_total",
+        "Coordinator poll sweeps over the outstanding shards",
+    )
+}

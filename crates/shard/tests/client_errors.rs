@@ -180,6 +180,7 @@ fn mid_poll_shutdown_surfaces_exhausted() {
         max_jobs: 1,
         campaign_threads: 1,
         max_queued: 0,
+        trace_out: None,
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr").to_string();

@@ -113,6 +113,10 @@ fn shutdown(serve: &ServeProcess) {
 /// to an unsharded in-process single-threaded run.
 #[test]
 fn sharded_run_matches_unsharded_bytes() {
+    // Live telemetry throughout: the engine sink meters the in-process
+    // reference run and the coordinator traces every dispatch — the
+    // byte-identity assert below proves both are out-of-band.
+    let _ = chunkpoint_telemetry::install_campaign_metrics();
     let mut config = SystemConfig::paper(0);
     config.scale = 0.25;
     let spec = CampaignSpec::new(config, 0x54A6D)
@@ -139,7 +143,13 @@ fn sharded_run_matches_unsharded_bytes() {
         .collect();
     let backends: Vec<String> = serves.iter().map(|s| s.addr.clone()).collect();
 
-    let run = run_sharded(&spec, &backends, &ShardConfig::default()).expect("sharded run");
+    let trace_out = temp_dir("clean_trace");
+    let _ = std::fs::remove_file(&trace_out);
+    let shard_config = ShardConfig {
+        tracer: chunkpoint_telemetry::Tracer::to_file(&trace_out).expect("trace sink"),
+        ..ShardConfig::default()
+    };
+    let run = run_sharded(&spec, &backends, &shard_config).expect("sharded run");
     assert_eq!(run.shards, 2);
     assert_eq!(run.dispatches, 2, "clean run should not re-dispatch");
     assert_eq!(run.failures, 0);
@@ -148,6 +158,24 @@ fn sharded_run_matches_unsharded_bytes() {
     let expected =
         canonical_report_json(spec.campaign_seed, &reference.results, &REPORT_AXES).render();
     assert_eq!(run.report, expected, "sharded bytes diverged");
+
+    // The dispatch trace is structured and complete: one dispatched
+    // and one shard_done event per shard, every record well-formed.
+    let trace = std::fs::read_to_string(&trace_out).expect("trace file");
+    let names: Vec<String> = trace
+        .lines()
+        .map(|line| {
+            let record = chunkpoint_campaign::JsonValue::parse(line).expect("trace line is JSON");
+            record
+                .get("name")
+                .and_then(chunkpoint_campaign::JsonValue::as_str)
+                .expect("record has a name")
+                .to_owned()
+        })
+        .collect();
+    assert_eq!(names.iter().filter(|n| *n == "dispatched").count(), 2);
+    assert_eq!(names.iter().filter(|n| *n == "shard_done").count(), 2);
+    let _ = std::fs::remove_file(&trace_out);
 
     for serve in &serves {
         shutdown(serve);

@@ -1,0 +1,81 @@
+//! The adapter that plugs the campaign engine's [`TelemetrySink`] seam
+//! into the metrics registry.
+//!
+//! `chunkpoint_campaign` defines the trait and the install point but
+//! knows nothing about registries; this module supplies the concrete
+//! sink (scenario wall-time histogram + pool queue-depth gauge) and a
+//! one-call installer every serving entry point can invoke blindly.
+
+use std::sync::Arc;
+
+use chunkpoint_campaign::telemetry::{install_sink, TelemetrySink};
+
+use crate::registry::{Gauge, Histogram, MetricsRegistry};
+
+/// Scenario wall-time bucket bounds (seconds): paper-scale scenarios run
+/// milliseconds to minutes depending on `scale` and the fault rate.
+pub const SCENARIO_WALL_BUCKETS: [f64; 10] =
+    [0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0];
+
+/// A [`TelemetrySink`] backed by registry series.
+#[derive(Debug)]
+pub struct RegistrySink {
+    wall: Arc<Histogram>,
+    depth: Arc<Gauge>,
+}
+
+impl RegistrySink {
+    /// Builds the sink's series in `registry`.
+    #[must_use]
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            wall: registry.histogram(
+                "campaign_scenario_wall_seconds",
+                &SCENARIO_WALL_BUCKETS,
+                "Wall-clock execution time of completed scenarios",
+            ),
+            depth: registry.gauge(
+                "campaign_queue_depth",
+                "Scenarios dealt to the pool and not yet delivered",
+            ),
+        }
+    }
+}
+
+impl TelemetrySink for RegistrySink {
+    fn scenario_completed(&self, wall_seconds: f64) {
+        self.wall.observe(wall_seconds);
+    }
+
+    fn queue_depth(&self, depth: i64) {
+        self.depth.set(depth);
+    }
+}
+
+/// Installs a [`RegistrySink`] over the global registry. First caller
+/// wins (the seam is process-wide); safe to call from every entry
+/// point.
+pub fn install_campaign_metrics() -> bool {
+    install_sink(Box::new(RegistrySink::new(crate::global())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_records_into_its_registry() {
+        let registry = MetricsRegistry::new();
+        let sink = RegistrySink::new(&registry);
+        sink.scenario_completed(0.01);
+        sink.scenario_completed(2.0);
+        sink.queue_depth(7);
+        let text = crate::expose::render_text(&registry);
+        let scrape = crate::expose::Scrape::parse(&text).expect("parse");
+        assert_eq!(
+            scrape.value("campaign_scenario_wall_seconds_count", &[]),
+            Some(2.0)
+        );
+        assert_eq!(scrape.value("campaign_queue_depth", &[]), Some(7.0));
+    }
+}

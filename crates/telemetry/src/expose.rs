@@ -1,0 +1,384 @@
+//! Prometheus-style text exposition: rendering a [`MetricsRegistry`]
+//! into the `text/plain; version=0.0.4` scrape format, and a parser for
+//! that format so tests (and the `ci.sh` smoke) can do genuine
+//! scrape-parse round trips instead of string-grepping.
+//!
+//! Rendering is deterministic: families appear in registration order,
+//! series within a family in registration order, and floats use Rust's
+//! shortest-roundtrip formatting — two scrapes of an idle registry are
+//! byte-identical.
+
+use crate::registry::{Instrument, MetricsRegistry};
+
+/// Formats a float the way the exposition format expects: shortest
+/// roundtrip for finite values, `+Inf` / `-Inf` / `NaN` otherwise.
+fn format_value(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_owned()
+    } else if value.is_infinite() {
+        if value > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Escapes a label value: backslash, double quote, and newline get
+/// backslash escapes (the only three the format defines).
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (key, value) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(key);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(value));
+        out.push('"');
+    }
+    if let Some((key, value)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(value));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Renders every series in `registry` as Prometheus exposition text.
+#[must_use]
+pub fn render_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut announced: Vec<String> = Vec::new();
+    registry.each_series(|series| {
+        if !announced.iter().any(|n| n == &series.name) {
+            announced.push(series.name.clone());
+            let kind = match series.instrument {
+                Instrument::Counter(_) => "counter",
+                Instrument::Gauge(_) => "gauge",
+                Instrument::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# HELP {} {}\n", series.name, series.help));
+            out.push_str(&format!("# TYPE {} {}\n", series.name, kind));
+        }
+        match &series.instrument {
+            Instrument::Counter(counter) => {
+                out.push_str(&series.name);
+                write_labels(&mut out, &series.labels, None);
+                out.push_str(&format!(" {}\n", counter.get()));
+            }
+            Instrument::Gauge(gauge) => {
+                out.push_str(&series.name);
+                write_labels(&mut out, &series.labels, None);
+                out.push_str(&format!(" {}\n", gauge.get()));
+            }
+            Instrument::Histogram(histogram) => {
+                let cumulative = histogram.cumulative();
+                for (i, count) in cumulative.iter().enumerate() {
+                    let le = match histogram.bounds().get(i) {
+                        Some(bound) => format_value(*bound),
+                        None => "+Inf".to_owned(),
+                    };
+                    out.push_str(&format!("{}_bucket", series.name));
+                    write_labels(&mut out, &series.labels, Some(("le", &le)));
+                    out.push_str(&format!(" {count}\n"));
+                }
+                out.push_str(&format!("{}_sum", series.name));
+                write_labels(&mut out, &series.labels, None);
+                out.push_str(&format!(" {}\n", format_value(histogram.sum())));
+                out.push_str(&format!("{}_count", series.name));
+                write_labels(&mut out, &series.labels, None);
+                out.push_str(&format!(" {}\n", histogram.count()));
+            }
+        }
+    });
+    out
+}
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histograms, includes the `_bucket`/`_sum`/
+    /// `_count` suffix — the parser does not reassemble families).
+    pub name: String,
+    /// Label pairs in the order they appeared.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf`/`-Inf`/`NaN` parse to the f64 specials).
+    pub value: f64,
+}
+
+/// A parsed scrape: every sample line of an exposition document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scrape {
+    /// All samples, in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Scrape {
+    /// Parses exposition text into samples, skipping comments and blank
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the offending line when a sample
+    /// line does not follow the `name{labels} value` grammar.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut samples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            samples.push(
+                parse_sample(line).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?,
+            );
+        }
+        Ok(Self { samples })
+    }
+
+    /// Looks up a sample by exact name and label set (order-insensitive
+    /// on labels).
+    #[must_use]
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// Sum of every sample of `name` across label sets — handy for
+    /// "total requests regardless of endpoint" assertions.
+    #[must_use]
+    pub fn total(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len()
+        && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b':')
+    {
+        pos += 1;
+    }
+    if pos == 0 {
+        return Err("missing metric name".to_owned());
+    }
+    let name = line[..pos].to_owned();
+    let mut labels = Vec::new();
+    if bytes.get(pos) == Some(&b'{') {
+        pos += 1;
+        loop {
+            if bytes.get(pos) == Some(&b'}') {
+                pos += 1;
+                break;
+            }
+            let key_start = pos;
+            while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+                pos += 1;
+            }
+            if pos == key_start {
+                return Err("missing label name".to_owned());
+            }
+            let key = line[key_start..pos].to_owned();
+            if bytes.get(pos) != Some(&b'=') || bytes.get(pos + 1) != Some(&b'"') {
+                return Err("expected =\" after label name".to_owned());
+            }
+            pos += 2;
+            let mut value = String::new();
+            loop {
+                match bytes.get(pos) {
+                    None => return Err("unterminated label value".to_owned()),
+                    Some(b'"') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        match bytes.get(pos + 1) {
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'"') => value.push('"'),
+                            Some(b'n') => value.push('\n'),
+                            _ => return Err("invalid escape in label value".to_owned()),
+                        }
+                        pos += 2;
+                    }
+                    Some(_) => {
+                        // Advance one UTF-8 code point.
+                        let rest = &line[pos..];
+                        let c = rest.chars().next().expect("non-empty");
+                        value.push(c);
+                        pos += c.len_utf8();
+                    }
+                }
+            }
+            labels.push((key, value));
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {}
+                _ => return Err("expected ',' or '}' after label".to_owned()),
+            }
+        }
+    }
+    let rest = line[pos..].trim();
+    if rest.is_empty() {
+        return Err("missing sample value".to_owned());
+    }
+    // A timestamp may trail the value; keep only the first token.
+    let value_token = rest.split_ascii_whitespace().next().expect("non-empty");
+    let value = match value_token {
+        "+Inf" | "Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        token => token
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value {token:?}"))?,
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter_with("req_total", &[("endpoint", "healthz")], "requests served");
+        c.add(3);
+        let g = registry.gauge("depth", "queue depth");
+        g.set(-2);
+        let h = registry.histogram("lat_seconds", &[0.5, 1.0], "latency");
+        h.observe(0.25);
+        h.observe(2.0);
+        let text = render_text(&registry);
+        assert_eq!(
+            text,
+            "# HELP req_total requests served\n\
+             # TYPE req_total counter\n\
+             req_total{endpoint=\"healthz\"} 3\n\
+             # HELP depth queue depth\n\
+             # TYPE depth gauge\n\
+             depth -2\n\
+             # HELP lat_seconds latency\n\
+             # TYPE lat_seconds histogram\n\
+             lat_seconds_bucket{le=\"0.5\"} 1\n\
+             lat_seconds_bucket{le=\"1\"} 1\n\
+             lat_seconds_bucket{le=\"+Inf\"} 2\n\
+             lat_seconds_sum 2.25\n\
+             lat_seconds_count 2\n"
+        );
+    }
+
+    #[test]
+    fn help_and_type_appear_once_per_family() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter_with("req_total", &[("endpoint", "a")], "requests")
+            .inc();
+        registry
+            .counter_with("req_total", &[("endpoint", "b")], "requests")
+            .inc();
+        let text = render_text(&registry);
+        assert_eq!(text.matches("# HELP req_total").count(), 1);
+        assert_eq!(text.matches("# TYPE req_total").count(), 1);
+        assert_eq!(text.matches("req_total{").count(), 2);
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        let registry = MetricsRegistry::new();
+        let tricky = "a\\b\"c\nd";
+        registry
+            .counter_with("odd_total", &[("path", tricky)], "odd")
+            .add(7);
+        let text = render_text(&registry);
+        assert!(text.contains(r#"odd_total{path="a\\b\"c\nd"} 7"#));
+        let scrape = Scrape::parse(&text).expect("parse back");
+        assert_eq!(scrape.value("odd_total", &[("path", tricky)]), Some(7.0));
+    }
+
+    #[test]
+    fn full_render_parse_round_trip() {
+        let registry = MetricsRegistry::new();
+        registry.counter("jobs_total", "jobs").add(11);
+        registry.gauge("depth", "depth").set(4);
+        let h = registry.histogram("wall_seconds", &[0.0, 1.5, 30.0], "wall");
+        h.observe(0.0);
+        h.observe(1.5);
+        h.observe(31.0);
+        let scrape = Scrape::parse(&render_text(&registry)).expect("parse");
+        assert_eq!(scrape.value("jobs_total", &[]), Some(11.0));
+        assert_eq!(scrape.value("depth", &[]), Some(4.0));
+        assert_eq!(
+            scrape.value("wall_seconds_bucket", &[("le", "0")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape.value("wall_seconds_bucket", &[("le", "1.5")]),
+            Some(2.0)
+        );
+        assert_eq!(
+            scrape.value("wall_seconds_bucket", &[("le", "+Inf")]),
+            Some(3.0)
+        );
+        assert_eq!(scrape.value("wall_seconds_count", &[]), Some(3.0));
+        assert_eq!(scrape.value("wall_seconds_sum", &[]), Some(32.5));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "{no_name=\"x\"} 1",
+            "name{unterminated=\"x} 1",
+            "name{k=\"v\"",
+            "name",
+            "name notanumber",
+            "name{k=\"v\" extra} 2",
+        ] {
+            assert!(Scrape::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_specials_and_timestamps() {
+        let scrape = Scrape::parse("a 1e3 1700000000\nb +Inf\nc NaN\n").expect("parse");
+        assert_eq!(scrape.value("a", &[]), Some(1000.0));
+        assert_eq!(scrape.value("b", &[]), Some(f64::INFINITY));
+        assert!(scrape.value("c", &[]).expect("c").is_nan());
+    }
+}

@@ -1,0 +1,48 @@
+//! # chunkpoint-telemetry
+//!
+//! The workspace's observability layer, std-only like everything else:
+//!
+//! * **Metrics** — a process-wide [`MetricsRegistry`] of atomic
+//!   [`Counter`]s, [`Gauge`]s, and fixed-bucket [`Histogram`]s
+//!   ([`registry`]). Registration takes a lock once; the handles are
+//!   lock-free, so request handlers and pool workers record for the
+//!   cost of an atomic add.
+//! * **Exposition** — [`render_text`] serializes a registry in the
+//!   Prometheus text scrape format, and [`Scrape`] parses it back, so
+//!   the `GET /metrics` endpoint and its tests speak the same grammar
+//!   ([`expose`]).
+//! * **Tracing** — [`Tracer`] / [`Span`] write structured JSON-line
+//!   span and event records with *deterministic* span ids (derived via
+//!   the campaign engine's SplitMix64 finalizer, never from time), so a
+//!   fixed workload reproduces its span tree exactly ([`trace`]).
+//! * **Engine adapter** — [`install_campaign_metrics`] plugs the
+//!   campaign engine's dependency-free `TelemetrySink` seam into the
+//!   global registry ([`campaign_sink`]).
+//!
+//! Everything here is strictly out-of-band: canonical campaign report
+//! bytes are identical with telemetry live or absent — the parity
+//! suites run with a live registry and prove it.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign_sink;
+pub mod expose;
+pub mod registry;
+pub mod trace;
+
+pub use campaign_sink::{install_campaign_metrics, RegistrySink, SCENARIO_WALL_BUCKETS};
+pub use expose::{render_text, Sample, Scrape};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS};
+pub use trace::{derive_span_id, Span, Tracer};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry every instrumented layer records into and
+/// `GET /metrics` renders from.
+#[must_use]
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}

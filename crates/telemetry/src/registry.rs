@@ -1,0 +1,442 @@
+//! The metrics registry: named, labelled series of atomic counters,
+//! gauges, and fixed-bucket histograms.
+//!
+//! Registration (name + label set → handle) takes a mutex once; the
+//! handles it returns are `Arc`s over plain atomics, so the *hot path*
+//! — `inc`, `add`, `set`, `observe` — is lock-free and safe to call
+//! from request handlers, pool workers, and dispatch loops. Registering
+//! the same `(name, labels)` twice returns the same underlying series,
+//! which is what lets independently-initialized layers (the server, the
+//! job manager, a coordinator embedded in the same process) share one
+//! registry without coordinating.
+//!
+//! Telemetry is strictly out-of-band: nothing in this module feeds back
+//! into campaign execution, so canonical report bytes are identical
+//! with a live registry or none at all.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `f64` observations.
+///
+/// Bucket upper bounds are chosen at registration and never change; an
+/// implicit `+Inf` bucket catches everything above the last bound.
+/// `observe` is lock-free: one `fetch_add` on the bucket, one on the
+/// count, and a CAS loop folding the observation into the bit-packed
+/// `f64` sum.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound plus the `+Inf` overflow slot.
+    buckets: Vec<AtomicU64>,
+    /// `f64` bits of the running sum (CAS-updated).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit): {bounds:?}"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Non-finite values land in the `+Inf`
+    /// bucket and are excluded from the sum (a single `NaN` must not
+    /// poison the series).
+    pub fn observe(&self, value: f64) {
+        let slot = if value.is_finite() {
+            self.bounds
+                .iter()
+                .position(|&bound| value <= bound)
+                .unwrap_or(self.bounds.len())
+        } else {
+            self.bounds.len()
+        };
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            let mut current = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + value).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => current = seen,
+                }
+            }
+        }
+    }
+
+    /// The bucket upper bounds (the implicit `+Inf` not included).
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// **Cumulative** per-bucket counts in bound order, ending with the
+    /// `+Inf` bucket (which always equals [`Histogram::count`]) — the
+    /// shape Prometheus `_bucket{le=...}` samples carry.
+    #[must_use]
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.buckets
+            .iter()
+            .map(|bucket| {
+                total += bucket.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+
+    /// Sum of all finite observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Request-latency bucket bounds (seconds) shared by the service's
+/// per-endpoint histograms: sub-millisecond cache hits up through
+/// multi-second campaign submissions.
+pub const LATENCY_BUCKETS: [f64; 11] = [
+    0.000_25, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0,
+];
+
+/// One registered series: a metric name, its label pairs, and the
+/// instrument behind it.
+#[derive(Debug)]
+pub(crate) struct Series {
+    pub(crate) name: String,
+    pub(crate) help: String,
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) instrument: Instrument,
+}
+
+#[derive(Debug)]
+pub(crate) enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A set of named, labelled metric series. One process-wide instance
+/// lives behind [`crate::global`]; tests build private ones.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    series: Mutex<Vec<Series>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Registers (or re-fetches) a labelled counter. The same
+    /// `(name, labels)` always answers the same underlying series.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or on a kind clash with an
+    /// existing series of the same name (programmer errors).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.register(name, labels, help, || {
+            Instrument::Counter(Arc::new(Counter::default()))
+        }) {
+            Instrument::Counter(counter) => counter,
+            other => panic!("{name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Registers (or re-fetches) a labelled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or a kind clash.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.register(name, labels, help, || {
+            Instrument::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Instrument::Gauge(gauge) => gauge,
+            other => panic!("{name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled histogram over `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[f64], help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[], bounds, help)
+    }
+
+    /// Registers (or re-fetches) a labelled histogram over `bounds`
+    /// (strictly increasing, finite; `+Inf` is implicit). A re-fetch
+    /// keeps the original bounds — series never change shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name, invalid bounds, or a kind
+    /// clash.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        help: &str,
+    ) -> Arc<Histogram> {
+        match self.register(name, labels, help, || {
+            Instrument::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Instrument::Histogram(histogram) => histogram,
+            other => panic!("{name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        build: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (key, _) in labels {
+            assert!(valid_name(key), "invalid label name {key:?} on {name}");
+        }
+        let mut series = self.series.lock().expect("registry poisoned");
+        if let Some(existing) = series
+            .iter()
+            .find(|s| s.name == name && matches_labels(&s.labels, labels))
+        {
+            return clone_instrument(&existing.instrument);
+        }
+        if let Some(family) = series.iter().find(|s| s.name == name) {
+            let family_kind = family.instrument.kind();
+            let family_help = family.help.clone();
+            let incoming = build();
+            assert!(
+                family_kind == incoming.kind(),
+                "metric {name} registered as both {family_kind} and {}",
+                incoming.kind()
+            );
+            let handle = clone_instrument(&incoming);
+            series.push(Series {
+                name: name.to_owned(),
+                help: family_help,
+                labels: own_labels(labels),
+                instrument: incoming,
+            });
+            return handle;
+        }
+        let instrument = build();
+        let handle = clone_instrument(&instrument);
+        series.push(Series {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            labels: own_labels(labels),
+            instrument,
+        });
+        handle
+    }
+
+    /// Runs `f` over every registered series, in registration order —
+    /// the seam the exposition renderer reads through.
+    pub(crate) fn each_series(&self, mut f: impl FnMut(&Series)) {
+        let series = self.series.lock().expect("registry poisoned");
+        for s in series.iter() {
+            f(s);
+        }
+    }
+}
+
+fn matches_labels(owned: &[(String, String)], borrowed: &[(&str, &str)]) -> bool {
+    owned.len() == borrowed.len()
+        && owned
+            .iter()
+            .zip(borrowed)
+            .all(|((ok, ov), (bk, bv))| ok == bk && ov == bv)
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+        .collect()
+}
+
+fn clone_instrument(instrument: &Instrument) -> Instrument {
+    match instrument {
+        Instrument::Counter(c) => Instrument::Counter(Arc::clone(c)),
+        Instrument::Gauge(g) => Instrument::Gauge(Arc::clone(g)),
+        Instrument::Histogram(h) => Instrument::Histogram(Arc::clone(h)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("c_total", "a counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = registry.gauge("g", "a gauge");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn same_name_and_labels_share_one_series() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter_with("req_total", &[("endpoint", "healthz")], "requests");
+        let b = registry.counter_with("req_total", &[("endpoint", "healthz")], "requests");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        // A different label value is a different series in the family.
+        let c = registry.counter_with("req_total", &[("endpoint", "submit")], "requests");
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf_overflow() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[1.0, 2.0, 4.0], "latency");
+        for v in [0.5, 1.0, 1.5, 4.0, 100.0] {
+            h.observe(v);
+        }
+        // le=1: {0.5, 1.0}; le=2: +{1.5}; le=4: +{4.0}; +Inf: +{100.0}.
+        assert_eq!(h.cumulative(), vec![2, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 107.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_edge_values_zero_max_and_nan() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("edge", &[0.0, 10.0], "edges");
+        h.observe(0.0); // exactly the first bound: le="0" bucket
+        h.observe(10.0); // exactly the last bound: still inside it
+        h.observe(10.000001); // just past: +Inf only
+        h.observe(f64::NAN); // +Inf, excluded from the sum
+        h.observe(f64::INFINITY); // +Inf, excluded from the sum
+        assert_eq!(h.cumulative(), vec![1, 2, 5]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 20.000001).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_refused() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.histogram("bad", &[2.0, 1.0], "nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_clashes_are_refused() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.gauge("thing", "a gauge");
+        let _ = registry.counter("thing", "now a counter?");
+    }
+}

@@ -1,0 +1,332 @@
+//! Structured trace spans with deterministic ids.
+//!
+//! A [`Tracer`] writes JSON-line records — `span_begin`, `event`,
+//! `span_end` — to an optional sink (a file behind `--trace-out`,
+//! stderr for interactive bins, or nothing at all). Two properties are
+//! load-bearing:
+//!
+//! * **Deterministic ids.** A span's id is derived from its parent's
+//!   id, its name, and its sibling index via the same SplitMix64
+//!   finalizer the campaign engine uses for scenario seeds — never from
+//!   wall-clock time or randomness. Re-running a fixed workload
+//!   reproduces the exact span tree, so trace diffs are meaningful.
+//! * **Out-of-band timing.** `t_us` (microseconds since the tracer's
+//!   epoch) and `dur_us` are the *only* nondeterministic fields; strip
+//!   them and the log is byte-stable for a fixed seed. Nothing here
+//!   feeds back into execution.
+//!
+//! Sink failures are swallowed: tracing must never change what the
+//! traced code does.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use chunkpoint_campaign::seed::{mix64, GOLDEN_GAMMA};
+use chunkpoint_campaign::JsonValue;
+
+/// FNV-1a over the span name: folds the name into the id derivation so
+/// differently-named siblings get unrelated ids.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Derives a span id from its parent id, name, and 0-based sibling
+/// sequence number. Pure function — the whole determinism story.
+#[must_use]
+pub fn derive_span_id(parent: u64, name: &str, seq: u64) -> u64 {
+    mix64(parent ^ fnv1a(name) ^ seq.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA))
+}
+
+struct TracerInner {
+    sink: Mutex<Box<dyn Write + Send>>,
+    epoch: Instant,
+    root_seq: AtomicU64,
+}
+
+/// A handle to a trace sink. Cloning is cheap (an `Arc`); a
+/// [`Tracer::disabled`] tracer costs a branch per call and writes
+/// nothing.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A tracer writing JSON lines to `writer`.
+    #[must_use]
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                sink: Mutex::new(writer),
+                epoch: Instant::now(),
+                root_seq: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A tracer appending JSON lines to stderr (the interactive-bin
+    /// progress channel).
+    #[must_use]
+    pub fn to_stderr() -> Self {
+        Self::to_writer(Box::new(std::io::stderr()))
+    }
+
+    /// A tracer writing JSON lines to a freshly created/truncated file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `File::create` failure.
+    pub fn to_file(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::to_writer(Box::new(std::fs::File::create(path)?)))
+    }
+
+    /// Whether this tracer writes anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a root span. Root ids derive from parent id 0 and the
+    /// tracer-wide root sequence.
+    #[must_use]
+    pub fn root(&self, name: &str) -> Span {
+        let seq = match &self.inner {
+            Some(inner) => inner.root_seq.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        self.open_span(0, name, seq)
+    }
+
+    fn open_span(&self, parent: u64, name: &str, seq: u64) -> Span {
+        let id = derive_span_id(parent, name, seq);
+        let span = Span {
+            tracer: self.clone(),
+            id,
+            parent,
+            name: name.to_owned(),
+            start: Instant::now(),
+            child_seq: AtomicU64::new(0),
+        };
+        self.write_record(
+            record("span_begin", self.now_us())
+                .field("span", hex_id(id))
+                .field(
+                    "parent",
+                    if parent == 0 {
+                        JsonValue::Null
+                    } else {
+                        JsonValue::Str(hex_id(parent))
+                    },
+                )
+                .field("name", name),
+        );
+        span
+    }
+
+    fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+            None => 0,
+        }
+    }
+
+    fn write_record(&self, record: JsonValue) {
+        if let Some(inner) = &self.inner {
+            let mut line = record.render();
+            line.push('\n');
+            if let Ok(mut sink) = inner.sink.lock() {
+                // Out-of-band: a full disk or closed pipe must not
+                // disturb the traced code.
+                let _ = sink.write_all(line.as_bytes());
+                let _ = sink.flush();
+            }
+        }
+    }
+}
+
+fn record(kind: &str, t_us: u64) -> JsonValue {
+    JsonValue::object().field("t_us", t_us).field("kind", kind)
+}
+
+fn hex_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// An open span. Dropping it emits the `span_end` record with the
+/// monotonic-clock duration.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    parent: u64,
+    name: String,
+    start: Instant,
+    child_seq: AtomicU64,
+}
+
+impl Span {
+    /// This span's deterministic id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The parent span's id (0 for roots).
+    #[must_use]
+    pub fn parent_id(&self) -> u64 {
+        self.parent
+    }
+
+    /// Whether this span writes anywhere — `false` under a disabled
+    /// tracer, letting callers skip building event fields entirely.
+    #[must_use]
+    pub fn is_traced(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Opens a child span; ids incorporate this span's id and the
+    /// child's sibling index.
+    #[must_use]
+    pub fn child(&self, name: &str) -> Span {
+        let seq = self.child_seq.fetch_add(1, Ordering::Relaxed);
+        self.tracer.open_span(self.id, name, seq)
+    }
+
+    /// Emits a point-in-time event inside this span. `fields` must be a
+    /// `JsonValue::object()` (use [`Span::note`] for the no-field case).
+    pub fn event(&self, name: &str, fields: JsonValue) {
+        let mut rec = record("event", self.tracer.now_us())
+            .field("span", hex_id(self.id))
+            .field("name", name);
+        if let JsonValue::Object(extra) = fields {
+            for (key, value) in extra {
+                rec = rec.field(&key, value);
+            }
+        }
+        self.tracer.write_record(rec);
+    }
+
+    /// Emits a field-free event.
+    pub fn note(&self, name: &str) {
+        self.event(name, JsonValue::object());
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.tracer.write_record(
+            record("span_end", self.tracer.now_us())
+                .field("span", hex_id(self.id))
+                .field("name", self.name.as_str())
+                .field("dur_us", dur_us),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A Write that forwards lines over a channel so the test can read
+    /// what the tracer emitted.
+    struct ChannelWriter(mpsc::Sender<String>);
+
+    impl Write for ChannelWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let _ = self
+                .0
+                .send(String::from_utf8_lossy(buf).trim_end().to_owned());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn strip_timing(line: &str) -> String {
+        let doc = JsonValue::parse(line).expect("trace line is JSON");
+        let JsonValue::Object(fields) = doc else {
+            panic!("trace line is not an object")
+        };
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "t_us" && k != "dur_us")
+                .collect(),
+        )
+        .render()
+    }
+
+    fn run_workload() -> Vec<String> {
+        let (tx, rx) = mpsc::channel();
+        let tracer = Tracer::to_writer(Box::new(ChannelWriter(tx)));
+        {
+            let root = tracer.root("campaign");
+            let a = root.child("dispatch");
+            a.event("sent", JsonValue::object().field("shard", 0u64));
+            drop(a);
+            let b = root.child("dispatch");
+            b.note("sent-quiet");
+            drop(b);
+        }
+        drop(tracer);
+        rx.iter().collect()
+    }
+
+    #[test]
+    fn span_tree_structure_is_deterministic() {
+        let first: Vec<String> = run_workload().iter().map(|l| strip_timing(l)).collect();
+        let second: Vec<String> = run_workload().iter().map(|l| strip_timing(l)).collect();
+        assert_eq!(first, second);
+        // begin(root), begin(a), event, end(a), begin(b), event, end(b), end(root)
+        assert_eq!(first.len(), 8);
+        assert!(first[0].contains("span_begin"));
+        assert!(first[0].contains("\"parent\":null"));
+        assert!(first[7].contains("span_end"));
+    }
+
+    #[test]
+    fn sibling_spans_with_equal_names_get_distinct_ids() {
+        let tracer = Tracer::disabled();
+        let root = tracer.root("r");
+        let a = root.child("dispatch");
+        let b = root.child("dispatch");
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.parent_id(), root.id());
+        // And the derivation is a pure function of (parent, name, seq).
+        assert_eq!(a.id(), derive_span_id(root.id(), "dispatch", 0));
+        assert_eq!(b.id(), derive_span_id(root.id(), "dispatch", 1));
+    }
+
+    #[test]
+    fn disabled_tracer_still_hands_out_consistent_ids() {
+        let t1 = Tracer::disabled();
+        let t2 = Tracer::disabled();
+        assert_eq!(t1.root("x").id(), t2.root("x").id());
+        assert!(!t1.is_enabled());
+    }
+}

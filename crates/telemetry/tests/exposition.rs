@@ -1,0 +1,122 @@
+//! Exposition-format acceptance: the renderer's edge cases — bucket
+//! boundaries at `0`, `f64::MAX`, and `+Inf`; label-value escaping —
+//! and the scrape-parse round trip, all over a fresh registry (the
+//! process-global one would couple these assertions to whatever else
+//! the test binary touched).
+
+use chunkpoint_telemetry::{render_text, MetricsRegistry, Scrape};
+
+/// Observations landing exactly *on* a bucket bound count into that
+/// bucket (`le` is ≤), zero lands in the lowest bucket that admits it,
+/// `f64::MAX` overflows every finite bound into `+Inf`, and the
+/// `+Inf` bucket always equals `_count`.
+#[test]
+fn bucket_boundaries_zero_max_and_infinity() {
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("edge_seconds", &[0.0, 1.0, 10.0], "boundary cases");
+    histogram.observe(0.0); // == first bound: le="0" admits it
+    histogram.observe(1.0); // == second bound: le="1", not le="0"
+    histogram.observe(10.0); // == last finite bound
+    histogram.observe(f64::MAX); // over every finite bound
+    histogram.observe(f64::INFINITY); // +Inf bucket only, excluded from sum
+
+    let scrape = Scrape::parse(&render_text(&registry)).expect("parse own exposition");
+    let bucket = |le: &str| {
+        scrape
+            .value("edge_seconds_bucket", &[("le", le)])
+            .unwrap_or_else(|| panic!("bucket le={le}"))
+    };
+    // Cumulative counts: each bucket includes everything below it.
+    assert_eq!(bucket("0"), 1.0, "0.0 lands on its own bound");
+    assert_eq!(bucket("1"), 2.0, "1.0 lands on its bound, not below");
+    assert_eq!(bucket("10"), 3.0);
+    assert_eq!(bucket("+Inf"), 5.0, "MAX and +Inf overflow to +Inf");
+    assert_eq!(
+        scrape.value("edge_seconds_count", &[]),
+        Some(5.0),
+        "+Inf bucket equals _count"
+    );
+    // The sum skips non-finite observations but keeps MAX.
+    let sum = scrape.value("edge_seconds_sum", &[]).expect("sum");
+    assert!(sum.is_finite() && sum >= f64::MAX, "sum = {sum}");
+}
+
+/// An empty-bounds histogram is legal: everything lands in `+Inf`.
+#[test]
+fn degenerate_histogram_is_all_infinity() {
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("lone_seconds", &[], "one catch-all bucket");
+    histogram.observe(0.0);
+    histogram.observe(1e300);
+    let scrape = Scrape::parse(&render_text(&registry)).expect("parse");
+    assert_eq!(
+        scrape.value("lone_seconds_bucket", &[("le", "+Inf")]),
+        Some(2.0)
+    );
+    assert_eq!(scrape.value("lone_seconds_count", &[]), Some(2.0));
+}
+
+/// Label values escape exactly `\`, `"`, and newline — and the parser
+/// undoes it, so hostile values survive a scrape round trip.
+#[test]
+fn label_escaping_round_trips() {
+    let registry = MetricsRegistry::new();
+    let hostile = "quote\" backslash\\ newline\n done";
+    registry
+        .counter_with("escapes_total", &[("path", hostile)], "escaping")
+        .add(7);
+    let text = render_text(&registry);
+    assert!(
+        text.contains(r#"path="quote\" backslash\\ newline\n done""#),
+        "escaped form missing:\n{text}"
+    );
+    assert!(
+        !text.contains("newline\n done"),
+        "raw newline leaked into the exposition"
+    );
+    let scrape = Scrape::parse(&text).expect("parse");
+    assert_eq!(
+        scrape.value("escapes_total", &[("path", hostile)]),
+        Some(7.0),
+        "the parsed label value must match the original, unescaped"
+    );
+}
+
+/// The full scrape round trip across every instrument kind: render,
+/// parse, and compare sample-for-sample; a second render of the
+/// untouched registry is byte-identical.
+#[test]
+fn scrape_round_trip_every_kind() {
+    let registry = MetricsRegistry::new();
+    registry.counter("jobs_total", "jobs").add(3);
+    registry
+        .counter_with("requests_total", &[("endpoint", "submit")], "requests")
+        .add(41);
+    registry
+        .counter_with("requests_total", &[("endpoint", "status")], "requests")
+        .inc();
+    registry.gauge("depth", "queue depth").set(-12);
+    let histogram = registry.histogram("wait_seconds", &[0.5, 2.0], "waits");
+    histogram.observe(0.25);
+    histogram.observe(1.5);
+
+    let text = render_text(&registry);
+    let scrape = Scrape::parse(&text).expect("parse");
+    assert_eq!(scrape.value("jobs_total", &[]), Some(3.0));
+    assert_eq!(
+        scrape.value("requests_total", &[("endpoint", "submit")]),
+        Some(41.0)
+    );
+    assert_eq!(scrape.total("requests_total"), 42.0);
+    assert_eq!(scrape.value("depth", &[]), Some(-12.0));
+    assert_eq!(
+        scrape.value("wait_seconds_bucket", &[("le", "0.5")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        scrape.value("wait_seconds_bucket", &[("le", "2")]),
+        Some(2.0)
+    );
+    assert_eq!(scrape.value("wait_seconds_sum", &[]), Some(1.75));
+    assert_eq!(render_text(&registry), text, "idle re-render changed bytes");
+}

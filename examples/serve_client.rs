@@ -70,6 +70,7 @@ fn main() {
                 max_jobs: 1,
                 campaign_threads: 0,
                 max_queued: 0,
+                trace_out: None,
             })
             .expect("bind in-process service");
             let addr = server.local_addr().expect("addr").to_string();

@@ -31,6 +31,12 @@ SERVE_PID=$!
 for _ in $(seq 1 200); do [ -s "$SERVE_DIR/port" ] && break; sleep 0.05; done
 [ -s "$SERVE_DIR/port" ] || { echo "serve never wrote its port"; exit 1; }
 BASE="http://127.0.0.1:$(cat "$SERVE_DIR/port")"
+# Scrape /metrics before the submit/cache-hit sequence; the counters
+# must advance by exactly the work done below.
+METRICS_BEFORE="$(curl -sf "$BASE/metrics")"
+# Value of the sample line whose series name (with labels) is $2 —
+# comment lines skipped so unlabelled names don't match their own HELP.
+mval() { printf '%s\n' "$1" | grep -v '^#' | grep -F "$2 " | head -1 | awk '{print $2}'; }
 SPEC='{"version":1,"campaign_seed":7,"benchmarks":["ADPCM encode"],
   "schemes":[{"label":"Default","spec":{"kind":"fixed","scheme":{"kind":"default"}}}],
   "error_rates":[0.000001],"replicates":2,"normalize":false,"golden_check":false}'
@@ -59,9 +65,28 @@ case "$RESUBMIT" in
 esac
 ELAPSED_MS=$(( (T1 - T0) / 1000000 ))
 [ "$ELAPSED_MS" -lt 1000 ] || { echo "cache hit took ${ELAPSED_MS}ms"; exit 1; }
+# Metrics smoke: the same counters, after. Two submits (one fresh, one
+# cached), one new job, one cache hit — and the latency histogram's
+# _count must track the request counter on the submit endpoint.
+METRICS_AFTER="$(curl -sf "$BASE/metrics")"
+SUB0="$(mval "$METRICS_BEFORE" 'serve_requests_total{endpoint="submit"}')"
+SUB1="$(mval "$METRICS_AFTER" 'serve_requests_total{endpoint="submit"}')"
+[ "$((SUB1 - SUB0))" -eq 2 ] \
+    || { echo "submit request counter moved $SUB0 -> $SUB1, wanted +2"; exit 1; }
+JOBS0="$(mval "$METRICS_BEFORE" 'serve_jobs_submitted_total')"
+JOBS1="$(mval "$METRICS_AFTER" 'serve_jobs_submitted_total')"
+[ "$((JOBS1 - JOBS0))" -eq 1 ] \
+    || { echo "job counter moved $JOBS0 -> $JOBS1, wanted +1"; exit 1; }
+CACHED1="$(mval "$METRICS_AFTER" 'serve_jobs_cached_total')"
+[ "$CACHED1" -ge 1 ] || { echo "cached-job counter never advanced"; exit 1; }
+HITS1="$(mval "$METRICS_AFTER" 'serve_result_cache_hits_total')"
+[ "$HITS1" -ge 1 ] || { echo "result-cache-hit counter never advanced"; exit 1; }
+SUBCOUNT1="$(mval "$METRICS_AFTER" 'serve_request_seconds_count{endpoint="submit"}')"
+[ "$SUBCOUNT1" = "$SUB1" ] \
+    || { echo "submit latency count $SUBCOUNT1 != request counter $SUB1"; exit 1; }
 curl -sf -X POST "$BASE/shutdown" >/dev/null
 wait "$SERVE_PID"
-echo "service smoke OK (job $ID, cached resubmit in ${ELAPSED_MS}ms)"
+echo "service smoke OK (job $ID, cached resubmit in ${ELAPSED_MS}ms, metrics counters advanced)"
 
 echo "== shard smoke (two serves + coordinator on a 1-second grid) =="
 SHARD_DIR="$(mktemp -d)"

@@ -25,6 +25,10 @@
 //!   derivation, a work-stealing thread pool, streaming statistics
 //!   (mean / stddev / 95 % CI) and machine-readable JSON reports, with
 //!   per-scenario results bit-identical at any thread count;
+//! * [`telemetry`] — the observability layer: a process-wide registry
+//!   of lock-free counters/gauges/histograms with Prometheus-style
+//!   text exposition, and structured trace spans with deterministic
+//!   ids — strictly out-of-band, never feeding back into results;
 //! * [`serve`] — the std-only HTTP campaign service over the engine:
 //!   a checkpointable job store (append-only scenario journals),
 //!   crash/restart resume that is bit-identical to an uninterrupted
@@ -78,6 +82,10 @@ pub use chunkpoint_core as core;
 
 /// Deterministic parallel Monte Carlo campaign engine.
 pub use chunkpoint_campaign as campaign;
+
+/// Observability layer: process-wide metrics registry, Prometheus-style
+/// text exposition, deterministic trace spans.
+pub use chunkpoint_telemetry as telemetry;
 
 /// Std-only HTTP campaign service: checkpointable job store, resumable
 /// runs, content-addressed result cache.
