@@ -1,0 +1,442 @@
+//! The sequential-sampling policy and its pure round planner.
+//!
+//! Everything in this module is a pure function of `(policy, per-cell
+//! sealed statistics, round number)` — no clocks, no sockets, no
+//! executor state. That purity *is* the determinism contract: the
+//! controller replays byte-identically because every stop and every
+//! reallocation decision comes out of [`plan_round`], and
+//! [`plan_round`] cannot observe anything timing-dependent.
+
+use chunkpoint_campaign::{JsonValue, ScenarioResult, Summary};
+
+/// Which scenario metric the stopping rule watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopMetric {
+    /// Energy per scenario, in picojoules (the paper's headline axis).
+    EnergyPj,
+    /// Execution cycles per scenario.
+    Cycles,
+}
+
+impl StopMetric {
+    /// Canonical lowercase name (report schema vocabulary).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StopMetric::EnergyPj => "energy_pj",
+            StopMetric::Cycles => "cycles",
+        }
+    }
+
+    /// Extracts the watched metric from one sealed scenario row.
+    #[must_use]
+    pub fn of(self, result: &ScenarioResult) -> f64 {
+        match self {
+            StopMetric::EnergyPj => result.energy_pj,
+            StopMetric::Cycles => result.cycles as f64,
+        }
+    }
+}
+
+/// The adaptive controller's knobs. All of them feed the pure
+/// [`plan_round`]; none of them can change what any individual scenario
+/// computes — only *which* scenarios run.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    /// Floor below which a cell is never stopped, however tight its CI
+    /// looks. Effective floor is `max(min_replicates, 2)` — a CI95
+    /// half-width needs two samples to exist at all.
+    pub min_replicates: u64,
+    /// Base replicates granted to every open cell per control round
+    /// (clamped to at least 1 by [`plan_round`]).
+    pub round_replicates: u64,
+    /// Relative stop threshold: a cell stops once its CI95 half-width
+    /// is `<= rel_ci × |mean|`. `None` disables the relative rule.
+    pub rel_ci: Option<f64>,
+    /// Absolute stop threshold: a cell stops once its CI95 half-width
+    /// is `<= abs_ci` in metric units. `None` disables the absolute
+    /// rule. With both thresholds `None` no cell ever stops early —
+    /// the controller degenerates to the fixed grid.
+    pub abs_ci: Option<f64>,
+    /// The scenario metric the CI is computed over.
+    pub metric: StopMetric,
+    /// Hard cutoff: after this many control rounds every open cell is
+    /// stopped unconverged. `0` means unbounded (the per-cell replicate
+    /// budget still terminates every run).
+    pub max_rounds: u32,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        Self {
+            min_replicates: 3,
+            round_replicates: 2,
+            rel_ci: None,
+            abs_ci: None,
+            metric: StopMetric::EnergyPj,
+            max_rounds: 0,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// The default policy: 3-replicate floor, 2 replicates per round,
+    /// no CI thresholds (fixed-grid behavior until one is set).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the never-stop-below floor.
+    #[must_use]
+    pub fn min_replicates(mut self, floor: u64) -> Self {
+        self.min_replicates = floor;
+        self
+    }
+
+    /// Sets the base per-round replicate grant.
+    #[must_use]
+    pub fn round_replicates(mut self, per_round: u64) -> Self {
+        self.round_replicates = per_round;
+        self
+    }
+
+    /// Enables the relative stop rule (CI95 half-width ≤ `rel × |mean|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive threshold.
+    #[must_use]
+    pub fn rel_ci(mut self, rel: f64) -> Self {
+        assert!(
+            rel.is_finite() && rel > 0.0,
+            "rel_ci must be finite and > 0"
+        );
+        self.rel_ci = Some(rel);
+        self
+    }
+
+    /// Enables the absolute stop rule (CI95 half-width ≤ `abs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive threshold.
+    #[must_use]
+    pub fn abs_ci(mut self, abs: f64) -> Self {
+        assert!(
+            abs.is_finite() && abs > 0.0,
+            "abs_ci must be finite and > 0"
+        );
+        self.abs_ci = Some(abs);
+        self
+    }
+
+    /// Sets the watched metric.
+    #[must_use]
+    pub fn metric(mut self, metric: StopMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the hard round cutoff (`0` = unbounded).
+    #[must_use]
+    pub fn max_rounds(mut self, rounds: u32) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// The effective stop floor: a CI needs two samples to exist.
+    #[must_use]
+    pub fn floor(&self) -> u64 {
+        self.min_replicates.max(2)
+    }
+
+    /// The canonical JSON rendering of the policy — part of the
+    /// adaptive report section, so equal policies render equal bytes.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let ci = |threshold: Option<f64>| match threshold {
+            Some(value) => JsonValue::Float(value),
+            None => JsonValue::Null,
+        };
+        JsonValue::object()
+            .field("min_replicates", self.min_replicates)
+            .field("round_replicates", self.round_replicates.max(1))
+            .field("rel_ci", ci(self.rel_ci))
+            .field("abs_ci", ci(self.abs_ci))
+            .field("metric", self.metric.name())
+            .field("max_rounds", u64::from(self.max_rounds))
+    }
+
+    /// The stopping rule for one cell: converged once it has at least
+    /// [`AdaptivePolicy::floor`] sealed replicates *and* its CI95
+    /// half-width meets the absolute or the relative threshold. With
+    /// both thresholds unset, never.
+    #[must_use]
+    pub fn converged(&self, summary: &Summary) -> bool {
+        if summary.count() < self.floor() {
+            return false;
+        }
+        let hw = summary.ci95_half_width();
+        let abs_ok = self.abs_ci.is_some_and(|t| hw <= t);
+        let rel_ok = self.rel_ci.is_some_and(|t| hw <= t * summary.mean().abs());
+        abs_ok || rel_ok
+    }
+}
+
+/// The live state of one grid cell between control rounds.
+#[derive(Debug, Clone, Default)]
+pub struct CellProgress {
+    /// Replicates executed and sealed so far (`== summary.count()`).
+    pub spent: u64,
+    /// Welford aggregate of the watched metric over the sealed
+    /// replicates, pushed in global scenario-index order.
+    pub summary: Summary,
+    /// The stop decision, once one is taken.
+    pub stopped: Option<CellStop>,
+}
+
+/// One cell's stop decision — the record the adaptive report section
+/// carries per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStop {
+    /// Control round the decision was taken at (1-based).
+    pub round: u32,
+    /// Replicates the cell had executed when it stopped.
+    pub replicates: u64,
+    /// CI95 half-width of the watched metric at the stop.
+    pub ci95: f64,
+    /// Mean of the watched metric at the stop.
+    pub mean: f64,
+    /// `true`: the CI threshold was met (an *early* stop, when
+    /// replicates < budget). `false`: the cell exhausted its replicate
+    /// budget or hit the round cutoff without converging.
+    pub converged: bool,
+}
+
+/// One contiguous block of replicates [`plan_round`] schedules for a
+/// cell this round, as 0-based replicate indices `[from, to)` within
+/// the cell (the controller offsets them into global scenario indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellAllocation {
+    /// Dense cell index in grid-enumeration order.
+    pub cell: usize,
+    /// First replicate to execute (always the cell's `spent`).
+    pub from: u64,
+    /// One past the last replicate to execute.
+    pub to: u64,
+}
+
+/// What one control round decided: which cells stop, who gets freed
+/// budget, and exactly which replicate blocks to execute.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundPlan {
+    /// Cells stopped this round, in cell-index order.
+    pub stops: Vec<(usize, CellStop)>,
+    /// Pool grants beyond the base allocation, `(cell, extra)`, in
+    /// grant order (variance-descending).
+    pub grants: Vec<(usize, u64)>,
+    /// Replicate blocks to execute, in cell-index order. Empty means
+    /// the campaign is over.
+    pub allocations: Vec<CellAllocation>,
+    /// Freed replicate budget carried into the next round.
+    pub pool: u64,
+}
+
+/// Plans one control round: a **pure function** of `(policy,
+/// budget_per_cell, round, cells, pool)`.
+///
+/// Stops first: every open cell that converged under the policy's CI
+/// rule, exhausted its `budget_per_cell` replicates, or ran past
+/// `max_rounds` is stopped, freeing its unexecuted replicates into the
+/// pool. Then allocation: every still-open cell gets a base grant of
+/// `max(round_replicates, what it still needs to reach the floor)`
+/// (clamped to its remaining budget), and the pool is granted to open
+/// cells in descending variance order (ties broken by ascending cell
+/// index), at most `round_replicates` extra per cell per round.
+///
+/// Every open cell always receives at least one replicate, so the
+/// controller terminates within `budget_per_cell` rounds however the
+/// thresholds are set.
+#[must_use]
+pub fn plan_round(
+    policy: &AdaptivePolicy,
+    budget_per_cell: u64,
+    round: u32,
+    cells: &[CellProgress],
+    pool: u64,
+) -> RoundPlan {
+    let mut plan = RoundPlan {
+        pool,
+        ..RoundPlan::default()
+    };
+    let cutoff = policy.max_rounds != 0 && round > policy.max_rounds;
+    let mut open: Vec<usize> = Vec::new();
+    for (index, cell) in cells.iter().enumerate() {
+        if cell.stopped.is_some() {
+            continue;
+        }
+        let converged = policy.converged(&cell.summary);
+        let exhausted = cell.spent >= budget_per_cell;
+        if converged || exhausted || cutoff {
+            plan.pool += budget_per_cell.saturating_sub(cell.spent);
+            plan.stops.push((
+                index,
+                CellStop {
+                    round,
+                    replicates: cell.spent,
+                    ci95: cell.summary.ci95_half_width(),
+                    mean: cell.summary.mean(),
+                    converged,
+                },
+            ));
+        } else {
+            open.push(index);
+        }
+    }
+    // Base allocation: enough to reach the floor in one round, else the
+    // per-round trickle — never past the cell's own replicate block.
+    let per_round = policy.round_replicates.max(1);
+    let mut granted = vec![0u64; cells.len()];
+    for &index in &open {
+        let remaining = budget_per_cell - cells[index].spent;
+        let need_floor = policy.floor().saturating_sub(cells[index].spent);
+        granted[index] = per_round.max(need_floor).min(remaining);
+    }
+    // Pool grants: highest variance first (the cells whose CI shrinks
+    // slowest), ties by ascending index — a total order, so the grant
+    // sequence is deterministic.
+    let mut by_variance = open.clone();
+    by_variance.sort_by(|&a, &b| {
+        let va = cells[a].summary.stddev().powi(2);
+        let vb = cells[b].summary.stddev().powi(2);
+        vb.total_cmp(&va).then(a.cmp(&b))
+    });
+    for index in by_variance {
+        if plan.pool == 0 {
+            break;
+        }
+        let remaining = budget_per_cell - cells[index].spent - granted[index];
+        let extra = plan.pool.min(per_round).min(remaining);
+        if extra == 0 {
+            continue;
+        }
+        plan.pool -= extra;
+        granted[index] += extra;
+        plan.grants.push((index, extra));
+    }
+    for &index in &open {
+        plan.allocations.push(CellAllocation {
+            cell: index,
+            from: cells[index].spent,
+            to: cells[index].spent + granted[index],
+        });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(values: &[f64]) -> CellProgress {
+        let mut progress = CellProgress::default();
+        for &v in values {
+            progress.summary.push(v);
+            progress.spent += 1;
+        }
+        progress
+    }
+
+    #[test]
+    fn first_round_allocates_the_floor_everywhere() {
+        let policy = AdaptivePolicy::new().rel_ci(0.05);
+        let cells = vec![CellProgress::default(); 4];
+        let plan = plan_round(&policy, 8, 1, &cells, 0);
+        assert!(plan.stops.is_empty());
+        assert_eq!(plan.allocations.len(), 4);
+        for (k, alloc) in plan.allocations.iter().enumerate() {
+            assert_eq!(alloc.cell, k);
+            assert_eq!((alloc.from, alloc.to), (0, 3), "floor of 3 up front");
+        }
+        assert_eq!(plan.pool, 0);
+    }
+
+    #[test]
+    fn tight_cells_stop_and_free_budget_to_noisy_ones() {
+        let policy = AdaptivePolicy::new().rel_ci(0.05);
+        // Cell 0: dead tight (zero variance). Cell 1: noisy.
+        let cells = vec![
+            cell(&[100.0, 100.0, 100.0]),
+            cell(&[50.0, 150.0, 250.0]),
+            CellProgress::default(),
+        ];
+        let plan = plan_round(&policy, 8, 2, &cells, 0);
+        assert_eq!(plan.stops.len(), 1);
+        let (stopped, stop) = &plan.stops[0];
+        assert_eq!(*stopped, 0);
+        assert!(stop.converged);
+        assert_eq!(stop.replicates, 3);
+        // 8 - 3 = 5 freed; grants go to cell 1 (noisy) first, capped at
+        // round_replicates = 2 per cell per round.
+        let granted: u64 = plan.grants.iter().map(|&(_, extra)| extra).sum();
+        assert_eq!(plan.grants.first(), Some(&(1, 2)));
+        // Conservation: freed = granted + carried pool.
+        assert_eq!(5, granted + plan.pool);
+    }
+
+    #[test]
+    fn never_stops_below_the_floor() {
+        let policy = AdaptivePolicy::new().min_replicates(4).abs_ci(1e9);
+        // Absurdly loose threshold, but only 3 replicates: stays open.
+        let cells = vec![cell(&[1.0, 1.0, 1.0])];
+        let plan = plan_round(&policy, 8, 2, &cells, 0);
+        assert!(plan.stops.is_empty());
+        assert_eq!(plan.allocations.len(), 1);
+        // One more replicate reaches the floor of 4: now it stops.
+        let cells = vec![cell(&[1.0, 1.0, 1.0, 1.0])];
+        let plan = plan_round(&policy, 8, 3, &cells, 0);
+        assert_eq!(plan.stops.len(), 1);
+        assert!(plan.stops[0].1.converged);
+    }
+
+    #[test]
+    fn no_thresholds_means_fixed_grid() {
+        let policy = AdaptivePolicy::new();
+        let mut cells = vec![CellProgress::default(); 2];
+        let budget = 5u64;
+        let mut pool = 0;
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let plan = plan_round(&policy, budget, rounds, &cells, pool);
+            for (index, stop) in &plan.stops {
+                assert!(!stop.converged);
+                assert_eq!(stop.replicates, budget, "only exhaustion stops");
+                cells[*index].stopped = Some(stop.clone());
+            }
+            if plan.allocations.is_empty() {
+                break;
+            }
+            for alloc in &plan.allocations {
+                for _ in alloc.from..alloc.to {
+                    cells[alloc.cell].summary.push(1.0);
+                    cells[alloc.cell].spent += 1;
+                }
+            }
+            pool = plan.pool;
+            assert!(rounds <= budget as u32 + 1, "must terminate");
+        }
+        assert_eq!(cells.iter().map(|c| c.spent).sum::<u64>(), 2 * budget);
+    }
+
+    #[test]
+    fn round_cutoff_stops_everything_unconverged() {
+        let policy = AdaptivePolicy::new().rel_ci(0.001).max_rounds(2);
+        let cells = vec![cell(&[50.0, 150.0, 250.0]); 3];
+        let plan = plan_round(&policy, 100, 3, &cells, 0);
+        assert_eq!(plan.stops.len(), 3);
+        assert!(plan.stops.iter().all(|(_, stop)| !stop.converged));
+        assert!(plan.allocations.is_empty());
+    }
+}

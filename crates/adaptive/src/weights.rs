@@ -1,0 +1,99 @@
+//! Health-driven sharding: `partition_weighted` fed automatically from
+//! each backend's live `/healthz` job counts.
+
+use std::time::Duration;
+
+use chunkpoint_campaign::{CampaignSpec, JsonValue};
+use chunkpoint_exec::{CampaignExecutor, CampaignHandle, ShardedExecutor};
+use chunkpoint_shard::{healthz, ShardConfig};
+
+/// A [`ShardedExecutor`] factory that polls every backend's `/healthz`
+/// at submit time and partitions the grid inversely to observed load
+/// (`queued + running` jobs): an idle backend weighs `1.0`, a loaded
+/// one `1 / (1 + load)`, an unreachable one `0.0` (it gets an empty
+/// range and is skipped at dispatch — re-dispatch still reaches it
+/// later if it comes back and another backend's shard fails).
+///
+/// When every backend is unreachable the partition falls back to even
+/// weights rather than failing the submit — the coordinator's own
+/// breakers and re-dispatch are the authority on who is actually dead.
+///
+/// Weights change *partitioning only*: the merged report bytes are
+/// identical whatever the weights say (the existing weighted-parity
+/// invariant), so this is a pure latency optimization and is safe to
+/// combine with the adaptive controller's determinism contract.
+#[derive(Debug, Clone)]
+pub struct AutoWeightedSharded {
+    backends: Vec<String>,
+    config: ShardConfig,
+    health_timeout: Duration,
+}
+
+impl AutoWeightedSharded {
+    /// An auto-weighted executor over `backends` (each a `HOST:PORT` of
+    /// a running `serve`), with default [`ShardConfig`] and a 2-second
+    /// health-probe timeout.
+    #[must_use]
+    pub fn new(backends: Vec<String>) -> Self {
+        Self {
+            backends,
+            config: ShardConfig::default(),
+            health_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Overrides the coordinator's poll/timeout/strike knobs (and its
+    /// trace sink, which also receives the weigh-in decision).
+    #[must_use]
+    pub fn with_config(mut self, config: ShardConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the per-backend `/healthz` probe timeout.
+    #[must_use]
+    pub fn with_health_timeout(mut self, timeout: Duration) -> Self {
+        self.health_timeout = timeout;
+        self
+    }
+
+    /// One weigh-in: probes every backend's `/healthz` and returns the
+    /// capacity weights the next submit would partition with.
+    #[must_use]
+    pub fn weigh(&self) -> Vec<f64> {
+        let weights: Vec<f64> = self
+            .backends
+            .iter()
+            .map(|addr| match healthz(addr, self.health_timeout) {
+                Ok(health) => 1.0 / (1.0 + health.load() as f64),
+                Err(_) => 0.0,
+            })
+            .collect();
+        if weights.iter().all(|&w| w == 0.0) {
+            // Nobody answered: even split beats a rejected submit.
+            return vec![1.0; self.backends.len()];
+        }
+        weights
+    }
+}
+
+impl CampaignExecutor for AutoWeightedSharded {
+    fn submit(&self, spec: &CampaignSpec) -> CampaignHandle {
+        let weights = self.weigh();
+        let span = self.config.tracer.root("auto_weigh");
+        if span.is_traced() {
+            let fields = self
+                .backends
+                .iter()
+                .zip(&weights)
+                .fold(JsonValue::object(), |fields, (addr, &weight)| {
+                    fields.field(addr, weight)
+                });
+            span.event("weights", fields);
+        }
+        ShardedExecutor::new(self.backends.clone())
+            .with_weights(weights)
+            .with_config(self.config.clone())
+            .submit(spec)
+    }
+}

@@ -1,0 +1,379 @@
+//! The acceptance test of the adaptive tentpole: the controller's
+//! stop/reallocate decisions are pure functions of the sealed results,
+//! so the same `(spec, policy)` must produce **byte-identical** adaptive
+//! reports over every executor — in-process at any thread count, one
+//! real remote `serve`, two-backend sharded — and keep producing them
+//! after a backend is SIGKILLed mid-run, behind the deterministic chaos
+//! proxy, and with speculative straggler double-dispatch winning a
+//! forced race.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use chunkpoint_adaptive::{AdaptiveController, AdaptivePolicy, AdaptiveRun};
+use chunkpoint_campaign::{CampaignSpec, SchemeSpec};
+use chunkpoint_chaos::{ChaosProxy, FaultPlan};
+use chunkpoint_core::{MitigationScheme, SystemConfig};
+use chunkpoint_exec::{
+    CampaignEvent, LocalExecutor, RemoteConfig, RemoteExecutor, ShardConfig, ShardedExecutor,
+};
+use chunkpoint_workloads::Benchmark;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("chunkpoint_adaptive_{}_{tag}", std::process::id()))
+}
+
+/// The `serve` binary lives next to this test binary's parent directory
+/// (`target/<profile>/serve`); it belongs to `chunkpoint_serve`, so
+/// Cargo does not export a `CARGO_BIN_EXE_serve` for this crate — but a
+/// workspace `cargo test`/`cargo build` always compiles it.
+fn serve_bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // <profile>/deps/
+    if path.ends_with("deps") {
+        path.pop(); // <profile>/
+    }
+    let bin = path.join(format!("serve{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        bin.is_file(),
+        "serve binary not found at {} — build the workspace first (`cargo build`)",
+        bin.display()
+    );
+    bin
+}
+
+struct ServeProcess {
+    child: Child,
+    addr: String,
+    data_dir: PathBuf,
+    port_file: PathBuf,
+}
+
+impl ServeProcess {
+    /// Starts a real `serve` on an ephemeral port and waits until it
+    /// answers `/healthz`.
+    fn start(tag: &str) -> Self {
+        let data_dir = temp_dir(&format!("{tag}_data"));
+        let port_file = temp_dir(&format!("{tag}_port"));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let _ = std::fs::remove_file(&port_file);
+        let child = Command::new(serve_bin())
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--data-dir",
+                data_dir.to_str().expect("utf8 dir"),
+                "--port-file",
+                port_file.to_str().expect("utf8 path"),
+                "--jobs",
+                "1",
+                "--threads",
+                "1",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn serve");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let port: u16 = loop {
+            if let Ok(raw) = std::fs::read_to_string(&port_file) {
+                if let Ok(port) = raw.trim().parse() {
+                    break port;
+                }
+            }
+            assert!(Instant::now() < deadline, "serve never wrote its port");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Ok((200, _)) =
+                chunkpoint_shard::exchange(&addr, "GET", "/healthz", None, Duration::from_secs(5))
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "serve never became healthy");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Self {
+            child,
+            addr,
+            data_dir,
+            port_file,
+        }
+    }
+
+    fn shutdown(&self) {
+        let _ = chunkpoint_shard::exchange(
+            &self.addr,
+            "POST",
+            "/shutdown",
+            None,
+            Duration::from_secs(5),
+        );
+    }
+
+    /// Sends `signal` (e.g. `"-9"`) to the serve process.
+    fn signal(&self, signal: &str) {
+        let _ = Command::new("kill")
+            .args([signal, &self.child.id().to_string()])
+            .status();
+    }
+}
+
+impl Drop for ServeProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_dir_all(&self.data_dir);
+        let _ = std::fs::remove_file(&self.port_file);
+    }
+}
+
+fn adaptive_spec(campaign_seed: u64) -> CampaignSpec {
+    let mut config = SystemConfig::paper(0);
+    config.scale = 0.25;
+    CampaignSpec::new(config, campaign_seed)
+        .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+        .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+        .error_rates(&[1e-6, 1e-5])
+        .replicates(6)
+}
+
+/// A very loose relative threshold: cells stop at the n = 2 floor, so
+/// early stopping is (practically) guaranteed and saves most of the
+/// grid — the interesting regime for parity.
+fn early_stop_policy() -> AdaptivePolicy {
+    AdaptivePolicy::new()
+        .min_replicates(2)
+        .round_replicates(2)
+        .rel_ci(0.9)
+}
+
+/// The oracle every path must match byte for byte: the same controller
+/// over the single-threaded in-process executor.
+fn expected_adaptive(spec: &CampaignSpec, policy: &AdaptivePolicy) -> AdaptiveRun {
+    AdaptiveController::new(LocalExecutor::new(1), policy.clone())
+        .run(spec)
+        .expect("local adaptive oracle")
+}
+
+/// The headline: the same `(spec, policy)` through in-process (two
+/// thread counts), remote, and sharded execution produces byte-identical
+/// adaptive reports — with early stopping actually observed.
+#[test]
+fn three_executors_one_adaptive_report() {
+    let spec = adaptive_spec(0xADA_901);
+    let policy = early_stop_policy();
+    let budget = spec.scenarios().len();
+    let oracle = expected_adaptive(&spec, &policy);
+    assert!(
+        oracle.executed < oracle.budget,
+        "loose threshold must stop early: executed {} of {}",
+        oracle.executed,
+        oracle.budget
+    );
+    assert_eq!(oracle.budget, budget);
+    assert!(oracle.report.contains("\"adaptive\""));
+
+    // In-process, more worker threads: arrival order changes, bytes
+    // don't — and every cell reports exactly one stop decision.
+    let stops = Cell::new(0usize);
+    let threaded = AdaptiveController::new(LocalExecutor::new(4), policy.clone())
+        .run_ctl(&spec, &chunkpoint_campaign::CancelToken::new(), |event| {
+            if matches!(event, CampaignEvent::CellStopped { .. }) {
+                stops.set(stops.get() + 1);
+            }
+        })
+        .expect("threaded adaptive run");
+    assert_eq!(threaded.report, oracle.report, "thread count leaked");
+    assert_eq!(stops.get(), oracle.cells.len(), "one stop per cell");
+
+    // Remote, against one real serve process.
+    let backend = ServeProcess::start("remote");
+    let remote_exec = RemoteExecutor::new(backend.addr.clone()).with_config(RemoteConfig {
+        poll_interval: Duration::from_millis(10),
+        ..RemoteConfig::default()
+    });
+    let remote = AdaptiveController::new(remote_exec, policy.clone())
+        .run(&spec)
+        .expect("remote adaptive run");
+    assert_eq!(remote.report, oracle.report, "remote bytes diverged");
+    assert!(remote.dispatches >= 1);
+    backend.shutdown();
+
+    // Sharded, across two real serve processes.
+    let shard_a = ServeProcess::start("shard_a");
+    let shard_b = ServeProcess::start("shard_b");
+    let sharded_exec = ShardedExecutor::new(vec![shard_a.addr.clone(), shard_b.addr.clone()])
+        .with_config(ShardConfig {
+            poll_interval: Duration::from_millis(10),
+            ..ShardConfig::default()
+        });
+    let sharded = AdaptiveController::new(sharded_exec, policy)
+        .run(&spec)
+        .expect("sharded adaptive run");
+    assert_eq!(sharded.report, oracle.report, "sharded bytes diverged");
+    assert_eq!(sharded.results, oracle.results);
+    shard_a.shutdown();
+    shard_b.shutdown();
+}
+
+/// SIGKILL one of two backends mid-run: the coordinator's strikes and
+/// re-dispatch absorb the loss inside each sub-campaign, the controller
+/// never notices, and the adaptive report bytes are unchanged.
+#[test]
+fn backend_sigkill_mid_run_keeps_the_bytes() {
+    let spec = adaptive_spec(0xADA_902);
+    // No thresholds: fixed-grid replicate count, several rounds — the
+    // kill lands mid-campaign with work still outstanding.
+    let policy = AdaptivePolicy::new().round_replicates(2);
+    let oracle = expected_adaptive(&spec, &policy);
+    assert_eq!(oracle.executed, oracle.budget, "threshold-free = full grid");
+
+    let shard_a = ServeProcess::start("kill_a");
+    let shard_b = ServeProcess::start("kill_b");
+    let executor = ShardedExecutor::new(vec![shard_a.addr.clone(), shard_b.addr.clone()])
+        .with_config(ShardConfig {
+            poll_interval: Duration::from_millis(10),
+            request_timeout: Duration::from_secs(2),
+            ..ShardConfig::default()
+        });
+    let killed = Cell::new(false);
+    let seen = Cell::new(0usize);
+    let run = AdaptiveController::new(executor, policy)
+        .run_ctl(&spec, &chunkpoint_campaign::CancelToken::new(), |event| {
+            if matches!(event, CampaignEvent::ScenarioDone(_)) {
+                seen.set(seen.get() + 1);
+                if seen.get() == 3 && !killed.get() {
+                    killed.set(true);
+                    shard_b.signal("-9");
+                }
+            }
+        })
+        .expect("adaptive run through a SIGKILL");
+    assert!(killed.get(), "the kill never happened");
+    assert_eq!(run.report, oracle.report, "a dead backend changed bytes");
+    assert_eq!(run.results, oracle.results);
+    shard_a.shutdown();
+}
+
+/// The controller behind the deterministic chaos proxy: injected
+/// connection faults are retried inside the executor plane; the
+/// decisions — fed only by sealed rows — replay byte-identically.
+#[test]
+fn chaos_faults_leave_adaptive_bytes_identical() {
+    let spec = adaptive_spec(0xADA_903);
+    let policy = early_stop_policy();
+    let oracle = expected_adaptive(&spec, &policy);
+
+    let backend = ServeProcess::start("chaos");
+    let plan = FaultPlan::new(0xC4A0, 0.35);
+    #[allow(clippy::cast_possible_truncation)]
+    let strikes = plan.max_fault_run(512) as u32 + 2;
+    let config = RemoteConfig {
+        poll_interval: Duration::from_millis(10),
+        request_timeout: Duration::from_secs(10),
+        strikes,
+        submit_attempts: strikes.max(5),
+        poll_max: Duration::from_millis(200),
+        backoff_seed: plan.seed,
+    };
+    let mut proxy = ChaosProxy::start(&backend.addr, plan).expect("start proxy");
+    let run = AdaptiveController::new(
+        RemoteExecutor::new(proxy.addr()).with_config(config),
+        policy,
+    )
+    .run(&spec)
+    .expect("adaptive run through chaos");
+    assert_eq!(run.report, oracle.report, "chaos changed the bytes");
+    assert!(proxy.faults() > 0, "the proxy never actually faulted");
+    proxy.shutdown();
+    backend.shutdown();
+}
+
+/// Forces the speculative race deterministically: backend B's single
+/// job slot is occupied by a long decoy campaign submitted directly, so
+/// the adaptive sub-campaign's big shard sits queued on B while the
+/// healthy backend A seals its sliver. The straggler bar trips, the
+/// shard's remaining range is speculatively duplicated onto A, and the
+/// spare is the *only* copy that can seal — proving first-sealed-wins,
+/// the controller surfacing the decision, and the bytes matching the
+/// in-process oracle exactly.
+#[test]
+fn speculative_win_is_first_sealed_and_byte_identical() {
+    let mut config = SystemConfig::paper(0);
+    config.scale = 0.25;
+    let spec = CampaignSpec::new(config, 0xADA_904)
+        .benchmarks(&[Benchmark::AdpcmEncode])
+        .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+        .replicates(10);
+    // One cell, one round, one allocation: the controller's single
+    // sub-campaign is the whole race course.
+    let policy = AdaptivePolicy::new().round_replicates(10);
+    let oracle = expected_adaptive(&spec, &policy);
+
+    let shard_a = ServeProcess::start("spec_a");
+    let shard_b = ServeProcess::start("spec_b");
+    // The decoy: a long full-scale campaign holding B's only job slot
+    // for the duration of the race. Distinct seed, so it can never be
+    // conflated with the real sub-campaign in B's job store.
+    let mut decoy_config = SystemConfig::paper(0);
+    decoy_config.scale = 1.0;
+    let decoy = CampaignSpec::new(decoy_config, 0xDEC0)
+        .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+        .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+        .replicates(64);
+    let (status, _) = chunkpoint_shard::exchange(
+        &shard_b.addr,
+        "POST",
+        "/campaigns",
+        Some(&decoy.to_json().render()),
+        Duration::from_secs(5),
+    )
+    .expect("submit decoy");
+    assert!((200..300).contains(&status), "decoy refused: {status}");
+
+    let executor = ShardedExecutor::new(vec![shard_a.addr.clone(), shard_b.addr.clone()])
+        // 1:4 — the healthy backend seals its sliver fast while the
+        // blocked backend holds the bulk of the cell.
+        .with_weights(vec![1.0, 4.0])
+        .with_config(ShardConfig {
+            poll_interval: Duration::from_millis(10),
+            speculate: true,
+            speculate_after: Duration::from_millis(10),
+            speculate_factor: 1,
+            ..ShardConfig::default()
+        });
+    let speculated = Cell::new(0usize);
+    let won = Cell::new(0usize);
+    let run = AdaptiveController::new(executor, policy)
+        .run_ctl(
+            &spec,
+            &chunkpoint_campaign::CancelToken::new(),
+            |event| match event {
+                CampaignEvent::SpeculativeDispatch { backend, range, .. } => {
+                    assert_eq!(
+                        backend, &shard_a.addr,
+                        "spare must go to the healthy backend"
+                    );
+                    assert!(range.0 < range.1, "empty speculative range");
+                    speculated.set(speculated.get() + 1);
+                }
+                CampaignEvent::SpeculativeWin { backend, .. } => {
+                    assert_eq!(backend, &shard_a.addr, "the spare sealed first");
+                    won.set(won.get() + 1);
+                }
+                _ => {}
+            },
+        )
+        .expect("adaptive run through a blocked straggler");
+    assert!(speculated.get() >= 1, "no speculative dispatch happened");
+    assert_eq!(won.get(), 1, "the spare did not win the race");
+    assert_eq!(run.report, oracle.report, "speculation changed the bytes");
+    assert_eq!(run.results, oracle.results);
+    shard_a.shutdown();
+    // shard_b still grinds the decoy; Drop's kill reaps it.
+}

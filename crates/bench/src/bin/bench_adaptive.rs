@@ -1,0 +1,164 @@
+//! Adaptive-controller measurement, emitting `BENCH_adaptive.json`: how
+//! many scenarios the sequential-sampling stopping rule saves against
+//! the fixed grid at the same CI target, and what the pure round
+//! planner costs per decision.
+//!
+//! Three figures:
+//!
+//! * `fixed` — the full grid through `LocalExecutor::submit`, every
+//!   cell running all of its replicates (the budget the adaptive run is
+//!   measured against);
+//! * `adaptive` — the same `(spec, target CI)` through
+//!   [`AdaptiveController`]: cells stop at the first round boundary
+//!   where their live CI95 half-width is inside the relative target.
+//!   The acceptance bar is `executed < budget` with every stopped cell
+//!   converged;
+//! * `plan_round` — nanoseconds per call of the pure planner over a
+//!   synthetic many-cell progress table, bounding the controller's
+//!   per-round decision overhead (it is nowhere near the scenario
+//!   cost).
+//!
+//! Run with `cargo run --release -p chunkpoint_bench --bin
+//! bench_adaptive`. `--smoke` shrinks the grid for CI; `--json PATH`
+//! overrides the output path.
+
+use std::time::Instant;
+
+use chunkpoint_adaptive::{plan_round, AdaptiveController, AdaptivePolicy, CellProgress};
+use chunkpoint_campaign::{
+    pool::default_threads, CampaignArgs, CampaignSpec, JsonValue, SchemeSpec,
+};
+use chunkpoint_core::{MitigationScheme, SystemConfig};
+use chunkpoint_exec::{CampaignExecutor, LocalExecutor};
+use chunkpoint_workloads::Benchmark;
+
+/// A grid with deliberate variance skew: the 1e-4 error-rate cells see
+/// real fault/rollback noise while the 1e-6 cells are near-quiet, so a
+/// CI-targeted controller has something to reallocate toward.
+fn grid_spec(seed: u64, replicates: u64) -> CampaignSpec {
+    let mut config = SystemConfig::paper(0);
+    config.scale = 0.25;
+    CampaignSpec::new(config, seed)
+        .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+        .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+        .error_rates(&[1e-6, 1e-4])
+        .replicates(replicates)
+}
+
+fn main() {
+    let args = CampaignArgs::parse_or_exit(1, 0xADA_BE7C);
+    let replicates = if args.smoke { 6 } else { 24 };
+    let threads = if args.threads == 0 {
+        default_threads()
+    } else {
+        args.threads
+    };
+    let spec = grid_spec(args.seed, replicates);
+    let budget = spec.scenarios().len();
+    // The CI target both sides are held to: half-width within 40% of
+    // the cell mean (floor 3 replicates, granted 3 per round).
+    let policy = AdaptivePolicy::new()
+        .min_replicates(3)
+        .round_replicates(3)
+        .rel_ci(0.4);
+    println!("bench_adaptive: {budget}-scenario grid, {threads} thread(s), rel CI target 0.4");
+
+    // Fixed grid: every cell runs all of its replicates.
+    let start = Instant::now();
+    let fixed = LocalExecutor::new(threads)
+        .submit(&spec)
+        .wait()
+        .expect("fixed-grid run");
+    let fixed_secs = start.elapsed().as_secs_f64();
+    assert_eq!(fixed.scenarios, budget);
+
+    // Adaptive: the same spec and target, cells stopping at round
+    // boundaries once their live CI95 is inside the target.
+    let start = Instant::now();
+    let adaptive = AdaptiveController::new(LocalExecutor::new(threads), policy.clone())
+        .run(&spec)
+        .expect("adaptive run");
+    let adaptive_secs = start.elapsed().as_secs_f64();
+    let converged = adaptive.cells.iter().filter(|c| c.stop.converged).count();
+    assert!(
+        adaptive.executed < budget,
+        "adaptive executed the whole grid: {} of {budget}",
+        adaptive.executed
+    );
+    let saved = budget - adaptive.executed;
+    let saved_pct = 100.0 * saved as f64 / budget as f64;
+
+    // Decision overhead: the pure planner over a synthetic 256-cell
+    // progress table (16 replicates of LCG noise each) — the entire
+    // per-round control cost beyond the scenarios themselves.
+    let mut cells = vec![CellProgress::default(); 256];
+    let mut lcg = 0x9E37_79B9_7F4A_7C15u64;
+    for cell in &mut cells {
+        for _ in 0..16 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            cell.summary.push(1e6 + (lcg >> 40) as f64);
+            cell.spent += 1;
+        }
+    }
+    let plan_calls = if args.smoke { 2_000 } else { 50_000 };
+    let start = Instant::now();
+    let mut stops = 0usize;
+    for round in 0..plan_calls {
+        let plan = plan_round(&policy, 32, (round % 8) as u32 + 1, &cells, 0);
+        stops += plan.stops.len();
+    }
+    let plan_ns = start.elapsed().as_nanos() as f64 / plan_calls as f64;
+    assert!(stops > 0, "synthetic table never converged");
+
+    println!(
+        "fixed:     {budget:>4} scenarios in {fixed_secs:>6.2}s ({:.1} scenarios/s)",
+        budget as f64 / fixed_secs.max(1e-9)
+    );
+    println!(
+        "adaptive:  {:>4} scenarios in {adaptive_secs:>6.2}s ({saved} saved, {saved_pct:.1}%, \
+         {converged}/{} cells converged, {} rounds)",
+        adaptive.executed,
+        adaptive.cells.len(),
+        adaptive.rounds
+    );
+    println!("plan_round: {plan_ns:>8.0} ns/call over 256 cells");
+
+    let doc = JsonValue::object()
+        .field("bench", "adaptive_controller")
+        .field("cpus_available", default_threads())
+        .field("threads", threads)
+        .field("rel_ci_target", 0.4)
+        .field("grid_scenarios", budget)
+        .field("fixed_scenarios", budget)
+        .field("fixed_secs", fixed_secs)
+        .field("adaptive_scenarios", adaptive.executed)
+        .field("adaptive_secs", adaptive_secs)
+        .field("scenarios_saved", saved)
+        .field("scenarios_saved_pct", saved_pct)
+        .field("cells", adaptive.cells.len())
+        .field("cells_converged", converged)
+        .field("control_rounds", adaptive.rounds as u64)
+        .field("plan_round_ns", plan_ns)
+        .field(
+            "note",
+            "fixed = full grid through LocalExecutor; adaptive = the same (spec, rel CI \
+             target 0.4) through AdaptiveController, cells stopping at round boundaries \
+             once their live CI95 half-width is inside the target (floor 3 replicates); \
+             plan_round = the pure per-round planner over a synthetic 256-cell table. \
+             Acceptance: adaptive_scenarios < fixed_scenarios with converged cells",
+        );
+
+    if args.smoke {
+        println!("smoke run: adaptive paths exercised");
+        if let Some(path) = &args.json {
+            std::fs::write(path, doc.render() + "\n").expect("write json report");
+            println!("wrote {path}");
+        }
+    } else {
+        let path = args.json.as_deref().unwrap_or("BENCH_adaptive.json");
+        std::fs::write(path, doc.render() + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

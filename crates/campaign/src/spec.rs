@@ -100,6 +100,26 @@ impl Scenario {
             _ => None,
         }
     }
+
+    /// Canonical grid-cell key: every axis except the replicate,
+    /// rendered with the report's own formatting discipline (`{:e}`
+    /// rates, `-` for chunkless schemes). Replicates of one cell share
+    /// the key; scenarios of different cells never do — the keying the
+    /// adaptive controller aggregates per-cell statistics under.
+    #[must_use]
+    pub fn cell_key(&self) -> String {
+        let chunk = match self.chunk_words() {
+            Some(k) => k.to_string(),
+            None => "-".to_owned(),
+        };
+        format!(
+            "{} · {} · {:e} · {}",
+            self.benchmark.name(),
+            self.scheme_label,
+            self.error_rate,
+            chunk
+        )
+    }
 }
 
 /// A declarative campaign: axes, base configuration, campaign seed.
@@ -267,6 +287,17 @@ impl CampaignSpec {
     #[must_use]
     pub fn benchmark_axis(&self) -> &[Benchmark] {
         &self.benchmarks
+    }
+
+    /// The number of seed replicates per grid cell. Because the
+    /// enumeration order of [`CampaignSpec::scenarios`] keeps the
+    /// replicate axis innermost, cell `c` occupies exactly the
+    /// contiguous global index block `[c·R, (c+1)·R)` for
+    /// `R = replicate_count()` — the geometry the adaptive controller's
+    /// ranged sub-specs rely on.
+    #[must_use]
+    pub fn replicate_count(&self) -> u64 {
+        self.replicates
     }
 
     /// Enumerates the full grid in the canonical order
@@ -753,6 +784,25 @@ mod tests {
                 "chunk {k}"
             );
         }
+    }
+
+    #[test]
+    fn cells_are_contiguous_replicate_blocks() {
+        let spec = small_spec().chunk_words(&[8, 16]);
+        let r = spec.replicate_count() as usize;
+        let grid = spec.scenarios();
+        assert_eq!(grid.len() % r, 0);
+        for (cell, block) in grid.chunks(r).enumerate() {
+            let key = block[0].cell_key();
+            for (offset, s) in block.iter().enumerate() {
+                assert_eq!(s.cell_key(), key, "cell {cell} is not one key");
+                assert_eq!(s.replicate, offset as u64);
+            }
+        }
+        // Distinct cells carry distinct keys.
+        let keys: std::collections::BTreeSet<String> =
+            grid.iter().map(Scenario::cell_key).collect();
+        assert_eq!(keys.len(), grid.len() / r);
     }
 
     #[test]

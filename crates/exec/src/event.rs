@@ -61,6 +61,50 @@ pub enum CampaignEvent {
         /// Backend address the shard now lives on.
         backend: String,
     },
+    /// A straggling shard's range was speculatively double-dispatched
+    /// to a second backend (sharded path with speculation enabled;
+    /// first sealed rows win).
+    SpeculativeDispatch {
+        /// Shard index.
+        shard: usize,
+        /// The shard's scenario range `[start, end)`.
+        range: (usize, usize),
+        /// Backend the speculative duplicate was submitted to.
+        backend: String,
+    },
+    /// A speculative duplicate sealed its rows before the straggling
+    /// primary, whose job was cancelled (sharded path).
+    SpeculativeWin {
+        /// Shard index.
+        shard: usize,
+        /// The backend whose duplicate won.
+        backend: String,
+    },
+    /// The adaptive controller stopped a grid cell: no further
+    /// replicates will be scheduled for it (adaptive path only).
+    CellStopped {
+        /// Dense cell index in grid-enumeration order.
+        cell: usize,
+        /// Control round the decision was taken at (1-based).
+        round: u32,
+        /// Replicates the cell had executed when it stopped.
+        replicates: u64,
+        /// The cell's CI95 half-width at the stop decision.
+        ci95: f64,
+        /// `true` when the CI threshold was met; `false` when the cell
+        /// simply exhausted its budget or the round limit.
+        converged: bool,
+    },
+    /// The adaptive controller granted freed replicate budget to a
+    /// high-variance open cell (adaptive path only).
+    Reallocated {
+        /// Dense cell index in grid-enumeration order.
+        cell: usize,
+        /// Control round the grant was made in (1-based).
+        round: u32,
+        /// Extra replicates granted beyond the cell's base allocation.
+        extra: u64,
+    },
     /// The campaign finished; [`CampaignHandle::wait`](crate::CampaignHandle::wait)
     /// will return `Ok`. Always the final event of a successful run.
     Complete,
@@ -103,6 +147,38 @@ impl std::fmt::Display for CampaignEvent {
                 f,
                 "shard {shard} [{start}, {end}) re-dispatched → {backend}"
             ),
+            CampaignEvent::SpeculativeDispatch {
+                shard,
+                range: (start, end),
+                backend,
+            } => write!(
+                f,
+                "shard {shard} [{start}, {end}) speculatively duplicated → {backend}"
+            ),
+            CampaignEvent::SpeculativeWin { shard, backend } => {
+                write!(f, "shard {shard} speculation won on {backend}")
+            }
+            CampaignEvent::CellStopped {
+                cell,
+                round,
+                replicates,
+                ci95,
+                converged,
+            } => write!(
+                f,
+                "cell {cell} {} at round {round} ({replicates} replicates, ci95 {ci95:.3e})",
+                if *converged {
+                    "converged"
+                } else {
+                    "stopped unconverged"
+                }
+            ),
+            CampaignEvent::Reallocated { cell, round, extra } => {
+                write!(
+                    f,
+                    "cell {cell} granted {extra} extra replicates (round {round})"
+                )
+            }
             CampaignEvent::Complete => write!(f, "complete"),
         }
     }

@@ -123,6 +123,21 @@ impl CampaignExecutor for ShardedExecutor {
                         backend: backend.clone(),
                         why: why.clone(),
                     }),
+                    ShardEvent::Speculated {
+                        shard,
+                        range,
+                        backend,
+                    } => sink.emit(CampaignEvent::SpeculativeDispatch {
+                        shard: *shard,
+                        range: *range,
+                        backend: backend.clone(),
+                    }),
+                    ShardEvent::SpeculationWon { shard, backend } => {
+                        sink.emit(CampaignEvent::SpeculativeWin {
+                            shard: *shard,
+                            backend: backend.clone(),
+                        });
+                    }
                     ShardEvent::ShardDone { rows, .. } => {
                         for row in rows {
                             sink.emit(CampaignEvent::ScenarioDone(row.clone()));

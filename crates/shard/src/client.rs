@@ -134,6 +134,80 @@ pub fn classify_submit(status: u16, body: String) -> SubmitOutcome {
     }
 }
 
+/// A backend's `GET /healthz` answer, parsed: the service's
+/// [`JobCounts`](chunkpoint_serve::JobCounts) fields plus the shed
+/// counter and uptime. The live-load signal
+/// (`queued + running = load()`) is what healthz-driven partition
+/// weighting keys on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendHealth {
+    /// Jobs waiting for a runner thread.
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs finished with a cached result.
+    pub done: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs failed.
+    pub failed: u64,
+    /// Submits refused by admission control since startup (cumulative).
+    pub shed: u64,
+    /// Seconds since the backend bound its listener.
+    pub uptime_secs: u64,
+    /// The liveness verdict (the service always answers `"ok"`).
+    pub status: String,
+}
+
+impl BackendHealth {
+    /// The backend's live load: jobs queued plus jobs running — the
+    /// signal [`partition_weighted`](crate::partition_weighted)-based
+    /// dispatch weights against.
+    #[must_use]
+    pub fn load(&self) -> u64 {
+        self.queued + self.running
+    }
+}
+
+/// Fetches and parses `GET /healthz` from `addr`.
+///
+/// # Errors
+///
+/// Transport failures surface as their [`ClientError`] variants; a
+/// non-200 answer or a document missing any counter field is a
+/// [`ClientError::TornResponse`] — either way the caller treats the
+/// backend as unreadable, not as idle.
+pub fn healthz(addr: &str, timeout: Duration) -> Result<BackendHealth, ClientError> {
+    let (status, body) = exchange(addr, "GET", "/healthz", None, timeout)?;
+    if status != 200 {
+        return torn(format!("healthz answered {status}: {body}"));
+    }
+    let doc = match JsonValue::parse(&body) {
+        Ok(doc) => doc,
+        Err(e) => return torn(format!("healthz body is not JSON: {e}")),
+    };
+    let counter = |key: &str| -> Result<u64, ClientError> {
+        match doc.get(key).and_then(JsonValue::as_u64) {
+            Some(n) => Ok(n),
+            None => torn(format!("healthz document has no {key:?} counter")),
+        }
+    };
+    Ok(BackendHealth {
+        queued: counter("queued")?,
+        running: counter("running")?,
+        done: counter("done")?,
+        cancelled: counter("cancelled")?,
+        failed: counter("failed")?,
+        shed: counter("shed")?,
+        uptime_secs: counter("uptime_secs")?,
+        status: doc
+            .get("status")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_owned(),
+    })
+}
+
 /// What is left of the exchange deadline, or a typed timeout error once
 /// it is spent. `timeout` bounds the **whole** exchange, not each
 /// syscall — a peer trickling or draining one byte per interval cannot

@@ -56,6 +56,22 @@ pub struct ShardConfig {
     /// Seed of the deterministic backoff jitter schedules — same seed,
     /// same poll cadence and same cooldowns, every run.
     pub backoff_seed: u64,
+    /// Enables speculative double-dispatch of straggling shards: once
+    /// at least half the shards have sealed, a shard that has been
+    /// running longer than both [`ShardConfig::speculate_after`] and
+    /// `speculate_factor ×` the median completed-shard latency is
+    /// duplicated onto a second ready backend; whichever copy seals
+    /// first wins and the loser's job is cancelled. Safe because both
+    /// copies compute identical rows — the merge cannot tell them
+    /// apart, so the report bytes are unchanged whichever side wins.
+    pub speculate: bool,
+    /// Floor on how long a shard must have been outstanding before it
+    /// can be speculated, whatever the median says — protects short
+    /// campaigns from pure-noise duplication.
+    pub speculate_after: Duration,
+    /// Straggler multiplier: a shard lags once its outstanding time
+    /// exceeds `speculate_factor ×` the median completed-shard latency.
+    pub speculate_factor: u32,
     /// Trace sink of the run's dispatch decisions. The default —
     /// [`Tracer::disabled`] — costs nothing; a live tracer turns every
     /// dispatch, re-dispatch, failure, breaker transition, and
@@ -75,6 +91,9 @@ impl Default for ShardConfig {
             breaker_cooldown: Duration::from_millis(100),
             breaker_max: Duration::from_secs(2),
             backoff_seed: 0,
+            speculate: false,
+            speculate_after: Duration::from_millis(500),
+            speculate_factor: 2,
             tracer: Tracer::disabled(),
         }
     }
@@ -289,6 +308,26 @@ pub enum ShardEvent {
         /// The backend's failure report.
         why: String,
     },
+    /// A straggling shard's range was speculatively double-dispatched
+    /// to a second backend (the primary job keeps running; first sealed
+    /// rows win).
+    Speculated {
+        /// Shard index.
+        shard: usize,
+        /// The shard's scenario range `[start, end)`.
+        range: (usize, usize),
+        /// Backend address the speculative duplicate was submitted to.
+        backend: String,
+    },
+    /// A speculative duplicate sealed its rows before the straggling
+    /// primary; the primary's job is cancelled. Always followed by the
+    /// [`ShardEvent::ShardDone`] carrying the winner's rows.
+    SpeculationWon {
+        /// Shard index.
+        shard: usize,
+        /// The backend whose duplicate won.
+        backend: String,
+    },
     /// A shard's journal was fetched and validated; `rows` are its
     /// scenario results in index order.
     ShardDone {
@@ -327,6 +366,17 @@ impl std::fmt::Display for ShardEvent {
                 backend,
                 why,
             } => write!(f, "backend {backend} reported shard {shard} failed: {why}"),
+            ShardEvent::Speculated {
+                shard,
+                range: (start, end),
+                backend,
+            } => write!(
+                f,
+                "shard {shard} [{start}, {end}) speculatively duplicated → {backend}"
+            ),
+            ShardEvent::SpeculationWon { shard, backend } => {
+                write!(f, "shard {shard} speculation won on {backend}")
+            }
             ShardEvent::ShardDone {
                 shard,
                 range: (start, end),
@@ -434,6 +484,13 @@ struct Shard {
     /// budget) — the terminator for a fleet whose breakers keep
     /// half-open-probing dead backends forever.
     failures: u32,
+    /// When the current primary dispatch was accepted (breaker clock) —
+    /// the straggler detector's reference point.
+    dispatched_at: Duration,
+    /// A live speculative duplicate: `(backend index, job id)`. At most
+    /// one per shard; dropped (and its job cancelled) the moment either
+    /// copy seals.
+    spare: Option<(usize, String)>,
 }
 
 /// The coordinator state machine driving [`run_sharded_ctl`].
@@ -451,6 +508,9 @@ struct Dispatcher<'a> {
     dispatches: usize,
     failures: usize,
     events: Vec<String>,
+    /// Completion stamps (breaker clock) of sealed shards, in seal
+    /// order — the straggler detector's median comes from here.
+    done_at: Vec<Duration>,
     /// Live event sink; every event is also rendered into `events`.
     sink: &'a mut dyn FnMut(&ShardEvent),
     /// Per-backend counters, index-aligned with `backends`.
@@ -475,7 +535,14 @@ impl Dispatcher<'_> {
 
     /// Records an event: renders it into the run's human-readable log,
     /// mirrors it onto the trace span, and hands it to the live sink.
+    /// Sealed shards also stamp the straggler detector's clock here —
+    /// the one place every completion (primary or speculative) passes
+    /// through.
     fn emit(&mut self, event: &ShardEvent) {
+        if matches!(event, ShardEvent::ShardDone { .. }) {
+            let now = self.now();
+            self.done_at.push(now);
+        }
         self.trace(event);
         self.events.push(event.to_string());
         (self.sink)(event);
@@ -530,6 +597,24 @@ impl Dispatcher<'_> {
                     .field("backend", backend.as_str())
                     .field("why", why.as_str()),
             ),
+            ShardEvent::Speculated {
+                shard,
+                range: (start, end),
+                backend,
+            } => (
+                "speculated",
+                JsonValue::object()
+                    .field("shard", *shard)
+                    .field("start", *start)
+                    .field("end", *end)
+                    .field("backend", backend.as_str()),
+            ),
+            ShardEvent::SpeculationWon { shard, backend } => (
+                "speculation_won",
+                JsonValue::object()
+                    .field("shard", *shard)
+                    .field("backend", backend.as_str()),
+            ),
             ShardEvent::ShardDone {
                 shard,
                 range: (start, end),
@@ -573,12 +658,13 @@ impl Dispatcher<'_> {
         }
     }
 
-    /// Records a failed exchange against a backend on behalf of a
-    /// shard: feeds the backend's breaker (emitting
-    /// [`ShardEvent::BackendDead`] the first time it opens) and charges
-    /// the shard's failure budget, turning budget exhaustion into the
-    /// typed [`ShardError::Exhausted`].
-    fn fail(&mut self, shard: usize, backend: usize, why: &str) -> Result<(), ShardError> {
+    /// Charges a failed exchange against a backend's breaker (emitting
+    /// [`ShardEvent::BackendDead`] the first time it opens) without
+    /// touching any shard's failure budget — the accounting shared by
+    /// primary traffic (which additionally burns budget via
+    /// [`Dispatcher::fail`]) and speculative traffic (which must never
+    /// be able to kill a run that would have completed without it).
+    fn strike(&mut self, backend: usize, why: &str) {
         self.failures += 1;
         self.telemetry[backend].strikes.inc();
         let now = self.now();
@@ -602,6 +688,14 @@ impl Dispatcher<'_> {
                 why: why.to_owned(),
             });
         }
+    }
+
+    /// Records a failed exchange against a backend on behalf of a
+    /// shard: feeds the backend's breaker via [`Dispatcher::strike`]
+    /// and charges the shard's failure budget, turning budget
+    /// exhaustion into the typed [`ShardError::Exhausted`].
+    fn fail(&mut self, shard: usize, backend: usize, why: &str) -> Result<(), ShardError> {
+        self.strike(backend, why);
         self.shards[shard].failures += 1;
         if self.shards[shard].failures >= self.failure_budget() {
             let (start, end) = self.shards[shard].range;
@@ -682,6 +776,7 @@ impl Dispatcher<'_> {
                 SubmitOutcome::Accepted(id) => {
                     self.backends[backend].breaker.record_success();
                     self.shards[shard].job_id = Some(id);
+                    self.shards[shard].dispatched_at = self.now();
                     Ok(())
                 }
                 // A 4xx is about the sub-spec itself; every backend
@@ -714,6 +809,16 @@ impl Dispatcher<'_> {
     /// way.
     fn cancel_outstanding(&mut self) {
         for shard in 0..self.shards.len() {
+            if let Some((backend, id)) = self.shards[shard].spare.take() {
+                let addr = self.backends[backend].addr.clone();
+                let _ = exchange(
+                    &addr,
+                    "DELETE",
+                    &format!("/campaigns/{id}"),
+                    None,
+                    self.config.request_timeout,
+                );
+            }
             if self.shards[shard].rows.is_some() {
                 continue;
             }
@@ -875,6 +980,221 @@ impl Dispatcher<'_> {
             self.poll(shard)
         }
     }
+
+    /// The straggler bar: a shard is a straggler once it has been
+    /// outstanding longer than both the `speculate_after` floor and
+    /// `speculate_factor ×` the median sealed-shard completion stamp.
+    /// `None` until at least half the shards have sealed — the median
+    /// is meaningless earlier, and a campaign whose shards all lag
+    /// together has no straggler, just a slow fleet.
+    fn straggler_bar(&self) -> Option<Duration> {
+        if self.shards.len() < 2 || self.done_at.len() * 2 < self.shards.len() {
+            return None;
+        }
+        let mut stamps = self.done_at.clone();
+        stamps.sort_unstable();
+        let median = stamps[stamps.len() / 2];
+        Some(
+            self.config
+                .speculate_after
+                .max(median * self.config.speculate_factor.max(1)),
+        )
+    }
+
+    /// One speculation step of one outstanding shard: poll a live
+    /// spare, or duplicate the shard onto a second ready backend once
+    /// it lags the straggler bar. Infallible by design — speculative
+    /// traffic strikes breakers but never burns a shard's failure
+    /// budget, so switching it on cannot make a completable run fail.
+    fn spare_step(&mut self, shard: usize) {
+        if !self.config.speculate || self.shards[shard].rows.is_some() {
+            return;
+        }
+        if self.shards[shard].spare.is_some() {
+            self.poll_spare(shard);
+            return;
+        }
+        if self.shards[shard].job_id.is_none() {
+            return; // nothing accepted yet; nothing to straggle behind
+        }
+        let Some(bar) = self.straggler_bar() else {
+            return;
+        };
+        let now = self.now();
+        if now.saturating_sub(self.shards[shard].dispatched_at) <= bar {
+            return;
+        }
+        let primary = self.shards[shard].backend;
+        let k = self.backends.len();
+        let Some(target) = (1..k)
+            .map(|offset| (primary + offset) % k)
+            .find(|&candidate| self.ready(candidate))
+        else {
+            return; // no second backend ready; keep waiting on the primary
+        };
+        let (start, end) = self.shards[shard].range;
+        let body = self
+            .spec
+            .clone()
+            .scenario_range(start, end)
+            .to_json()
+            .render();
+        let addr = self.backends[target].addr.clone();
+        self.dispatches += 1;
+        self.telemetry[target].dispatches.inc();
+        self.telemetry[target].speculations.inc();
+        match exchange(
+            &addr,
+            "POST",
+            "/campaigns",
+            Some(&body),
+            self.config.request_timeout,
+        ) {
+            Ok((status, response)) => match classify_submit(status, response) {
+                SubmitOutcome::Accepted(id) => {
+                    self.backends[target].breaker.record_success();
+                    self.shards[shard].spare = Some((target, id));
+                    self.emit(&ShardEvent::Speculated {
+                        shard,
+                        range: (start, end),
+                        backend: addr,
+                    });
+                }
+                // The primary backend accepted these exact spec bytes,
+                // so a peer refusing them is misbehaving, not right.
+                SubmitOutcome::Rejected { status, body } => {
+                    self.strike(target, &format!("spare submit refused ({status}): {body}"));
+                }
+                SubmitOutcome::Retryable { detail, .. } => self.strike(target, &detail),
+            },
+            Err(e) => self.strike(target, &e.to_string()),
+        }
+    }
+
+    /// Polls a shard's speculative duplicate. A spare that seals first
+    /// wins: its validated rows become the shard's rows and the
+    /// straggling primary's job is cancelled. A spare that fails in any
+    /// way is simply dropped — the primary path carries on untouched.
+    fn poll_spare(&mut self, shard: usize) {
+        let Some((backend, id)) = self.shards[shard].spare.clone() else {
+            return;
+        };
+        if !self.ready(backend) {
+            self.shards[shard].spare = None;
+            return;
+        }
+        let addr = self.backends[backend].addr.clone();
+        match exchange(
+            &addr,
+            "GET",
+            &format!("/campaigns/{id}"),
+            None,
+            self.config.request_timeout,
+        ) {
+            Ok((200, body)) => {
+                self.backends[backend].breaker.record_success();
+                match JsonValue::parse(&body)
+                    .ok()
+                    .as_ref()
+                    .and_then(|doc| doc.get("status"))
+                    .and_then(JsonValue::as_str)
+                {
+                    Some("done") => {
+                        let fetched = fetch_journal_rows(
+                            &addr,
+                            &id,
+                            self.grid,
+                            self.shards[shard].range,
+                            self.config.request_timeout,
+                        );
+                        match fetched {
+                            Ok(rows) => {
+                                self.telemetry[backend].speculation_wins.inc();
+                                self.emit(&ShardEvent::SpeculationWon {
+                                    shard,
+                                    backend: addr.clone(),
+                                });
+                                let event = ShardEvent::ShardDone {
+                                    shard,
+                                    range: self.shards[shard].range,
+                                    backend: addr,
+                                    rows,
+                                };
+                                self.emit(&event);
+                                let ShardEvent::ShardDone { rows, .. } = event else {
+                                    unreachable!("just constructed")
+                                };
+                                self.shards[shard].rows = Some(rows);
+                                self.shards[shard].spare = None;
+                                // Cancel the straggling loser (best
+                                // effort — an unreachable primary will
+                                // finish into its own journal and cache
+                                // harmlessly).
+                                if let Some(primary_id) = self.shards[shard].job_id.take() {
+                                    let primary_addr =
+                                        self.backends[self.shards[shard].backend].addr.clone();
+                                    let _ = exchange(
+                                        &primary_addr,
+                                        "DELETE",
+                                        &format!("/campaigns/{primary_id}"),
+                                        None,
+                                        self.config.request_timeout,
+                                    );
+                                }
+                            }
+                            Err(why) => {
+                                self.strike(backend, &why);
+                                self.shards[shard].spare = None;
+                            }
+                        }
+                    }
+                    // A failed/cancelled/unknown spare is dropped, not
+                    // retried: speculation is opportunistic.
+                    Some("failed") | Some("cancelled") => self.shards[shard].spare = None,
+                    Some(_) => {} // queued / running
+                    None => {
+                        self.strike(backend, "spare status document has no status");
+                        self.shards[shard].spare = None;
+                    }
+                }
+            }
+            Ok((404, _)) => {
+                self.backends[backend].breaker.record_success();
+                self.shards[shard].spare = None;
+            }
+            Ok((status, body)) => {
+                self.strike(
+                    backend,
+                    &format!("spare status poll answered {status}: {body}"),
+                );
+                self.shards[shard].spare = None;
+            }
+            Err(e) => {
+                self.strike(backend, &e.to_string());
+                self.shards[shard].spare = None;
+            }
+        }
+    }
+
+    /// Cancels the losing half of a resolved speculation: once a shard
+    /// has sealed rows, whichever duplicate job is still outstanding is
+    /// best-effort `DELETE`d so no backend keeps burning cycles on it.
+    fn reap_spare(&mut self, shard: usize) {
+        if self.shards[shard].rows.is_none() {
+            return;
+        }
+        let Some((backend, id)) = self.shards[shard].spare.take() else {
+            return;
+        };
+        let addr = self.backends[backend].addr.clone();
+        let _ = exchange(
+            &addr,
+            "DELETE",
+            &format!("/campaigns/{id}"),
+            None,
+            self.config.request_timeout,
+        );
+    }
 }
 
 /// Runs `spec` sharded across `backends` (each a `HOST:PORT` of a
@@ -1018,11 +1338,14 @@ pub fn run_sharded_ctl(
                 rows: None,
                 attempts: 0,
                 failures: 0,
+                dispatched_at: Duration::ZERO,
+                spare: None,
             })
             .collect(),
         dispatches: 0,
         failures: 0,
         events: Vec::new(),
+        done_at: Vec::new(),
         sink: &mut on_event,
         telemetry: backends
             .iter()
@@ -1060,10 +1383,13 @@ pub fn run_sharded_ctl(
         );
         for shard in 0..dispatcher.shards.len() {
             if dispatcher.shards[shard].rows.is_some() {
+                dispatcher.reap_spare(shard);
                 continue;
             }
             outstanding = true;
             dispatcher.step(shard)?;
+            dispatcher.spare_step(shard);
+            dispatcher.reap_spare(shard);
         }
         if !outstanding {
             break;

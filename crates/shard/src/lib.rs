@@ -60,7 +60,10 @@ mod metrics;
 pub mod partition;
 
 pub use breaker::{Backoff, BreakerState, CircuitBreaker};
-pub use client::{classify_submit, exchange, ClientError, SubmitOutcome, MAX_RESPONSE_BYTES};
+pub use client::{
+    classify_submit, exchange, healthz, BackendHealth, ClientError, SubmitOutcome,
+    MAX_RESPONSE_BYTES,
+};
 pub use coordinator::{
     fetch_journal_rows, merged_report, run_sharded, run_sharded_ctl, PartialCampaign, ShardConfig,
     ShardError, ShardEvent, ShardRun,

@@ -1,0 +1,113 @@
+//! The adaptive-controller smoke: a small campaign grid driven as
+//! sequential-sampling control rounds over two self-hosted `serve`
+//! shards — cells stop early once their CI95 half-width is inside the
+//! policy threshold, the freed replicate budget flows to the noisiest
+//! open cells, and the shard split is weighted by live `/healthz` job
+//! counts ([`AutoWeightedSharded`]). The resulting report must be
+//! **byte-identical** to the single-threaded in-process oracle. CI runs
+//! this as the adaptive smoke (`scripts/ci.sh`); it finishes in about a
+//! second.
+//!
+//! ```text
+//! cargo run --release --example adaptive_campaign
+//! ```
+
+use chunkpoint::adaptive::{AdaptiveController, AdaptivePolicy, AutoWeightedSharded};
+use chunkpoint::campaign::{CampaignSpec, SchemeSpec};
+use chunkpoint::core::{MitigationScheme, SystemConfig};
+use chunkpoint::exec::LocalExecutor;
+use chunkpoint::workloads::Benchmark;
+use chunkpoint_serve::server::{ServeConfig, Server};
+
+/// Boots an in-process `serve` on an ephemeral port; returns its addr.
+fn spawn_shard(tag: &str) -> String {
+    let data_dir = std::env::temp_dir().join(format!(
+        "chunkpoint_adaptive_example_{}_{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        data_dir,
+        max_jobs: 1,
+        campaign_threads: 1,
+        max_queued: 0,
+        trace_out: None,
+    })
+    .expect("bind in-process shard");
+    let addr = server.local_addr().expect("addr").to_string();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+fn main() {
+    let mut config = SystemConfig::paper(0);
+    config.scale = 0.25;
+    let spec = CampaignSpec::new(config, 0xADA_E6)
+        .benchmarks(&[Benchmark::AdpcmEncode, Benchmark::AdpcmDecode])
+        .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+        .error_rates(&[1e-6, 1e-5])
+        .replicates(6);
+
+    // Stop a cell once its CI95 half-width is within 90% of its mean —
+    // loose on purpose, so the smoke demonstrably saves replicates —
+    // but never below 2 replicates, in rounds of 2.
+    let policy = AdaptivePolicy::new()
+        .min_replicates(2)
+        .round_replicates(2)
+        .rel_ci(0.9);
+
+    // The oracle every executor must match byte for byte.
+    let oracle = AdaptiveController::new(LocalExecutor::new(1), policy.clone())
+        .run(&spec)
+        .expect("local adaptive oracle");
+
+    // The same (spec, policy) over two health-weighted serve shards.
+    let shard_a = spawn_shard("a");
+    let shard_b = spawn_shard("b");
+    let executor = AutoWeightedSharded::new(vec![shard_a, shard_b]);
+    let run = AdaptiveController::new(executor, policy)
+        .run(&spec)
+        .expect("sharded adaptive run");
+
+    println!(
+        "adaptive: {} of {} scenarios over {} rounds ({} saved) in {:.2?}",
+        run.executed,
+        run.budget,
+        run.rounds,
+        run.budget - run.executed,
+        run.elapsed
+    );
+    for outcome in &run.cells {
+        println!(
+            "  cell {} [{}]: {} replicates, round {}, ci95 {:.3e}{}",
+            outcome.cell,
+            outcome.key,
+            outcome.stop.replicates,
+            outcome.stop.round,
+            outcome.stop.ci95,
+            if outcome.stop.converged {
+                " (converged)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    assert!(
+        run.executed < run.budget,
+        "loose threshold must stop early: executed {} of {}",
+        run.executed,
+        run.budget
+    );
+    assert!(
+        run.cells.iter().any(|c| c.stop.converged),
+        "no cell converged"
+    );
+    assert!(run.report.contains("\"adaptive\""));
+    assert_eq!(
+        run.report, oracle.report,
+        "sharded adaptive bytes diverged from the local oracle"
+    );
+    println!("adaptive parity OK (sharded report byte-identical to the local oracle)");
+}

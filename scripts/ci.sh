@@ -167,4 +167,10 @@ echo "chaos smoke OK (faulted and clean reports byte-identical)"
 echo "== chaos bench smoke (submission throughput at 0/10/30% fault rates) =="
 cargo run --release -p chunkpoint_bench --bin bench_chaos -- --smoke
 
+echo "== adaptive smoke (early-stopping controller over two health-weighted shards) =="
+cargo run --release --example adaptive_campaign
+
+echo "== adaptive bench smoke (fixed grid vs adaptive replicates-to-CI) =="
+cargo run --release -p chunkpoint_bench --bin bench_adaptive -- --smoke
+
 echo "CI OK"

@@ -42,7 +42,12 @@
 //! * [`exec`] — the one campaign executor API over all of the above:
 //!   typed submit / observe / cancel with a shared `CampaignEvent`
 //!   stream and one `ExecError` enum, implemented by local, remote,
-//!   and sharded executors proven byte-identical on the same spec.
+//!   and sharded executors proven byte-identical on the same spec;
+//! * [`adaptive`] — the sequential-sampling campaign controller on the
+//!   executor event plane: per-cell CI95 early stopping, variance-driven
+//!   replicate reallocation through ranged sub-specs, health-weighted
+//!   shard partitioning, and speculative straggler double-dispatch —
+//!   with stop/reallocate decisions that replay byte-identically.
 //!
 //! ## Quickstart
 //!
@@ -97,6 +102,10 @@ pub use chunkpoint_shard as shard;
 /// One campaign executor API: typed submit/observe/cancel over local,
 /// remote, and sharded execution, byte-identical across all three.
 pub use chunkpoint_exec as exec;
+
+/// Sequential-sampling adaptive campaign controller: CI95 early
+/// stopping, replicate reallocation, health-weighted sharding.
+pub use chunkpoint_adaptive as adaptive;
 
 /// Deterministic fault-injecting TCP proxy for chaos-testing the
 /// service stack: seeded, replayable per-connection fault plans.
