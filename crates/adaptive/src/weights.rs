@@ -59,9 +59,20 @@ impl AutoWeightedSharded {
 
     /// One weigh-in: probes every backend's `/healthz` and returns the
     /// capacity weights the next submit would partition with.
+    ///
+    /// Backends whose first probe fails get a **second chance** before
+    /// the round commits to weight `0.0`: under a multi-round
+    /// controller, a backend that was down (or just slow to answer one
+    /// probe) during an earlier round would otherwise sit at zero
+    /// weight — an empty range, no dispatches, no chance to prove it
+    /// recovered — for every remaining round. The re-probe is what
+    /// lets a restarted backend rejoin the rotation the moment it
+    /// serves `/healthz` again. Re-probe attempts and recoveries are
+    /// counted (`adaptive_reprobe_attempts_total`,
+    /// `adaptive_reprobe_recoveries_total`).
     #[must_use]
     pub fn weigh(&self) -> Vec<f64> {
-        let weights: Vec<f64> = self
+        let mut weights: Vec<f64> = self
             .backends
             .iter()
             .map(|addr| match healthz(addr, self.health_timeout) {
@@ -69,6 +80,24 @@ impl AutoWeightedSharded {
                 Err(_) => 0.0,
             })
             .collect();
+        let registry = chunkpoint_telemetry::global();
+        let attempts = registry.counter(
+            "adaptive_reprobe_attempts_total",
+            "Second-chance health probes of backends whose first probe failed",
+        );
+        let recoveries = registry.counter(
+            "adaptive_reprobe_recoveries_total",
+            "Second-chance health probes that found the backend reachable again",
+        );
+        for (addr, weight) in self.backends.iter().zip(weights.iter_mut()) {
+            if *weight == 0.0 {
+                attempts.inc();
+                if let Ok(health) = healthz(addr, self.health_timeout) {
+                    *weight = 1.0 / (1.0 + health.load() as f64);
+                    recoveries.inc();
+                }
+            }
+        }
         if weights.iter().all(|&w| w == 0.0) {
             // Nobody answered: even split beats a rejected submit.
             return vec![1.0; self.backends.len()];

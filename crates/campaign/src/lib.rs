@@ -58,6 +58,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cli;
+pub mod diff;
 pub mod engine;
 pub mod json;
 pub mod pool;
@@ -67,6 +68,7 @@ pub mod stats;
 pub mod telemetry;
 
 pub use cli::{write_json_report, CampaignArgs};
+pub use diff::{contexts_match, diff_specs, translate_rows, SpecDiff};
 pub use engine::{
     canonical_report_json, run_campaign, run_campaign_streaming, run_cell, CampaignResult,
     ScenarioResult,

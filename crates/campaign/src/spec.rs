@@ -261,6 +261,19 @@ impl CampaignSpec {
         self.scenario_range
     }
 
+    /// Drops any `scenario_range` restriction, recovering the parent
+    /// campaign a ranged sub-spec was cut from. Every ranged sub-spec of
+    /// one campaign shares the same `without_range` rendering (and
+    /// therefore the same [`CampaignSpec::spec_hash`]) — the keying the
+    /// coordinator's range-granular result cache groups sealed rows
+    /// under, so rows sealed by one partitioning are findable by any
+    /// other partitioning of the same campaign.
+    #[must_use]
+    pub fn without_range(mut self) -> Self {
+        self.scenario_range = None;
+        self
+    }
+
     /// The half-open index range this spec actually executes, clamped to
     /// a grid of `grid` scenarios. An unranged spec runs everything.
     #[must_use]

@@ -80,6 +80,20 @@ pub enum CampaignEvent {
         /// The backend whose duplicate won.
         backend: String,
     },
+    /// A shard's range was served whole from the coordinator's result
+    /// cache instead of being dispatched (sharded path with a cache
+    /// configured). The spliced rows still arrive as
+    /// [`CampaignEvent::ScenarioDone`] events right after this one, so
+    /// downstream consumers cannot tell cached rows from executed ones
+    /// — by design, since the bytes are identical.
+    CacheHit {
+        /// Shard index.
+        shard: usize,
+        /// The shard's scenario range `[start, end)`.
+        range: (usize, usize),
+        /// How many sealed rows the splice supplied.
+        rows: usize,
+    },
     /// The adaptive controller stopped a grid cell: no further
     /// replicates will be scheduled for it (adaptive path only).
     CellStopped {
@@ -158,6 +172,14 @@ impl std::fmt::Display for CampaignEvent {
             CampaignEvent::SpeculativeWin { shard, backend } => {
                 write!(f, "shard {shard} speculation won on {backend}")
             }
+            CampaignEvent::CacheHit {
+                shard,
+                range: (start, end),
+                rows,
+            } => write!(
+                f,
+                "shard {shard} [{start}, {end}) spliced {rows} rows from cache"
+            ),
             CampaignEvent::CellStopped {
                 cell,
                 round,

@@ -63,6 +63,18 @@ impl ShardedExecutor {
         self.config = config;
         self
     }
+
+    /// Points the coordinator at a range-granular result cache
+    /// ([`chunkpoint_shard::RangeCache`]): sealed ranges on disk are
+    /// spliced instead of dispatched ([`CampaignEvent::CacheHit`]), and
+    /// every completed shard writes its rows back. Shorthand for
+    /// setting [`ShardConfig::cache_dir`] through
+    /// [`ShardedExecutor::with_config`].
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.cache_dir = Some(dir.into());
+        self
+    }
 }
 
 impl CampaignExecutor for ShardedExecutor {
@@ -137,6 +149,18 @@ impl CampaignExecutor for ShardedExecutor {
                             shard: *shard,
                             backend: backend.clone(),
                         });
+                    }
+                    ShardEvent::CacheHit { shard, range, rows } => {
+                        sink.emit(CampaignEvent::CacheHit {
+                            shard: *shard,
+                            range: *range,
+                            rows: rows.len(),
+                        });
+                        for row in rows {
+                            sink.emit(CampaignEvent::ScenarioDone(row.clone()));
+                        }
+                        done += rows.len();
+                        sink.emit(CampaignEvent::Progress { done, total });
                     }
                     ShardEvent::ShardDone { rows, .. } => {
                         for row in rows {

@@ -221,6 +221,21 @@ pub struct Submission {
 }
 
 impl JobManager {
+    /// Locks the manager state, tolerating a poisoned mutex. Runner
+    /// panics are caught and turned into [`JobState::Failed`] inside
+    /// `run_one`, but a panic on any other path (an allocator abort
+    /// short of aborting, a bug in a handler) would poison this lock —
+    /// and every HTTP handler locks it, so honoring the poison would
+    /// turn one wounded request into a permanently dead service. The
+    /// guarded state is updated with single-field writes (no
+    /// multi-step invariant is ever left half-applied across a
+    /// panic), so the data is safe to keep serving.
+    fn locked(&self) -> std::sync::MutexGuard<'_, ManagerState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Builds a manager over `store`, **recovering** persisted jobs:
     /// directories with a `result.json` register as done (cache hits),
     /// everything else re-enqueues and resumes from its journal.
@@ -244,7 +259,7 @@ impl JobManager {
         });
         let ids = manager.store.list_jobs();
         {
-            let mut state = manager.state.lock().expect("manager poisoned");
+            let mut state = manager.locked();
             for id in ids {
                 let scenarios = manager.store.load_scenario_count(&id).unwrap_or(0);
                 // The stored spec is the collision-check reference; a job
@@ -344,7 +359,7 @@ impl JobManager {
         // sub-specs), not the whole grid — `completed` counts toward it.
         let scenarios = spec.active_range(grid).len();
         let canonical = spec.to_json().render();
-        let mut state = self.state.lock().expect("manager poisoned");
+        let mut state = self.locked();
         if state.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
@@ -431,7 +446,7 @@ impl JobManager {
     /// Status of one job.
     #[must_use]
     pub fn status(&self, id: &str) -> Option<JobStatus> {
-        let state = self.state.lock().expect("manager poisoned");
+        let state = self.locked();
         state.jobs.get(id).map(|entry| JobStatus {
             id: id.to_owned(),
             state: entry.state.clone(),
@@ -443,7 +458,7 @@ impl JobManager {
     /// Counts of known jobs per lifecycle state.
     #[must_use]
     pub fn counts(&self) -> JobCounts {
-        let state = self.state.lock().expect("manager poisoned");
+        let state = self.locked();
         let mut counts = JobCounts::default();
         for entry in state.jobs.values() {
             match entry.state {
@@ -509,7 +524,7 @@ impl JobManager {
     /// job was in, or `None` if unknown.
     #[must_use]
     pub fn delete(&self, id: &str) -> Option<JobState> {
-        let mut state = self.state.lock().expect("manager poisoned");
+        let mut state = self.locked();
         let entry = state.jobs.get_mut(id)?;
         let was = entry.state.clone();
         match was {
@@ -533,7 +548,7 @@ impl JobManager {
     /// journals make the work resumable), wake and join every runner.
     pub fn shutdown(&self, runners: Vec<JoinHandle<()>>) {
         {
-            let mut state = self.state.lock().expect("manager poisoned");
+            let mut state = self.locked();
             state.shutdown = true;
             for entry in state.jobs.values() {
                 entry.cancel.cancel();
@@ -548,7 +563,7 @@ impl JobManager {
     fn runner_loop(&self) {
         loop {
             let id = {
-                let mut state = self.state.lock().expect("manager poisoned");
+                let mut state = self.locked();
                 loop {
                     if state.shutdown {
                         return;
@@ -556,7 +571,10 @@ impl JobManager {
                     if let Some(id) = state.queue.pop_front() {
                         break id;
                     }
-                    state = self.wake.wait(state).expect("manager poisoned");
+                    state = self
+                        .wake
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
             self.run_one(&id);
@@ -577,7 +595,7 @@ impl JobManager {
                 Err(format!("campaign panicked: {message}"))
             }
         };
-        let mut state = self.state.lock().expect("manager poisoned");
+        let mut state = self.locked();
         let Some(entry) = state.jobs.get_mut(id) else {
             return;
         };
@@ -605,7 +623,7 @@ impl JobManager {
         let active = spec.active_range(scenarios.len());
         let journal = self.store.load_journal(id, &scenarios, &active)?;
         let cancel = {
-            let mut state = self.state.lock().expect("manager poisoned");
+            let mut state = self.locked();
             let entry = state
                 .jobs
                 .get_mut(id)
@@ -640,7 +658,7 @@ impl JobManager {
                     return;
                 }
                 metrics().journal_rows.inc();
-                let mut state = self.state.lock().expect("manager poisoned");
+                let mut state = self.locked();
                 if let Some(entry) = state.jobs.get_mut(id) {
                     entry.completed += 1;
                 }

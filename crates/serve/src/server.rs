@@ -26,7 +26,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use chunkpoint_campaign::{CampaignSpec, JsonValue};
-use chunkpoint_telemetry::{install_campaign_metrics, render_text, Tracer};
+use chunkpoint_telemetry::{install_campaign_metrics, render_text, Tracer, SCENARIO_WALL_BUCKETS};
 
 use crate::http::{read_request, Request, Response};
 use crate::jobs::{JobManager, SubmitError};
@@ -276,6 +276,48 @@ fn route(request: &Request, manager: &JobManager, stop: &AtomicBool, started: In
     }
 }
 
+/// Retry-After for a shed submission: the estimated time for the queue
+/// to drain at the observed mean scenario wall time, clamped to
+/// `[1, 60]` seconds. The clamp floor keeps the header honest when the
+/// process has not completed a scenario yet (mean 0); the ceiling stops
+/// a deep queue of slow campaigns from telling clients to go away for
+/// hours — past a minute the estimate is noise anyway.
+fn retry_after_hint(queued: usize, mean_scenario_secs: f64) -> u64 {
+    #[allow(clippy::cast_precision_loss)]
+    let estimate = (queued as f64 * mean_scenario_secs).ceil();
+    if !estimate.is_finite() || estimate <= 1.0 {
+        1
+    } else if estimate >= 60.0 {
+        60
+    } else {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            estimate as u64
+        }
+    }
+}
+
+/// Derives the shed Retry-After from live telemetry: the mean of the
+/// process-wide scenario wall-time histogram (the same series
+/// `install_campaign_metrics` records into — re-fetching by name and
+/// identical registration dedupes onto it), falling back to one second
+/// per queued job before the first scenario completes.
+fn shed_retry_after(queued: usize) -> u64 {
+    let wall = chunkpoint_telemetry::global().histogram(
+        "campaign_scenario_wall_seconds",
+        &SCENARIO_WALL_BUCKETS,
+        "Wall-clock execution time of completed scenarios",
+    );
+    let completed = wall.count();
+    #[allow(clippy::cast_precision_loss)]
+    let mean = if completed == 0 {
+        1.0
+    } else {
+        wall.sum() / completed as f64
+    };
+    retry_after_hint(queued, mean)
+}
+
 fn submit(request: &Request, manager: &JobManager) -> Response {
     let value = match JsonValue::parse(&request.body) {
         Ok(value) => value,
@@ -299,8 +341,8 @@ fn submit(request: &Request, manager: &JobManager) -> Response {
         // would refuse it); overload (429) and this backend's own
         // trouble (500/503) are retryable elsewhere, so shard
         // coordinators re-dispatch instead of aborting the campaign.
-        Err(ref error @ SubmitError::Shed { .. }) => {
-            Response::error(429, &error.to_string()).with_retry_after(1)
+        Err(ref error @ SubmitError::Shed { queued, .. }) => {
+            Response::error(429, &error.to_string()).with_retry_after(shed_retry_after(queued))
         }
         Err(ref error @ SubmitError::ShuttingDown) => Response::error(503, &error.to_string()),
         Err(SubmitError::Store(detail)) => Response::error(500, &detail),
@@ -326,5 +368,42 @@ mod tests {
         // Traversal-shaped ids never reach the store (valid_id gate).
         let (id, _) = campaign_route("/campaigns/../../etc/passwd").unwrap();
         assert!(!JobStore::valid_id(id));
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth_and_clamps() {
+        // Floor: empty-ish queues and unmeasured means never advertise 0.
+        assert_eq!(retry_after_hint(0, 2.5), 1);
+        assert_eq!(retry_after_hint(3, 0.0), 1);
+        // Proportional region: ceil(queued × mean).
+        assert_eq!(retry_after_hint(4, 1.0), 4);
+        assert_eq!(retry_after_hint(7, 0.5), 4);
+        assert_eq!(retry_after_hint(10, 2.0), 20);
+        // Ceiling: a deep queue of slow campaigns caps at a minute.
+        assert_eq!(retry_after_hint(500, 30.0), 60);
+        // Degenerate means degrade to the floor, never a panic.
+        assert_eq!(retry_after_hint(10, f64::NAN), 1);
+        assert_eq!(retry_after_hint(10, f64::INFINITY), 1);
+    }
+
+    #[test]
+    fn shed_retry_after_uses_the_live_histogram_mean() {
+        // The fallback before any scenario completes in this process
+        // is one second per queued job (still clamped).
+        let hint = shed_retry_after(2);
+        assert!((1..=60).contains(&hint), "hint {hint} escaped the clamp");
+        // Feed the shared histogram a completion and the hint tracks
+        // the (now measured) mean. Other tests in this process may
+        // also have observed scenarios, so assert the clamp bounds
+        // rather than an exact product.
+        chunkpoint_telemetry::global()
+            .histogram(
+                "campaign_scenario_wall_seconds",
+                &SCENARIO_WALL_BUCKETS,
+                "Wall-clock execution time of completed scenarios",
+            )
+            .observe(0.5);
+        let hint = shed_retry_after(120);
+        assert!((1..=60).contains(&hint), "hint {hint} escaped the clamp");
     }
 }

@@ -4,7 +4,8 @@
 //! ```text
 //! shard --backends HOST:PORT[,HOST:PORT...] --spec PATH [--json PATH]
 //!       [--weights W[,W...]] [--poll-ms N] [--timeout-secs N]
-//!       [--strikes N] [--attempts N] [--quiet]
+//!       [--strikes N] [--attempts N] [--cache-dir PATH]
+//!       [--baseline PATH] [--metrics-out PATH] [--quiet]
 //! ```
 //!
 //! The report written by `--json` (stdout without it) is byte-identical
@@ -13,11 +14,19 @@
 //! stderr as structured JSON trace events (`--quiet` silences them;
 //! errors always reach stderr); `--weights` partitions the grid
 //! proportionally to per-backend capacity instead of evenly.
+//!
+//! `--cache-dir` enables the coordinator's range-granular result cache:
+//! sealed sub-ranges on disk are spliced into the merge instead of
+//! re-executed, and every completed shard writes its rows back.
+//! `--baseline OLD_SPEC` additionally runs the spec diff against a
+//! previously cached campaign and seeds the current spec's cache with
+//! every translated row whose `(seed, parameters)` survived the edit —
+//! the incremental-campaign path, where only changed cells execute.
 
 use std::time::{Duration, Instant};
 
-use chunkpoint_campaign::{CampaignSpec, CancelToken, JsonValue};
-use chunkpoint_shard::{run_sharded_ctl, ShardConfig};
+use chunkpoint_campaign::{diff_specs, translate_rows, CampaignSpec, CancelToken, JsonValue};
+use chunkpoint_shard::{run_sharded_ctl, RangeCache, ShardConfig};
 use chunkpoint_telemetry::Tracer;
 
 const USAGE: &str = "chunkpoint shard coordinator:
@@ -30,6 +39,13 @@ const USAGE: &str = "chunkpoint shard coordinator:
   --timeout-secs N   per-request timeout in seconds (default 10)
   --strikes N        consecutive failures opening a backend's breaker (default 3)
   --attempts N       dispatch attempts per shard before giving up (default 5)
+  --cache-dir PATH   range-granular result cache root: sealed sub-ranges are
+                     spliced instead of re-executed, completed shards write back
+  --baseline PATH    old spec JSON of a cached campaign: spec-diff it against
+                     --spec and seed the cache with unchanged cells' rows
+                     (requires --cache-dir)
+  --metrics-out PATH write the process's Prometheus text exposition here at exit
+                     (shard_cache_hits_total and friends)
   --quiet            suppress the stderr trace-event stream (errors still print)
   --help             this text";
 
@@ -38,6 +54,9 @@ struct Args {
     weights: Option<Vec<f64>>,
     spec_path: String,
     json: Option<String>,
+    cache_dir: Option<String>,
+    baseline: Option<String>,
+    metrics_out: Option<String>,
     quiet: bool,
     config: ShardConfig,
 }
@@ -47,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
     let mut weights = None;
     let mut spec_path = None;
     let mut json = None;
+    let mut cache_dir = None;
+    let mut baseline = None;
+    let mut metrics_out = None;
     let mut quiet = false;
     let mut config = ShardConfig::default();
     let mut args = std::env::args().skip(1);
@@ -78,6 +100,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--spec" => spec_path = Some(value_of("--spec")?),
             "--json" => json = Some(value_of("--json")?),
+            "--cache-dir" => cache_dir = Some(value_of("--cache-dir")?),
+            "--baseline" => baseline = Some(value_of("--baseline")?),
+            "--metrics-out" => metrics_out = Some(value_of("--metrics-out")?),
             "--poll-ms" => {
                 let ms: u64 = value_of("--poll-ms")?
                     .parse()
@@ -127,11 +152,18 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let spec_path = spec_path.ok_or_else(|| format!("--spec is required\n\n{USAGE}"))?;
+    if baseline.is_some() && cache_dir.is_none() {
+        return Err(format!("--baseline requires --cache-dir\n\n{USAGE}"));
+    }
+    config.cache_dir = cache_dir.clone().map(std::path::PathBuf::from);
     Ok(Args {
         backends,
         weights,
         spec_path,
         json,
+        cache_dir,
+        baseline,
+        metrics_out,
         quiet,
         config,
     })
@@ -174,6 +206,41 @@ fn main() {
     };
     args.config.tracer = tracer.clone();
     let span = tracer.root("shard_bin");
+    // Incremental campaigns: diff the baseline spec against the new
+    // one and seed the new campaign's cache with every translated row
+    // — the subsequent run then dispatches only the changed cells.
+    if let (Some(baseline_path), Some(cache_dir)) = (&args.baseline, &args.cache_dir) {
+        let old_spec = match std::fs::read_to_string(baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|raw| JsonValue::parse(&raw).map_err(|e| e.to_string()))
+            .and_then(|value| CampaignSpec::from_json(&value))
+        {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("shard: --baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let cache = RangeCache::new(cache_dir);
+        let old_rows: Vec<_> = cache
+            .load(&old_spec, &old_spec.scenarios())
+            .into_values()
+            .collect();
+        let translated = translate_rows(&old_spec, &spec, &old_rows);
+        if let Err(e) = cache.store_scattered(&spec, &translated) {
+            eprintln!("shard: seeding cache from baseline: {e}");
+            std::process::exit(1);
+        }
+        let diff = diff_specs(&old_spec, &spec);
+        span.event(
+            "baseline",
+            JsonValue::object()
+                .field("cached_rows", old_rows.len())
+                .field("translated", translated.len())
+                .field("reusable", diff.reused())
+                .field("changed", diff.changed),
+        );
+    }
     span.event(
         "dispatching",
         JsonValue::object()
@@ -202,8 +269,16 @@ fn main() {
             .field("shards", run.shards)
             .field("dispatches", run.dispatches)
             .field("failures", run.failures)
+            .field("spliced", run.spliced)
             .field("secs", start.elapsed().as_secs_f64()),
     );
+    if let Some(path) = &args.metrics_out {
+        let text = chunkpoint_telemetry::render_text(chunkpoint_telemetry::global());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("shard: writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
     let mut report = run.report;
     match &args.json {
         Some(path) => {

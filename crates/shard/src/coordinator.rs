@@ -12,6 +12,7 @@
 //! run no matter which backends did the work or in what order they
 //! finished.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use chunkpoint_campaign::{
@@ -21,8 +22,9 @@ use chunkpoint_serve::REPORT_AXES;
 use chunkpoint_telemetry::{Span, Tracer};
 
 use crate::breaker::{Backoff, CircuitBreaker};
+use crate::cache::RangeCache;
 use crate::client::{classify_submit, exchange, SubmitOutcome};
-use crate::metrics::{backend_telemetry, poll_sweeps, BackendTelemetry};
+use crate::metrics::{backend_telemetry, cache_telemetry, poll_sweeps, BackendTelemetry};
 use crate::partition::{partition, partition_weighted};
 
 /// Coordinator knobs. The defaults suit a LAN of `serve` instances.
@@ -78,6 +80,16 @@ pub struct ShardConfig {
     /// completed shard into a structured span event. Strictly out of
     /// band: the report bytes cannot change with tracing on or off.
     pub tracer: Tracer,
+    /// Root of the coordinator's range-granular result cache
+    /// ([`RangeCache`]). When set, the planner consults the cache
+    /// before dispatching: ranges whose sealed rows are already on disk
+    /// are spliced into the merge ([`ShardEvent::CacheHit`]) instead of
+    /// re-executed, and every shard that *does* seal writes its rows
+    /// back. `None` (the default) disables caching entirely. Safe by
+    /// construction: cached rows are validated against the spec's own
+    /// grid (index + derived seed) before splicing, so the report bytes
+    /// are identical with the cache cold, warm, or corrupted.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ShardConfig {
@@ -95,6 +107,7 @@ impl Default for ShardConfig {
             speculate_after: Duration::from_millis(500),
             speculate_factor: 2,
             tracer: Tracer::disabled(),
+            cache_dir: None,
         }
     }
 }
@@ -328,6 +341,19 @@ pub enum ShardEvent {
         /// The backend whose duplicate won.
         backend: String,
     },
+    /// A shard's range was served whole from the coordinator's result
+    /// cache — sealed rows validated against this campaign's grid were
+    /// spliced into the merge and the shard never dispatched. Emitted
+    /// in place of [`ShardEvent::Dispatched`] during planning; no
+    /// [`ShardEvent::ShardDone`] follows for the shard.
+    CacheHit {
+        /// Shard index.
+        shard: usize,
+        /// The shard's scenario range `[start, end)`.
+        range: (usize, usize),
+        /// The cached rows, validated, in scenario-index order.
+        rows: Vec<ScenarioResult>,
+    },
     /// A shard's journal was fetched and validated; `rows` are its
     /// scenario results in index order.
     ShardDone {
@@ -377,6 +403,15 @@ impl std::fmt::Display for ShardEvent {
             ShardEvent::SpeculationWon { shard, backend } => {
                 write!(f, "shard {shard} speculation won on {backend}")
             }
+            ShardEvent::CacheHit {
+                shard,
+                range: (start, end),
+                rows,
+            } => write!(
+                f,
+                "shard {shard} [{start}, {end}) spliced {} rows from cache",
+                rows.len()
+            ),
             ShardEvent::ShardDone {
                 shard,
                 range: (start, end),
@@ -406,6 +441,9 @@ pub struct ShardRun {
     pub dispatches: usize,
     /// Failed exchanges and failed jobs observed along the way.
     pub failures: usize,
+    /// Rows served from the result cache instead of being executed
+    /// (`0` without a [`ShardConfig::cache_dir`] or on a cold cache).
+    pub spliced: usize,
     /// Human-readable dispatch decisions, in order.
     pub events: Vec<String>,
 }
@@ -518,6 +556,10 @@ struct Dispatcher<'a> {
     /// The run's trace span; every emitted [`ShardEvent`] doubles as a
     /// structured span event (no-op under a disabled tracer).
     span: Span,
+    /// The result cache, when [`ShardConfig::cache_dir`] is set. Read
+    /// during planning; written from [`Dispatcher::emit`] on every
+    /// sealed shard — the one place every completion passes through.
+    cache: Option<RangeCache>,
 }
 
 impl Dispatcher<'_> {
@@ -539,9 +581,25 @@ impl Dispatcher<'_> {
     /// the one place every completion (primary or speculative) passes
     /// through.
     fn emit(&mut self, event: &ShardEvent) {
-        if matches!(event, ShardEvent::ShardDone { .. }) {
+        if let ShardEvent::ShardDone { range, rows, .. } = event {
             let now = self.now();
             self.done_at.push(now);
+            // Seal the rows into the result cache. Strictly best
+            // effort: a full disk degrades the next run to a miss, it
+            // never fails this one.
+            if let Some(cache) = &self.cache {
+                if let Err(why) = cache.store(self.spec, *range, rows) {
+                    if self.span.is_traced() {
+                        self.span.event(
+                            "cache_write_failed",
+                            JsonValue::object()
+                                .field("start", range.0)
+                                .field("end", range.1)
+                                .field("why", why.to_string().as_str()),
+                        );
+                    }
+                }
+            }
         }
         self.trace(event);
         self.events.push(event.to_string());
@@ -614,6 +672,18 @@ impl Dispatcher<'_> {
                 JsonValue::object()
                     .field("shard", *shard)
                     .field("backend", backend.as_str()),
+            ),
+            ShardEvent::CacheHit {
+                shard,
+                range: (start, end),
+                rows,
+            } => (
+                "cache_hit",
+                JsonValue::object()
+                    .field("shard", *shard)
+                    .field("start", *start)
+                    .field("end", *end)
+                    .field("rows", rows.len()),
             ),
             ShardEvent::ShardDone {
                 shard,
@@ -1242,7 +1312,14 @@ pub fn run_sharded(
 ///   [`ShardError::Cancelled`].
 /// * `on_event` — called with every [`ShardEvent`] the moment it
 ///   happens: dispatches, re-dispatches, backend deaths, shard
-///   failures, and completed shards (with their validated rows).
+///   failures, cache splices, and completed shards (with their
+///   validated rows).
+///
+/// With [`ShardConfig::cache_dir`] set, planning consults the
+/// range-granular result cache first: sealed ranges on disk become
+/// pre-sealed shards ([`ShardEvent::CacheHit`]) and only the uncovered
+/// gaps partition across the backends; every shard that seals writes
+/// its rows back. The report bytes are identical either way.
 ///
 /// A parent spec carrying its own `scenario_range` shards only that
 /// slice (the scenarios the local and remote execution paths would
@@ -1286,24 +1363,95 @@ pub fn run_sharded_ctl(
     // report stays byte-identical across executors for ranged specs
     // too. (Unranged specs: the whole grid, as before.)
     let active = spec.active_range(grid.len());
-    // Weighted ranges stay index-aligned with their backends (empty
-    // ranges are skipped); uniform ranges round-robin, which for the
-    // common `shards == backends` case is the same alignment.
-    let offset = |(start, end): (usize, usize)| (active.start + start, active.start + end);
-    let shards: Vec<(usize, (usize, usize))> = match weights {
-        Some(weights) => partition_weighted(active.len(), weights)
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, (start, end))| start < end)
-            .map(|(k, range)| (k, offset(range)))
-            .collect(),
-        None => partition(active.len(), backends.len())
-            .into_iter()
-            .enumerate()
-            .map(|(k, range)| (k % backends.len(), offset(range)))
-            .collect(),
+    // The result cache, when configured: every sealed range already on
+    // disk (validated row by row against this spec's grid) is spliced
+    // instead of dispatched.
+    let cache = config.cache_dir.as_ref().map(RangeCache::new);
+    let cache_stats = cache.as_ref().map(|_| cache_telemetry());
+    let mut cached_rows = match &cache {
+        Some(cache) => {
+            let mut rows = cache.load(spec, &grid);
+            rows.retain(|index, _| active.contains(index));
+            rows
+        }
+        None => std::collections::BTreeMap::new(),
     };
-    let shard_count = shards.len();
+    // The dispatch plan: per shard its backend, global range, and —
+    // for ranges served from the cache — the pre-sealed rows.
+    let offset = |(start, end): (usize, usize)| (active.start + start, active.start + end);
+    let mut plan: Vec<(usize, (usize, usize), Option<Vec<ScenarioResult>>)> = Vec::new();
+    if cached_rows.is_empty() {
+        // Cold (or no) cache: exactly the classic partitioning.
+        // Weighted ranges stay index-aligned with their backends (empty
+        // ranges are skipped); uniform ranges round-robin, which for
+        // the common `shards == backends` case is the same alignment.
+        match weights {
+            Some(weights) => {
+                for (k, range) in partition_weighted(active.len(), weights)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if range.0 < range.1 {
+                        plan.push((k, offset(range), None));
+                    }
+                }
+            }
+            None => {
+                for (k, range) in partition(active.len(), backends.len())
+                    .into_iter()
+                    .enumerate()
+                {
+                    plan.push((k % backends.len(), offset(range), None));
+                }
+            }
+        }
+    } else {
+        // Split the active range at cache-coverage boundaries: each
+        // maximal cached run becomes one pre-sealed shard, and each gap
+        // partitions across the backends on its own — so scattered
+        // coverage (an incremental campaign's translated rows) still
+        // narrows execution to exactly the uncovered cells.
+        let mut pos = active.start;
+        while pos < active.end {
+            let covered = cached_rows.contains_key(&pos);
+            let mut end = pos + 1;
+            while end < active.end && cached_rows.contains_key(&end) == covered {
+                end += 1;
+            }
+            if covered {
+                let rows: Vec<ScenarioResult> = (pos..end)
+                    .map(|index| cached_rows.remove(&index).expect("segment is covered"))
+                    .collect();
+                plan.push((0, (pos, end), Some(rows)));
+            } else {
+                match weights {
+                    Some(weights) => {
+                        for (k, (a, b)) in partition_weighted(end - pos, weights)
+                            .into_iter()
+                            .enumerate()
+                        {
+                            if a < b {
+                                plan.push((k, (pos + a, pos + b), None));
+                            }
+                        }
+                    }
+                    None => {
+                        for (k, (a, b)) in
+                            partition(end - pos, backends.len()).into_iter().enumerate()
+                        {
+                            plan.push((k % backends.len(), (pos + a, pos + b), None));
+                        }
+                    }
+                }
+            }
+            pos = end;
+        }
+    }
+    let shard_count = plan.len();
+    let spliced: usize = plan
+        .iter()
+        .map(|(_, _, sealed)| sealed.as_ref().map_or(0, Vec::len))
+        .sum();
     let breaker_backoff = |index: u64| {
         Backoff::new(
             config.breaker_cooldown,
@@ -1329,9 +1477,9 @@ pub fn run_sharded_ctl(
                 ),
             })
             .collect(),
-        shards: shards
+        shards: plan
             .iter()
-            .map(|&(backend, range)| Shard {
+            .map(|&(backend, range, _)| Shard {
                 range,
                 backend,
                 job_id: None,
@@ -1352,13 +1500,33 @@ pub fn run_sharded_ctl(
             .map(|addr| backend_telemetry(addr))
             .collect(),
         span: config.tracer.root("shard_run"),
+        cache,
     };
-    for (shard, &(backend, range)) in shards.iter().enumerate() {
-        dispatcher.emit(&ShardEvent::Dispatched {
-            shard,
-            range,
-            backend: backends[backend].clone(),
-        });
+    for (shard, (backend, range, sealed)) in plan.into_iter().enumerate() {
+        match sealed {
+            Some(rows) => {
+                if let Some(stats) = &cache_stats {
+                    stats.hits.inc();
+                    stats.rows_spliced.add(rows.len() as u64);
+                }
+                let event = ShardEvent::CacheHit { shard, range, rows };
+                dispatcher.emit(&event);
+                let ShardEvent::CacheHit { rows, .. } = event else {
+                    unreachable!("just constructed")
+                };
+                dispatcher.shards[shard].rows = Some(rows);
+            }
+            None => {
+                if let Some(stats) = &cache_stats {
+                    stats.misses.inc();
+                }
+                dispatcher.emit(&ShardEvent::Dispatched {
+                    shard,
+                    range,
+                    backend: backends[backend].clone(),
+                });
+            }
+        }
     }
     // Sweep pacing: `poll_interval` while the run makes progress,
     // backing off deterministically toward `poll_max` across idle
@@ -1429,6 +1597,7 @@ pub fn run_sharded_ctl(
         shards: shard_count,
         dispatches: dispatcher.dispatches,
         failures: dispatcher.failures,
+        spliced,
         events: dispatcher.events,
     })
 }

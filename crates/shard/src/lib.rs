@@ -54,12 +54,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod breaker;
+pub mod cache;
 pub mod client;
 pub mod coordinator;
 mod metrics;
 pub mod partition;
 
 pub use breaker::{Backoff, BreakerState, CircuitBreaker};
+pub use cache::{RangeCache, CACHE_VERSION};
 pub use client::{
     classify_submit, exchange, healthz, BackendHealth, ClientError, SubmitOutcome,
     MAX_RESPONSE_BYTES,

@@ -83,3 +83,35 @@ pub(crate) fn poll_sweeps() -> Arc<Counter> {
         "Coordinator poll sweeps over the outstanding shards",
     )
 }
+
+/// The result-cache counter family of a cache-configured run: one hit
+/// per range spliced from disk, one miss per shard that had to be
+/// dispatched, and the row count the splices saved from re-execution.
+pub(crate) struct CacheTelemetry {
+    /// Shard ranges served whole from the result cache.
+    pub hits: Arc<Counter>,
+    /// Shards dispatched because the cache had no sealed range for
+    /// them (only counted when a cache is configured).
+    pub misses: Arc<Counter>,
+    /// Journal rows spliced into merges from the cache.
+    pub rows_spliced: Arc<Counter>,
+}
+
+/// Registers (or re-resolves) the result-cache counters.
+pub(crate) fn cache_telemetry() -> CacheTelemetry {
+    let registry = chunkpoint_telemetry::global();
+    CacheTelemetry {
+        hits: registry.counter(
+            "shard_cache_hits_total",
+            "Shard ranges spliced whole from the coordinator result cache",
+        ),
+        misses: registry.counter(
+            "shard_cache_misses_total",
+            "Shards dispatched for lack of a sealed cache range",
+        ),
+        rows_spliced: registry.counter(
+            "shard_cache_rows_spliced_total",
+            "Journal rows served from the coordinator result cache",
+        ),
+    }
+}

@@ -164,6 +164,68 @@ curl -sf -X POST "http://127.0.0.1:$(cat "$CHAOS_DIR/port_b")/shutdown" >/dev/nu
 wait "$CHAOS_A_PID" "$CHAOS_B_PID"
 echo "chaos smoke OK (faulted and clean reports byte-identical)"
 
+echo "== incremental smoke (result cache + spec-diffed re-run, byte-identical) =="
+CACHE_DIR="$(mktemp -d)"
+trap 'kill "${SERVE_PID:-0}" "${SHARD_A_PID:-0}" "${SHARD_B_PID:-0}" \
+         "${CHAOS_A_PID:-0}" "${CHAOS_B_PID:-0}" "${CHAOS_PROXY_PID:-0}" \
+         "${CACHE_A_PID:-0}" "${CACHE_B_PID:-0}" 2>/dev/null || true; \
+      rm -rf "$SERVE_DIR" "$SHARD_DIR" "$CHAOS_DIR" "$CACHE_DIR"' EXIT
+target/release/serve --addr 127.0.0.1:0 --data-dir "$CACHE_DIR/a" \
+    --port-file "$CACHE_DIR/port_a" --jobs 1 --threads 1 &
+CACHE_A_PID=$!
+target/release/serve --addr 127.0.0.1:0 --data-dir "$CACHE_DIR/b" \
+    --port-file "$CACHE_DIR/port_b" --jobs 1 --threads 1 &
+CACHE_B_PID=$!
+for _ in $(seq 1 200); do [ -s "$CACHE_DIR/port_a" ] && [ -s "$CACHE_DIR/port_b" ] && break; sleep 0.05; done
+[ -s "$CACHE_DIR/port_a" ] && [ -s "$CACHE_DIR/port_b" ] \
+    || { echo "cache-smoke serves never wrote their ports"; exit 1; }
+CACHE_BACKENDS="127.0.0.1:$(cat "$CACHE_DIR/port_a"),127.0.0.1:$(cat "$CACHE_DIR/port_b")"
+# The baseline grid, run once with the cache sealing every shard.
+cat > "$CACHE_DIR/spec_v1.json" <<'SPEC'
+{"version":1,"campaign_seed":17,"benchmarks":["ADPCM encode","ADPCM decode"],
+ "schemes":[{"label":"Default","spec":{"kind":"fixed","scheme":{"kind":"default"}}}],
+ "error_rates":[0.000001,0.00001],"replicates":2,"normalize":false,"golden_check":false}
+SPEC
+# One axis value edited: 1e-5 -> 2e-5. Half the grid is unchanged.
+sed 's/0\.00001\]/0.00002]/' "$CACHE_DIR/spec_v1.json" > "$CACHE_DIR/spec_v2.json"
+grep -q '0.00002' "$CACHE_DIR/spec_v2.json" || { echo "axis edit did not apply"; exit 1; }
+timeout 120 target/release/shard --backends "$CACHE_BACKENDS" \
+    --spec "$CACHE_DIR/spec_v1.json" --cache-dir "$CACHE_DIR/cache" \
+    --json "$CACHE_DIR/v1.json" --poll-ms 10 --quiet
+# Clean oracle for the edited spec: a run without any cache.
+timeout 120 target/release/shard --backends "$CACHE_BACKENDS" \
+    --spec "$CACHE_DIR/spec_v2.json" --json "$CACHE_DIR/v2_clean.json" \
+    --poll-ms 10 --quiet
+# Incremental: diff against the baseline, splice the unchanged half,
+# execute only the edited cells — and expose the cache counters.
+timeout 120 target/release/shard --backends "$CACHE_BACKENDS" \
+    --spec "$CACHE_DIR/spec_v2.json" --baseline "$CACHE_DIR/spec_v1.json" \
+    --cache-dir "$CACHE_DIR/cache" --json "$CACHE_DIR/v2_incremental.json" \
+    --metrics-out "$CACHE_DIR/metrics.txt" --poll-ms 10 --quiet
+cmp "$CACHE_DIR/v2_incremental.json" "$CACHE_DIR/v2_clean.json" \
+    || { echo "incremental report diverged from the clean run"; exit 1; }
+CACHE_METRICS="$(cat "$CACHE_DIR/metrics.txt")"
+CACHE_HITS="$(mval "$CACHE_METRICS" 'shard_cache_hits_total')"
+[ "${CACHE_HITS:-0}" -ge 1 ] \
+    || { echo "shard_cache_hits_total never advanced: ${CACHE_HITS:-absent}"; exit 1; }
+SPLICED="$(mval "$CACHE_METRICS" 'shard_cache_rows_spliced_total')"
+[ "${SPLICED:-0}" -ge 1 ] \
+    || { echo "shard_cache_rows_spliced_total never advanced"; exit 1; }
+# A verbatim warm re-run of the edited spec is a pure splice and still
+# byte-identical.
+timeout 120 target/release/shard --backends "$CACHE_BACKENDS" \
+    --spec "$CACHE_DIR/spec_v2.json" --cache-dir "$CACHE_DIR/cache" \
+    --json "$CACHE_DIR/v2_warm.json" --poll-ms 10 --quiet
+cmp "$CACHE_DIR/v2_warm.json" "$CACHE_DIR/v2_clean.json" \
+    || { echo "warm-splice report diverged"; exit 1; }
+curl -sf -X POST "http://127.0.0.1:$(cat "$CACHE_DIR/port_a")/shutdown" >/dev/null
+curl -sf -X POST "http://127.0.0.1:$(cat "$CACHE_DIR/port_b")/shutdown" >/dev/null
+wait "$CACHE_A_PID" "$CACHE_B_PID"
+echo "incremental smoke OK (${CACHE_HITS} cache hits, ${SPLICED} rows spliced, bytes identical)"
+
+echo "== cache bench smoke (cold seal vs warm splice vs incremental) =="
+cargo run --release -p chunkpoint_bench --bin bench_cache -- --smoke
+
 echo "== chaos bench smoke (submission throughput at 0/10/30% fault rates) =="
 cargo run --release -p chunkpoint_bench --bin bench_chaos -- --smoke
 
