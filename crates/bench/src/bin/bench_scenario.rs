@@ -1,0 +1,161 @@
+//! Timeline-scenario cost measurement, emitting `BENCH_scenario.json`:
+//! what the scenario axis — fault-burst timelines, error-rate shifts,
+//! scrub schedules, and `expect` verdicts — adds on top of a plain
+//! static grid of the same size.
+//!
+//! Two in-process campaigns over the same benchmarks, schemes, and
+//! seeds:
+//!
+//! * `plain` — the static cross-product, replicates scaled up so both
+//!   grids hold the same number of scenario rows;
+//! * `timeline` — the same cell count spread across three named
+//!   scenarios (a saturating burst, a quiet shift-to-zero with an
+//!   expect block, and a scrub schedule), so every row pays timeline
+//!   bookkeeping and a third of them pay expect evaluation.
+//!
+//! Run with `cargo run --release -p chunkpoint_bench --bin
+//! bench_scenario`. `--smoke` shrinks the grid for CI; `--json PATH`
+//! overrides the output path.
+
+use std::time::Instant;
+
+use chunkpoint_campaign::{
+    pool::default_threads, run_campaign, CampaignArgs, CampaignSpec, JsonValue, SchemeSpec,
+};
+use chunkpoint_core::{MitigationScheme, SystemConfig};
+use chunkpoint_scenario::{
+    ExpectField, ExpectOp, ExpectValue, Expectation, ScenarioDef, TimelineEvent,
+};
+use chunkpoint_workloads::Benchmark;
+
+/// The bench's scenario axis: one burst regime, one quiet regime with
+/// an expect block, one scrub schedule.
+fn scenario_axis() -> Vec<ScenarioDef> {
+    let mut storm = ScenarioDef::named("storm");
+    storm.tags = vec!["burst".to_owned()];
+    // Strikes materialise lazily at read time; cycle 2000 falls in the
+    // quarter-scale decode task's output-drain exposure window.
+    storm.timeline = vec![TimelineEvent::FaultBurst {
+        cycle: 2_000,
+        words: 64,
+        rate: 1.0,
+    }];
+    let mut calm = ScenarioDef::named("calm");
+    calm.timeline = vec![TimelineEvent::ErrorRateShift {
+        cycle: 0,
+        rate: 0.0,
+    }];
+    calm.expect = vec![
+        Expectation {
+            field: ExpectField::Completed,
+            op: ExpectOp::Eq,
+            value: ExpectValue::Bool(true),
+        },
+        Expectation {
+            field: ExpectField::DetectedErrors,
+            op: ExpectOp::Eq,
+            value: ExpectValue::Uint(0),
+        },
+    ];
+    let mut scrubbed = ScenarioDef::named("scrubbed");
+    scrubbed.timeline = vec![TimelineEvent::Scrub { period: 4_096 }];
+    vec![storm, calm, scrubbed]
+}
+
+fn base_spec(seed: u64, scale: f64, replicates: u64) -> CampaignSpec {
+    let mut config = SystemConfig::paper(0);
+    config.scale = scale;
+    CampaignSpec::new(config, seed)
+        .benchmarks(&[Benchmark::AdpcmDecode, Benchmark::G722Decode])
+        .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+        .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+        .error_rates(&[1e-6])
+        .replicates(replicates)
+}
+
+fn main() {
+    let args = CampaignArgs::parse_or_exit(1, 0x5CE7);
+    let (scale, replicates) = if args.smoke { (0.25, 3) } else { (1.0, 30) };
+    let threads = if args.threads == 0 {
+        default_threads()
+    } else {
+        args.threads
+    };
+
+    // Same row count on both sides: the timeline grid multiplies cells
+    // by its three scenarios, so the plain grid gets 3x the replicates.
+    let plain_spec = base_spec(args.seed, scale, replicates * 3);
+    let timeline_spec =
+        base_spec(args.seed, scale, replicates).timeline_scenarios(&scenario_axis());
+    let rows = plain_spec.scenarios().len();
+    assert_eq!(
+        rows,
+        timeline_spec.scenarios().len(),
+        "grids must hold the same row count"
+    );
+    println!("bench_scenario: {rows} rows per grid, {threads} threads");
+
+    let start = Instant::now();
+    let plain = run_campaign(&plain_spec, threads);
+    let plain_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let timeline = run_campaign(&timeline_spec, threads);
+    let timeline_secs = start.elapsed().as_secs_f64();
+
+    // The verdicts the bench grid guarantees: every calm row passes its
+    // expect block, storm and scrubbed rows carry none.
+    let mut expects_passed = 0usize;
+    for row in &timeline.results {
+        match row.scenario.scenario.as_deref() {
+            Some("calm") => {
+                assert_eq!(row.expect_passed, Some(true), "calm row failed its expect");
+                expects_passed += 1;
+            }
+            _ => assert_eq!(row.expect_passed, None),
+        }
+    }
+    assert_eq!(plain.results.len(), rows);
+    assert_eq!(timeline.results.len(), rows);
+
+    let plain_rps = rows as f64 / plain_secs.max(1e-9);
+    let timeline_rps = rows as f64 / timeline_secs.max(1e-9);
+    let overhead = timeline_secs / plain_secs.max(1e-9) - 1.0;
+    println!("plain grid:     {plain_secs:>8.3} s ({plain_rps:.0} rows/s)");
+    println!("timeline grid:  {timeline_secs:>8.3} s ({timeline_rps:.0} rows/s)");
+    println!(
+        "axis overhead:  {:+.1}% ({expects_passed} expect verdicts)",
+        overhead * 100.0
+    );
+
+    let doc = JsonValue::object()
+        .field("bench", "timeline_scenarios_vs_plain_grid")
+        .field("cpus_available", default_threads())
+        .field("threads", threads)
+        .field("rows_per_grid", rows)
+        .field("scenario_axis", scenario_axis().len())
+        .field("plain_secs", plain_secs)
+        .field("timeline_secs", timeline_secs)
+        .field("plain_rows_per_sec", plain_rps)
+        .field("timeline_rows_per_sec", timeline_rps)
+        .field("axis_overhead_frac", overhead)
+        .field("expect_verdicts", expects_passed)
+        .field(
+            "note",
+            "same row count on both sides (plain grid gets 3x replicates in place of the \
+             3-scenario timeline axis); timeline rows pay burst/shift/scrub bookkeeping in \
+             the fault process plus expect evaluation on the calm third",
+        );
+
+    if args.smoke {
+        println!("smoke run: scenario axis exercised");
+        if let Some(path) = &args.json {
+            std::fs::write(path, doc.render() + "\n").expect("write json report");
+            println!("wrote {path}");
+        }
+    } else {
+        let path = args.json.as_deref().unwrap_or("BENCH_scenario.json");
+        std::fs::write(path, doc.render() + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -43,17 +43,27 @@ struct ScenarioKey {
     scheme_label: String,
     scheme: MitigationScheme,
     rate_bits: u64,
+    /// The timeline scenario's canonical wire rendering — its *content*,
+    /// not just its name. Two campaigns whose axes share a scenario name
+    /// but disagree on its timeline or expect block measure different
+    /// things; keying on the rendering makes those cells changed cells.
+    scenario: Option<String>,
     replicate: u64,
     seed: u64,
 }
 
 impl ScenarioKey {
-    fn of(scenario: &Scenario) -> Self {
+    fn of(scenario: &Scenario, spec: &CampaignSpec) -> Self {
         ScenarioKey {
             benchmark: scenario.benchmark.name(),
             scheme_label: scenario.scheme_label.clone(),
             scheme: scenario.scheme,
             rate_bits: scenario.error_rate.to_bits(),
+            scenario: scenario
+                .scenario
+                .as_deref()
+                .and_then(|name| spec.scenario_def(name))
+                .map(|def| def.to_json().render()),
             replicate: scenario.replicate,
             seed: scenario.seed,
         }
@@ -124,13 +134,13 @@ pub fn diff_specs(old: &CampaignSpec, new: &CampaignSpec) -> SpecDiff {
     // different SplitMix64 seeds.
     let by_key: HashMap<ScenarioKey, usize> = old_grid
         .iter()
-        .map(|scenario| (ScenarioKey::of(scenario), scenario.index))
+        .map(|scenario| (ScenarioKey::of(scenario, old), scenario.index))
         .collect();
     let pairs: Vec<(usize, usize)> = new_grid
         .iter()
         .filter_map(|scenario| {
             by_key
-                .get(&ScenarioKey::of(scenario))
+                .get(&ScenarioKey::of(scenario, new))
                 .map(|&old_index| (old_index, scenario.index))
         })
         .collect();
@@ -286,6 +296,62 @@ mod tests {
         for row in &translated {
             assert_eq!(row, &clean.results[row.scenario.index]);
         }
+    }
+
+    #[test]
+    fn scenario_content_edits_are_changed_cells() {
+        use chunkpoint_scenario::{ScenarioDef, TimelineEvent};
+        let mut storm = ScenarioDef::named("storm");
+        storm.timeline = vec![TimelineEvent::FaultBurst {
+            cycle: 1_000,
+            words: 8,
+            rate: 0.5,
+        }];
+        let calm = ScenarioDef::named("calm");
+        let with_axis = |defs: &[ScenarioDef]| base_spec().timeline_scenarios(defs).replicates(2);
+
+        // Identical scenario axes pair everything.
+        let old = with_axis(&[storm.clone(), calm.clone()]);
+        let same = with_axis(&[storm.clone(), calm.clone()]);
+        let diff = diff_specs(&old, &same);
+        assert_eq!(diff.reused(), diff.new_total);
+
+        // Same name, different timeline: every "storm" cell is a changed
+        // cell — indices and seeds are unchanged, but the measurements
+        // are not. The untouched "calm" cells still pair.
+        let mut harder_storm = storm.clone();
+        harder_storm.timeline = vec![TimelineEvent::FaultBurst {
+            cycle: 1_000,
+            words: 64,
+            rate: 1.0,
+        }];
+        let edited = with_axis(&[harder_storm, calm.clone()]);
+        let diff = diff_specs(&old, &edited);
+        assert_eq!(diff.reused(), diff.new_total / 2);
+        assert_eq!(diff.changed, diff.new_total / 2);
+        let new_grid = edited.scenarios();
+        for &(_, new_index) in &diff.pairs {
+            assert_eq!(
+                new_grid[new_index].scenario.as_deref(),
+                Some("calm"),
+                "an edited-scenario cell was wrongly reused"
+            );
+        }
+
+        // An expect-block edit is also a content edit: re-running it is
+        // the only way to refresh the verdict journal rows carry.
+        let mut demanding_calm = calm.clone();
+        demanding_calm.expect = vec![chunkpoint_scenario::Expectation {
+            field: chunkpoint_scenario::ExpectField::Completed,
+            op: chunkpoint_scenario::ExpectOp::Eq,
+            value: chunkpoint_scenario::ExpectValue::Bool(true),
+        }];
+        let diff = diff_specs(&old, &with_axis(&[storm, demanding_calm]));
+        assert_eq!(diff.reused(), diff.new_total / 2);
+
+        // And a scenario-axis spec never pairs with a scenario-less one.
+        let diff = diff_specs(&old, &base_spec());
+        assert_eq!(diff.reused(), 0);
     }
 
     #[test]

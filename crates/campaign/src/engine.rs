@@ -10,6 +10,8 @@ use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use chunkpoint_core::{golden, run, MitigationScheme, RunReport, SystemConfig};
+use chunkpoint_scenario::{RunStats, ScenarioDef, TimelineEvent};
+use chunkpoint_sim::{Burst, FaultTimeline};
 use chunkpoint_workloads::Benchmark;
 
 use crate::json::JsonValue;
@@ -45,6 +47,13 @@ pub struct ScenarioResult {
     pub cycle_ratio: Option<f64>,
     /// Whether the output matched the fault-free golden reference.
     pub correct: Option<bool>,
+    /// Verdict of the timeline scenario's `expect` block (`None` when the
+    /// cell has no timeline scenario or the scenario declares no
+    /// expectations).
+    pub expect_passed: Option<bool>,
+    /// Human-readable description of each failed expectation (empty when
+    /// the block passed or was absent).
+    pub expect_failures: Vec<String>,
 }
 
 impl ScenarioResult {
@@ -54,7 +63,7 @@ impl ScenarioResult {
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
         let s = &self.scenario;
-        JsonValue::object()
+        let mut doc = JsonValue::object()
             .field("index", s.index)
             .field("benchmark", s.benchmark.name())
             .field("scheme", s.scheme_label.as_str())
@@ -72,7 +81,23 @@ impl ScenarioResult {
             .field("completed", self.completed)
             .field("energy_ratio", self.energy_ratio)
             .field("cycle_ratio", self.cycle_ratio)
-            .field("correct", self.correct)
+            .field("correct", self.correct);
+        // Appended only on scenario-axis cells: pre-existing campaigns
+        // keep their journal and report bytes unchanged.
+        if let Some(name) = &s.scenario {
+            doc = doc.field("scenario", name.as_str());
+        }
+        if let Some(passed) = self.expect_passed {
+            let failures: Vec<JsonValue> = self
+                .expect_failures
+                .iter()
+                .map(|f| JsonValue::from(f.as_str()))
+                .collect();
+            doc = doc
+                .field("expect_passed", passed)
+                .field("expect_failures", JsonValue::Array(failures));
+        }
+        doc
     }
 
     /// Reconstructs a result from its [`ScenarioResult::to_json`] form
@@ -126,6 +151,28 @@ impl ScenarioResult {
             Some(v) if v.is_null() => None,
             Some(v) => Some(v.as_bool().ok_or("journal row: non-boolean \"correct\"")?),
         };
+        let expect_passed = match value.get("expect_passed") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(
+                v.as_bool()
+                    .ok_or("journal row: non-boolean \"expect_passed\"")?,
+            ),
+        };
+        let expect_failures = match value.get("expect_failures") {
+            None => Vec::new(),
+            Some(v) if v.is_null() => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or("journal row: \"expect_failures\" must be an array")?
+                .iter()
+                .map(|f| {
+                    f.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "journal row: non-string expect failure".to_owned())
+                })
+                .collect::<Result<_, _>>()?,
+        };
         Ok(Self {
             scenario,
             energy_pj: get_f64("energy_pj")?,
@@ -141,6 +188,8 @@ impl ScenarioResult {
             energy_ratio: opt_f64("energy_ratio")?,
             cycle_ratio: opt_f64("cycle_ratio")?,
             correct,
+            expect_passed,
+            expect_failures,
         })
     }
 
@@ -157,6 +206,8 @@ impl ScenarioResult {
             energy_ratio: None,
             cycle_ratio: None,
             correct: None,
+            expect_passed: None,
+            expect_failures: Vec::new(),
         }
     }
 }
@@ -289,9 +340,47 @@ pub fn canonical_report_json(
         .field("results", JsonValue::Array(rows))
 }
 
-/// Runs one scenario: derive the config, execute the scheme, and — for
+/// Lowers a scenario definition's timeline to the simulator's
+/// [`FaultTimeline`]. `task_switch` events are resolved separately (they
+/// change the benchmark, not the fault process); a later `scrub` wins.
+fn timeline_from_def(def: &ScenarioDef) -> FaultTimeline {
+    let mut timeline = FaultTimeline::default();
+    for event in &def.timeline {
+        match event {
+            TimelineEvent::ErrorRateShift { cycle, rate } => {
+                timeline.shifts.push((*cycle, *rate));
+            }
+            TimelineEvent::FaultBurst { cycle, words, rate } => timeline.bursts.push(Burst {
+                cycle: *cycle,
+                words: *words,
+                rate: *rate,
+            }),
+            TimelineEvent::Scrub { period } => timeline.scrub_period = Some(*period),
+            TimelineEvent::TaskSwitch { .. } => {}
+        }
+    }
+    timeline
+}
+
+/// The benchmark a scenario actually executes: the grid benchmark unless
+/// its timeline scenario carries a `task_switch` override. Targets are
+/// validated when the axis is built, so an unresolvable name (impossible
+/// through the public API) degrades to the grid benchmark instead of
+/// panicking mid-campaign.
+fn effective_benchmark(spec: &CampaignSpec, scenario: &Scenario) -> Benchmark {
+    scenario
+        .scenario
+        .as_deref()
+        .and_then(|name| spec.scenario_def(name))
+        .and_then(ScenarioDef::task_override)
+        .and_then(|task| crate::spec::benchmark_from_name(task).ok())
+        .unwrap_or(scenario.benchmark)
+}
+
+/// Runs one scenario: derive the config (applying any timeline-scenario
+/// fault environment and task override), execute the scheme, and — for
 /// normalized campaigns — the same-seed Default denominator plus the
-/// golden comparison.
+/// golden comparison; finally evaluate the scenario's `expect` block.
 fn run_scenario(
     spec: &CampaignSpec,
     scenario: &Scenario,
@@ -299,14 +388,25 @@ fn run_scenario(
 ) -> ScenarioResult {
     let mut config = spec.base.with_seed(scenario.seed);
     config.faults.error_rate = scenario.error_rate;
-    let report = run(scenario.benchmark, scenario.scheme, &config);
+    let def = scenario
+        .scenario
+        .as_deref()
+        .and_then(|name| spec.scenario_def(name));
+    if let Some(def) = def {
+        let timeline = timeline_from_def(def);
+        if !timeline.is_empty() {
+            config.timeline = Some(timeline);
+        }
+    }
+    let benchmark = effective_benchmark(spec, scenario);
+    let report = run(benchmark, scenario.scheme, &config);
     let mut result = ScenarioResult::from_report(scenario.clone(), &report);
     if spec.is_normalized() {
         let denominator = if scenario.scheme == MitigationScheme::Default {
             // The denominator *is* this run; skip the duplicate work.
             None
         } else {
-            Some(run(scenario.benchmark, MitigationScheme::Default, &config))
+            Some(run(benchmark, MitigationScheme::Default, &config))
         };
         let denominator = denominator.as_ref().unwrap_or(&report);
         result.energy_ratio = Some(report.energy_ratio(denominator));
@@ -314,6 +414,24 @@ fn run_scenario(
     }
     if let Some(golden_output) = golden_output {
         result.correct = Some(report.output == golden_output);
+    }
+    if let Some(def) = def {
+        if !def.expect.is_empty() {
+            let stats = RunStats {
+                completed: result.completed,
+                correct: result.correct.unwrap_or(true),
+                detected_errors: result.errors_detected,
+                rollbacks: result.rollbacks,
+                restarts: result.restarts,
+                checkpoints: result.checkpoints,
+                energy_pj: result.energy_pj,
+                cycles: result.cycles,
+            };
+            let verdict = def.evaluate(&stats);
+            result.expect_passed = Some(verdict.passed);
+            result.expect_failures = verdict.failures;
+            crate::telemetry::expect_evaluated(verdict.passed);
+        }
     }
     result
 }
@@ -356,18 +474,23 @@ pub fn run_campaign_streaming(
         .filter(|index| !skip.contains(index))
         .collect();
     // Golden references are fault-free and seed-independent: one per
-    // benchmark that still has work pending (a resumed campaign whose
-    // journal already covers a benchmark skips its golden run too),
-    // computed up front so workers only compare outputs.
+    // *effective* benchmark that still has work pending (a resumed
+    // campaign whose journal already covers a benchmark skips its golden
+    // run too, and a task_switch scenario gets the golden of the
+    // benchmark it actually runs), computed up front so workers only
+    // compare outputs. First-seen dedup keeps the set a pure function of
+    // the spec, independent of thread count.
     let goldens: Vec<(Benchmark, RunReport)> = if spec.checks_golden() {
-        spec.benchmark_axis()
-            .iter()
-            .filter(|&&benchmark| {
-                pending
-                    .iter()
-                    .any(|&index| scenarios[index].benchmark == benchmark)
-            })
-            .map(|&benchmark| (benchmark, golden(benchmark, &spec.base)))
+        let mut needed: Vec<Benchmark> = Vec::new();
+        for &index in &pending {
+            let benchmark = effective_benchmark(spec, &scenarios[index]);
+            if !needed.contains(&benchmark) {
+                needed.push(benchmark);
+            }
+        }
+        needed
+            .into_iter()
+            .map(|benchmark| (benchmark, golden(benchmark, &spec.base)))
             .collect()
     } else {
         Vec::new()
@@ -386,7 +509,11 @@ pub fn run_campaign_streaming(
         |index| {
             let scenario = &scenarios[index];
             let started = Instant::now();
-            let result = run_scenario(spec, scenario, golden_for(scenario.benchmark));
+            let result = run_scenario(
+                spec,
+                scenario,
+                golden_for(effective_benchmark(spec, scenario)),
+            );
             // Out-of-band: the sink observes wall time, it never feeds
             // back into the result.
             crate::telemetry::scenario_completed(started.elapsed().as_secs_f64());
@@ -606,6 +733,121 @@ mod tests {
             let err = ScenarioResult::from_json(&parsed, forged).unwrap_err();
             assert!(err.contains("different campaign"), "{err}");
         }
+    }
+
+    #[test]
+    fn timeline_scenarios_change_results_deterministically() {
+        let mut quiet = ScenarioDef::named("quiet");
+        quiet.timeline = vec![TimelineEvent::ErrorRateShift {
+            cycle: 0,
+            rate: 0.0,
+        }];
+        let mut storm = ScenarioDef::named("storm");
+        // Strikes materialise lazily at read time, so the burst must fall
+        // inside some word's write→read window. Cycle 2000 sits between
+        // the first block's output writes and the end-of-frame drain.
+        storm.timeline = vec![TimelineEvent::FaultBurst {
+            cycle: 2_000,
+            words: 64,
+            rate: 1.0,
+        }];
+        let mut config = fast_config();
+        config.faults.error_rate = 1e-6;
+        let spec = CampaignSpec::new(config, 13)
+            .benchmarks(&[Benchmark::AdpcmDecode])
+            .scheme("SW-based", SchemeSpec::Fixed(MitigationScheme::SwRestart))
+            .timeline_scenarios(&[quiet, storm]);
+        let first = run_campaign(&spec, 2);
+        assert_eq!(first.results.len(), 2);
+        let quiet_row = &first.results[0];
+        let storm_row = &first.results[1];
+        assert_eq!(quiet_row.scenario.scenario.as_deref(), Some("quiet"));
+        assert_eq!(storm_row.scenario.scenario.as_deref(), Some("storm"));
+        // A saturating burst must be visible in the outcome the way a
+        // zeroed rate cannot be.
+        assert_eq!(quiet_row.restarts, 0, "rate shifted to zero");
+        assert_eq!(quiet_row.errors_detected, 0, "rate shifted to zero");
+        assert!(
+            storm_row.restarts > 0
+                || storm_row.errors_detected > 0
+                || storm_row.correct == Some(false),
+            "burst went unnoticed: {storm_row:?}"
+        );
+        // No expect block → no verdict.
+        assert!(quiet_row.expect_passed.is_none());
+        // Same spec, different thread count: bit-identical rows.
+        let again = run_campaign(&spec, 1);
+        assert_eq!(again.results, first.results);
+    }
+
+    #[test]
+    fn expect_blocks_become_typed_outcomes_not_panics() {
+        use chunkpoint_scenario::{ExpectField, ExpectOp, ExpectValue, Expectation};
+        let mut demanding = ScenarioDef::named("demanding");
+        demanding.expect = vec![
+            Expectation {
+                field: ExpectField::Completed,
+                op: ExpectOp::Eq,
+                value: ExpectValue::Bool(true),
+            },
+            // Impossible: cycles are always positive.
+            Expectation {
+                field: ExpectField::Cycles,
+                op: ExpectOp::Le,
+                value: ExpectValue::Uint(0),
+            },
+        ];
+        let mut satisfied = ScenarioDef::named("satisfied");
+        satisfied.expect = vec![Expectation {
+            field: ExpectField::Cycles,
+            op: ExpectOp::Ge,
+            value: ExpectValue::Uint(1),
+        }];
+        let spec = CampaignSpec::new(fast_config(), 17)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .timeline_scenarios(&[demanding, satisfied]);
+        let results = run_campaign(&spec, 1).results;
+        assert_eq!(results[0].expect_passed, Some(false));
+        assert_eq!(results[0].expect_failures.len(), 1);
+        assert!(results[0].expect_failures[0].contains("cycles"));
+        assert_eq!(results[1].expect_passed, Some(true));
+        assert!(results[1].expect_failures.is_empty());
+        // The verdict rides the journal row round trip.
+        let scenarios = spec.scenarios();
+        for result in &results {
+            let parsed = JsonValue::parse(&result.to_json().render()).unwrap();
+            let back = ScenarioResult::from_json(&parsed, scenarios[result.scenario.index].clone())
+                .expect("scenario journal row loads");
+            assert_eq!(&back, result);
+        }
+    }
+
+    #[test]
+    fn task_switch_scenarios_run_the_override_benchmark() {
+        let mut switched = ScenarioDef::named("g722-instead");
+        switched.timeline = vec![TimelineEvent::TaskSwitch {
+            cycle: 0,
+            task: "G722 encode".to_owned(),
+        }];
+        let spec = CampaignSpec::new(fast_config(), 19)
+            .benchmarks(&[Benchmark::AdpcmEncode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .timeline_scenarios(std::slice::from_ref(&switched));
+        let with_override = run_campaign(&spec, 1).results;
+        assert_eq!(with_override.len(), 1);
+        // The override must actually change the run: compare against the
+        // same grid executed on G.722 directly — identical physics.
+        let direct = CampaignSpec::new(fast_config(), 19)
+            .benchmarks(&[Benchmark::G722Encode])
+            .scheme("Default", SchemeSpec::Fixed(MitigationScheme::Default))
+            .timeline_scenarios(std::slice::from_ref(&switched));
+        let direct_rows = run_campaign(&direct, 1).results;
+        assert_eq!(with_override[0].cycles, direct_rows[0].cycles);
+        assert_eq!(with_override[0].energy_pj, direct_rows[0].energy_pj);
+        // And the golden check must have compared against the *override*
+        // benchmark's golden output, not ADPCM's.
+        assert_eq!(with_override[0].correct, Some(true));
     }
 
     #[test]

@@ -60,7 +60,12 @@
 pub mod cli;
 pub mod diff;
 pub mod engine;
-pub mod json;
+/// The workspace JSON layer at its historical path — the types now live
+/// in [`chunkpoint_scenario::json`] so the scenario DSL sits below the
+/// campaign engine in the dependency graph.
+pub mod json {
+    pub use chunkpoint_scenario::json::*;
+}
 pub mod pool;
 pub mod seed;
 pub mod spec;

@@ -2,14 +2,15 @@
 //!
 //! A [`CampaignSpec`] describes a Monte Carlo evaluation campaign as a
 //! cross product of axes — benchmarks × schemes × error rates × chunk
-//! sizes × seed replicates — plus a base [`SystemConfig`] and a campaign
-//! seed. [`CampaignSpec::scenarios`] enumerates the grid in a fixed,
+//! sizes × timeline scenarios × seed replicates — plus a base
+//! [`SystemConfig`] and a campaign seed. [`CampaignSpec::scenarios`] enumerates the grid in a fixed,
 //! documented order and assigns every scenario a dense index; the
 //! scenario's fault seed is derived from `(campaign_seed, index)` by
 //! [`crate::seed::scenario_seed`], so the spec alone fully determines
 //! every random stream in the campaign.
 
 use chunkpoint_core::{optimize, suboptimal, MitigationScheme, SystemConfig};
+use chunkpoint_scenario::{parse_scenarios, ScenarioDef, TimelineEvent};
 use chunkpoint_workloads::Benchmark;
 
 use crate::json::JsonValue;
@@ -84,6 +85,10 @@ pub struct Scenario {
     pub scheme: MitigationScheme,
     /// Strike rate λ for this scenario.
     pub error_rate: f64,
+    /// Name of the timeline scenario applied to this cell, when the spec
+    /// has a scenario axis (`None` on the implicit static-environment
+    /// axis entry).
+    pub scenario: Option<String>,
     /// Replicate number within the cell (0-based).
     pub replicate: u64,
     /// Derived fault-process seed.
@@ -112,13 +117,19 @@ impl Scenario {
             Some(k) => k.to_string(),
             None => "-".to_owned(),
         };
-        format!(
+        let mut key = format!(
             "{} · {} · {:e} · {}",
             self.benchmark.name(),
             self.scheme_label,
             self.error_rate,
             chunk
-        )
+        );
+        // Scenario-less grids keep their historical keys byte-for-byte.
+        if let Some(name) = &self.scenario {
+            key.push_str(" · ");
+            key.push_str(name);
+        }
+        key
     }
 }
 
@@ -153,10 +164,30 @@ pub struct CampaignSpec {
     schemes: Vec<(String, SchemeSpec)>,
     error_rates: Vec<f64>,
     chunk_words: Vec<u32>,
+    timeline_scenarios: Vec<ScenarioDef>,
     replicates: u64,
     normalize: bool,
     golden_check: bool,
     scenario_range: Option<(usize, usize)>,
+}
+
+/// Validates a prospective timeline-scenario axis: names must be unique
+/// and every `task_switch` target must be a known benchmark (so the
+/// engine never discovers an unresolvable override mid-campaign).
+fn validate_scenario_axis(defs: &[ScenarioDef]) -> Result<(), String> {
+    let mut seen = std::collections::BTreeSet::new();
+    for def in defs {
+        if !seen.insert(def.name.as_str()) {
+            return Err(format!("scenarios: duplicate scenario name {:?}", def.name));
+        }
+        for event in &def.timeline {
+            if let TimelineEvent::TaskSwitch { task, .. } = event {
+                benchmark_from_name(task)
+                    .map_err(|e| format!("scenario {:?}: task_switch: {e}", def.name))?;
+            }
+        }
+    }
+    Ok(())
 }
 
 impl CampaignSpec {
@@ -173,6 +204,7 @@ impl CampaignSpec {
             schemes: Vec::new(),
             error_rates,
             chunk_words: Vec::new(),
+            timeline_scenarios: Vec::new(),
             replicates: 1,
             normalize: true,
             golden_check: true,
@@ -208,6 +240,27 @@ impl CampaignSpec {
     #[must_use]
     pub fn chunk_words(mut self, chunks: &[u32]) -> Self {
         self.chunk_words = chunks.to_vec();
+        self
+    }
+
+    /// Sets the timeline-scenario axis. Every grid cell crosses with
+    /// every named scenario: the cell's fault process follows the
+    /// scenario's timeline and its result carries the scenario's
+    /// `expect`-block verdict. An empty axis (the default) keeps the
+    /// implicit static environment — one scenario-less entry per cell,
+    /// with the pre-scenario wire rendering byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate scenario names or a `task_switch` event naming
+    /// an unknown benchmark — the same checks [`CampaignSpec::from_json`]
+    /// reports as errors.
+    #[must_use]
+    pub fn timeline_scenarios(mut self, defs: &[ScenarioDef]) -> Self {
+        if let Err(e) = validate_scenario_axis(defs) {
+            panic!("{e}");
+        }
+        self.timeline_scenarios = defs.to_vec();
         self
     }
 
@@ -302,6 +355,18 @@ impl CampaignSpec {
         &self.benchmarks
     }
 
+    /// The timeline-scenario axis (empty on a static-environment spec).
+    #[must_use]
+    pub fn timeline_scenario_axis(&self) -> &[ScenarioDef] {
+        &self.timeline_scenarios
+    }
+
+    /// Looks up a timeline scenario of the axis by name.
+    #[must_use]
+    pub fn scenario_def(&self, name: &str) -> Option<&ScenarioDef> {
+        self.timeline_scenarios.iter().find(|d| d.name == name)
+    }
+
     /// The number of seed replicates per grid cell. Because the
     /// enumeration order of [`CampaignSpec::scenarios`] keeps the
     /// replicate axis innermost, cell `c` occupies exactly the
@@ -314,8 +379,10 @@ impl CampaignSpec {
     }
 
     /// Enumerates the full grid in the canonical order
-    /// `benchmark → scheme → error rate → chunk → replicate`, assigning
-    /// dense indices and derived seeds.
+    /// `benchmark → scheme → error rate → chunk → scenario → replicate`,
+    /// assigning dense indices and derived seeds. A spec without a
+    /// timeline-scenario axis contributes one implicit scenario-less
+    /// entry per cell, preserving the pre-scenario enumeration exactly.
     ///
     /// The order — and therefore every derived seed — depends only on the
     /// spec, never on thread count or timing. Note the flip side: editing
@@ -333,6 +400,14 @@ impl CampaignSpec {
             !self.schemes.is_empty(),
             "campaign needs at least one scheme"
         );
+        let timeline_names: Vec<Option<String>> = if self.timeline_scenarios.is_empty() {
+            vec![None]
+        } else {
+            self.timeline_scenarios
+                .iter()
+                .map(|d| Some(d.name.clone()))
+                .collect()
+        };
         let mut scenarios = Vec::new();
         for &benchmark in &self.benchmarks {
             for (label, spec) in &self.schemes {
@@ -363,17 +438,20 @@ impl CampaignSpec {
                 };
                 for &error_rate in &self.error_rates {
                     for &scheme in &variants {
-                        for replicate in 0..self.replicates {
-                            let index = scenarios.len();
-                            scenarios.push(Scenario {
-                                index,
-                                benchmark,
-                                scheme_label: label.clone(),
-                                scheme,
-                                error_rate,
-                                replicate,
-                                seed: scenario_seed(self.campaign_seed, index as u64),
-                            });
+                        for scenario_name in &timeline_names {
+                            for replicate in 0..self.replicates {
+                                let index = scenarios.len();
+                                scenarios.push(Scenario {
+                                    index,
+                                    benchmark,
+                                    scheme_label: label.clone(),
+                                    scheme,
+                                    error_rate,
+                                    scenario: scenario_name.clone(),
+                                    replicate,
+                                    seed: scenario_seed(self.campaign_seed, index as u64),
+                                });
+                            }
                         }
                     }
                 }
@@ -390,7 +468,7 @@ impl CampaignSpec {
 /// Current wire-format version of [`CampaignSpec::to_json`].
 pub const SPEC_VERSION: u64 = 1;
 
-fn benchmark_from_name(name: &str) -> Result<Benchmark, String> {
+pub(crate) fn benchmark_from_name(name: &str) -> Result<Benchmark, String> {
     Benchmark::ALL
         .into_iter()
         .find(|b| b.name() == name)
@@ -570,6 +648,17 @@ impl CampaignSpec {
             .field("replicates", self.replicates)
             .field("normalize", self.normalize)
             .field("golden_check", self.golden_check);
+        // Like scenario_range below, the timeline-scenario axis is only
+        // emitted when present, so scenario-less specs render (and hash)
+        // exactly as they did before the axis existed.
+        if !self.timeline_scenarios.is_empty() {
+            let defs: Vec<JsonValue> = self
+                .timeline_scenarios
+                .iter()
+                .map(ScenarioDef::to_json)
+                .collect();
+            doc = doc.field("scenarios", JsonValue::Array(defs));
+        }
         // Emitted only when set: unranged specs keep their pre-shard
         // rendering, so every existing spec hash is stable — and every
         // ranged sub-spec hashes differently from its parent and from
@@ -706,6 +795,11 @@ impl CampaignSpec {
             spec.golden_check = flag
                 .as_bool()
                 .ok_or("spec: \"golden_check\" must be a boolean")?;
+        }
+        if let Some(defs) = value.get("scenarios") {
+            spec.timeline_scenarios =
+                parse_scenarios(defs).map_err(|e| format!("scenarios: {e}"))?;
+            validate_scenario_axis(&spec.timeline_scenarios)?;
         }
         if let Some(range) = value.get("scenario_range") {
             let parts = range
@@ -1001,6 +1095,99 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_scenario_range_builder_panics() {
         let _ = small_spec().scenario_range(2, 2);
+    }
+
+    fn two_scenarios() -> Vec<ScenarioDef> {
+        let mut burst = ScenarioDef::named("burst");
+        burst.timeline = vec![TimelineEvent::FaultBurst {
+            cycle: 1_000,
+            words: 4,
+            rate: 0.5,
+        }];
+        let mut calm = ScenarioDef::named("calm");
+        calm.timeline = vec![TimelineEvent::Scrub { period: 4_096 }];
+        vec![burst, calm]
+    }
+
+    #[test]
+    fn scenario_axis_crosses_every_cell() {
+        let plain = small_spec().scenarios();
+        let grid = small_spec()
+            .timeline_scenarios(&two_scenarios())
+            .scenarios();
+        // Every plain cell crosses with both named scenarios.
+        assert_eq!(grid.len(), plain.len() * 2);
+        for (i, s) in grid.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.seed, scenario_seed(7, i as u64));
+            let name = s.scenario.as_deref().expect("axis entry has a name");
+            // The scenario axis sits between chunk and replicate:
+            // replicates stay innermost, scenarios alternate per block.
+            assert_eq!(name, if (i / 2) % 2 == 0 { "burst" } else { "calm" });
+            assert!(s.cell_key().ends_with(&format!(" · {name}")));
+        }
+        // Scenario-less grids keep scenario-less keys.
+        assert!(plain.iter().all(|s| s.scenario.is_none()));
+    }
+
+    #[test]
+    fn scenario_axis_round_trips_and_rehashes() {
+        let plain = small_spec();
+        let spec = small_spec().timeline_scenarios(&two_scenarios());
+        assert_eq!(spec.timeline_scenario_axis().len(), 2);
+        assert!(spec.scenario_def("burst").is_some());
+        assert!(spec.scenario_def("missing").is_none());
+        let back = CampaignSpec::from_json(&spec.to_json()).expect("scenario round trip");
+        assert_eq!(back.to_json().render(), spec.to_json().render());
+        assert_eq!(back.scenarios(), spec.scenarios());
+        // The axis is part of the content hash…
+        assert_ne!(spec.spec_hash(), plain.spec_hash());
+        // …down to the timeline payload, not just the names.
+        let mut edited = two_scenarios();
+        edited[0].timeline = vec![TimelineEvent::FaultBurst {
+            cycle: 2_000,
+            words: 4,
+            rate: 0.5,
+        }];
+        assert_ne!(
+            spec.spec_hash(),
+            small_spec().timeline_scenarios(&edited).spec_hash()
+        );
+        // A scenario-less spec renders without the field at all.
+        assert!(!plain.to_json().render().contains("\"scenarios\""));
+    }
+
+    #[test]
+    fn scenario_axis_rejects_bad_definitions() {
+        let mut switcher = ScenarioDef::named("switch");
+        switcher.timeline = vec![TimelineEvent::TaskSwitch {
+            cycle: 0,
+            task: "No such codec".to_owned(),
+        }];
+        // Inject past the builder's validation to exercise the parser's.
+        let mut doctored = small_spec();
+        doctored.timeline_scenarios = vec![switcher];
+        let rendered = doctored.to_json();
+        let err = CampaignSpec::from_json(&rendered).expect_err("unknown task_switch target");
+        assert!(err.contains("unknown benchmark"), "got {err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn scenario_builder_panics_on_unknown_task_switch_target() {
+        let mut switcher = ScenarioDef::named("switch");
+        switcher.timeline = vec![TimelineEvent::TaskSwitch {
+            cycle: 0,
+            task: "No such codec".to_owned(),
+        }];
+        let _ = small_spec().timeline_scenarios(&[switcher]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario name")]
+    fn scenario_builder_panics_on_duplicate_names() {
+        let twice = vec![ScenarioDef::named("dup"), ScenarioDef::named("dup")];
+        let _ = small_spec().timeline_scenarios(&twice);
     }
 
     #[test]

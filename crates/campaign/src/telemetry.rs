@@ -24,6 +24,11 @@ pub trait TelemetrySink: Send + Sync {
     /// The pool's undelivered-job count changed (set at run start,
     /// decremented per delivery, zeroed when the run returns).
     fn queue_depth(&self, depth: i64);
+
+    /// A timeline scenario's `expect` block was evaluated against a
+    /// finished run. Default is a no-op so pre-existing sinks keep
+    /// compiling unchanged.
+    fn expect_evaluated(&self, _passed: bool) {}
 }
 
 static SINK: OnceLock<Box<dyn TelemetrySink>> = OnceLock::new();
@@ -52,5 +57,12 @@ pub(crate) fn scenario_completed(wall_seconds: f64) {
 pub(crate) fn queue_depth(depth: i64) {
     if let Some(sink) = sink() {
         sink.queue_depth(depth);
+    }
+}
+
+/// Forwards an `expect`-block verdict to the sink, if installed.
+pub(crate) fn expect_evaluated(passed: bool) {
+    if let Some(sink) = sink() {
+        sink.expect_evaluated(passed);
     }
 }

@@ -1,7 +1,7 @@
 //! System-level configuration: the designer-provided constraints and fault
 //! environment of the paper's evaluation (Section III-A).
 
-use chunkpoint_sim::Platform;
+use chunkpoint_sim::{FaultTimeline, Platform};
 
 /// The hard design-time constraints of the optimization problem
 /// (Eqs. 4–5).
@@ -94,6 +94,11 @@ pub struct SystemConfig {
     pub faults: FaultEnvironment,
     /// Input-scale factor passed to the benchmark builders.
     pub scale: f64,
+    /// Optional dynamic fault regime (rate shifts, bursts, scrubbing)
+    /// applied to the main L1 array — the simulator half of a timeline
+    /// scenario. `None` keeps the static Poisson environment and leaves
+    /// every pre-existing run byte-identical.
+    pub timeline: Option<FaultTimeline>,
 }
 
 impl SystemConfig {
@@ -105,14 +110,18 @@ impl SystemConfig {
             constraints: SystemConstraints::paper(),
             faults: FaultEnvironment::paper(seed),
             scale: 1.0,
+            timeline: None,
         }
     }
 
     /// Same configuration with faults disabled (golden reference runs).
+    /// The timeline is dropped too: golden runs are strike-free by
+    /// definition, bursts included.
     #[must_use]
     pub fn fault_free(&self) -> Self {
         Self {
             faults: FaultEnvironment::fault_free(),
+            timeline: None,
             ..self.clone()
         }
     }

@@ -113,7 +113,11 @@ impl RunReport {
 }
 
 fn build_l1_bus(scheme: MitigationScheme, config: &SystemConfig, seed_salt: u64) -> PlainBus {
-    let faults = if config.faults.error_rate > 0.0 {
+    // A timeline keeps the process live even at base rate 0 (a burst or
+    // a rate shift can still strike). The L1′ protected buffer keeps its
+    // plain static process: the paper's scenarios stress the main array.
+    let has_timeline = config.timeline.as_ref().is_some_and(|t| !t.is_empty());
+    let mut faults = if config.faults.error_rate > 0.0 || has_timeline {
         FaultProcess::new(
             config.faults.error_rate,
             UpsetModel::smu_65nm(),
@@ -122,6 +126,9 @@ fn build_l1_bus(scheme: MitigationScheme, config: &SystemConfig, seed_salt: u64)
     } else {
         FaultProcess::disabled()
     };
+    if has_timeline {
+        faults = faults.with_timeline(config.timeline.clone().expect("checked above"));
+    }
     let sram = Sram::new("l1", config.platform.l1_words, scheme.l1_kind(), faults)
         .expect("all scheme kinds are buildable");
     PlainBus::new(sram, config.platform.clone(), Component::L1)

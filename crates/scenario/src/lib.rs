@@ -1,0 +1,62 @@
+//! # chunkpoint-scenario
+//!
+//! The declarative **timeline-scenario DSL** of the chunkpoint stack,
+//! std-only like everything else. A scenario is a *named* dynamic regime
+//! layered on top of one campaign grid cell:
+//!
+//! * **Timeline** — a list of instant-keyed events ([`TimelineEvent`])
+//!   that the simulator honors deterministically: `fault_burst` injects
+//!   a strike cluster at a cycle, `error_rate_shift` changes the Poisson
+//!   rate mid-run, `scrub` models a background scrubbing period, and
+//!   `task_switch` swaps the benchmark the cell executes.
+//! * **Expect blocks** — typed assertions ([`Expectation`]) over the
+//!   final [`RunStats`] (`completed == true`, `detected_errors >= N`,
+//!   `energy_pj <= X`). Failures surface as per-scenario *outcomes*
+//!   ([`ExpectReport`]), never as panics.
+//! * **Canonical wire form** — scenarios parse from the workspace's own
+//!   [`JsonValue`] with a typed error enum ([`ScenarioError`]) and render
+//!   back canonically ([`ScenarioDef::to_json`]), so scenario hashes —
+//!   and therefore campaign spec hashes, range-cache keys, and spec
+//!   diffs — are stable byte-for-byte.
+//!
+//! The crate also hosts the dependency-free JSON layer ([`json`]) the
+//! whole workspace builds reports from; `chunkpoint_campaign::json`
+//! re-exports it at its historical path.
+//!
+//! ## Example
+//!
+//! ```
+//! use chunkpoint_scenario::{JsonValue, RunStats, ScenarioDef};
+//!
+//! let doc = r#"{
+//!   "name": "burst-then-calm",
+//!   "tags": ["burst"],
+//!   "timeline": [
+//!     {"event": "fault_burst", "cycle": 1000, "words": 4, "rate": 0.5},
+//!     {"event": "error_rate_shift", "cycle": 5000, "rate": 1e-7}
+//!   ],
+//!   "expect": [
+//!     {"field": "completed", "op": "==", "value": true}
+//!   ]
+//! }"#;
+//! let def = ScenarioDef::from_json(&JsonValue::parse(doc).unwrap()).unwrap();
+//! assert_eq!(def.name, "burst-then-calm");
+//! // Canonical rendering is a fixed point: parse(render(def)) == def.
+//! let back = ScenarioDef::from_json(&def.to_json()).unwrap();
+//! assert_eq!(back, def);
+//! // Expect blocks evaluate to typed outcomes, never panics.
+//! let report = def.evaluate(&RunStats { completed: true, ..RunStats::default() });
+//! assert!(report.passed);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod format;
+pub mod json;
+
+pub use format::{
+    parse_scenarios, ExpectField, ExpectOp, ExpectReport, ExpectValue, Expectation, RunStats,
+    ScenarioDef, ScenarioError, TimelineEvent,
+};
+pub use json::{JsonParseError, JsonValue};

@@ -26,7 +26,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use chunkpoint_campaign::{CampaignSpec, JsonValue};
-use chunkpoint_telemetry::{install_campaign_metrics, render_text, Tracer, SCENARIO_WALL_BUCKETS};
+use chunkpoint_telemetry::{
+    install_campaign_metrics_traced, render_text, Span, Tracer, SCENARIO_WALL_BUCKETS,
+};
 
 use crate::http::{read_request, Request, Response};
 use crate::jobs::{JobManager, SubmitError};
@@ -75,7 +77,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     runners: Vec<JoinHandle<()>>,
     started: Instant,
-    tracer: Tracer,
+    serve_span: Arc<Span>,
 }
 
 impl Server {
@@ -88,19 +90,24 @@ impl Server {
     ///
     /// Propagates bind/store/trace-sink I/O errors.
     pub fn bind(config: &ServeConfig) -> std::io::Result<Self> {
-        // Idempotent (first caller wins): scenario wall-time histograms
-        // and pool queue-depth gauges record for every campaign this
-        // process runs. Strictly out-of-band — results are unaffected.
-        let _ = install_campaign_metrics();
+        let tracer = match &config.trace_out {
+            Some(path) => Tracer::to_file(path)?,
+            None => Tracer::disabled(),
+        };
+        // The process root span opens first so the trace's first record
+        // is always the `serve` span_begin; everything else hangs off it.
+        let serve_span = Arc::new(tracer.root("serve"));
+        // Idempotent (first caller wins): scenario wall-time histograms,
+        // pool queue-depth gauges, and expect-verdict counters record
+        // for every campaign this process runs; under a trace sink each
+        // expect verdict also lands as an `expect_evaluated` span event.
+        // Strictly out-of-band — results are unaffected.
+        let _ = install_campaign_metrics_traced(serve_span.child("campaign"));
         // Register the request/job metric surface eagerly so the very
         // first `/metrics` scrape already exposes every series at zero
         // (scrapers difference counters; absent-then-present reads as
         // a reset).
         let _ = metrics();
-        let tracer = match &config.trace_out {
-            Some(path) => Tracer::to_file(path)?,
-            None => Tracer::disabled(),
-        };
         let store = JobStore::open(&config.data_dir)?;
         let manager = JobManager::recover(store, config.campaign_threads, config.max_queued);
         let runners = manager.spawn_runners(config.max_jobs);
@@ -111,7 +118,7 @@ impl Server {
             stop: Arc::new(AtomicBool::new(false)),
             runners,
             started: Instant::now(),
-            tracer,
+            serve_span,
         })
     }
 
@@ -134,9 +141,8 @@ impl Server {
             stop,
             runners,
             started,
-            tracer,
+            serve_span,
         } = self;
-        let serve_span = Arc::new(tracer.root("serve"));
         loop {
             let stream = match listener.accept() {
                 Ok((stream, _peer)) => stream,

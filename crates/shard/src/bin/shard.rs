@@ -5,7 +5,8 @@
 //! shard --backends HOST:PORT[,HOST:PORT...] --spec PATH [--json PATH]
 //!       [--weights W[,W...]] [--poll-ms N] [--timeout-secs N]
 //!       [--strikes N] [--attempts N] [--cache-dir PATH]
-//!       [--baseline PATH] [--metrics-out PATH] [--quiet]
+//!       [--cache-max-bytes N] [--baseline PATH] [--metrics-out PATH]
+//!       [--quiet]
 //! ```
 //!
 //! The report written by `--json` (stdout without it) is byte-identical
@@ -18,6 +19,10 @@
 //! `--cache-dir` enables the coordinator's range-granular result cache:
 //! sealed sub-ranges on disk are spliced into the merge instead of
 //! re-executed, and every completed shard writes its rows back.
+//! `--cache-max-bytes` bounds that cache's footprint: after the run's
+//! write-back, range files are evicted oldest-modification-time first
+//! until the cache fits the budget (evictions land on the
+//! `shard_cache_evictions_total` counter).
 //! `--baseline OLD_SPEC` additionally runs the spec diff against a
 //! previously cached campaign and seeds the current spec's cache with
 //! every translated row whose `(seed, parameters)` survived the edit —
@@ -41,6 +46,9 @@ const USAGE: &str = "chunkpoint shard coordinator:
   --attempts N       dispatch attempts per shard before giving up (default 5)
   --cache-dir PATH   range-granular result cache root: sealed sub-ranges are
                      spliced instead of re-executed, completed shards write back
+  --cache-max-bytes N after the run, evict cached range files oldest-mtime
+                     first until the cache root fits N bytes
+                     (requires --cache-dir)
   --baseline PATH    old spec JSON of a cached campaign: spec-diff it against
                      --spec and seed the cache with unchanged cells' rows
                      (requires --cache-dir)
@@ -55,6 +63,7 @@ struct Args {
     spec_path: String,
     json: Option<String>,
     cache_dir: Option<String>,
+    cache_max_bytes: Option<u64>,
     baseline: Option<String>,
     metrics_out: Option<String>,
     quiet: bool,
@@ -67,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
     let mut spec_path = None;
     let mut json = None;
     let mut cache_dir = None;
+    let mut cache_max_bytes = None;
     let mut baseline = None;
     let mut metrics_out = None;
     let mut quiet = false;
@@ -101,6 +111,13 @@ fn parse_args() -> Result<Args, String> {
             "--spec" => spec_path = Some(value_of("--spec")?),
             "--json" => json = Some(value_of("--json")?),
             "--cache-dir" => cache_dir = Some(value_of("--cache-dir")?),
+            "--cache-max-bytes" => {
+                cache_max_bytes = Some(
+                    value_of("--cache-max-bytes")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--cache-max-bytes: {e}\n\n{USAGE}"))?,
+                );
+            }
             "--baseline" => baseline = Some(value_of("--baseline")?),
             "--metrics-out" => metrics_out = Some(value_of("--metrics-out")?),
             "--poll-ms" => {
@@ -155,6 +172,9 @@ fn parse_args() -> Result<Args, String> {
     if baseline.is_some() && cache_dir.is_none() {
         return Err(format!("--baseline requires --cache-dir\n\n{USAGE}"));
     }
+    if cache_max_bytes.is_some() && cache_dir.is_none() {
+        return Err(format!("--cache-max-bytes requires --cache-dir\n\n{USAGE}"));
+    }
     config.cache_dir = cache_dir.clone().map(std::path::PathBuf::from);
     Ok(Args {
         backends,
@@ -162,6 +182,7 @@ fn parse_args() -> Result<Args, String> {
         spec_path,
         json,
         cache_dir,
+        cache_max_bytes,
         baseline,
         metrics_out,
         quiet,
@@ -272,6 +293,18 @@ fn main() {
             .field("spliced", run.spliced)
             .field("secs", start.elapsed().as_secs_f64()),
     );
+    // Budget sweep after write-back, before the metrics snapshot, so
+    // this run's evictions are visible in --metrics-out.
+    if let (Some(max_bytes), Some(cache_dir)) = (args.cache_max_bytes, &args.cache_dir) {
+        let evicted = RangeCache::new(cache_dir).gc(max_bytes);
+        chunkpoint_shard::cache_evictions().add(evicted as u64);
+        span.event(
+            "cache_gc",
+            JsonValue::object()
+                .field("max_bytes", max_bytes)
+                .field("evicted", evicted),
+        );
+    }
     if let Some(path) = &args.metrics_out {
         let text = chunkpoint_telemetry::render_text(chunkpoint_telemetry::global());
         if let Err(e) = std::fs::write(path, text) {

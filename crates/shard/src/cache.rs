@@ -197,6 +197,63 @@ impl RangeCache {
         Ok(written)
     }
 
+    /// Bounds the cache's on-disk footprint: while the total size of
+    /// all sealed range files exceeds `max_bytes`, evicts whole files
+    /// oldest modification time first (ties break on path, so the
+    /// sweep order is deterministic). Campaign directories left empty
+    /// are removed. Returns the number of files evicted.
+    ///
+    /// Best-effort by design, like [`RangeCache::load`]: an entry whose
+    /// metadata cannot be read is left alone, a file that vanishes
+    /// mid-sweep is simply someone else's eviction, and nothing here
+    /// errors or panics — the worst outcome is a cache temporarily
+    /// over budget.
+    pub fn gc(&self, max_bytes: u64) -> usize {
+        let Ok(campaigns) = std::fs::read_dir(&self.root) else {
+            return 0;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        for campaign in campaigns.filter_map(|entry| entry.ok()) {
+            let Ok(ranges) = std::fs::read_dir(campaign.path()) else {
+                continue;
+            };
+            for entry in ranges.filter_map(|entry| entry.ok()) {
+                let path = entry.path();
+                if path.extension().is_none_or(|ext| ext != "jsonl") {
+                    continue;
+                }
+                let Ok(meta) = entry.metadata() else {
+                    continue;
+                };
+                let Ok(mtime) = meta.modified() else {
+                    continue;
+                };
+                files.push((mtime, path, meta.len()));
+            }
+        }
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total <= max_bytes {
+            return 0;
+        }
+        files.sort();
+        let mut evicted = 0;
+        for (_, path, len) in &files {
+            if total <= max_bytes {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                evicted += 1;
+            }
+            // A failed removal still counts against the footprint we
+            // can free; not retrying keeps the sweep one pass.
+            total = total.saturating_sub(*len);
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::remove_dir(dir); // only succeeds when empty
+            }
+        }
+        evicted
+    }
+
     /// Loads every validated cached row for `spec`, keyed by global
     /// scenario index. `grid` must be the spec's full enumeration —
     /// each row is checked against its expected scenario (index and
@@ -410,6 +467,51 @@ mod tests {
         std::fs::copy(&intact, &misnamed).expect("copy");
         let loaded = cache.load(&spec, &grid);
         assert_eq!(loaded.len(), rows.len() - half);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn gc_evicts_oldest_files_first_until_under_budget() {
+        let cache = RangeCache::new(temp_root("gc"));
+        let spec = small_spec(0x5A4D);
+        let grid = spec.scenarios();
+        let rows = run_campaign(&spec, 1).results;
+        assert!(rows.len() >= 6, "grid too small for three ranges");
+        let old = cache.store(&spec, (0, 2), &rows[..2]).expect("store");
+        let mid = cache.store(&spec, (2, 4), &rows[2..4]).expect("store");
+        let new = cache.store(&spec, (4, 6), &rows[4..6]).expect("store");
+        // Stamp distinct, strictly ordered mtimes: filesystem clocks
+        // are too coarse to rely on write order.
+        let epoch = std::time::SystemTime::now() - std::time::Duration::from_secs(600);
+        for (age, path) in [(0u64, &old), (60, &mid), (120, &new)] {
+            std::fs::File::options()
+                .write(true)
+                .open(path)
+                .expect("open")
+                .set_modified(epoch + std::time::Duration::from_secs(age))
+                .expect("set mtime");
+        }
+        let keep_two: u64 = [&mid, &new]
+            .iter()
+            .map(|p| std::fs::metadata(p).expect("meta").len())
+            .sum();
+
+        // Under budget: a no-op.
+        assert_eq!(cache.gc(u64::MAX), 0);
+        assert!(old.exists());
+
+        // Over budget by one file: exactly the oldest goes.
+        assert_eq!(cache.gc(keep_two), 1);
+        assert!(!old.exists());
+        assert!(mid.exists() && new.exists());
+        let loaded = cache.load(&spec, &grid);
+        assert_eq!(loaded.keys().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+
+        // Budget zero: everything goes, and the emptied campaign
+        // directory goes with it.
+        assert_eq!(cache.gc(0), 2);
+        assert!(!cache.campaign_dir(&spec).exists());
+        assert!(cache.load(&spec, &grid).is_empty());
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

@@ -66,6 +66,8 @@ pub use client::{
     classify_submit, exchange, healthz, BackendHealth, ClientError, SubmitOutcome,
     MAX_RESPONSE_BYTES,
 };
+pub use metrics::cache_evictions;
+
 pub use coordinator::{
     fetch_journal_rows, merged_report, run_sharded, run_sharded_ctl, PartialCampaign, ShardConfig,
     ShardError, ShardEvent, ShardRun,

@@ -97,6 +97,17 @@ pub(crate) struct CacheTelemetry {
     pub rows_spliced: Arc<Counter>,
 }
 
+/// Registers (or re-resolves) the cache-eviction counter: range files
+/// removed by [`RangeCache::gc`](crate::RangeCache::gc) budget sweeps
+/// (the `--cache-max-bytes` path).
+#[must_use]
+pub fn cache_evictions() -> Arc<Counter> {
+    chunkpoint_telemetry::global().counter(
+        "shard_cache_evictions_total",
+        "Result-cache range files evicted by gc budget sweeps",
+    )
+}
+
 /// Registers (or re-resolves) the result-cache counters.
 pub(crate) fn cache_telemetry() -> CacheTelemetry {
     let registry = chunkpoint_telemetry::global();

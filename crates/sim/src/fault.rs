@@ -77,6 +77,80 @@ pub struct FaultEvent {
     pub width: usize,
 }
 
+/// A strike cluster at one instant: every word whose exposure window
+/// crosses `cycle` is struck with probability `rate`, at most `words`
+/// strikes in total across the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Burst instant in cycles.
+    pub cycle: u64,
+    /// Cap on struck words across the whole array.
+    pub words: u32,
+    /// Per-word strike probability in `(0, 1]`.
+    pub rate: f64,
+}
+
+/// A deterministic dynamic fault regime layered on a [`FaultProcess`]:
+/// piecewise-constant rate shifts, strike bursts at instants, and an
+/// idealized background scrub.
+///
+/// Everything stays a pure function of `(seed, access sequence)`: the
+/// rate λ(t) is integrated exactly over each word's exposure window, a
+/// burst consumes one uniform draw per crossing word, and scrubbing only
+/// clamps exposure windows — so a timeline run is byte-identical across
+/// machines and thread counts, like every other simulation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultTimeline {
+    /// `(cycle, λ)` pairs, non-decreasing in cycle: from each instant on,
+    /// the Poisson rate becomes the paired value (the base rate applies
+    /// before the first shift).
+    pub shifts: Vec<(u64, f64)>,
+    /// Strike clusters, non-decreasing in cycle.
+    pub bursts: Vec<Burst>,
+    /// Background scrub period: accumulated-fault exposure windows are
+    /// clamped to the most recent period boundary, modelling an idealized
+    /// scrubber that rewrites every word each period at zero cost.
+    pub scrub_period: Option<u64>,
+}
+
+impl FaultTimeline {
+    /// Whether the timeline changes anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shifts.is_empty() && self.bursts.is_empty() && self.scrub_period.is_none()
+    }
+
+    /// ∫λ(t)dt over the half-open window `[start, end)` with base rate
+    /// `base` before the first shift.
+    fn integrate(&self, base: f64, start: u64, end: u64) -> f64 {
+        if start >= end {
+            return 0.0;
+        }
+        let mut rate = base;
+        for &(cycle, shifted) in &self.shifts {
+            if cycle <= start {
+                rate = shifted;
+            } else {
+                break;
+            }
+        }
+        let mut total = 0.0;
+        let mut t = start;
+        for &(cycle, shifted) in &self.shifts {
+            if cycle <= start {
+                continue;
+            }
+            if cycle >= end {
+                break;
+            }
+            total += rate * (cycle - t) as f64;
+            t = cycle;
+            rate = shifted;
+        }
+        total + rate * (end - t) as f64
+    }
+}
+
 /// Poisson process injecting bit-flip bursts into stored words.
 ///
 /// # Examples
@@ -99,6 +173,10 @@ pub struct FaultProcess {
     rng: StdRng,
     strikes: u64,
     bits_flipped: u64,
+    timeline: Option<FaultTimeline>,
+    /// Remaining word budget per timeline burst, parallel to
+    /// `timeline.bursts`.
+    burst_remaining: Vec<u32>,
 }
 
 impl FaultProcess {
@@ -119,7 +197,58 @@ impl FaultProcess {
             rng: StdRng::seed_from_u64(seed),
             strikes: 0,
             bits_flipped: 0,
+            timeline: None,
+            burst_remaining: Vec::new(),
         }
+    }
+
+    /// Attaches a [`FaultTimeline`]: rate shifts, bursts, and scrubbing
+    /// become part of this process's exposure law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shift rate is outside `[0, 1)`, a burst rate outside
+    /// `(0, 1]`, shift or burst instants decrease, or a scrub period is 0.
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: FaultTimeline) -> Self {
+        for window in timeline.shifts.windows(2) {
+            assert!(
+                window[0].0 <= window[1].0,
+                "shift instants must be non-decreasing"
+            );
+        }
+        for &(_, rate) in &timeline.shifts {
+            assert!(
+                rate.is_finite() && (0.0..1.0).contains(&rate),
+                "shift rate must be in [0, 1), got {rate}"
+            );
+        }
+        for window in timeline.bursts.windows(2) {
+            assert!(
+                window[0].cycle <= window[1].cycle,
+                "burst instants must be non-decreasing"
+            );
+        }
+        for burst in &timeline.bursts {
+            assert!(
+                burst.rate.is_finite() && burst.rate > 0.0 && burst.rate <= 1.0,
+                "burst rate must be in (0, 1], got {}",
+                burst.rate
+            );
+        }
+        assert!(
+            timeline.scrub_period != Some(0),
+            "scrub period must be at least 1 cycle"
+        );
+        self.burst_remaining = timeline.bursts.iter().map(|b| b.words).collect();
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// The attached timeline, if any.
+    #[must_use]
+    pub fn timeline(&self) -> Option<&FaultTimeline> {
+        self.timeline.as_ref()
     }
 
     /// A disabled process (λ = 0) for fault-free golden runs.
@@ -143,6 +272,9 @@ impl FaultProcess {
         self.rng = StdRng::seed_from_u64(seed);
         self.strikes = 0;
         self.bits_flipped = 0;
+        if let Some(timeline) = &self.timeline {
+            self.burst_remaining = timeline.bursts.iter().map(|b| b.words).collect();
+        }
     }
 
     /// Strike rate λ.
@@ -163,14 +295,43 @@ impl FaultProcess {
         self.bits_flipped
     }
 
-    /// Samples the number of strikes over an exposure window of `cycles`.
-    fn sample_strike_count(&mut self, cycles: u64) -> u64 {
-        if self.rate_per_word_cycle == 0.0 || cycles == 0 {
+    /// Samples the number of strikes over an exposure window of `cycles`
+    /// ending at `now`, honoring the attached timeline if any.
+    fn sample_strike_count(&mut self, cycles: u64, now: u64) -> u64 {
+        if self.timeline.is_none() {
+            return self.sample_poisson(self.rate_per_word_cycle * cycles as f64);
+        }
+        let end = now;
+        let mut start = end.saturating_sub(cycles);
+        let timeline = self.timeline.as_ref().expect("checked above");
+        if let Some(period) = timeline.scrub_period {
+            // The scrubber rewrote every word at the last period boundary,
+            // so accumulated exposure before it is gone.
+            start = start.max((end / period) * period);
+        }
+        let lambda = timeline.integrate(self.rate_per_word_cycle, start, end);
+        let mut count = self.sample_poisson(lambda);
+        // Bursts: one Bernoulli draw per crossing burst with budget left.
+        // `Burst` is `Copy`, so indexing sidesteps the rng borrow.
+        for i in 0..self.burst_remaining.len() {
+            let burst = self.timeline.as_ref().expect("checked above").bursts[i];
+            if self.burst_remaining[i] > 0 && burst.cycle > start && burst.cycle <= end {
+                let u: f64 = self.rng.gen();
+                if u < burst.rate {
+                    self.burst_remaining[i] -= 1;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Exact Poisson(λ) by inversion; λ is tiny in all realistic
+    /// configurations so this loop terminates immediately.
+    fn sample_poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
             return 0;
         }
-        // Exact Poisson(λ·cycles) by inversion; λ·cycles is tiny in all
-        // realistic configurations so this loop terminates immediately.
-        let lambda = self.rate_per_word_cycle * cycles as f64;
         let u: f64 = self.rng.gen();
         let mut cumulative = (-lambda).exp();
         let mut probability = cumulative;
@@ -208,7 +369,7 @@ impl FaultProcess {
         now: u64,
         events: &mut Vec<FaultEvent>,
     ) -> usize {
-        let count = self.sample_strike_count(cycles);
+        let count = self.sample_strike_count(cycles, now);
         for _ in 0..count {
             let width = self.model.sample_width(&mut self.rng).min(word.len());
             let first_bit = self.rng.gen_range(0..=word.len() - width);
@@ -228,6 +389,8 @@ impl FaultProcess {
 
     /// Expected number of faulty words among `words` words exposed for
     /// `cycles` cycles — the `err` term of the paper's Eq. (1)–(2).
+    /// Uses the base rate; timeline shifts are a runtime property, not
+    /// part of the optimizer's closed-form model.
     #[must_use]
     pub fn expected_strikes(&self, words: usize, cycles: u64) -> f64 {
         self.rate_per_word_cycle * words as f64 * cycles as f64
@@ -374,5 +537,144 @@ mod tests {
     #[should_panic(expected = "fault rate")]
     fn rejects_invalid_rate() {
         let _ = FaultProcess::new(1.5, UpsetModel::SingleBit, 0);
+    }
+
+    #[test]
+    fn timeline_integrates_piecewise_rates() {
+        let timeline = FaultTimeline {
+            shifts: vec![(100, 0.5), (200, 0.0)],
+            ..FaultTimeline::default()
+        };
+        // Base rate 0.1 until cycle 100, then 0.5, then 0 from 200 on.
+        assert!((timeline.integrate(0.1, 0, 100) - 10.0).abs() < 1e-9);
+        assert!((timeline.integrate(0.1, 0, 200) - 60.0).abs() < 1e-9);
+        assert!((timeline.integrate(0.1, 150, 1000) - 25.0).abs() < 1e-9);
+        assert!((timeline.integrate(0.1, 300, 400)).abs() < 1e-12);
+        assert!((timeline.integrate(0.1, 50, 50)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_shift_turns_the_process_on_and_off() {
+        let timeline = FaultTimeline {
+            shifts: vec![(1_000, 0.2), (2_000, 0.0)],
+            ..FaultTimeline::default()
+        };
+        let mut faults = FaultProcess::new(0.0, UpsetModel::SingleBit, 5).with_timeline(timeline);
+        let mut word = BitBuf::new(39);
+        // Window entirely before the shift: base rate 0, never strikes.
+        for now in (100..=900).step_by(100) {
+            assert!(faults.expose(&mut word, 100, now).is_empty(), "now={now}");
+        }
+        // Windows inside the hot region must strike often.
+        let mut hot = 0;
+        for now in ((1_100)..=(2_000)).step_by(100) {
+            let mut w = BitBuf::new(39);
+            hot += faults.expose(&mut w, 100, now).len();
+        }
+        assert!(hot > 0, "shifted-up rate produced no strikes");
+        // After the shift back down the process is quiet again.
+        for now in (2_100..=3_000).step_by(100) {
+            let mut w = BitBuf::new(39);
+            assert!(faults.expose(&mut w, 100, now).is_empty(), "now={now}");
+        }
+    }
+
+    #[test]
+    fn burst_strikes_are_capped_at_word_budget() {
+        let timeline = FaultTimeline {
+            bursts: vec![Burst {
+                cycle: 500,
+                words: 3,
+                rate: 1.0,
+            }],
+            ..FaultTimeline::default()
+        };
+        let mut faults = FaultProcess::new(0.0, UpsetModel::SingleBit, 9).with_timeline(timeline);
+        // 10 words all expose windows crossing cycle 500 — only 3 strike.
+        let mut struck = 0;
+        for _ in 0..10 {
+            let mut word = BitBuf::new(39);
+            struck += faults.expose(&mut word, 400, 600).len();
+        }
+        assert_eq!(struck, 3);
+        // Words whose window misses the instant are untouched.
+        let mut word = BitBuf::new(39);
+        assert!(faults.expose(&mut word, 50, 400).is_empty());
+    }
+
+    #[test]
+    fn scrub_clamps_accumulated_exposure() {
+        let run = |scrub: Option<u64>| {
+            let timeline = FaultTimeline {
+                scrub_period: scrub,
+                ..FaultTimeline::default()
+            };
+            let mut faults =
+                FaultProcess::new(1e-3, UpsetModel::SingleBit, 77).with_timeline(timeline);
+            let mut total = 0usize;
+            for i in 0..200u64 {
+                let mut word = BitBuf::new(39);
+                // Each word sat untouched for 10_000 cycles.
+                total += faults.expose(&mut word, 10_000, 10_000 + i).len();
+            }
+            total
+        };
+        let unscrubbed = run(None);
+        // A 100-cycle scrub leaves at most ~100 cycles of exposure.
+        let scrubbed = run(Some(100));
+        assert!(
+            scrubbed * 10 < unscrubbed,
+            "scrub did not reduce exposure: {scrubbed} vs {unscrubbed}"
+        );
+    }
+
+    #[test]
+    fn timeline_runs_are_deterministic_and_reseedable() {
+        let timeline = FaultTimeline {
+            shifts: vec![(1_000, 1e-2)],
+            bursts: vec![Burst {
+                cycle: 2_000,
+                words: 2,
+                rate: 0.8,
+            }],
+            scrub_period: Some(50_000),
+        };
+        let run = |seed| {
+            let mut faults = FaultProcess::new(1e-4, UpsetModel::smu_65nm(), seed)
+                .with_timeline(timeline.clone());
+            let mut word = BitBuf::new(39);
+            for now in (500..50_000).step_by(500) {
+                faults.expose(&mut word, 500, now);
+            }
+            (*word.as_words(), faults.strikes())
+        };
+        assert_eq!(run(4), run(4));
+        // Reseed restores the burst budget along with the stream.
+        let mut faults =
+            FaultProcess::new(1e-4, UpsetModel::smu_65nm(), 4).with_timeline(timeline.clone());
+        let mut word = BitBuf::new(39);
+        for now in (500..50_000).step_by(500) {
+            faults.expose(&mut word, 500, now);
+        }
+        faults.reseed(4);
+        let mut word2 = BitBuf::new(39);
+        for now in (500..50_000).step_by(500) {
+            faults.expose(&mut word2, 500, now);
+        }
+        assert_eq!(word, word2);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst rate")]
+    fn rejects_invalid_burst_rate() {
+        let timeline = FaultTimeline {
+            bursts: vec![Burst {
+                cycle: 0,
+                words: 1,
+                rate: 1.5,
+            }],
+            ..FaultTimeline::default()
+        };
+        let _ = FaultProcess::disabled().with_timeline(timeline);
     }
 }

@@ -47,7 +47,7 @@ mod trace;
 pub use bus::{AddressMap, AllocError, MemoryBus, PlainBus, ReadFault, Region, WordAddr};
 pub use cacti::{logic_area_um2, SramModel, GATE_AREA_UM2};
 pub use energy::{Component, EnergyLedger};
-pub use fault::{FaultEvent, FaultProcess, UpsetModel};
+pub use fault::{Burst, FaultEvent, FaultProcess, FaultTimeline, UpsetModel};
 pub use platform::{Platform, WORD_BYTES};
 pub use sram::{Sram, SramStats};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{replay_records, AccessRecord, RecordingBus, Trace, TraceEvent};

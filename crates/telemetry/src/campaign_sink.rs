@@ -3,14 +3,18 @@
 //!
 //! `chunkpoint_campaign` defines the trait and the install point but
 //! knows nothing about registries; this module supplies the concrete
-//! sink (scenario wall-time histogram + pool queue-depth gauge) and a
-//! one-call installer every serving entry point can invoke blindly.
+//! sink (scenario wall-time histogram + pool queue-depth gauge +
+//! timeline-scenario `expect` verdict counters) and a one-call
+//! installer every serving entry point can invoke blindly.
 
 use std::sync::Arc;
 
 use chunkpoint_campaign::telemetry::{install_sink, TelemetrySink};
 
-use crate::registry::{Gauge, Histogram, MetricsRegistry};
+use chunkpoint_campaign::JsonValue;
+
+use crate::registry::{Counter, Gauge, Histogram, MetricsRegistry};
+use crate::trace::Span;
 
 /// Scenario wall-time bucket bounds (seconds): paper-scale scenarios run
 /// milliseconds to minutes depending on `scale` and the fault rate.
@@ -22,10 +26,15 @@ pub const SCENARIO_WALL_BUCKETS: [f64; 10] =
 pub struct RegistrySink {
     wall: Arc<Histogram>,
     depth: Arc<Gauge>,
+    expect_pass: Arc<Counter>,
+    expect_fail: Arc<Counter>,
+    span: Option<Span>,
 }
 
 impl RegistrySink {
-    /// Builds the sink's series in `registry`.
+    /// Builds the sink's series in `registry`. Every series — including
+    /// the `expect` verdict counters — is registered here, so the first
+    /// `/metrics` scrape exposes them at zero before any campaign runs.
     #[must_use]
     pub fn new(registry: &MetricsRegistry) -> Self {
         Self {
@@ -38,7 +47,25 @@ impl RegistrySink {
                 "campaign_queue_depth",
                 "Scenarios dealt to the pool and not yet delivered",
             ),
+            expect_pass: registry.counter(
+                "scenario_expect_pass_total",
+                "Timeline-scenario expect blocks that held against the finished run",
+            ),
+            expect_fail: registry.counter(
+                "scenario_expect_fail_total",
+                "Timeline-scenario expect blocks with at least one failed assertion",
+            ),
+            span: None,
         }
+    }
+
+    /// Attaches a trace span: each `expect` verdict additionally emits
+    /// an `expect_evaluated` event inside it. Under a disabled tracer
+    /// the span writes nothing, so this costs one branch per verdict.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
     }
 }
 
@@ -50,6 +77,22 @@ impl TelemetrySink for RegistrySink {
     fn queue_depth(&self, depth: i64) {
         self.depth.set(depth);
     }
+
+    fn expect_evaluated(&self, passed: bool) {
+        if passed {
+            self.expect_pass.inc();
+        } else {
+            self.expect_fail.inc();
+        }
+        if let Some(span) = &self.span {
+            if span.is_traced() {
+                span.event(
+                    "expect_evaluated",
+                    JsonValue::object().field("passed", passed),
+                );
+            }
+        }
+    }
 }
 
 /// Installs a [`RegistrySink`] over the global registry. First caller
@@ -57,6 +100,12 @@ impl TelemetrySink for RegistrySink {
 /// point.
 pub fn install_campaign_metrics() -> bool {
     install_sink(Box::new(RegistrySink::new(crate::global())))
+}
+
+/// Like [`install_campaign_metrics`], but the installed sink also emits
+/// an `expect_evaluated` trace event per `expect` verdict inside `span`.
+pub fn install_campaign_metrics_traced(span: Span) -> bool {
+    install_sink(Box::new(RegistrySink::new(crate::global()).with_span(span)))
 }
 
 #[cfg(test)]
@@ -77,5 +126,62 @@ mod tests {
             Some(2.0)
         );
         assert_eq!(scrape.value("campaign_queue_depth", &[]), Some(7.0));
+    }
+
+    #[test]
+    fn expect_counters_scrape_zero_before_any_verdict() {
+        let registry = MetricsRegistry::new();
+        let _sink = RegistrySink::new(&registry);
+        let text = crate::expose::render_text(&registry);
+        let scrape = crate::expose::Scrape::parse(&text).expect("parse");
+        assert_eq!(scrape.value("scenario_expect_pass_total", &[]), Some(0.0));
+        assert_eq!(scrape.value("scenario_expect_fail_total", &[]), Some(0.0));
+    }
+
+    #[test]
+    fn expect_verdicts_increment_and_trace() {
+        let registry = MetricsRegistry::new();
+        let tracer = crate::trace::Tracer::to_writer(Box::new(SharedBuf::default()));
+        let span = tracer.root("test");
+        let sink = RegistrySink::new(&registry).with_span(span);
+        sink.expect_evaluated(true);
+        sink.expect_evaluated(true);
+        sink.expect_evaluated(false);
+        let text = crate::expose::render_text(&registry);
+        let scrape = crate::expose::Scrape::parse(&text).expect("parse");
+        assert_eq!(scrape.value("scenario_expect_pass_total", &[]), Some(2.0));
+        assert_eq!(scrape.value("scenario_expect_fail_total", &[]), Some(1.0));
+    }
+
+    /// A `Write` handing every byte to a process-local buffer the test
+    /// can inspect after the tracer flushes.
+    #[derive(Default, Clone)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn traced_sink_emits_expect_events() {
+        let buf = SharedBuf::default();
+        let tracer = crate::trace::Tracer::to_writer(Box::new(buf.clone()));
+        let registry = MetricsRegistry::new();
+        let sink = RegistrySink::new(&registry).with_span(tracer.root("campaign"));
+        sink.expect_evaluated(false);
+        let bytes = buf.0.lock().expect("lock").clone();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let event = text
+            .lines()
+            .find(|line| line.contains("\"expect_evaluated\""))
+            .expect("expect_evaluated event in trace");
+        assert!(event.contains("\"passed\":false"), "{event}");
     }
 }

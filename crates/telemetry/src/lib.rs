@@ -31,7 +31,9 @@ pub mod expose;
 pub mod registry;
 pub mod trace;
 
-pub use campaign_sink::{install_campaign_metrics, RegistrySink, SCENARIO_WALL_BUCKETS};
+pub use campaign_sink::{
+    install_campaign_metrics, install_campaign_metrics_traced, RegistrySink, SCENARIO_WALL_BUCKETS,
+};
 pub use expose::{render_text, Sample, Scrape};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS};
 pub use trace::{derive_span_id, Span, Tracer};

@@ -1,0 +1,287 @@
+//! G.722-style sub-band ADPCM codec — the wideband sibling of the
+//! MediaBench audio kernels.
+//!
+//! A 24-tap QMF analysis bank (the ITU-T G.722 prototype filter) splits
+//! each pair of input samples into a low-band and a high-band sample;
+//! each band is then coded with the IMA ADPCM quantizer from [`crate::adpcm`]
+//! (4 bits per band, one byte per input pair). The decoder reverses the
+//! path through the synthesis bank. The interesting property for the
+//! paper's chunking study is the *state*: two codec states plus a 24-tap
+//! filter delay line — an order of magnitude more flow-control state than
+//! plain ADPCM, which pushes the optimal checkpoint chunk in the other
+//! direction.
+
+use crate::adpcm::{self, AdpcmState};
+
+/// ITU-T G.722 QMF prototype filter (24 taps, Q14 gain).
+const QMF_COEFFS: [i64; 24] = [
+    3, -11, -11, 53, 12, -156, 32, 362, -210, -805, 951, 3876, 3876, 951, -805, -210, 362, 32,
+    -156, 12, 53, -11, -11, 3,
+];
+
+/// Number of taps in the QMF delay line.
+pub const QMF_TAPS: usize = 24;
+
+/// Codec state carried between sample pairs: one IMA quantizer per band
+/// plus the QMF delay line (analysis history for the encoder, band-sum /
+/// band-difference history for the decoder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct G722State {
+    /// Low-band (0–4 kHz) quantizer state.
+    pub low: AdpcmState,
+    /// High-band (4–8 kHz) quantizer state.
+    pub high: AdpcmState,
+    /// QMF delay line, newest sample first.
+    pub delay: [i16; QMF_TAPS],
+}
+
+impl G722State {
+    /// Memory words the serialised state occupies (2 per band quantizer +
+    /// the delay line at two taps per word).
+    pub const WORDS: usize = 4 + QMF_TAPS / 2;
+
+    /// Fresh encoder/decoder state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialises the state to memory words.
+    #[must_use]
+    pub fn to_words(self) -> [u32; Self::WORDS] {
+        let mut words = [0u32; Self::WORDS];
+        let low = self.low.to_words();
+        let high = self.high.to_words();
+        words[0] = low[0];
+        words[1] = low[1];
+        words[2] = high[0];
+        words[3] = high[1];
+        for i in 0..QMF_TAPS / 2 {
+            let lo = self.delay[2 * i] as u16;
+            let hi = self.delay[2 * i + 1] as u16;
+            words[4 + i] = u32::from(lo) | (u32::from(hi) << 16);
+        }
+        words
+    }
+
+    /// Restores state from memory words (inverse of
+    /// [`G722State::to_words`]). Band quantizers are clamped into their
+    /// legal ranges so corrupted state degrades output instead of
+    /// panicking; delay taps are plain samples and accept any bit pattern.
+    #[must_use]
+    pub fn from_words(words: &[u32; Self::WORDS]) -> Self {
+        let mut delay = [0i16; QMF_TAPS];
+        for i in 0..QMF_TAPS / 2 {
+            delay[2 * i] = (words[4 + i] & 0xFFFF) as u16 as i16;
+            delay[2 * i + 1] = (words[4 + i] >> 16) as u16 as i16;
+        }
+        Self {
+            low: AdpcmState::from_words([words[0], words[1]]),
+            high: AdpcmState::from_words([words[2], words[3]]),
+            delay,
+        }
+    }
+}
+
+impl Default for G722State {
+    fn default() -> Self {
+        Self {
+            low: AdpcmState::new(),
+            high: AdpcmState::new(),
+            delay: [0; QMF_TAPS],
+        }
+    }
+}
+
+/// QMF analysis: pushes one input pair (`x0` older, `x1` newer) into the
+/// delay line and returns the decimated `(low, high)` band samples.
+fn qmf_analysis(delay: &mut [i16; QMF_TAPS], x0: i16, x1: i16) -> (i16, i16) {
+    for i in (2..QMF_TAPS).rev() {
+        delay[i] = delay[i - 2];
+    }
+    delay[1] = x0;
+    delay[0] = x1;
+    let mut sum_even = 0i64;
+    let mut sum_odd = 0i64;
+    for i in 0..QMF_TAPS / 2 {
+        sum_even += i64::from(delay[2 * i]) * QMF_COEFFS[2 * i];
+        sum_odd += i64::from(delay[2 * i + 1]) * QMF_COEFFS[2 * i + 1];
+    }
+    let low = ((sum_even + sum_odd) >> 14).clamp(-32768, 32767) as i16;
+    let high = ((sum_even - sum_odd) >> 14).clamp(-32768, 32767) as i16;
+    (low, high)
+}
+
+/// QMF synthesis: pushes the reconstructed band pair into the sum /
+/// difference history and interpolates the two output samples.
+fn qmf_synthesis(delay: &mut [i16; QMF_TAPS], low: i16, high: i16) -> (i16, i16) {
+    // delay[2i] holds band sums, delay[2i+1] band differences, newest first.
+    for i in (2..QMF_TAPS).rev() {
+        delay[i] = delay[i - 2];
+    }
+    delay[0] = (i32::from(low) + i32::from(high)).clamp(-32768, 32767) as i16;
+    delay[1] = (i32::from(low) - i32::from(high)).clamp(-32768, 32767) as i16;
+    let mut acc0 = 0i64;
+    let mut acc1 = 0i64;
+    for i in 0..QMF_TAPS / 2 {
+        acc0 += i64::from(delay[2 * i + 1]) * QMF_COEFFS[2 * i];
+        acc1 += i64::from(delay[2 * i]) * QMF_COEFFS[2 * i + 1];
+    }
+    let x0 = (acc0 >> 11).clamp(-32768, 32767) as i16;
+    let x1 = (acc1 >> 11).clamp(-32768, 32767) as i16;
+    (x0, x1)
+}
+
+/// Encodes one input pair to one code byte (low-band code in the low
+/// nibble), advancing `state`.
+#[must_use]
+pub fn encode_pair(state: &mut G722State, x0: i16, x1: i16) -> u8 {
+    let (low, high) = qmf_analysis(&mut state.delay, x0, x1);
+    let cl = adpcm::encode_sample(&mut state.low, low);
+    let ch = adpcm::encode_sample(&mut state.high, high);
+    cl | (ch << 4)
+}
+
+/// Decodes one code byte to two output samples, advancing `state`.
+#[must_use]
+pub fn decode_pair(state: &mut G722State, code: u8) -> (i16, i16) {
+    let low = adpcm::decode_sample(&mut state.low, code & 0x0F);
+    let high = adpcm::decode_sample(&mut state.high, code >> 4);
+    qmf_synthesis(&mut state.delay, low, high)
+}
+
+/// Encodes a PCM buffer to one byte per sample pair (an odd trailing
+/// sample is paired with silence).
+#[must_use]
+pub fn encode(samples: &[i16]) -> Vec<u8> {
+    let mut state = G722State::new();
+    let mut out = Vec::with_capacity(samples.len().div_ceil(2));
+    for pair in samples.chunks(2) {
+        let x1 = pair.get(1).copied().unwrap_or(0);
+        out.push(encode_pair(&mut state, pair[0], x1));
+    }
+    out
+}
+
+/// Decodes a code stream to `total_samples` PCM samples.
+///
+/// # Panics
+///
+/// Panics if the code stream is shorter than `total_samples / 2` bytes.
+#[must_use]
+pub fn decode(codes: &[u8], total_samples: usize) -> Vec<i16> {
+    assert!(
+        codes.len() * 2 >= total_samples,
+        "code stream shorter than sample count"
+    );
+    let mut state = G722State::new();
+    let mut out = Vec::with_capacity(total_samples);
+    'outer: for &code in codes {
+        let (x0, x1) = decode_pair(&mut state, code);
+        for sample in [x0, x1] {
+            out.push(sample);
+            if out.len() == total_samples {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::speech_pcm;
+
+    #[test]
+    fn state_words_round_trip() {
+        let mut state = G722State::new();
+        for (i, tap) in state.delay.iter_mut().enumerate() {
+            *tap = (i as i16 - 12) * 999;
+        }
+        state.low.predicted = -123;
+        state.low.step_index = 42;
+        state.high.predicted = 456;
+        state.high.step_index = 7;
+        let restored = G722State::from_words(&state.to_words());
+        assert_eq!(restored, state);
+    }
+
+    #[test]
+    fn corrupted_state_words_clamp_instead_of_panicking() {
+        let words = [i32::MAX as u32; G722State::WORDS];
+        let state = G722State::from_words(&words);
+        assert_eq!(state.low.step_index, 88);
+        assert_eq!(state.high.step_index, 88);
+        assert_eq!(state.low.predicted, 32767);
+    }
+
+    #[test]
+    fn encode_produces_one_byte_per_pair() {
+        let pcm = speech_pcm(101, 0xD1);
+        let codes = encode(&pcm);
+        assert_eq!(codes.len(), 51);
+        // Deterministic: same input, same stream.
+        assert_eq!(encode(&pcm), codes);
+    }
+
+    #[test]
+    fn decode_yields_requested_sample_count() {
+        let pcm = speech_pcm(200, 0xD2);
+        let codes = encode(&pcm);
+        let out = decode(&codes, 200);
+        assert_eq!(out.len(), 200);
+        let out_odd = decode(&codes, 199);
+        assert_eq!(out_odd.len(), 199);
+        assert_eq!(out[..199], out_odd[..]);
+    }
+
+    #[test]
+    fn round_trip_tracks_the_input_signal() {
+        // The codec is lossy but after the adaptive quantizers converge it
+        // must follow a smooth signal: compare energy of the error to the
+        // energy of the signal over the steady-state tail.
+        let pcm = speech_pcm(512, 0xD3);
+        let out = decode(&encode(&pcm), 512);
+        // QMF analysis+synthesis costs taps-1 samples of group delay;
+        // allow a tap of slack around it and take the best alignment.
+        let mut best = f64::INFINITY;
+        let mut sig = 0f64;
+        for lag in (QMF_TAPS - 3)..=(QMF_TAPS + 1) {
+            let mut err = 0f64;
+            let mut energy = 0f64;
+            for i in 128..(512 - lag) {
+                let d = f64::from(out[i + lag]) - f64::from(pcm[i]);
+                err += d * d;
+                energy += f64::from(pcm[i]) * f64::from(pcm[i]);
+            }
+            if err < best {
+                best = err;
+                sig = energy;
+            }
+        }
+        assert!(sig > 0.0);
+        assert!(
+            best < sig * 0.5,
+            "reconstruction error {best:.0} vs signal energy {sig:.0}"
+        );
+    }
+
+    #[test]
+    fn stateful_stream_equals_chunked_stream() {
+        // Encoding in one call or in arbitrary even-length chunks through
+        // a carried state must produce the same stream — the property the
+        // streaming task relies on.
+        let pcm = speech_pcm(300, 0xD4);
+        let whole = encode(&pcm);
+        let mut state = G722State::new();
+        let mut chunked = Vec::new();
+        for chunk in pcm.chunks(64) {
+            for pair in chunk.chunks(2) {
+                let x1 = pair.get(1).copied().unwrap_or(0);
+                chunked.push(encode_pair(&mut state, pair[0], x1));
+            }
+        }
+        assert_eq!(chunked, whole);
+    }
+}

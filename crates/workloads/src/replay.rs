@@ -1,0 +1,170 @@
+//! Trace-driven replay: capture a benchmark's exact bus access sequence
+//! once (through [`chunkpoint_sim::RecordingBus`]), then re-run that
+//! sequence as a [`StreamingTask`] of its own.
+//!
+//! A replayed task touches the same addresses with the same payloads and
+//! the same compute gaps as the original run, but carries no codec on the
+//! host side — which makes it the reference workload for comparing
+//! mitigation stacks: any difference in detected errors, energy or cycles
+//! between two schemes replaying the same recording is attributable to the
+//! schemes alone, never to data-dependent control flow.
+
+use chunkpoint_sim::{replay_records, AccessRecord, MemoryBus, RecordingBus, Region};
+
+use crate::stream::{StreamingTask, TaskError, TaskProfile};
+
+/// A benchmark run captured segment-by-segment: one access list for
+/// `init`, then one per block together with the words it produced.
+#[derive(Debug, Clone)]
+pub struct TaskRecording {
+    name: String,
+    profile: TaskProfile,
+    state: Region,
+    output: Region,
+    init: Vec<AccessRecord>,
+    blocks: Vec<(Vec<AccessRecord>, u32)>,
+}
+
+impl TaskRecording {
+    /// Name of the recorded benchmark.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total accesses captured across init and every block.
+    #[must_use]
+    pub fn total_accesses(&self) -> usize {
+        self.init.len() + self.blocks.iter().map(|(r, _)| r.len()).sum::<usize>()
+    }
+}
+
+/// Runs `task` to completion on `bus`, capturing every access into a
+/// [`TaskRecording`]. The bus ends up in the same state a direct run would
+/// leave it in — recording is transparent.
+///
+/// # Errors
+///
+/// Propagates any [`TaskError`] from the recorded run itself.
+pub fn record_task(
+    task: &mut dyn StreamingTask,
+    bus: &mut dyn MemoryBus,
+) -> Result<TaskRecording, TaskError> {
+    let mut recorder = RecordingBus::new(bus);
+    task.init(&mut recorder)?;
+    let init = recorder.take_log();
+    let mut blocks = Vec::with_capacity(task.total_blocks());
+    for block in 0..task.total_blocks() {
+        let produced = task.run_block(block, &mut recorder)?;
+        blocks.push((recorder.take_log(), produced));
+    }
+    Ok(TaskRecording {
+        name: task.name(),
+        profile: task.profile(),
+        state: task.state_region(),
+        output: task.output_region(),
+        init,
+        blocks,
+    })
+}
+
+/// A [`StreamingTask`] that re-issues a [`TaskRecording`] access-for-access.
+///
+/// Replayed blocks are trivially restartable: every store payload is part
+/// of the recording, so re-running a block after a rollback rewrites the
+/// exact same words.
+#[derive(Debug, Clone)]
+pub struct ReplayTask {
+    recording: TaskRecording,
+}
+
+impl ReplayTask {
+    /// Wraps a recording for replay.
+    #[must_use]
+    pub fn new(recording: TaskRecording) -> Self {
+        Self { recording }
+    }
+}
+
+impl StreamingTask for ReplayTask {
+    fn name(&self) -> String {
+        format!("{}-replay", self.recording.name)
+    }
+
+    fn total_blocks(&self) -> usize {
+        self.recording.blocks.len()
+    }
+
+    fn profile(&self) -> TaskProfile {
+        self.recording.profile
+    }
+
+    fn state_region(&self) -> Region {
+        self.recording.state
+    }
+
+    fn output_region(&self) -> Region {
+        self.recording.output
+    }
+
+    fn init(&mut self, bus: &mut dyn MemoryBus) -> Result<(), TaskError> {
+        replay_records(&self.recording.init, bus).map_err(TaskError::from)
+    }
+
+    fn run_block(&mut self, block: usize, bus: &mut dyn MemoryBus) -> Result<u32, TaskError> {
+        let (records, produced) = self
+            .recording
+            .blocks
+            .get(block)
+            .ok_or_else(|| TaskError::Config(format!("block {block} out of range")))?;
+        replay_records(records, bus)?;
+        Ok(*produced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::read_region;
+    use crate::Benchmark;
+    use chunkpoint_ecc::EccKind;
+    use chunkpoint_sim::{Component, FaultProcess, PlainBus, Platform, Sram};
+
+    fn quiet_bus() -> PlainBus {
+        let sram = Sram::new("l1", 16 * 1024, EccKind::None, FaultProcess::disabled()).unwrap();
+        PlainBus::new(sram, Platform::lh7a400(), Component::L1)
+    }
+
+    #[test]
+    fn replay_reproduces_the_original_output_bytes() {
+        for benchmark in [Benchmark::AdpcmEncode, Benchmark::G722Decode] {
+            let mut original = benchmark.build_task_scaled(8, 0.25);
+            let mut source_bus = quiet_bus();
+            let recording = record_task(original.as_mut(), &mut source_bus).unwrap();
+            assert!(recording.total_accesses() > 0);
+            assert_eq!(recording.name(), original.name());
+
+            let mut replay = ReplayTask::new(recording);
+            assert_eq!(replay.total_blocks(), original.total_blocks());
+            let mut replay_bus = quiet_bus();
+            replay.init(&mut replay_bus).unwrap();
+            for block in 0..replay.total_blocks() {
+                replay.run_block(block, &mut replay_bus).unwrap();
+            }
+            let original_out = read_region(&mut source_bus, original.output_region()).unwrap();
+            let replay_out = read_region(&mut replay_bus, replay.output_region()).unwrap();
+            assert_eq!(replay_out, original_out, "{benchmark}");
+            assert_eq!(replay_bus.now(), source_bus.now(), "{benchmark}");
+        }
+    }
+
+    #[test]
+    fn replay_of_missing_block_is_config_error() {
+        let mut task = Benchmark::AdpcmEncode.build_task_scaled(8, 0.25);
+        let mut bus = quiet_bus();
+        let recording = record_task(task.as_mut(), &mut bus).unwrap();
+        let mut replay = ReplayTask::new(recording);
+        let err = replay.run_block(10_000, &mut quiet_bus()).unwrap_err();
+        assert!(matches!(err, TaskError::Config(_)));
+    }
+}

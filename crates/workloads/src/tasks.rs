@@ -1,5 +1,6 @@
 //! [`StreamingTask`] implementations wrapping each codec — the five
-//! MediaBench-equivalent benchmarks of the paper's Table I / Fig. 5.
+//! MediaBench-equivalent benchmarks of the paper's Table I / Fig. 5, plus
+//! the wideband G.722 sub-band pair used by timeline scenarios.
 //!
 //! Every task follows the same restartable pattern (see [`crate::stream`]):
 //! per block it DMAs its input window into L1, loads state + input through
@@ -11,6 +12,7 @@
 use chunkpoint_sim::{MemoryBus, Region};
 
 use crate::adpcm::{self, AdpcmState};
+use crate::g722::{self, G722State};
 use crate::g726::{self, G726State};
 use crate::input::{speech_pcm, test_image};
 use crate::jpeg::{self, EntropyState, JpegDecoder};
@@ -23,6 +25,8 @@ use crate::stream::{
 const ADPCM_CYCLES_PER_SAMPLE: u64 = 45;
 /// Per-sample cycle estimate for G.726 (predictor + quantizer + update).
 const G726_CYCLES_PER_SAMPLE: u64 = 180;
+/// Per-sample cycle estimate for G.722 (12 QMF MACs + one band update).
+const G722_CYCLES_PER_SAMPLE: u64 = 110;
 /// Per-8×8-block cycle estimate for JPEG decode (Huffman + IDCT).
 const JPEG_CYCLES_PER_BLOCK: u64 = 2816;
 /// Worst-case entropy bytes per 8×8 block used to size refill windows.
@@ -495,6 +499,227 @@ impl StreamingTask for G721DecodeTask {
 }
 
 // ---------------------------------------------------------------------------
+// G.722 sub-band encode / decode
+// ---------------------------------------------------------------------------
+
+/// Wideband G.722-style sub-band encoder over PCM input.
+#[derive(Debug, Clone)]
+pub struct G722EncodeTask {
+    samples: Vec<i16>,
+    chunk_words: u32,
+    regions: (Region, Region, Region),
+}
+
+impl G722EncodeTask {
+    /// Creates the task; one output word = 8 samples (4 code bytes, one
+    /// per sample pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_words == 0` or `samples` is empty.
+    #[must_use]
+    pub fn new(samples: Vec<i16>, chunk_words: u32) -> Self {
+        assert!(chunk_words > 0, "chunk must be at least one word");
+        assert!(!samples.is_empty(), "empty input");
+        let spb = chunk_words * 8;
+        let input_words = spb.div_ceil(2);
+        let blocks = samples.len().div_ceil(spb as usize) as u32;
+        Self {
+            samples,
+            chunk_words,
+            regions: layout(G722State::WORDS as u32, input_words, chunk_words * blocks),
+        }
+    }
+
+    fn samples_per_block(&self) -> usize {
+        self.chunk_words as usize * 8
+    }
+}
+
+impl StreamingTask for G722EncodeTask {
+    fn name(&self) -> String {
+        "g722-encode".to_owned()
+    }
+
+    fn total_blocks(&self) -> usize {
+        self.samples.len().div_ceil(self.samples_per_block())
+    }
+
+    fn profile(&self) -> TaskProfile {
+        let spb = self.samples_per_block() as u64;
+        TaskProfile {
+            total_blocks: self.total_blocks(),
+            block_words: self.chunk_words,
+            state_words: G722State::WORDS as u32,
+            compute_cycles_per_block: G722_CYCLES_PER_SAMPLE * spb,
+            accesses_per_block: u64::from(self.regions.1.words) * 2
+                + u64::from(self.chunk_words)
+                + 2 * G722State::WORDS as u64,
+        }
+    }
+
+    fn state_region(&self) -> Region {
+        self.regions.0
+    }
+
+    fn output_region(&self) -> Region {
+        self.regions.2
+    }
+
+    fn init(&mut self, bus: &mut dyn MemoryBus) -> Result<(), TaskError> {
+        write_region(bus, self.regions.0, &G722State::new().to_words());
+        Ok(())
+    }
+
+    fn run_block(&mut self, block: usize, bus: &mut dyn MemoryBus) -> Result<u32, TaskError> {
+        let spb = self.samples_per_block();
+        let start = block * spb;
+        if start >= self.samples.len() {
+            return Err(TaskError::Config(format!("block {block} out of range")));
+        }
+        let slice = &self.samples[start..(start + spb).min(self.samples.len())];
+        let in_words = pack_i16(slice);
+        write_region(bus, self.regions.1, &in_words);
+        let state_words = read_region(bus, self.regions.0)?;
+        let mut array = [0u32; G722State::WORDS];
+        array.copy_from_slice(&state_words);
+        let mut state = G722State::from_words(&array);
+        let raw = read_words(bus, self.regions.1, in_words.len())?;
+        let samples = unpack_i16(&raw, slice.len());
+        bus.tick(G722_CYCLES_PER_SAMPLE * samples.len() as u64);
+        let mut bytes = Vec::with_capacity(samples.len().div_ceil(2));
+        for pair in samples.chunks(2) {
+            let x1 = pair.get(1).copied().unwrap_or(0);
+            bytes.push(g722::encode_pair(&mut state, pair[0], x1));
+        }
+        let out_words = pack_bytes(&bytes);
+        write_region_at(
+            bus,
+            self.regions.2,
+            block as u32 * self.chunk_words,
+            &out_words,
+        );
+        write_region(bus, self.regions.0, &state.to_words());
+        Ok(out_words.len() as u32)
+    }
+}
+
+/// Wideband G.722-style sub-band decoder over a code stream.
+#[derive(Debug, Clone)]
+pub struct G722DecodeTask {
+    codes: Vec<u8>,
+    total_samples: usize,
+    chunk_words: u32,
+    regions: (Region, Region, Region),
+}
+
+impl G722DecodeTask {
+    /// Creates the task; one output word = 2 decoded PCM samples (one
+    /// code byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_words == 0` or the code stream is too short.
+    #[must_use]
+    pub fn new(codes: Vec<u8>, total_samples: usize, chunk_words: u32) -> Self {
+        assert!(chunk_words > 0, "chunk must be at least one word");
+        assert!(
+            codes.len() * 2 >= total_samples,
+            "code stream shorter than sample count"
+        );
+        let spb = chunk_words * 2;
+        let input_words = (spb / 2).div_ceil(4).max(1);
+        let blocks = total_samples.div_ceil(spb as usize) as u32;
+        Self {
+            codes,
+            total_samples,
+            chunk_words,
+            regions: layout(G722State::WORDS as u32, input_words, chunk_words * blocks),
+        }
+    }
+
+    fn samples_per_block(&self) -> usize {
+        self.chunk_words as usize * 2
+    }
+}
+
+impl StreamingTask for G722DecodeTask {
+    fn name(&self) -> String {
+        "g722-decode".to_owned()
+    }
+
+    fn total_blocks(&self) -> usize {
+        self.total_samples.div_ceil(self.samples_per_block())
+    }
+
+    fn profile(&self) -> TaskProfile {
+        let spb = self.samples_per_block() as u64;
+        TaskProfile {
+            total_blocks: self.total_blocks(),
+            block_words: self.chunk_words,
+            state_words: G722State::WORDS as u32,
+            compute_cycles_per_block: G722_CYCLES_PER_SAMPLE * spb,
+            accesses_per_block: u64::from(self.regions.1.words) * 2
+                + u64::from(self.chunk_words)
+                + 2 * G722State::WORDS as u64,
+        }
+    }
+
+    fn state_region(&self) -> Region {
+        self.regions.0
+    }
+
+    fn output_region(&self) -> Region {
+        self.regions.2
+    }
+
+    fn init(&mut self, bus: &mut dyn MemoryBus) -> Result<(), TaskError> {
+        write_region(bus, self.regions.0, &G722State::new().to_words());
+        Ok(())
+    }
+
+    fn run_block(&mut self, block: usize, bus: &mut dyn MemoryBus) -> Result<u32, TaskError> {
+        let spb = self.samples_per_block();
+        let start_sample = block * spb;
+        if start_sample >= self.total_samples {
+            return Err(TaskError::Config(format!("block {block} out of range")));
+        }
+        let n_samples = spb.min(self.total_samples - start_sample);
+        let start_byte = start_sample / 2;
+        let n_bytes = n_samples.div_ceil(2);
+        let window = &self.codes[start_byte..(start_byte + n_bytes).min(self.codes.len())];
+        let in_words = pack_bytes(window);
+        write_region(bus, self.regions.1, &in_words);
+        let state_words = read_region(bus, self.regions.0)?;
+        let mut array = [0u32; G722State::WORDS];
+        array.copy_from_slice(&state_words);
+        let mut state = G722State::from_words(&array);
+        let raw = read_words(bus, self.regions.1, in_words.len())?;
+        let bytes = unpack_bytes(&raw, window.len());
+        bus.tick(G722_CYCLES_PER_SAMPLE * n_samples as u64);
+        let mut samples = Vec::with_capacity(n_samples);
+        'outer: for &byte in &bytes {
+            let (x0, x1) = g722::decode_pair(&mut state, byte);
+            for sample in [x0, x1] {
+                samples.push(sample);
+                if samples.len() == n_samples {
+                    break 'outer;
+                }
+            }
+        }
+        let out_words = pack_i16(&samples);
+        write_region_at(
+            bus,
+            self.regions.2,
+            block as u32 * self.chunk_words,
+            &out_words,
+        );
+        write_region(bus, self.regions.0, &state.to_words());
+        Ok(out_words.len() as u32)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // JPEG decode
 // ---------------------------------------------------------------------------
 
@@ -634,7 +859,8 @@ impl StreamingTask for JpegDecodeTask {
 // Benchmark registry
 // ---------------------------------------------------------------------------
 
-/// The five benchmarks of the paper's evaluation.
+/// The five benchmarks of the paper's evaluation, plus the wideband
+/// G.722 pair added for timeline scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// IMA ADPCM encoder (`rawcaudio`).
@@ -647,16 +873,22 @@ pub enum Benchmark {
     G721Decode,
     /// Baseline JPEG decoder (`djpeg`).
     JpegDecode,
+    /// G.722 sub-band encoder (wideband extension).
+    G722Encode,
+    /// G.722 sub-band decoder (wideband extension).
+    G722Decode,
 }
 
 impl Benchmark {
-    /// All benchmarks in the paper's Table I order.
-    pub const ALL: [Benchmark; 5] = [
+    /// All benchmarks: the paper's Table I order, then the G.722 pair.
+    pub const ALL: [Benchmark; 7] = [
         Benchmark::AdpcmEncode,
         Benchmark::AdpcmDecode,
         Benchmark::G721Encode,
         Benchmark::G721Decode,
         Benchmark::JpegDecode,
+        Benchmark::G722Encode,
+        Benchmark::G722Decode,
     ];
 
     /// Paper-style display name.
@@ -668,6 +900,8 @@ impl Benchmark {
             Benchmark::G721Encode => "G721 encode",
             Benchmark::G721Decode => "G721 decode",
             Benchmark::JpegDecode => "JPG decode",
+            Benchmark::G722Encode => "G722 encode",
+            Benchmark::G722Decode => "G722 decode",
         }
     }
 
@@ -701,6 +935,11 @@ impl Benchmark {
             // G.726 costs ~4x more cycles/sample; one RTP packet window.
             Benchmark::G721Encode => 192.0,
             Benchmark::G721Decode => 96.0,
+            // G.722 runs at 16 kHz, so a same-duration frame holds twice
+            // the samples of its narrowband sibling — but the 16-word
+            // state makes checkpoints dearer, so frames stay moderate.
+            Benchmark::G722Encode => 384.0,
+            Benchmark::G722Decode => 128.0,
             Benchmark::JpegDecode => 0.0, // unused
         };
         ((base * scale) as usize).max(48)
@@ -751,6 +990,14 @@ impl Benchmark {
                         .expect("internally generated stream parses"),
                 )
             }
+            Benchmark::G722Encode => {
+                Box::new(G722EncodeTask::new(speech_pcm(n_audio, 0xD1), chunk_words))
+            }
+            Benchmark::G722Decode => {
+                let pcm = speech_pcm(n_audio, 0xD2);
+                let codes = g722::encode(&pcm);
+                Box::new(G722DecodeTask::new(codes, n_audio, chunk_words))
+            }
         }
     }
 
@@ -769,20 +1016,16 @@ impl Benchmark {
         assert!(chunk_words > 0, "chunk must be at least one word");
         assert!(scale > 0.0 && scale <= 4.0, "scale out of range");
         match self {
-            Benchmark::AdpcmEncode | Benchmark::G721Encode => {
+            Benchmark::AdpcmEncode | Benchmark::G721Encode | Benchmark::G722Encode => {
                 let n = self.audio_samples(scale);
                 let spb = chunk_words as usize * 8;
                 let input_words = (chunk_words * 8).div_ceil(2);
-                let (state, cycles) = if self == Benchmark::AdpcmEncode {
-                    (2u32, ADPCM_CYCLES_PER_SAMPLE)
-                } else {
-                    (G726State::WORDS as u32, G726_CYCLES_PER_SAMPLE)
+                let (state, cycles) = match self {
+                    Benchmark::AdpcmEncode => (2u32, ADPCM_CYCLES_PER_SAMPLE),
+                    Benchmark::G721Encode => (G726State::WORDS as u32, G726_CYCLES_PER_SAMPLE),
+                    _ => (G722State::WORDS as u32, G722_CYCLES_PER_SAMPLE),
                 };
-                let state_accesses = if state == 2 {
-                    4
-                } else {
-                    2 * G726State::WORDS as u64
-                };
+                let state_accesses = if state == 2 { 4 } else { 2 * u64::from(state) };
                 TaskProfile {
                     total_blocks: n.div_ceil(spb),
                     block_words: chunk_words,
@@ -793,20 +1036,16 @@ impl Benchmark {
                         + state_accesses,
                 }
             }
-            Benchmark::AdpcmDecode | Benchmark::G721Decode => {
+            Benchmark::AdpcmDecode | Benchmark::G721Decode | Benchmark::G722Decode => {
                 let n = self.audio_samples(scale);
                 let spb = chunk_words as usize * 2;
                 let input_words = (chunk_words * 2 / 2).div_ceil(4).max(1);
-                let (state, cycles) = if self == Benchmark::AdpcmDecode {
-                    (2u32, ADPCM_CYCLES_PER_SAMPLE)
-                } else {
-                    (G726State::WORDS as u32, G726_CYCLES_PER_SAMPLE)
+                let (state, cycles) = match self {
+                    Benchmark::AdpcmDecode => (2u32, ADPCM_CYCLES_PER_SAMPLE),
+                    Benchmark::G721Decode => (G726State::WORDS as u32, G726_CYCLES_PER_SAMPLE),
+                    _ => (G722State::WORDS as u32, G722_CYCLES_PER_SAMPLE),
                 };
-                let state_accesses = if state == 2 {
-                    4
-                } else {
-                    2 * G726State::WORDS as u64
-                };
+                let state_accesses = if state == 2 { 4 } else { 2 * u64::from(state) };
                 TaskProfile {
                     total_blocks: n.div_ceil(spb),
                     block_words: chunk_words,
@@ -914,6 +1153,27 @@ mod tests {
     }
 
     #[test]
+    fn g722_encode_task_matches_pure_codec() {
+        let pcm = speech_pcm(1500, 0xD1);
+        let mut task = G722EncodeTask::new(pcm.clone(), 4);
+        let mut bus = quiet_bus();
+        let drained = run_to_completion(&mut task, &mut bus);
+        let expected = pack_bytes(&g722::encode(&pcm));
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn g722_decode_task_matches_pure_codec() {
+        let pcm = speech_pcm(1500, 0xD2);
+        let codes = g722::encode(&pcm);
+        let mut task = G722DecodeTask::new(codes.clone(), 1500, 4);
+        let mut bus = quiet_bus();
+        let drained = run_to_completion(&mut task, &mut bus);
+        let expected = pack_i16(&g722::decode(&codes, 1500));
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
     fn jpeg_decode_task_matches_pure_decoder() {
         let img = test_image(32, 32, 0xC1);
         let bytes = jpeg::encode(&img, 32, 32, 80);
@@ -1008,7 +1268,8 @@ mod tests {
     #[test]
     fn benchmark_display_names() {
         assert_eq!(Benchmark::JpegDecode.to_string(), "JPG decode");
-        assert_eq!(Benchmark::ALL.len(), 5);
+        assert_eq!(Benchmark::G722Encode.to_string(), "G722 encode");
+        assert_eq!(Benchmark::ALL.len(), 7);
     }
 
     #[test]

@@ -20,6 +20,19 @@ cargo run --release -p chunkpoint_bench --bin bench_campaign -- --smoke --seeds 
 echo "== exec smoke (one executor API: local + remote parity on a 1-second grid) =="
 cargo run --release --example exec_parity
 
+echo "== scenario smoke (named timeline scenario through a real serve backend) =="
+SCN_DIR="$(mktemp -d)"
+trap 'rm -rf "$SCN_DIR"' EXIT
+# The example submits a 3-scenario timeline axis (burst, quiet shift
+# with expect blocks, scrub schedule) to a real serve over TCP, asserts
+# every expect verdict, and writes both reports for the byte check.
+cargo run --release --example scenario_campaign "$SCN_DIR"
+cmp "$SCN_DIR/local.json" "$SCN_DIR/remote.json" \
+    || { echo "scenario remote report diverged from the local oracle"; exit 1; }
+echo "scenario smoke OK (expect verdicts typed, local and remote bytes identical)"
+# Later stages install their own EXIT traps, so clean up eagerly here.
+rm -rf "$SCN_DIR"
+
 echo "== service smoke (submit, poll, cached resubmit, clean shutdown) =="
 SERVE_DIR="$(mktemp -d)"
 # Failure paths exit mid-test: take the background server down with us
@@ -225,6 +238,9 @@ echo "incremental smoke OK (${CACHE_HITS} cache hits, ${SPLICED} rows spliced, b
 
 echo "== cache bench smoke (cold seal vs warm splice vs incremental) =="
 cargo run --release -p chunkpoint_bench --bin bench_cache -- --smoke
+
+echo "== scenario bench smoke (timeline axis vs plain grid) =="
+cargo run --release -p chunkpoint_bench --bin bench_scenario -- --smoke
 
 echo "== chaos bench smoke (submission throughput at 0/10/30% fault rates) =="
 cargo run --release -p chunkpoint_bench --bin bench_chaos -- --smoke

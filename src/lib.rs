@@ -85,6 +85,10 @@ pub use chunkpoint_workloads as workloads;
 /// The hybrid mitigation scheme, optimizer, and baseline executors.
 pub use chunkpoint_core as core;
 
+/// Declarative timeline-scenario DSL: named scenarios, fault-timeline
+/// events, and `expect` blocks over final run statistics.
+pub use chunkpoint_scenario as scenario;
+
 /// Deterministic parallel Monte Carlo campaign engine.
 pub use chunkpoint_campaign as campaign;
 
